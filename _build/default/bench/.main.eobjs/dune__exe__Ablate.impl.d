@@ -1,0 +1,1 @@
+bench/ablate.ml: List Model Printf Workload

@@ -1,0 +1,1 @@
+bench/fig1.ml: Atomic Domain Format Hwts List Model Printf Sys Tsc Unix

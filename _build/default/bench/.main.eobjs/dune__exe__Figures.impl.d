@@ -1,0 +1,1 @@
+bench/figures.ml: Format List Model Printf Workload

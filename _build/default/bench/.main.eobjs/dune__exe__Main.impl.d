@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array Fig1 Figures List Micro Printf Real_hw String Sys Ties_bench Tsc

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Hwts Instance List Measure Printf Staged Test Time Toolkit Tsc

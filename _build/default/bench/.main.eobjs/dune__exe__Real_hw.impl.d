@@ -1,0 +1,1 @@
+bench/real_hw.ml: Domain List Printf Workload

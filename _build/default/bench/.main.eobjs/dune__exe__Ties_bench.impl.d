@@ -1,0 +1,1 @@
+bench/ties_bench.ml: Array Domain Hashtbl Hwts Printf Sys Tsc Unix

@@ -1,0 +1,61 @@
+(* Cost-model sensitivity: how the headline ratios move as the coherence
+   parameters vary.  Backs EXPERIMENTS.md's claim that the residual
+   deviations from the paper's absolute numbers are calibration, not
+   mechanism: the orderings never flip across a 4x parameter range. *)
+
+let threads = [ 1; 24; 96; 192 ]
+
+let fig1_ratio ~duration costs =
+  let series mode =
+    Model.Sweep.run_series ~duration ~costs ~threads ~label:"x" (fun env ->
+        Model.Kernels.ts_acquire env ~mode)
+  in
+  Model.Sweep.max_speedup
+    (series (`Tsc Model.Costs.Rdtscp_lfence))
+    ~baseline:(series `Faa)
+
+let fig2_speedup ~duration costs =
+  let mix = Workload.Mix.of_label "0-10-90" in
+  let series mode =
+    Model.Sweep.run_series ~duration ~costs ~threads ~label:"x" (fun env ->
+        Model.Kernels.vcas_bst env ~mode ~mix)
+  in
+  Model.Sweep.max_speedup (series Model.Kernels.Hardware)
+    ~baseline:(series Model.Kernels.Logical)
+
+let fig4_speedup ~duration costs =
+  let mix = Workload.Mix.of_label "10-10-80" in
+  let series mode =
+    Model.Sweep.run_series ~duration ~costs ~threads ~label:"x" (fun env ->
+        Model.Kernels.citrus_ebrrq env ~mode ~mix)
+  in
+  Model.Sweep.max_speedup (series Model.Kernels.Hardware)
+    ~baseline:(series Model.Kernels.Logical)
+
+let run ~duration () =
+  print_endline "## ablate: cost-model sensitivity";
+  print_endline
+    "   (fig1 = raw acquisition ratio; fig2 = vCAS BST 0-10-90 speedup; fig4 = EBR-RQ 10-10-80 speedup)";
+  Printf.printf "  %-34s %10s %10s %10s\n" "parameters" "fig1" "fig2" "fig4";
+  let base = Model.Costs.default in
+  let row label costs =
+    Printf.printf "  %-34s %9.0fx %9.2fx %9.2fx\n%!" label
+      (fig1_ratio ~duration costs)
+      (fig2_speedup ~duration costs)
+      (fig4_speedup ~duration costs)
+  in
+  row "default (cross=260)" base;
+  List.iter
+    (fun cross ->
+      row
+        (Printf.sprintf "cross_socket=%.0f" cross)
+        { base with Model.Costs.cross_socket = cross })
+    [ 100.; 180.; 400. ];
+  row "rmw_extra=40" { base with Model.Costs.rmw_extra = 40. };
+  row "no hyperthread penalty"
+    { base with Model.Costs.ht_compute_factor = 1.; ht_memory_factor = 1. };
+  row "slow fenced rdtscp (100cy)"
+    { base with Model.Costs.tsc_rdtscp_lfence = 100. };
+  print_endline
+    "   invariants: fig1 >> 1 and fig2 > 1 in every row; fig4 stays near 1";
+  print_newline ()

@@ -1,0 +1,139 @@
+(* Figures 2-5 plus the Section-IV ablations, regenerated on the timing
+   model: one table per paper sub-figure (workload mix), columns = the
+   technique under logical vs hardware timestamps. *)
+
+let mix = Workload.Mix.of_label
+
+let workload_series ~duration ~label builder m =
+  [
+    Model.Sweep.run_series ~duration ~label:(label ^ "") (fun env ->
+        builder env ~mode:Model.Kernels.Logical ~mix:m);
+    Model.Sweep.run_series ~duration ~label:(label ^ "-RDTSCP") (fun env ->
+        builder env ~mode:Model.Kernels.Hardware ~mix:m);
+  ]
+
+let report ~paper_hint series =
+  Format.printf "%a" Model.Sweep.pp_series_table series;
+  (match series with
+  | [ baseline; hw ] ->
+    Printf.printf "  max RDTSCP/logical speedup: %.2fx%s\n"
+      (Model.Sweep.max_speedup hw ~baseline)
+      (match paper_hint with "" -> "" | h -> "  (paper: " ^ h ^ ")")
+  | _ -> ());
+  print_newline ()
+
+let sub ~duration ~name ~builder ~label ?(paper = "") m_label =
+  Printf.printf "### %s, workload %s (U-RQ-C)\n" name m_label;
+  report ~paper_hint:paper (workload_series ~duration ~label builder (mix m_label))
+
+let fig2 ~duration () =
+  print_endline "## fig2: vCAS lock-free BST [model, Mops/s]";
+  let s = sub ~duration ~name:"fig2 vcas-bst" ~builder:Model.Kernels.vcas_bst ~label:"vCAS" in
+  s ~paper:"~3x" "0-10-90";
+  s "2-10-88";
+  s "10-10-80";
+  s "20-10-70";
+  s ~paper:"1.6-5x band" "50-10-40";
+  s ~paper:">5.5x" "0-20-80";
+  s "2-20-78";
+  s "10-20-70";
+  s "20-20-60";
+  s ~paper:"no difference" "100-0-0"
+
+let fig3 ~duration () =
+  print_endline "## fig3: Citrus tree with vCAS and Bundling [model, Mops/s]";
+  List.iter
+    (fun (m_label, paper) ->
+      Printf.printf "### fig3 citrus, workload %s (U-RQ-C)\n" m_label;
+      let m = mix m_label in
+      let series =
+        workload_series ~duration ~label:"vCAS" Model.Kernels.citrus_vcas m
+        @ workload_series ~duration ~label:"Bundle" Model.Kernels.citrus_bundle m
+      in
+      Format.printf "%a" Model.Sweep.pp_series_table series;
+      (match series with
+      | [ vb; vh; bb; bh ] ->
+        Printf.printf
+          "  vCAS max speedup %.2fx; Bundle max speedup %.2fx%s\n\n"
+          (Model.Sweep.max_speedup vh ~baseline:vb)
+          (Model.Sweep.max_speedup bh ~baseline:bb)
+          (match paper with "" -> "" | h -> "  (paper: " ^ h ^ ")")
+      | _ -> print_newline ()))
+    [
+      ("0-10-90", "vCAS gains, Bundle none (updates advance its clock)");
+      ("0-20-80", "");
+      ("2-10-88", "");
+      ("10-10-80", "");
+      ("20-10-70", "");
+      ("50-10-40", "both gain; vCAS catches Bundling");
+    ]
+
+let fig4 ~duration () =
+  print_endline "## fig4: Citrus tree with EBR-RQ [model, Mops/s]";
+  let s = sub ~duration ~name:"fig4 ebr-rq" ~builder:Model.Kernels.citrus_ebrrq ~label:"EBR-RQ" in
+  s ~paper:"little speedup; drop past 24 threads" "2-10-88";
+  s "10-10-80";
+  s "20-10-70";
+  s ~paper:"TSC occasionally slightly worse" "50-10-40"
+
+let fig5 ~duration () =
+  print_endline "## fig5: Skip list with Bundling [model, Mops/s]";
+  let s =
+    sub ~duration ~name:"fig5 skiplist-bundle"
+      ~builder:Model.Kernels.skiplist_bundle ~label:"Bundle"
+  in
+  s ~paper:"no speedup (structure-bound)" "0-10-90";
+  s ~paper:"speedup" "20-10-70";
+  s ~paper:"speedup" "50-10-40";
+  print_endline
+    "### fig5 addendum: vCAS on the skip list (tested and omitted by the paper)";
+  List.iter
+    (fun m_label ->
+      Printf.printf "workload %s:\n" m_label;
+      report ~paper_hint:"no gain observed (omitted from the paper)"
+        (workload_series ~duration ~label:"vCAS-SL" Model.Kernels.skiplist_vcas
+           (mix m_label)))
+    [ "0-10-90"; "10-10-80" ]
+
+let lazylist ~duration () =
+  print_endline
+    "## lazylist (negative result the paper omitted): traversal-bound";
+  Printf.printf "### lazy list, workload 10-10-80, 1000 elements\n";
+  let m = mix "10-10-80" in
+  report ~paper_hint:"no improvement"
+    [
+      Model.Sweep.run_series ~duration ~label:"Bundle" (fun env ->
+          Model.Kernels.lazylist_bundle env ~mode:Model.Kernels.Logical ~mix:m
+            ~size:1000);
+      Model.Sweep.run_series ~duration ~label:"Bundle-RDTSCP" (fun env ->
+          Model.Kernels.lazylist_bundle env ~mode:Model.Kernels.Hardware ~mix:m
+            ~size:1000);
+    ]
+
+let labeling ~duration () =
+  print_endline "## labeling ablation (Section IV): one workload, three disciplines";
+  print_endline
+    "   (speedup of RDTSCP over logical per labeling granularity, mix 50-10-40)";
+  let m = mix "50-10-40" in
+  List.iter
+    (fun (name, g) ->
+      let baseline =
+        Model.Sweep.run_series ~duration ~label:(name ^ "") (fun env ->
+            Model.Kernels.labeling_sweep env ~mode:Model.Kernels.Logical
+              ~granularity:g ~mix:m)
+      in
+      let hw =
+        Model.Sweep.run_series ~duration ~label:(name ^ "-RDTSCP") (fun env ->
+            Model.Kernels.labeling_sweep env ~mode:Model.Kernels.Hardware
+              ~granularity:g ~mix:m)
+      in
+      Printf.printf "  %-18s max RDTSCP speedup %.2fx\n%!" name
+        (Model.Sweep.max_speedup hw ~baseline))
+    [
+      ("global-lock", `Global_lock);
+      ("structural-lock", `Structural_lock);
+      ("helped", `Helped);
+    ];
+  print_endline
+    "   expected ordering: helped >= structural-lock >> global-lock";
+  print_newline ()

@@ -1,0 +1,48 @@
+(* Real-hardware micro-costs of the timestamp primitives (Bechamel), the
+   measured counterpart of Section II-B's discussion.  One Test.make per
+   primitive; results in ns/op and cycles/op. *)
+
+open Bechamel
+open Toolkit
+
+module L = Hwts.Timestamp.Logical ()
+
+let tests =
+  [
+    Test.make ~name:"logical-faa" (Staged.stage (fun () -> ignore (L.advance ())));
+    Test.make ~name:"logical-read" (Staged.stage (fun () -> ignore (L.read ())));
+    Test.make ~name:"rdtsc" (Staged.stage (fun () -> ignore (Tsc.rdtsc ())));
+    Test.make ~name:"rdtscp" (Staged.stage (fun () -> ignore (Tsc.rdtscp ())));
+    Test.make ~name:"rdtscp+lfence"
+      (Staged.stage (fun () -> ignore (Tsc.rdtscp_lfence ())));
+    Test.make ~name:"cpuid+rdtsc"
+      (Staged.stage (fun () -> ignore (Tsc.rdtsc_cpuid ())));
+    Test.make ~name:"monotonic-ns"
+      (Staged.stage (fun () -> ignore (Tsc.monotonic_ns ())));
+  ]
+
+let run () =
+  print_endline "## micro: timestamp primitive costs (real hardware, Bechamel)";
+  Printf.printf "   (invariant TSC: %b, measured %.2f cycles/ns)\n%!"
+    (Tsc.has_invariant_tsc ()) (Tsc.cycles_per_ns ());
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"ts" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort compare rows in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ ns ] ->
+        Printf.printf "  %-24s %8.1f ns/op  %8.1f cycles/op\n" name ns
+          (ns *. Tsc.cycles_per_ns ())
+      | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+    rows;
+  print_newline ()

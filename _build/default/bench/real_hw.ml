@@ -1,0 +1,59 @@
+(* Real-hardware throughput of the actual implementations, at whatever
+   domain counts this machine supports.  On the 1-vCPU reproduction box
+   this validates correctness-under-load and absolute single-thread costs;
+   the multicore *shapes* come from the timing model (fig2-fig5). *)
+
+let thread_axis () =
+  let n = Domain.recommended_domain_count () in
+  List.sort_uniq compare (List.filter (fun t -> t <= n) [ 1; 2; 4; 8; n ])
+
+let structures =
+  [
+    ("bst-vcas", Workload.Targets.bst_vcas);
+    ("citrus-vcas", Workload.Targets.citrus_vcas);
+    ("citrus-bundle", Workload.Targets.citrus_bundle);
+    ("citrus-ebrrq", Workload.Targets.citrus_ebrrq);
+    ("skiplist-bundle", Workload.Targets.skiplist_bundle);
+  ]
+
+let run ~seconds ~trials () =
+  Printf.printf
+    "## real hardware: actual implementations (%d recommended domains)\n"
+    (Domain.recommended_domain_count ());
+  print_endline "   key range 16384, RQ length 100, prefilled to half";
+  List.iter
+    (fun mix_label ->
+      Printf.printf "### workload %s (U-RQ-C) [Mops/s, mean over %d trials]\n"
+        mix_label trials;
+      Printf.printf "  %-18s" "structure";
+      let threads = thread_axis () in
+      List.iter
+        (fun t ->
+          Printf.printf " %12s" (Printf.sprintf "T=%d log/hw" t))
+        threads;
+      print_newline ();
+      List.iter
+        (fun (name, make) ->
+          Printf.printf "  %-18s" name;
+          List.iter
+            (fun t ->
+              let config =
+                {
+                  Workload.Harness.default with
+                  threads = t;
+                  seconds;
+                  mix = Workload.Mix.of_label mix_label;
+                }
+              in
+              let mops ts =
+                let results =
+                  Workload.Harness.run_trials ~trials (make ts) config
+                in
+                fst (Workload.Harness.mops_of_trials results)
+              in
+              Printf.printf " %5.2f/%5.2f%!" (mops `Logical) (mops `Hardware))
+            threads;
+          print_newline ())
+        structures;
+      print_newline ())
+    [ "0-10-90"; "10-10-80"; "50-10-40" ]

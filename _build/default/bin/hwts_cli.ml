@@ -1,0 +1,245 @@
+(* hwts-cli: operational front-end for the library.
+
+   Subcommands:
+     tsc-info    probe the hardware timestamp capabilities of this machine
+     calibrate   measure primitive costs and print a Costs.t suggestion
+     figure      regenerate one paper figure on the timing model
+     run         run a real workload on a chosen structure/timestamp
+     stress      concurrency smoke test of every range-query port *)
+
+open Cmdliner
+
+let tsc_info () =
+  Printf.printf "x86:               %b\n" Tsc.is_x86;
+  Printf.printf "invariant TSC:     %b\n" (Tsc.has_invariant_tsc ());
+  Printf.printf "online CPUs:       %d\n" (Tsc.num_cpus ());
+  Printf.printf "cycles per ns:     %.3f (%.2f GHz)\n" (Tsc.cycles_per_ns ())
+    (Tsc.cycles_per_ns ());
+  let a = Tsc.rdtscp_lfence () in
+  let b = Tsc.rdtscp_lfence () in
+  Printf.printf "rdtscp sample:     %d -> %d (delta %d cycles)\n" a b (b - a);
+  Printf.printf "pin_to_cpu(0):     %b\n" (Tsc.pin_to_cpu 0);
+  0
+
+let calibrate () =
+  let cost name f = Printf.printf "%-18s %8.1f cycles\n" name (Tsc.measure_cost_cycles f) in
+  cost "rdtsc" Tsc.rdtsc;
+  cost "rdtscp" Tsc.rdtscp;
+  cost "rdtscp+lfence" Tsc.rdtscp_lfence;
+  cost "cpuid+rdtsc" Tsc.rdtsc_cpuid;
+  cost "monotonic-ns" Tsc.monotonic_ns;
+  let module L = Hwts.Timestamp.Logical () in
+  cost "logical-faa" (fun () -> L.advance ());
+  Printf.printf
+    "\nSuggested Model.Costs overrides: tsc_rdtscp_lfence = %.0f; tsc_rdtsc_cpuid = %.0f\n"
+    (Tsc.measure_cost_cycles Tsc.rdtscp_lfence)
+    (Tsc.measure_cost_cycles Tsc.rdtsc_cpuid);
+  0
+
+let figure id full csv =
+  let duration = if full then 2_000_000. else 400_000. in
+  let emit series =
+    Format.printf "%a@." Model.Sweep.pp_series_table series;
+    match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Model.Sweep.to_csv series);
+      close_out oc;
+      Printf.printf "(wrote %s)\n" path
+  in
+  let known = [ "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "labeling"; "lazylist" ] in
+  if not (List.mem id known) then begin
+    Printf.eprintf "unknown figure %S (expected one of: %s)\n" id
+      (String.concat ", " known);
+    1
+  end
+  else begin
+    (* The bench executable holds the figure drivers; keep one source of
+       truth by reusing the same sweep primitives here for a single id. *)
+    let mix = Workload.Mix.of_label in
+    let table label builder m =
+      let series =
+        [
+          Model.Sweep.run_series ~duration ~label (fun env ->
+              builder env ~mode:Model.Kernels.Logical ~mix:(mix m));
+          Model.Sweep.run_series ~duration ~label:(label ^ "-RDTSCP")
+            (fun env ->
+              builder env ~mode:Model.Kernels.Hardware ~mix:(mix m));
+        ]
+      in
+      Printf.printf "workload %s:\n" m;
+      emit series
+    in
+    (match id with
+    | "fig1" ->
+      let series =
+        List.map
+          (fun (label, mode) ->
+            Model.Sweep.run_series ~duration ~label (fun env ->
+                Model.Kernels.ts_acquire env ~mode))
+          [
+            ("Logical TS", `Faa);
+            ("RDTSCP", `Tsc Model.Costs.Rdtscp_lfence);
+            ("RDTSC", `Tsc Model.Costs.Rdtsc_cpuid);
+          ]
+      in
+      emit series
+    | "fig2" -> table "vCAS" Model.Kernels.vcas_bst "10-10-80"
+    | "fig3" ->
+      table "vCAS" Model.Kernels.citrus_vcas "10-10-80";
+      table "Bundle" Model.Kernels.citrus_bundle "10-10-80"
+    | "fig4" -> table "EBR-RQ" Model.Kernels.citrus_ebrrq "10-10-80"
+    | "fig5" -> table "Bundle" Model.Kernels.skiplist_bundle "20-10-70"
+    | "labeling" ->
+      List.iter
+        (fun (name, g) ->
+          let run mode label =
+            Model.Sweep.run_series ~duration ~label (fun env ->
+                Model.Kernels.labeling_sweep env ~mode ~granularity:g
+                  ~mix:(mix "50-10-40"))
+          in
+          let base = run Model.Kernels.Logical name in
+          let hw = run Model.Kernels.Hardware (name ^ "-RDTSCP") in
+          Printf.printf "%-18s max RDTSCP speedup %.2fx\n" name
+            (Model.Sweep.max_speedup hw ~baseline:base))
+        [
+          ("global-lock", `Global_lock);
+          ("structural-lock", `Structural_lock);
+          ("helped", `Helped);
+        ]
+    | "lazylist" ->
+      let series =
+        List.map
+          (fun (label, mode) ->
+            Model.Sweep.run_series ~duration ~label (fun env ->
+                Model.Kernels.lazylist_bundle env ~mode ~mix:(mix "10-10-80")
+                  ~size:1000))
+          [ ("Bundle", Model.Kernels.Logical); ("Bundle-RDTSCP", Model.Kernels.Hardware) ]
+      in
+      emit series
+    | _ -> ());
+    0
+  end
+
+let structure_conv =
+  let parse s =
+    match List.assoc_opt s Workload.Targets.all with
+    | Some make -> Ok (s, make)
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown structure %S (one of: %s)" s
+             (String.concat ", " (List.map fst Workload.Targets.all))))
+  in
+  Arg.conv (parse, fun ppf (s, _) -> Format.pp_print_string ppf s)
+
+let run_real (name, make) hardware threads seconds mix_label key_range zipf =
+  let ts = if hardware then `Hardware else `Logical in
+  let config =
+    {
+      Workload.Harness.default with
+      threads;
+      seconds;
+      key_range;
+      mix = Workload.Mix.of_label mix_label;
+      zipf_theta = zipf;
+    }
+  in
+  let result = Workload.Harness.run (make ts) config in
+  Printf.printf
+    "%s(%s) threads=%d mix=%s range=%d: %.3f Mops/s (%d ops in %.2fs)\n" name
+    (Workload.Targets.ts_name ts) threads mix_label key_range
+    result.Workload.Harness.mops result.total_ops result.elapsed;
+  0
+
+let stress () =
+  let ok = ref 0 in
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun ts ->
+          let (module S : Dstruct.Ordered_set.RQ) = make ts in
+          let t = S.create () in
+          for k = 1 to 1_000 do
+            ignore (S.insert t (k * 2))
+          done;
+          let domains =
+            List.init 3 (fun i ->
+                Domain.spawn (fun () ->
+                    Sync.Slot.with_slot (fun _ ->
+                        let rng = Dstruct.Prng.make ~seed:(i + 1) in
+                        for _ = 1 to 5_000 do
+                          let k = 1 + Dstruct.Prng.below rng 2_000 in
+                          match Dstruct.Prng.below rng 4 with
+                          | 0 -> ignore (S.insert t k)
+                          | 1 -> ignore (S.delete t k)
+                          | 2 -> ignore (S.contains t k)
+                          | _ -> ignore (S.range_query t ~lo:k ~hi:(k + 50))
+                        done)))
+          in
+          List.iter Domain.join domains;
+          incr ok;
+          Printf.printf "  %-18s %-8s ok (size now %d)\n%!" name
+            (Workload.Targets.ts_name ts) (S.size t))
+        [ `Logical; `Hardware ])
+    Workload.Targets.all;
+  Printf.printf "stress: %d combinations passed\n" !ok;
+  0
+
+(* command wiring *)
+
+let tsc_info_cmd =
+  Cmd.v (Cmd.info "tsc-info" ~doc:"Probe hardware timestamp capabilities")
+    Term.(const tsc_info $ const ())
+
+let calibrate_cmd =
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Measure primitive costs on this machine")
+    Term.(const calibrate $ const ())
+
+let figure_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE") in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Longer simulations") in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+           ~doc:"Also write the series as CSV")
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one paper figure on the timing model")
+    Term.(const figure $ id $ full $ csv)
+
+let run_cmd =
+  let structure =
+    Arg.(
+      required
+      & pos 0 (some structure_conv) None
+      & info [] ~docv:"STRUCTURE" ~doc:"bst-vcas, citrus-vcas, ...")
+  in
+  let hardware =
+    Arg.(value & flag & info [ "rdtscp"; "hardware" ] ~doc:"Use the TSC provider")
+  in
+  let threads = Arg.(value & opt int 2 & info [ "t"; "threads" ]) in
+  let seconds = Arg.(value & opt float 1.0 & info [ "d"; "duration" ]) in
+  let mix = Arg.(value & opt string "10-10-80" & info [ "m"; "mix" ]) in
+  let range = Arg.(value & opt int 16_384 & info [ "k"; "key-range" ]) in
+  let zipf =
+    Arg.(value & opt (some float) None & info [ "zipf" ] ~docv:"THETA"
+           ~doc:"Zipfian key skew instead of uniform")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a real workload on this machine")
+    Term.(const run_real $ structure $ hardware $ threads $ seconds $ mix $ range $ zipf)
+
+let stress_cmd =
+  Cmd.v
+    (Cmd.info "stress" ~doc:"Concurrency smoke test of every port")
+    Term.(const stress $ const ())
+
+let () =
+  let doc = "hardware-timestamp range-query structures (IPPS'23 reproduction)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "hwts-cli" ~doc)
+          [ tsc_info_cmd; calibrate_cmd; figure_cmd; run_cmd; stress_cmd ]))

@@ -1,0 +1,1 @@
+examples/inventory_audit.ml: Atomic Domain Dstruct Hwts List Printf Rangequery String Sync

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Domain Dstruct Hwts List Printf Rangequery Sync

@@ -1,0 +1,1 @@
+examples/labeling_demo.ml: Format Hwts List Printf Rangequery String

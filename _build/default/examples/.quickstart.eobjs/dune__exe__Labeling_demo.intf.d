@@ -1,0 +1,1 @@
+examples/labeling_demo.mli:

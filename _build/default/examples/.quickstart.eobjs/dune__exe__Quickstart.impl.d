@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain Hwts List Printf Rangequery String Sync Tsc

@@ -1,0 +1,1 @@
+examples/snapshot_analytics.ml: Atomic Domain Dstruct Hwts List Printf Rangequery Sync

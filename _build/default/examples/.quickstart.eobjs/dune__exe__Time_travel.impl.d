@@ -1,0 +1,1 @@
+examples/time_travel.ml: Domain Hwts List Printf Rangequery String Sync

@@ -1,0 +1,1 @@
+lib/core/ordo.ml: Atomic Domain Tsc

@@ -1,0 +1,1 @@
+lib/core/ordo.mli: Timestamp

@@ -1,0 +1,46 @@
+(** The timestamp-labeling taxonomy of Section IV, as data.
+
+    Labeling is the step that tags an object with a timestamp.  How atomic
+    that step must be with respect to reading the timestamp determines how
+    much an algorithm gains from hardware timestamps. *)
+
+type granularity =
+  | Coarse_global_lock
+      (** read + label under a global lock (lock-based EBR-RQ): the lock,
+          not the timestamp, is the bottleneck — TSC barely helps. *)
+  | Fine_structural_lock
+      (** label under only the operation's own node locks (Bundling):
+          TSC removes the shared-counter traffic. *)
+  | Helped_lock_free
+      (** labeling delegated to whichever thread gets there first (vCAS):
+          the finest granularity, largest TSC benefit. *)
+
+type address_dependence =
+  | Independent  (** only the timestamp's value is used *)
+  | Validates_address
+      (** correctness requires re-checking the timestamp word at its
+          address (DCSS in lock-free EBR-RQ): TSC cannot be used at all. *)
+
+type profile = {
+  technique : string;
+  granularity : granularity;
+  advances_on : [ `Update | `Range_query ];
+  address_dependence : address_dependence;
+  progress : [ `Blocking | `Lock_free ];
+}
+
+val bundling : profile
+val vcas : profile
+val ebr_rq_lock_based : profile
+val ebr_rq_lock_free : profile
+val all : profile list
+
+val tsc_applicable : profile -> bool
+(** False exactly when labeling validates the timestamp's address. *)
+
+val expected_benefit : profile -> [ `High | `Moderate | `Low | `None ]
+(** The paper's qualitative prediction, used by benches to annotate
+    output and by tests as an executable summary of Section IV. *)
+
+val pp_profile : Format.formatter -> profile -> unit
+val pp_granularity : Format.formatter -> granularity -> unit

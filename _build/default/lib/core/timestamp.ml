@@ -1,0 +1,96 @@
+module type S = sig
+  val name : string
+  val is_hardware : bool
+  val read : unit -> int
+  val advance : unit -> int
+  val snapshot : unit -> int
+end
+
+module Logical () = struct
+  let name = "logical"
+  let is_hardware = false
+  let raw = Sync.Padding.atomic 1
+  let read () = Atomic.get raw
+  let advance () = Atomic.fetch_and_add raw 1 + 1
+
+  (* pre-increment value: labels assigned after this call read > s *)
+  let snapshot () = Atomic.fetch_and_add raw 1
+end
+
+module Hardware = struct
+  let name = "rdtscp"
+  let is_hardware = true
+  let read = Tsc.rdtscp_lfence
+  let advance = Tsc.rdtscp_lfence
+  let snapshot = Tsc.rdtscp_lfence
+end
+
+module Hardware_unfenced = struct
+  let name = "rdtscp-nofence"
+  let is_hardware = true
+  let read = Tsc.rdtscp
+  let advance = Tsc.rdtscp
+  let snapshot = Tsc.rdtscp
+end
+
+module Hardware_rdtsc = struct
+  let name = "rdtsc"
+  let is_hardware = true
+  let read = Tsc.rdtsc_cpuid
+  let advance = Tsc.rdtsc_cpuid
+  let snapshot = Tsc.rdtsc_cpuid
+end
+
+module Hardware_rdtsc_unfenced = struct
+  let name = "rdtsc-nofence"
+  let is_hardware = true
+  let read = Tsc.rdtsc
+  let advance = Tsc.rdtsc
+  let snapshot = Tsc.rdtsc
+end
+
+module Strict (T : S) () = struct
+  let name = T.name ^ "-strict"
+  let is_hardware = false (* the tie-break word is shared state *)
+  let last = Sync.Padding.atomic 0
+  let read () = max (T.read ()) (Atomic.get last)
+
+  let rec advance () =
+    let t = T.advance () in
+    let prev = Atomic.get last in
+    if t > prev then
+      if Atomic.compare_and_set last prev t then t else advance ()
+    else
+      (* Tie (or stale hardware read): bump past the last value handed out,
+         as Jiffy's revision lists require. *)
+      let bumped = prev + 1 in
+      if Atomic.compare_and_set last prev bumped then bumped else advance ()
+
+  (* strictly increasing labels make the advance itself a safe snapshot *)
+  let snapshot = advance
+end
+
+module Mock () = struct
+  let name = "mock"
+  let is_hardware = false
+  let current = Atomic.make 1
+  let frozen = Atomic.make false
+  let set v = Atomic.set current v
+  let freeze () = Atomic.set frozen true
+  let thaw () = Atomic.set frozen false
+  let read () = Atomic.get current
+
+  let advance () =
+    if Atomic.get frozen then Atomic.get current
+    else Atomic.fetch_and_add current 1
+
+  let snapshot = advance
+end
+
+let providers =
+  [
+    ("rdtscp", (module Hardware : S));
+    ("rdtscp-nofence", (module Hardware_unfenced : S));
+    ("rdtsc", (module Hardware_rdtsc : S));
+    ("rdtsc-nofence", (module Hardware_rdtsc_unfenced : S));
+  ]

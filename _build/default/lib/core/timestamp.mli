@@ -1,0 +1,92 @@
+(** The timestamp API of Section II-C.
+
+    A timestamp provider hands out monotonically increasing integers used
+    by range-query techniques to order updates against bulk reads.  The
+    paper's entire intervention is swapping one provider for another in
+    otherwise unchanged algorithms, so providers here share one signature
+    and the algorithms are functors over it.
+
+    Two operations cover all three studied techniques:
+
+    - [advance] obtains a fresh timestamp, ordering the caller after every
+      operation already labeled: a logical provider does an atomic
+      fetch-and-add (the global point of contention), a hardware provider
+      executes [RDTSCP; LFENCE] (contention-free).
+    - [read] observes the current timestamp without claiming a new one:
+      atomic load vs. the same fenced TSC read.
+
+    Hardware timestamps are monotone but not strictly increasing across
+    cores: [advance] may return the same value to two threads (the "tie"
+    corner case of Section III-A).  [Strict] recovers strict increase at
+    the cost of reintroducing a shared word, as Jiffy does. *)
+
+module type S = sig
+  val name : string
+  (** Display name, e.g. ["logical"] or ["rdtscp"]. *)
+
+  val is_hardware : bool
+  (** True when [advance] touches no shared memory. *)
+
+  val read : unit -> int
+  (** Observe the current timestamp. *)
+
+  val advance : unit -> int
+  (** Obtain a fresh labeling/linearization timestamp. *)
+
+  val snapshot : unit -> int
+  (** Obtain a snapshot time [s] such that every label assigned after this
+      call is [> s] (logical: fetch-and-add returning the pre-increment
+      value, the vCAS/EBR-RQ protocol) or [>= s] with equality only within
+      the same cycle (hardware).  Range queries that advance the clock
+      must use this, not {!advance}: with a logical clock, [advance]'s
+      post-increment value equals the label of every update racing with
+      the traversal, which tears snapshots. *)
+end
+
+module Logical () : sig
+  include S
+
+  val raw : int Atomic.t
+  (** The timestamp word itself.  Exposed because the lock-free EBR-RQ
+      labeling scheme needs the *address* of the timestamp for its DCSS —
+      the very dependence that rules hardware timestamps out. *)
+end
+(** A fresh logical (software) timestamp: one shared atomic counter,
+    [advance] = fetch-and-add, starting at 1 (0 is reserved by consumers
+    as an "unlabeled" sentinel). *)
+
+module Hardware : S
+(** TSC via [RDTSCP; LFENCE] (Listing 1). *)
+
+module Hardware_unfenced : S
+(** TSC via bare [RDTSCP] — the "no fences" series of Figure 1; unsafe as
+    a linearization point in general, included for measurement. *)
+
+module Hardware_rdtsc : S
+(** TSC via [CPUID; RDTSC] — the serialized RDTSC series of Figure 1. *)
+
+module Hardware_rdtsc_unfenced : S
+(** Bare [RDTSC] — no ordering at all; measurement only. *)
+
+module Strict (T : S) () : S
+(** Strictly increasing wrapper over [T]: ties are broken by bumping a
+    shared last-seen word (the Jiffy approach, Section III-A).  Generative
+    because of that shared state. *)
+
+module Mock () : sig
+  include S
+
+  val set : int -> unit
+  (** Force the next values: [read] returns the set value, [advance]
+      returns and then auto-increments it. *)
+
+  val freeze : unit -> unit
+  (** Stop auto-incrementing: every [advance] returns the same value,
+      simulating a burst of TSC ties. *)
+
+  val thaw : unit -> unit
+end
+(** Deterministic provider for tests and failure injection. *)
+
+val providers : (string * (module S)) list
+(** The stateless hardware providers, keyed by name (for CLIs/benches). *)

@@ -1,0 +1,1 @@
+lib/dstruct/bst_lockfree.ml: Atomic List

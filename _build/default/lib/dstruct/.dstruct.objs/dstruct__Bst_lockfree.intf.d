@@ -1,0 +1,1 @@
+lib/dstruct/bst_lockfree.mli: Ordered_set

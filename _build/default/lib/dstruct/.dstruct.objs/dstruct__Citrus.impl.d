@@ -1,0 +1,1 @@
+lib/dstruct/citrus.ml: Atomic List Ordered_set Rcu Sync

@@ -1,0 +1,1 @@
+lib/dstruct/citrus.mli: Ordered_set Rcu

@@ -1,0 +1,1 @@
+lib/dstruct/lazy_list.ml: Atomic List Ordered_set Sync

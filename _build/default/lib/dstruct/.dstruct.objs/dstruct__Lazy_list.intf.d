@@ -1,0 +1,1 @@
+lib/dstruct/lazy_list.mli: Ordered_set

@@ -1,0 +1,1 @@
+lib/dstruct/ordered_set.ml:

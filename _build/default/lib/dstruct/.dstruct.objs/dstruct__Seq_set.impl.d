@@ -1,0 +1,1 @@
+lib/dstruct/seq_set.ml: Int Set

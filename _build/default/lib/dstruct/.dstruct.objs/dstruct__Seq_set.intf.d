@@ -1,0 +1,1 @@
+lib/dstruct/seq_set.mli: Ordered_set

@@ -1,0 +1,1 @@
+lib/dstruct/skip_level.mli:

@@ -1,0 +1,1 @@
+lib/dstruct/skiplist_lazy.ml: Array Atomic List Ordered_set Skip_level Sync Tsc

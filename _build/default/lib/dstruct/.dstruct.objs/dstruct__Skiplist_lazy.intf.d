@@ -1,0 +1,1 @@
+lib/dstruct/skiplist_lazy.mli: Ordered_set

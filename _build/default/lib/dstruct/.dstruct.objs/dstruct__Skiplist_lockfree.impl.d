@@ -1,0 +1,1 @@
+lib/dstruct/skiplist_lockfree.ml: Array Atomic List Ordered_set Skip_level

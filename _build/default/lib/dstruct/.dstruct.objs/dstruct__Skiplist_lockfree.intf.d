@@ -1,0 +1,1 @@
+lib/dstruct/skiplist_lockfree.mli: Ordered_set

@@ -1,0 +1,176 @@
+type node = Leaf of int | Internal of inode
+and inode = { ikey : int; left : edge Atomic.t; right : edge Atomic.t }
+and edge = { target : node; flagged : bool; tagged : bool }
+
+type dir = L | R
+
+(* Sentinel keys: inf0 < inf1 < inf2, all above every user key. *)
+let inf0 = max_int - 2
+let inf1 = max_int - 1
+let inf2 = max_int
+
+type t = { r : inode; s : inode }
+
+let name = "nm-bst"
+let clean target = { target; flagged = false; tagged = false }
+
+let create () =
+  let s =
+    {
+      ikey = inf1;
+      left = Atomic.make (clean (Leaf inf0));
+      right = Atomic.make (clean (Leaf inf1));
+    }
+  in
+  let r =
+    {
+      ikey = inf2;
+      left = Atomic.make (clean (Internal s));
+      right = Atomic.make (clean (Leaf inf2));
+    }
+  in
+  { r; s }
+
+let child n = function L -> n.left | R -> n.right
+let other = function L -> R | R -> L
+let dir_of n key = if key < n.ikey then L else R
+
+type seek_record = {
+  ancestor : inode;
+  anc_dir : dir;
+  successor : node;
+  parent : inode;
+  par_dir : dir;
+  par_edge : edge;
+  leaf_key : int;
+  leaf : node;
+}
+
+(* Walk to the leaf for [key], tracking the deepest untagged edge
+   (ancestor -> successor) and the leaf's parent. *)
+let seek t key =
+  let rec descend ancestor anc_dir successor parent par_dir par_edge =
+    match par_edge.target with
+    | Leaf k ->
+      {
+        ancestor;
+        anc_dir;
+        successor;
+        parent;
+        par_dir;
+        par_edge;
+        leaf_key = k;
+        leaf = par_edge.target;
+      }
+    | Internal n ->
+      let ancestor, anc_dir, successor =
+        if par_edge.tagged then (ancestor, anc_dir, successor)
+        else (parent, par_dir, par_edge.target)
+      in
+      let d = dir_of n key in
+      descend ancestor anc_dir successor n d (Atomic.get (child n d))
+  in
+  descend t.r L (Internal t.s) t.s L (Atomic.get t.s.left)
+
+(* Splice out the flagged leaf (and its parent) below [r.parent] by tagging
+   the surviving child's edge and swinging the ancestor pointer over the
+   whole tagged chain.  Returns true if this call performed the splice. *)
+let cleanup r =
+  let key_cell = child r.parent r.par_dir in
+  let sibling_cell = child r.parent (other r.par_dir) in
+  let key_edge = Atomic.get key_cell in
+  (* Promote the side that is NOT being deleted. *)
+  let promote_cell = if key_edge.flagged then sibling_cell else key_cell in
+  let rec tag () =
+    let e = Atomic.get promote_cell in
+    if e.tagged then e
+    else
+      let tagged = { e with tagged = true } in
+      if Atomic.compare_and_set promote_cell e tagged then tagged else tag ()
+  in
+  let promoted = tag () in
+  let anc_cell = child r.ancestor r.anc_dir in
+  let anc_edge = Atomic.get anc_cell in
+  anc_edge.target == r.successor
+  && (not anc_edge.tagged)
+  && Atomic.compare_and_set anc_cell anc_edge
+       { target = promoted.target; flagged = promoted.flagged; tagged = false }
+
+let rec insert t key =
+  assert (key < inf0);
+  let r = seek t key in
+  if r.leaf_key = key then false
+  else if r.par_edge.flagged || r.par_edge.tagged then begin
+    (* The leaf's edge is under deletion: help, then retry. *)
+    ignore (cleanup r);
+    insert t key
+  end
+  else begin
+    let new_leaf = Leaf key in
+    let small, big =
+      if key < r.leaf_key then (new_leaf, r.leaf) else (r.leaf, new_leaf)
+    in
+    let internal =
+      Internal
+        {
+          ikey = max key r.leaf_key;
+          left = Atomic.make (clean small);
+          right = Atomic.make (clean big);
+        }
+    in
+    let cell = child r.parent r.par_dir in
+    if Atomic.compare_and_set cell r.par_edge (clean internal) then true
+    else begin
+      let e = Atomic.get cell in
+      if e.target == r.leaf && (e.flagged || e.tagged) then ignore (cleanup r);
+      insert t key
+    end
+  end
+
+let rec delete t key =
+  let r = seek t key in
+  if r.leaf_key <> key then false
+  else if r.par_edge.flagged || r.par_edge.tagged then begin
+    ignore (cleanup r);
+    delete t key
+  end
+  else begin
+    let cell = child r.parent r.par_dir in
+    if Atomic.compare_and_set cell r.par_edge { r.par_edge with flagged = true }
+    then begin
+      (* Injection succeeded: the delete is linearized; retry the splice
+         until this leaf is out of the tree. *)
+      if cleanup r then true else finish t key r.leaf
+    end
+    else begin
+      let e = Atomic.get cell in
+      if e.target == r.leaf && (e.flagged || e.tagged) then ignore (cleanup r);
+      delete t key
+    end
+  end
+
+and finish t key leaf =
+  let r = seek t key in
+  if r.leaf != leaf then true (* someone else completed the splice *)
+  else if cleanup r then true
+  else finish t key leaf
+
+let contains t key =
+  let rec down node =
+    match node with
+    | Leaf k -> k = key
+    | Internal n -> down (Atomic.get (child n (dir_of n key))).target
+  in
+  down (Internal t.s)
+
+let to_list t =
+  let rec walk acc node =
+    match node with
+    | Leaf k -> if k < inf0 then k :: acc else acc
+    | Internal n ->
+      let acc = walk acc (Atomic.get n.right).target in
+      walk acc (Atomic.get n.left).target
+  in
+  walk [] (Internal t.s)
+
+let size t = List.length (to_list t)

@@ -1,0 +1,11 @@
+(** Lock-free external binary search tree (Natarajan & Mittal, PPoPP'14).
+
+    Keys live in leaves; internal nodes route.  Deletion is two-phase:
+    first the edge to the victim leaf is {e flagged} (the linearization
+    point), then the leaf and its parent are spliced out, with the edges of
+    nodes about to be removed {e tagged} so they cannot change.  The paper
+    packs flag/tag into pointer bits; OCaml has no spare pointer bits, so
+    edges are immutable boxed records [{target; flagged; tagged}] compared
+    by physical equality inside CAS — semantically the same wide CAS. *)
+
+include Ordered_set.S

@@ -1,0 +1,117 @@
+type node =
+  | Tail
+  | Node of {
+      key : int;
+      lock : Sync.Spinlock.t;
+      marked : bool Atomic.t;
+      next : node Atomic.t;
+    }
+
+type t = { head : node (* sentinel, key conceptually -inf *) }
+
+let name = "lazy-list"
+
+let make_node key next =
+  Node
+    {
+      key;
+      lock = Sync.Spinlock.make ();
+      marked = Atomic.make false;
+      next = Atomic.make next;
+    }
+
+let create () =
+  match make_node Ordered_set.min_key Tail with
+  | Node _ as head -> { head }
+  | Tail -> assert false
+
+let node_key = function Tail -> max_int | Node n -> n.key
+
+(* Walk to the first node with key >= [key]; returns (pred, curr) where
+   pred.key < key <= curr.key. *)
+let search t key =
+  let rec walk pred =
+    match pred with
+    | Tail -> assert false
+    | Node p ->
+      let curr = Atomic.get p.next in
+      if node_key curr < key then walk curr else (pred, curr)
+  in
+  walk t.head
+
+let validate pred curr =
+  match pred with
+  | Tail -> assert false
+  | Node p ->
+    (not (Atomic.get p.marked))
+    && (match curr with Tail -> true | Node c -> not (Atomic.get c.marked))
+    && Atomic.get p.next == curr
+
+let rec insert t key =
+  assert (key > Ordered_set.min_key && key < max_int);
+  let pred, curr = search t key in
+  match pred with
+  | Tail -> assert false
+  | Node p ->
+    Sync.Spinlock.lock p.lock;
+    if not (validate pred curr) then begin
+      Sync.Spinlock.unlock p.lock;
+      insert t key
+    end
+    else begin
+      let result =
+        if node_key curr = key then false
+        else begin
+          Atomic.set p.next (make_node key curr);
+          true
+        end
+      in
+      Sync.Spinlock.unlock p.lock;
+      result
+    end
+
+let rec delete t key =
+  let pred, curr = search t key in
+  match curr with
+  | Tail -> false
+  | Node c when c.key <> key -> false
+  | Node c -> (
+    match pred with
+    | Tail -> assert false
+    | Node p ->
+      Sync.Spinlock.lock p.lock;
+      Sync.Spinlock.lock c.lock;
+      if not (validate pred curr) then begin
+        Sync.Spinlock.unlock c.lock;
+        Sync.Spinlock.unlock p.lock;
+        delete t key
+      end
+      else begin
+        (* Logical deletion first (the linearization point), then unlink. *)
+        Atomic.set c.marked true;
+        Atomic.set p.next (Atomic.get c.next);
+        Sync.Spinlock.unlock c.lock;
+        Sync.Spinlock.unlock p.lock;
+        true
+      end)
+
+let contains t key =
+  let _, curr = search t key in
+  match curr with
+  | Tail -> false
+  | Node c -> c.key = key && not (Atomic.get c.marked)
+
+let to_list t =
+  let rec walk acc = function
+    | Tail -> List.rev acc
+    | Node n ->
+      let acc =
+        if n.key > Ordered_set.min_key && not (Atomic.get n.marked) then
+          n.key :: acc
+        else acc
+      in
+      walk acc (Atomic.get n.next)
+  in
+  walk [] t.head
+
+let size t = List.length (to_list t)

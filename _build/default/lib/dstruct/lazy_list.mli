@@ -1,0 +1,8 @@
+(** Lazy list (Heller et al.): sorted linked list with per-node locks,
+    logical deletion via a marked bit, and wait-free contains.
+
+    The structure the paper tested and omitted from its figures because
+    the O(n) traversal, not the timestamp, dominates — we keep it to
+    reproduce that negative result. *)
+
+include Ordered_set.S

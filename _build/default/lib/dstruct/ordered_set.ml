@@ -1,0 +1,36 @@
+(** Common signatures for the concurrent ordered sets in this repository.
+
+    All structures store integer keys.  Keys must lie strictly between
+    [min_key] and [max_key]; the excluded extremes are reserved for
+    sentinels. *)
+
+let min_key = min_int + 8
+let max_key = max_int - 8
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : unit -> t
+
+  val insert : t -> int -> bool
+  (** [insert t k] adds [k]; false if already present. *)
+
+  val delete : t -> int -> bool
+  (** [delete t k] removes [k]; false if absent. *)
+
+  val contains : t -> int -> bool
+
+  val to_list : t -> int list
+  (** Sorted contents.  Quiescent use only (tests, debugging). *)
+
+  val size : t -> int
+  (** Quiescent use only. *)
+end
+
+module type RQ = sig
+  include S
+
+  val range_query : t -> lo:int -> hi:int -> int list
+  (** Linearizable snapshot of the keys in [lo, hi], sorted ascending. *)
+end

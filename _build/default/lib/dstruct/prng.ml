@@ -1,0 +1,22 @@
+type t = { mutable state : int }
+
+(* splitmix64-style scramble confined to OCaml's 63-bit ints *)
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x1851F42D4C957F2D in
+  let z = (z lxor (z lsr 27)) * 0x14057B7EF767814F in
+  z lxor (z lsr 31)
+
+let make ~seed = { state = mix (seed lxor 0x2545F4914F6CDD1D) }
+
+let next t =
+  let s = t.state + 0x1E3779B97F4A7C15 in
+  t.state <- s;
+  mix s land max_int
+
+let split t = make ~seed:(next t)
+
+let below t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let float t = float_of_int (next t) /. float_of_int max_int

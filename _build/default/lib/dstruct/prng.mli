@@ -1,0 +1,20 @@
+(** Small splittable xorshift PRNG.
+
+    Deterministic given a seed, allocation-free per draw, and cheap enough
+    for use inside benchmark hot loops (Random.State allocates and is too
+    heavy there). *)
+
+type t
+
+val make : seed:int -> t
+val split : t -> t
+(** A new independent stream (for handing one generator per thread). *)
+
+val next : t -> int
+(** Next 62-bit non-negative pseudo-random integer. *)
+
+val below : t -> int -> int
+(** Uniform in [0, bound). [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)

@@ -1,0 +1,27 @@
+module IntSet = Set.Make (Int)
+
+type t = IntSet.t ref
+
+let name = "seq-set"
+let create () = ref IntSet.empty
+
+let insert t k =
+  if IntSet.mem k !t then false
+  else begin
+    t := IntSet.add k !t;
+    true
+  end
+
+let delete t k =
+  if IntSet.mem k !t then begin
+    t := IntSet.remove k !t;
+    true
+  end
+  else false
+
+let contains t k = IntSet.mem k !t
+let to_list t = IntSet.elements !t
+let size t = IntSet.cardinal !t
+
+let range_query t ~lo ~hi =
+  IntSet.elements (IntSet.filter (fun k -> k >= lo && k <= hi) !t)

@@ -1,0 +1,8 @@
+(** Sequential reference set (sorted via [Stdlib.Set]).
+
+    Not thread-safe; the oracle for model-based and final-state tests. *)
+
+include Ordered_set.S
+
+val range_query : t -> lo:int -> hi:int -> int list
+(** Inclusive range, sorted (trivially a snapshot: no concurrency). *)

@@ -1,0 +1,8 @@
+(** Geometric tower heights for skip lists (p = 1/2), one PRNG stream per
+    domain, shared by every skip-list variant in the repository. *)
+
+val max_level : int
+(** Highest level index (19): suitable for ~10^6 keys. *)
+
+val random : unit -> int
+(** A height in [0, max_level], geometrically distributed. *)

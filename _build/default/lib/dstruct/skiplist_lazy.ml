@@ -1,0 +1,227 @@
+let max_level = Skip_level.max_level
+
+type node = {
+  key : int;
+  next : node Atomic.t array; (* length top_level + 1; empty for tail *)
+  lock : Sync.Spinlock.t;
+  marked : bool Atomic.t;
+  fully_linked : bool Atomic.t;
+  top_level : int;
+}
+
+type t = { head : node }
+
+let name = "lazy-skiplist"
+
+let make_node key top_level next_init =
+  {
+    key;
+    next = Array.init (top_level + 1) (fun _ -> Atomic.make next_init);
+    lock = Sync.Spinlock.make ();
+    marked = Atomic.make false;
+    fully_linked = Atomic.make false;
+    top_level;
+  }
+
+let create () =
+  let tail =
+    {
+      key = max_int;
+      next = [||];
+      lock = Sync.Spinlock.make ();
+      marked = Atomic.make false;
+      fully_linked = Atomic.make true;
+      top_level = max_level;
+    }
+  in
+  let head = make_node Ordered_set.min_key max_level tail in
+  Atomic.set head.fully_linked true;
+  { head }
+
+let random_level = Skip_level.random
+
+(* Fill [preds]/[succs] per level; returns the highest level at which the
+   key was found, or -1. *)
+let find t key preds succs =
+  let lfound = ref (-1) in
+  let pred = ref t.head in
+  for level = max_level downto 0 do
+    let curr = ref (Atomic.get !pred.next.(level)) in
+    while !curr.key < key do
+      pred := !curr;
+      curr := Atomic.get !curr.next.(level)
+    done;
+    if !lfound = -1 && !curr.key = key then lfound := level;
+    preds.(level) <- !pred;
+    succs.(level) <- !curr
+  done;
+  !lfound
+
+let contains t key =
+  let preds = Array.make (max_level + 1) t.head
+  and succs = Array.make (max_level + 1) t.head in
+  let lfound = find t key preds succs in
+  lfound <> -1
+  && Atomic.get succs.(lfound).fully_linked
+  && not (Atomic.get succs.(lfound).marked)
+
+(* Distinct dummy node used as a "nothing locked yet" marker. *)
+let t_null =
+  {
+    key = min_int;
+    next = [||];
+    lock = Sync.Spinlock.make ();
+    marked = Atomic.make false;
+    fully_linked = Atomic.make false;
+    top_level = 0;
+  }
+
+(* Lock preds.(0..top), skipping duplicates; run [f]; unlock.  [f] receives
+   a validation result computed while locking. *)
+let with_locked_preds preds succs top ~validate_succ f =
+  let rec lock_from level last_locked =
+    if level > top then true
+    else
+      let pred = preds.(level) in
+      if pred == last_locked then lock_from (level + 1) last_locked
+      else begin
+        Sync.Spinlock.lock pred.lock;
+        lock_from (level + 1) pred
+      end
+  in
+  let rec unlock_from level last =
+    if level <= top then begin
+      let pred = preds.(level) in
+      if pred != last then Sync.Spinlock.unlock pred.lock;
+      unlock_from (level + 1) pred
+    end
+  in
+  ignore (lock_from 0 t_null);
+  let valid =
+    let ok = ref true in
+    for level = 0 to top do
+      let pred = preds.(level) and succ = succs.(level) in
+      if
+        Atomic.get pred.marked
+        || (validate_succ && Atomic.get succ.marked)
+        || Atomic.get pred.next.(level) != succ
+      then ok := false
+    done;
+    !ok
+  in
+  let result = f valid in
+  unlock_from 0 t_null;
+  result
+
+let rec insert t key =
+  assert (key > Ordered_set.min_key && key < max_int);
+  let top = random_level () in
+  let preds = Array.make (max_level + 1) t.head
+  and succs = Array.make (max_level + 1) t.head in
+  let lfound = find t key preds succs in
+  if lfound <> -1 then begin
+    let found = succs.(lfound) in
+    if not (Atomic.get found.marked) then begin
+      (* Wait for the in-flight insert to become visible, then report a
+         duplicate. *)
+      while not (Atomic.get found.fully_linked) do
+        Tsc.cpu_relax ()
+      done;
+      false
+    end
+    else insert t key (* marked: about to disappear; retry *)
+  end
+  else
+    let added =
+      with_locked_preds preds succs top ~validate_succ:true (fun valid ->
+          if not valid then `Retry
+          else begin
+            let node = make_node key top t.head in
+            for level = 0 to top do
+              Atomic.set node.next.(level) succs.(level)
+            done;
+            for level = 0 to top do
+              Atomic.set preds.(level).next.(level) node
+            done;
+            Atomic.set node.fully_linked true;
+            `Added
+          end)
+    in
+    match added with `Added -> true | `Retry -> insert t key
+
+let ok_to_delete node lfound =
+  Atomic.get node.fully_linked
+  && node.top_level = lfound
+  && not (Atomic.get node.marked)
+
+let delete t key =
+  let preds = Array.make (max_level + 1) t.head
+  and succs = Array.make (max_level + 1) t.head in
+  let rec attempt victim =
+    let lfound = find t key preds succs in
+    let victim =
+      match victim with
+      | Some _ -> victim
+      | None ->
+        if lfound <> -1 && ok_to_delete succs.(lfound) lfound then begin
+          let v = succs.(lfound) in
+          Sync.Spinlock.lock v.lock;
+          if Atomic.get v.marked then begin
+            Sync.Spinlock.unlock v.lock;
+            None
+          end
+          else begin
+            Atomic.set v.marked true;
+            Some v
+          end
+        end
+        else None
+    in
+    match victim with
+    | None -> false
+    | Some v ->
+      let unlinked =
+        with_locked_preds preds succs v.top_level ~validate_succ:false
+          (fun valid ->
+            if not valid then `Retry
+            else begin
+              (* succs may be stale; require they still point at v *)
+              let still = ref true in
+              for level = 0 to v.top_level do
+                if Atomic.get preds.(level).next.(level) != v then still := false
+              done;
+              if not !still then `Retry
+              else begin
+                for level = v.top_level downto 0 do
+                  Atomic.set preds.(level).next.(level)
+                    (Atomic.get v.next.(level))
+                done;
+                `Done
+              end
+            end)
+      in
+      (match unlinked with
+      | `Done ->
+        Sync.Spinlock.unlock v.lock;
+        true
+      | `Retry -> attempt (Some v))
+  in
+  attempt None
+
+let to_list t =
+  let rec walk acc n =
+    if n.key = max_int then List.rev acc
+    else
+      let acc =
+        if
+          n.key > Ordered_set.min_key
+          && (not (Atomic.get n.marked))
+          && Atomic.get n.fully_linked
+        then n.key :: acc
+        else acc
+      in
+      walk acc (Atomic.get n.next.(0))
+  in
+  walk [] t.head
+
+let size t = List.length (to_list t)

@@ -1,0 +1,7 @@
+(** Lazy (optimistic) skip list, after Herlihy, Lev, Luchangco and Shavit:
+    lock-free traversals, per-node locks for updates, logical deletion via
+    a marked bit and visibility via a fully-linked bit. *)
+
+include Ordered_set.S
+
+val max_level : int

@@ -1,0 +1,195 @@
+let max_level = Skip_level.max_level
+
+type node = { key : int; next : succ Atomic.t array; top_level : int }
+and succ = { target : node; marked : bool }
+
+type t = { head : node; tail : node }
+
+let name = "lockfree-skiplist"
+
+let create () =
+  let tail = { key = max_int; next = [||]; top_level = max_level } in
+  let head =
+    {
+      key = Ordered_set.min_key;
+      next =
+        Array.init (max_level + 1) (fun _ ->
+            Atomic.make { target = tail; marked = false });
+      top_level = max_level;
+    }
+  in
+  { head; tail }
+
+exception Retry
+
+(* Fill [preds], [succs] and [blocks] (the exact block stored in
+   preds.(l).next.(l), needed as the CAS witness); snips marked nodes on
+   the way.  Returns whether the bottom-level successor holds [key]. *)
+let find t key preds succs blocks =
+  let rec attempt () =
+    match
+      let pred = ref t.head in
+      for level = max_level downto 0 do
+        let rec step () =
+          let pblock = Atomic.get !pred.next.(level) in
+          (* the predecessor itself got marked: restart from the head *)
+          if pblock.marked then raise_notrace Retry;
+          let curr = pblock.target in
+          if curr == t.tail then begin
+            preds.(level) <- !pred;
+            succs.(level) <- curr;
+            blocks.(level) <- pblock
+          end
+          else begin
+            let cblock = Atomic.get curr.next.(level) in
+            if cblock.marked then begin
+              (* snip the deleted node at this level *)
+              if
+                Atomic.compare_and_set !pred.next.(level) pblock
+                  { target = cblock.target; marked = false }
+              then step ()
+              else raise_notrace Retry
+            end
+            else if curr.key < key then begin
+              pred := curr;
+              step ()
+            end
+            else begin
+              preds.(level) <- !pred;
+              succs.(level) <- curr;
+              blocks.(level) <- pblock
+            end
+          end
+        in
+        step ()
+      done;
+      succs.(0).key = key
+    with
+    | result -> result
+    | exception Retry -> attempt ()
+  in
+  attempt ()
+
+let fresh_arrays t =
+  ( Array.make (max_level + 1) t.head,
+    Array.make (max_level + 1) t.tail,
+    Array.make (max_level + 1) { target = t.tail; marked = false } )
+
+let rec insert t key =
+  assert (key > Ordered_set.min_key && key <= Ordered_set.max_key);
+  let preds, succs, blocks = fresh_arrays t in
+  if find t key preds succs blocks then false
+  else begin
+    let top = Skip_level.random () in
+    let node =
+      {
+        key;
+        top_level = top;
+        next =
+          Array.init (top + 1) (fun l ->
+              Atomic.make { target = succs.(l); marked = false });
+      }
+    in
+    (* bottom-level link = linearization point of the insert *)
+    if
+      not
+        (Atomic.compare_and_set preds.(0).next.(0) blocks.(0)
+           { target = node; marked = false })
+    then insert t key
+    else begin
+      link_upper t key node preds succs blocks 1;
+      true
+    end
+  end
+
+and link_upper t key node preds succs blocks level =
+  if level <= node.top_level then begin
+    let rec link () =
+      let cur = Atomic.get node.next.(level) in
+      if cur.marked then () (* concurrently deleted: stop linking *)
+      else if
+        cur.target != succs.(level)
+        && not
+             (Atomic.compare_and_set node.next.(level) cur
+                { target = succs.(level); marked = false })
+      then link ()
+      else if
+        Atomic.compare_and_set preds.(level).next.(level) blocks.(level)
+          { target = node; marked = false }
+      then link_upper t key node preds succs blocks (level + 1)
+      else begin
+        (* the neighborhood moved: recompute and try this level again *)
+        ignore (find t key preds succs blocks);
+        if succs.(0) == node || succs.(0).key = key then link ()
+      end
+    in
+    link ()
+  end
+
+let delete t key =
+  let preds, succs, blocks = fresh_arrays t in
+  if not (find t key preds succs blocks) then false
+  else begin
+    let victim = succs.(0) in
+    (* mark the tower top-down; the bottom mark linearizes the delete *)
+    for level = victim.top_level downto 1 do
+      let rec mark () =
+        let s = Atomic.get victim.next.(level) in
+        if not s.marked then
+          if not (Atomic.compare_and_set victim.next.(level) s { s with marked = true })
+          then mark ()
+      in
+      mark ()
+    done;
+    let rec mark0 () =
+      let s = Atomic.get victim.next.(0) in
+      if s.marked then false (* another delete won *)
+      else if Atomic.compare_and_set victim.next.(0) s { s with marked = true }
+      then begin
+        ignore (find t key preds succs blocks) (* physically snip *);
+        true
+      end
+      else mark0 ()
+    in
+    mark0 ()
+  end
+
+(* Wait-free: traverses past marked nodes without snipping. *)
+let contains t key =
+  let pred = ref t.head in
+  let found = ref false in
+  for level = max_level downto 0 do
+    let curr = ref (Atomic.get !pred.next.(level)).target in
+    let continue_ = ref true in
+    while !continue_ do
+      let c = !curr in
+      if c == t.tail then continue_ := false
+      else
+        let cblock = Atomic.get c.next.(level) in
+        if cblock.marked then curr := cblock.target
+        else if c.key < key then begin
+          pred := c;
+          curr := cblock.target
+        end
+        else begin
+          if level = 0 then found := c.key = key;
+          continue_ := false
+        end
+    done
+  done;
+  !found
+
+let to_list t =
+  let rec walk acc n =
+    if n == t.tail then List.rev acc
+    else
+      let s = Atomic.get n.next.(0) in
+      let acc =
+        if (not s.marked) && n.key > Ordered_set.min_key then n.key :: acc
+        else acc
+      in
+      walk acc s.target
+  in
+  walk [] t.head
+
+let size t = List.length (to_list t)

@@ -1,0 +1,14 @@
+(** Lock-free skip list (Herlihy–Shavit / Fraser style).
+
+    Deletion marks a node's next pointers level by level (the bottom-level
+    mark is the linearization point); traversals physically snip marked
+    nodes as they pass.  OCaml has no pointer mark bits, so each next cell
+    holds an immutable boxed [{target; marked}] record compared physically
+    inside CAS.
+
+    This is the substrate for the vCAS skip-list port — the combination the
+    paper tested and omitted for showing no hardware-timestamp gains. *)
+
+include Ordered_set.S
+
+val max_level : int

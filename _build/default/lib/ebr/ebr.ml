@@ -1,0 +1,86 @@
+module Make (N : sig
+  type t
+end) =
+struct
+  type entry = { node : N.t; retired_at : int }
+
+  type t = {
+    global : int Atomic.t;
+    announce : int Atomic.t array; (* 0 = no active op, else epoch *)
+    limbo : entry list Atomic.t array; (* owner-mutated, anyone-read *)
+    epoch_frequency : int;
+    op_count : int ref Domain.DLS.key;
+    reclaimed : int Atomic.t;
+  }
+
+  let create ?(epoch_frequency = 64) () =
+    {
+      global = Sync.Padding.atomic 1;
+      announce = Sync.Padding.atomic_array Sync.Slot.max_slots 0;
+      limbo = Sync.Padding.atomic_array Sync.Slot.max_slots [];
+      epoch_frequency;
+      op_count = Domain.DLS.new_key (fun () -> ref 0);
+      reclaimed = Atomic.make 0;
+    }
+
+  let current_epoch t = Atomic.get t.global
+
+  let try_advance t =
+    let epoch = Atomic.get t.global in
+    let all_current = ref true in
+    for slot = 0 to Sync.Slot.max_slots - 1 do
+      let a = Atomic.get t.announce.(slot) in
+      if a <> 0 && a <> epoch then all_current := false
+    done;
+    !all_current && Atomic.compare_and_set t.global epoch (epoch + 1)
+
+  (* Only the slot's owner rewrites its limbo list, so a plain get/set pair
+     cannot lose concurrent entries. *)
+  let trim t slot =
+    let epoch = Atomic.get t.global in
+    let cell = t.limbo.(slot) in
+    let entries = Atomic.get cell in
+    let keep, dropped =
+      List.partition (fun e -> e.retired_at >= epoch - 2) entries
+    in
+    if dropped <> [] then begin
+      Atomic.set cell keep;
+      ignore (Atomic.fetch_and_add t.reclaimed (List.length dropped))
+    end
+
+  let enter t =
+    let slot = Sync.Slot.my_slot () in
+    assert (Atomic.get t.announce.(slot) = 0);
+    let count = Domain.DLS.get t.op_count in
+    incr count;
+    if !count mod t.epoch_frequency = 0 then begin
+      ignore (try_advance t);
+      trim t slot
+    end;
+    Atomic.set t.announce.(slot) (Atomic.get t.global)
+
+  let exit t =
+    let slot = Sync.Slot.my_slot () in
+    Atomic.set t.announce.(slot) 0
+
+  let with_op t f =
+    enter t;
+    Fun.protect ~finally:(fun () -> exit t) f
+
+  let retire t node =
+    let slot = Sync.Slot.my_slot () in
+    assert (Atomic.get t.announce.(slot) <> 0);
+    let cell = t.limbo.(slot) in
+    let entry = { node; retired_at = Atomic.get t.global } in
+    Atomic.set cell (entry :: Atomic.get cell)
+
+  let fold_limbo t ~init ~f =
+    let acc = ref init in
+    for slot = 0 to Sync.Slot.max_slots - 1 do
+      List.iter (fun e -> acc := f !acc e.node) (Atomic.get t.limbo.(slot))
+    done;
+    !acc
+
+  let limbo_size t = fold_limbo t ~init:0 ~f:(fun n _ -> n + 1)
+  let reclaimed t = Atomic.get t.reclaimed
+end

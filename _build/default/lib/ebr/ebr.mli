@@ -1,0 +1,55 @@
+(** Epoch-based reclamation (EBR) with scannable limbo lists.
+
+    EBR-RQ's key insight is that EBR already retains deleted nodes in
+    per-thread limbo lists until no active operation can reach them — so a
+    range query can linearize in the past and recover just-deleted nodes
+    by scanning those lists.  This module provides exactly that substrate:
+    epoch announcement, retirement into per-thread limbo lists, epoch
+    advancement with grace-period detection, and a read-only fold over all
+    limbo lists.
+
+    Under OCaml's GC, "reclaiming" a node means dropping the last limbo
+    reference; the algorithmic structure (what a range query can still
+    see, and for how long) is preserved faithfully.
+
+    The functor is generative per element type; one [t] is one reclamation
+    domain.  Threads are identified by {!Sync.Slot} slots. *)
+
+module Make (N : sig
+  type t
+end) : sig
+  type t
+
+  val create : ?epoch_frequency:int -> unit -> t
+  (** [epoch_frequency] (default 64): one in how many [enter]s attempts to
+      advance the global epoch. *)
+
+  val enter : t -> unit
+  (** Begin an operation: announce the current global epoch.  Must be
+      paired with [exit]; does not nest. *)
+
+  val exit : t -> unit
+
+  val with_op : t -> (unit -> 'a) -> 'a
+
+  val retire : t -> N.t -> unit
+  (** Add a logically deleted node to the calling thread's limbo list.
+      Must be called between [enter] and [exit]. *)
+
+  val fold_limbo : t -> init:'a -> f:('a -> N.t -> 'a) -> 'a
+  (** Fold over a snapshot of every thread's limbo list (newest first per
+      thread).  Safe to call concurrently with retirements. *)
+
+  val limbo_size : t -> int
+
+  val current_epoch : t -> int
+
+  val try_advance : t -> bool
+  (** Attempt to advance the global epoch; succeeds iff every thread with
+      an active operation has announced the current epoch.  On success,
+      each thread will trim its limbo entries two epochs old at its next
+      convenience point. *)
+
+  val reclaimed : t -> int
+  (** Total nodes dropped from limbo lists so far. *)
+end

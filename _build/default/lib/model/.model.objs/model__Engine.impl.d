@@ -1,0 +1,1 @@
+lib/model/engine.ml: Array Costs Dstruct Float Hashtbl List Queue Topology

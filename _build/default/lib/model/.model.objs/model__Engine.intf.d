@@ -1,0 +1,1 @@
+lib/model/engine.mli: Costs Dstruct Topology

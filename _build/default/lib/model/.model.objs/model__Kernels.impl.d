@@ -1,0 +1,1 @@
+lib/model/kernels.ml: Array Costs Dstruct Engine Workload

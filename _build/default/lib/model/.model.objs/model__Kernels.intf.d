@@ -1,0 +1,1 @@
+lib/model/kernels.mli: Costs Engine Workload

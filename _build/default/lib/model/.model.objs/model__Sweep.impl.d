@@ -1,0 +1,1 @@
+lib/model/sweep.ml: Buffer Costs Engine Float Format List Printf Topology

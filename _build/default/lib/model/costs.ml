@@ -1,0 +1,43 @@
+type tsc_kind = Rdtsc | Rdtscp | Rdtscp_lfence | Rdtsc_cpuid
+
+type t = {
+  ghz : float;
+  l1_hit : float;
+  same_core : float;
+  same_socket : float;
+  cross_socket : float;
+  rmw_extra : float;
+  tsc_rdtsc : float;
+  tsc_rdtscp : float;
+  tsc_rdtscp_lfence : float;
+  tsc_rdtsc_cpuid : float;
+  ht_compute_factor : float;
+  ht_memory_factor : float;
+}
+
+let default =
+  {
+    ghz = 2.1;
+    l1_hit = 4.;
+    same_core = 12.;
+    same_socket = 70.;
+    cross_socket = 260.;
+    rmw_extra = 18.;
+    tsc_rdtsc = 24.;
+    tsc_rdtscp = 32.;
+    tsc_rdtscp_lfence = 48.;
+    tsc_rdtsc_cpuid = 230.;
+    ht_compute_factor = 1.6;
+    ht_memory_factor = 1.15;
+  }
+
+let tsc_cost t = function
+  | Rdtsc -> t.tsc_rdtsc
+  | Rdtscp -> t.tsc_rdtscp
+  | Rdtscp_lfence -> t.tsc_rdtscp_lfence
+  | Rdtsc_cpuid -> t.tsc_rdtsc_cpuid
+
+let transfer t ~same_core ~same_socket =
+  if same_core then t.same_core
+  else if same_socket then t.same_socket
+  else t.cross_socket

@@ -1,0 +1,31 @@
+(** Cycle-cost parameters of the timing model.
+
+    Defaults follow published Skylake-SP coherence/NUMA latencies and the
+    paper's Section II instruction costs; the TSC entries can be replaced
+    by values measured on the host through [Tsc.measure_cost_cycles]
+    (`hwts-cli calibrate`).  Everything is overridable so ablation benches
+    can sweep them. *)
+
+type tsc_kind = Rdtsc | Rdtscp | Rdtscp_lfence | Rdtsc_cpuid
+
+type t = {
+  ghz : float;  (** core frequency, cycles per nanosecond *)
+  l1_hit : float;  (** load hit in the local L1 *)
+  same_core : float;  (** line owned by the sibling hyperthread *)
+  same_socket : float;  (** dirty line in another core of this socket *)
+  cross_socket : float;  (** dirty line in another NUMA zone *)
+  rmw_extra : float;  (** added cost of locked RMW over a plain load *)
+  tsc_rdtsc : float;
+  tsc_rdtscp : float;
+  tsc_rdtscp_lfence : float;
+  tsc_rdtsc_cpuid : float;
+  ht_compute_factor : float;
+      (** slowdown of compute when the hyperthread sibling is active *)
+  ht_memory_factor : float;  (** same, for memory operations *)
+}
+
+val default : t
+val tsc_cost : t -> tsc_kind -> float
+
+val transfer : t -> same_core:bool -> same_socket:bool -> float
+(** Cost of pulling a dirty line from its last writer. *)

@@ -1,0 +1,352 @@
+type line = {
+  id : int;
+  mutable avail : float; (* serialized-RMW queue tail on this line *)
+  mutable version : int;
+  mutable last_writer : int; (* thread id, -1 = clean *)
+  (* spinlock state when the line backs a [Locked] section *)
+  mutable holder : int; (* -1 = free *)
+  waiters : int Queue.t;
+}
+
+type rw_mode = Shared | Excl
+
+type rwlock = {
+  rw_line : line;
+  mutable writer_active : bool;
+  mutable readers_active : int;
+  rw_wait : (int * rw_mode) Queue.t;
+}
+
+type env = {
+  costs : Costs.t;
+  topology : Topology.t;
+  nthreads : int;
+  placements : Topology.placement array;
+  sibling : bool array; (* hyperthread sibling active? *)
+  mutable next_line_id : int;
+  seen : (int, int) Hashtbl.t array; (* per thread: line id -> version seen *)
+}
+
+let make_env ?(costs = Costs.default) ?(topology = Topology.xeon_8160_quad)
+    ~nthreads () =
+  assert (nthreads >= 1 && nthreads <= Topology.total_threads topology);
+  {
+    costs;
+    topology;
+    nthreads;
+    placements = Array.init nthreads (Topology.place topology);
+    sibling = Array.init nthreads (Topology.sibling_active topology ~nthreads);
+    next_line_id = 0;
+    seen = Array.init nthreads (fun _ -> Hashtbl.create 64);
+  }
+
+let costs env = env.costs
+let nthreads env = env.nthreads
+
+let new_line env =
+  let id = env.next_line_id in
+  env.next_line_id <- id + 1;
+  {
+    id;
+    avail = 0.;
+    version = 0;
+    last_writer = -1;
+    holder = -1;
+    waiters = Queue.create ();
+  }
+
+let line_pool env n = Array.init n (fun _ -> new_line env)
+
+let new_rwlock env =
+  {
+    rw_line = new_line env;
+    writer_active = false;
+    readers_active = 0;
+    rw_wait = Queue.create ();
+  }
+
+type op =
+  | Work of float
+  | Read of line
+  | Rmw of line
+  | Tsc of Costs.tsc_kind
+  | Locked of line * op list
+  | RwShared of rwlock * op list
+  | RwExcl of rwlock * op list
+
+type kernel = int -> Dstruct.Prng.t -> op list
+
+(* Flat action stream: lock sections become acquire/release brackets so
+   the scheduler can interleave other threads with a section's body. *)
+type item =
+  | I_work of float
+  | I_read of line
+  | I_rmw of line
+  | I_tsc of Costs.tsc_kind
+  | I_acq_spin of line
+  | I_rel_spin of line
+  | I_acq_rw of rwlock * rw_mode
+  | I_rel_rw of rwlock * rw_mode
+
+let rec flatten_list ops = List.concat_map flatten_op ops
+
+and flatten_op = function
+  | Work c -> [ I_work c ]
+  | Read l -> [ I_read l ]
+  | Rmw l -> [ I_rmw l ]
+  | Tsc k -> [ I_tsc k ]
+  | Locked (l, body) -> (I_acq_spin l :: flatten_list body) @ [ I_rel_spin l ]
+  | RwShared (rw, body) ->
+    (I_acq_rw (rw, Shared) :: flatten_list body) @ [ I_rel_rw (rw, Shared) ]
+  | RwExcl (rw, body) ->
+    (I_acq_rw (rw, Excl) :: flatten_list body) @ [ I_rel_rw (rw, Excl) ]
+
+type tstate = {
+  mutable time : float;
+  mutable items : item list;
+  rng : Dstruct.Prng.t;
+  mutable completed : int;
+}
+
+let transfer_cost env tid line =
+  if line.last_writer = -1 || line.last_writer = tid then env.costs.Costs.l1_hit
+  else
+    let a = env.placements.(tid) and b = env.placements.(line.last_writer) in
+    Costs.transfer env.costs
+      ~same_core:(a.Topology.socket = b.Topology.socket && a.core = b.core)
+      ~same_socket:(a.Topology.socket = b.Topology.socket)
+
+let mem_factor env tid =
+  if env.sibling.(tid) then env.costs.Costs.ht_memory_factor else 1.
+
+let cpu_factor env tid =
+  if env.sibling.(tid) then env.costs.Costs.ht_compute_factor else 1.
+
+let do_read env st tid line =
+  let hit =
+    match Hashtbl.find_opt env.seen.(tid) line.id with
+    | Some v -> v = line.version
+    | None -> false
+  in
+  let cost = if hit then env.costs.Costs.l1_hit else transfer_cost env tid line in
+  (* a freshly written line is available only once the RMW queue drains *)
+  let start = Float.max st.time line.avail in
+  st.time <- start +. (cost *. mem_factor env tid);
+  Hashtbl.replace env.seen.(tid) line.id line.version
+
+let do_rmw env st tid line =
+  let start = Float.max st.time line.avail in
+  let cost =
+    (transfer_cost env tid line +. env.costs.Costs.rmw_extra)
+    *. mem_factor env tid
+  in
+  let finish = start +. cost in
+  line.avail <- finish;
+  line.version <- line.version + 1;
+  line.last_writer <- tid;
+  Hashtbl.replace env.seen.(tid) line.id line.version;
+  st.time <- finish
+
+(* Cost of taking a lock word that is free: the CAS transfer. *)
+let lock_grab_cost env tid line =
+  (transfer_cost env tid line +. env.costs.Costs.rmw_extra)
+  *. mem_factor env tid
+
+type result = {
+  nthreads : int;
+  total_ops : int;
+  sim_cycles : float;
+  seconds : float;
+  mops : float;
+  per_thread : int array;
+}
+
+(* Binary min-heap of (time, tid), array-based. *)
+module Heap = struct
+  type t = { mutable size : int; times : float array; tids : int array }
+
+  let make cap = { size = 0; times = Array.make cap 0.; tids = Array.make cap 0 }
+
+  let swap h i j =
+    let t = h.times.(i) and d = h.tids.(i) in
+    h.times.(i) <- h.times.(j);
+    h.tids.(i) <- h.tids.(j);
+    h.times.(j) <- t;
+    h.tids.(j) <- d
+
+  let push h time tid =
+    let i = ref h.size in
+    h.times.(!i) <- time;
+    h.tids.(!i) <- tid;
+    h.size <- h.size + 1;
+    while !i > 0 && h.times.((!i - 1) / 2) > h.times.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    let time = h.times.(0) and tid = h.tids.(0) in
+    h.size <- h.size - 1;
+    h.times.(0) <- h.times.(h.size);
+    h.tids.(0) <- h.tids.(h.size);
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.times.(l) < h.times.(!smallest) then smallest := l;
+      if r < h.size && h.times.(r) < h.times.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+      else continue_ := false
+    done;
+    (time, tid)
+
+  let is_empty h = h.size = 0
+end
+
+let run (env : env) ~duration_cycles kernel =
+  let n = env.nthreads in
+  let states =
+    Array.init n (fun i ->
+        {
+          time = 0.;
+          items = [];
+          rng = Dstruct.Prng.make ~seed:(0xACE + (i * 65537));
+          completed = 0;
+        })
+  in
+  let heap = Heap.make n in
+  for tid = 0 to n - 1 do
+    Heap.push heap 0. tid
+  done;
+  let schedule tid = Heap.push heap states.(tid).time tid in
+  (* Grant a free spinlock to the head waiter at [t]. *)
+  let grant_spin line t =
+    match Queue.take_opt line.waiters with
+    | None -> ()
+    | Some w ->
+      let ws = states.(w) in
+      ws.time <- Float.max ws.time t;
+      ws.time <- ws.time +. lock_grab_cost env w line;
+      line.holder <- w;
+      line.last_writer <- w;
+      line.version <- line.version + 1;
+      schedule w
+  in
+  let grant_rw rw w t =
+    let ws = states.(w) in
+    ws.time <- Float.max ws.time t;
+    do_rmw env ws w rw.rw_line;
+    schedule w
+  in
+  let rec rw_admit rw t =
+    match Queue.peek_opt rw.rw_wait with
+    | Some (w, Shared) when not rw.writer_active ->
+      ignore (Queue.pop rw.rw_wait);
+      rw.readers_active <- rw.readers_active + 1;
+      grant_rw rw w t;
+      rw_admit rw t
+    | Some (w, Excl) when (not rw.writer_active) && rw.readers_active = 0 ->
+      ignore (Queue.pop rw.rw_wait);
+      rw.writer_active <- true;
+      grant_rw rw w t
+    | Some _ | None -> ()
+  in
+  while not (Heap.is_empty heap) do
+    let time, tid = Heap.pop heap in
+    let st = states.(tid) in
+    st.time <- Float.max st.time time;
+    match st.items with
+    | [] ->
+      if st.time < duration_cycles then begin
+        st.items <- flatten_list (kernel tid st.rng);
+        schedule tid
+      end
+    | item :: rest -> (
+      let finish_item () =
+        st.items <- rest;
+        if rest = [] then st.completed <- st.completed + 1;
+        schedule tid
+      in
+      match item with
+      | I_work c ->
+        st.time <- st.time +. (c *. cpu_factor env tid);
+        finish_item ()
+      | I_read l ->
+        do_read env st tid l;
+        finish_item ()
+      | I_rmw l ->
+        do_rmw env st tid l;
+        finish_item ()
+      | I_tsc k ->
+        st.time <-
+          st.time +. (Costs.tsc_cost env.costs k *. mem_factor env tid);
+        finish_item ()
+      | I_acq_spin l ->
+        if l.holder = -1 && Queue.is_empty l.waiters then begin
+          st.time <- st.time +. lock_grab_cost env tid l;
+          l.holder <- tid;
+          l.last_writer <- tid;
+          l.version <- l.version + 1;
+          finish_item ()
+        end
+        else begin
+          (* block: the release will reschedule us past this acquire *)
+          Queue.push tid l.waiters;
+          st.items <- rest
+        end
+      | I_rel_spin l ->
+        assert (l.holder = tid);
+        l.holder <- -1;
+        st.time <- st.time +. env.costs.Costs.l1_hit;
+        grant_spin l st.time;
+        finish_item ()
+      | I_acq_rw (rw, Shared) ->
+        if (not rw.writer_active) && Queue.is_empty rw.rw_wait then begin
+          rw.readers_active <- rw.readers_active + 1;
+          do_rmw env st tid rw.rw_line;
+          finish_item ()
+        end
+        else begin
+          Queue.push (tid, Shared) rw.rw_wait;
+          st.items <- rest
+        end
+      | I_acq_rw (rw, Excl) ->
+        if
+          (not rw.writer_active)
+          && rw.readers_active = 0
+          && Queue.is_empty rw.rw_wait
+        then begin
+          rw.writer_active <- true;
+          do_rmw env st tid rw.rw_line;
+          finish_item ()
+        end
+        else begin
+          Queue.push (tid, Excl) rw.rw_wait;
+          st.items <- rest
+        end
+      | I_rel_rw (rw, Shared) ->
+        rw.readers_active <- rw.readers_active - 1;
+        do_rmw env st tid rw.rw_line;
+        rw_admit rw st.time;
+        finish_item ()
+      | I_rel_rw (rw, Excl) ->
+        rw.writer_active <- false;
+        st.time <- st.time +. env.costs.Costs.l1_hit;
+        rw_admit rw st.time;
+        finish_item ())
+  done;
+  let counts = Array.map (fun st -> st.completed) states in
+  let total_ops = Array.fold_left ( + ) 0 counts in
+  let seconds = duration_cycles /. (env.costs.Costs.ghz *. 1e9) in
+  {
+    nthreads = n;
+    total_ops;
+    sim_cycles = duration_cycles;
+    seconds;
+    mops = float_of_int total_ops /. seconds /. 1e6;
+    per_thread = counts;
+  }

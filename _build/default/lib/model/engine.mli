@@ -1,0 +1,57 @@
+(** Discrete-event multicore timing engine.
+
+    Threads execute abstract operations against shared cache lines and
+    locks; the engine charges cycle costs that reproduce the memory-system
+    phenomena behind every figure in the paper:
+
+    - RMWs on one line serialize (ownership hand-off), so a shared
+      fetch-and-add caps aggregate throughput at one transfer per op and
+      the cap *drops* as threads spread over sockets — the logical
+      timestamp bottleneck;
+    - reads of a recently written line pay the same transfer, so even
+      read-only use of a hot timestamp suffers under writers;
+    - TSC reads are fixed-latency and touch no shared state, so they scale
+      linearly — the hardware timestamp;
+    - lock bodies hold their line for the body's duration; a centralized
+      readers-writer lock serializes its acquisitions on its own line —
+      the EBR-RQ collapse;
+    - hyperthread co-residency multiplies costs once sibling threads
+      activate — the 24→48 thread dips.
+
+    The engine is deterministic given the kernels' PRNG seeds. *)
+
+type env
+type line
+type rwlock
+
+val make_env :
+  ?costs:Costs.t -> ?topology:Topology.t -> nthreads:int -> unit -> env
+
+val costs : env -> Costs.t
+val nthreads : env -> int
+val new_line : env -> line
+val line_pool : env -> int -> line array
+val new_rwlock : env -> rwlock
+
+type op =
+  | Work of float  (** private computation, in cycles *)
+  | Read of line
+  | Rmw of line
+  | Tsc of Costs.tsc_kind
+  | Locked of line * op list  (** spinlock section: line held for the body *)
+  | RwShared of rwlock * op list
+  | RwExcl of rwlock * op list
+
+type kernel = int -> Dstruct.Prng.t -> op list
+(** [kernel tid rng] returns the op sequence of one logical operation. *)
+
+type result = {
+  nthreads : int;
+  total_ops : int;
+  sim_cycles : float;
+  seconds : float;
+  mops : float;
+  per_thread : int array;
+}
+
+val run : env -> duration_cycles:float -> kernel -> result

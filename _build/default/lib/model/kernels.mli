@@ -1,0 +1,48 @@
+(** Per-figure operation profiles for the timing engine.
+
+    Each builder allocates its shared resources (timestamp line, node-lock
+    pool, rwlock) in the given environment and returns a kernel whose op
+    sequences mirror the memory behaviour of the corresponding
+    implementation in [lib/rangequery] — same counts of shared reads,
+    RMWs, lock acquisitions and clock accesses per operation type.  The
+    work constants approximate traversal costs at the paper's scale
+    (1M-key range, half full, 100-key range queries). *)
+
+type ts_mode = Logical | Hardware
+
+val ts_mode_name : ts_mode -> string
+
+val ts_acquire : Engine.env -> mode:[ `Faa | `Tsc of Costs.tsc_kind ] -> Engine.kernel
+(** Figure 1 (top): a tight timestamp-acquisition loop. *)
+
+val ts_mixed_work : Engine.env -> mode:[ `Faa | `Tsc of Costs.tsc_kind ] -> Engine.kernel
+(** Figure 1 (bottom): acquisition interleaved with private work. *)
+
+val vcas_bst : Engine.env -> mode:ts_mode -> mix:Workload.Mix.t -> Engine.kernel
+(** Figure 2: vCAS on the lock-free BST. *)
+
+val citrus_vcas : Engine.env -> mode:ts_mode -> mix:Workload.Mix.t -> Engine.kernel
+val citrus_bundle : Engine.env -> mode:ts_mode -> mix:Workload.Mix.t -> Engine.kernel
+(** Figure 3: the Citrus tree ports. *)
+
+val citrus_ebrrq : Engine.env -> mode:ts_mode -> mix:Workload.Mix.t -> Engine.kernel
+(** Figure 4: EBR-RQ with its centralized readers-writer lock. *)
+
+val skiplist_bundle : Engine.env -> mode:ts_mode -> mix:Workload.Mix.t -> Engine.kernel
+(** Figure 5: Bundling on the lazy skip list. *)
+
+val skiplist_vcas : Engine.env -> mode:ts_mode -> mix:Workload.Mix.t -> Engine.kernel
+(** The omitted combination: vCAS on the (lock-free) skip list; the
+    versioned cells' indirection keeps it structure-bound — no TSC gain. *)
+
+val lazylist_bundle :
+  Engine.env -> mode:ts_mode -> mix:Workload.Mix.t -> size:int -> Engine.kernel
+(** The omitted negative result: O(n) traversals dwarf the timestamp. *)
+
+val labeling_sweep :
+  Engine.env ->
+  mode:ts_mode ->
+  granularity:[ `Global_lock | `Structural_lock | `Helped ] ->
+  mix:Workload.Mix.t ->
+  Engine.kernel
+(** Section IV ablation: identical workload, three labeling disciplines. *)

@@ -1,0 +1,77 @@
+type point = { threads : int; mops : float }
+type series = { label : string; points : point list }
+
+let default_duration = 2_000_000.
+
+let run_series ?(duration = default_duration)
+    ?(topology = Topology.xeon_8160_quad) ?(costs = Costs.default) ?threads
+    ~label build =
+  let threads =
+    match threads with Some t -> t | None -> Topology.threads_axis topology
+  in
+  let points =
+    List.map
+      (fun n ->
+        let env = Engine.make_env ~costs ~topology ~nthreads:n () in
+        let kernel = build env in
+        let r = Engine.run env ~duration_cycles:duration kernel in
+        { threads = n; mops = r.Engine.mops })
+      threads
+  in
+  { label; points }
+
+let mops_at s n =
+  List.find_map (fun p -> if p.threads = n then Some p.mops else None) s.points
+
+let speedup_at s ~baseline n =
+  match (mops_at s n, mops_at baseline n) with
+  | Some a, Some b when b > 0. -> Some (a /. b)
+  | _ -> None
+
+let max_speedup s ~baseline =
+  List.fold_left
+    (fun acc p ->
+      match speedup_at s ~baseline p.threads with
+      | Some r -> Float.max acc r
+      | None -> acc)
+    0. s.points
+
+let pp_series_table ppf (series : series list) =
+  match series with
+  | [] -> ()
+  | first :: _ ->
+    Format.fprintf ppf "%8s" "threads";
+    List.iter (fun s -> Format.fprintf ppf " %18s" s.label) series;
+    Format.pp_print_newline ppf ();
+    List.iter
+      (fun p ->
+        Format.fprintf ppf "%8d" p.threads;
+        List.iter
+          (fun s ->
+            match mops_at s p.threads with
+            | Some m -> Format.fprintf ppf " %18.2f" m
+            | None -> Format.fprintf ppf " %18s" "-")
+          series;
+        Format.pp_print_newline ppf ())
+      first.points
+
+let to_csv (series : series list) =
+  match series with
+  | [] -> ""
+  | first :: _ ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "threads";
+    List.iter (fun s -> Buffer.add_string buf ("," ^ s.label)) series;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun p ->
+        Buffer.add_string buf (string_of_int p.threads);
+        List.iter
+          (fun s ->
+            match mops_at s p.threads with
+            | Some m -> Buffer.add_string buf (Printf.sprintf ",%.4f" m)
+            | None -> Buffer.add_string buf ",")
+          series;
+        Buffer.add_char buf '\n')
+      first.points;
+    Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Thread sweeps over the timing engine, producing figure series. *)
+
+type point = { threads : int; mops : float }
+type series = { label : string; points : point list }
+
+val default_duration : float
+(** Simulated cycles per data point (2M ≈ 1 ms at 2.1 GHz). *)
+
+val run_series :
+  ?duration:float ->
+  ?topology:Topology.t ->
+  ?costs:Costs.t ->
+  ?threads:int list ->
+  label:string ->
+  (Engine.env -> Engine.kernel) ->
+  series
+(** Build a fresh environment per thread count (new lines/locks each
+    time) and measure simulated throughput. *)
+
+val speedup_at : series -> baseline:series -> int -> float option
+(** Throughput ratio at a given thread count. *)
+
+val max_speedup : series -> baseline:series -> float
+(** Max over common thread counts (the "up to N x" numbers). *)
+
+val pp_series_table : Format.formatter -> series list -> unit
+(** Render aligned columns: threads on rows, one column per series. *)
+
+val to_csv : series list -> string
+(** The same table as CSV ("threads,<label>,..." header), for plotting. *)

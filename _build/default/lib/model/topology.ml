@@ -1,0 +1,33 @@
+type t = { sockets : int; cores_per_socket : int; smt : int }
+
+let xeon_8160_quad = { sockets = 4; cores_per_socket = 24; smt = 2 }
+let total_threads t = t.sockets * t.cores_per_socket * t.smt
+
+type placement = { socket : int; core : int; smt : int }
+
+let place t i =
+  let per_zone = t.cores_per_socket * t.smt in
+  let socket = i / per_zone and in_zone = i mod per_zone in
+  { socket; core = in_zone mod t.cores_per_socket; smt = in_zone / t.cores_per_socket }
+
+let sibling_active t ~nthreads i =
+  let per_zone = t.cores_per_socket * t.smt in
+  let zone_base = i / per_zone * per_zone and in_zone = i mod per_zone in
+  let sibling_in_zone =
+    if in_zone < t.cores_per_socket then in_zone + t.cores_per_socket
+    else in_zone - t.cores_per_socket
+  in
+  zone_base + sibling_in_zone < nthreads
+
+let threads_axis t =
+  let cap = total_threads t in
+  let rec doubling acc n = if n >= cap then acc else doubling (n :: acc) (n * 2) in
+  let coarse = doubling [ cap ] 1 in
+  (* add the per-zone saturation points the paper's plots hinge on *)
+  let zone = t.cores_per_socket in
+  let landmarks =
+    List.concat_map
+      (fun z -> [ z * zone; z * zone * t.smt ])
+      (List.init t.sockets (fun s -> s + 1))
+  in
+  List.sort_uniq compare (List.filter (fun n -> n >= 1 && n <= cap) (coarse @ landmarks))

@@ -1,0 +1,31 @@
+(** Machine topology for the timing model.
+
+    Models the paper's testbed: four Xeon Platinum 8160 sockets, 24
+    physical cores each, 2-way hyperthreading — 192 hardware threads over
+    four NUMA zones — together with the paper's pinning policy: saturate
+    one NUMA zone's physical cores, then their hyperthread siblings, then
+    move to the next zone. *)
+
+type t = { sockets : int; cores_per_socket : int; smt : int }
+
+val xeon_8160_quad : t
+(** The paper's machine: 4 x 24 x 2 = 192 hardware threads. *)
+
+val total_threads : t -> int
+
+type placement = { socket : int; core : int; smt : int }
+
+val place : t -> int -> placement
+(** Placement of the i-th software thread under the paper's pinning
+    policy.  Threads [0..cores-1] of a zone land on distinct physical
+    cores (SMT 0), threads [cores..2*cores-1] on their hyperthread
+    siblings (SMT 1) — hence "speedup up to 24 threads, drop after" in
+    Figure 4. *)
+
+val sibling_active : t -> nthreads:int -> int -> bool
+(** Whether thread [i]'s hyperthread sibling is also running when
+    [nthreads] threads are active. *)
+
+val threads_axis : t -> int list
+(** The x-axis used by the figures: 1, 2, 4, 8, ... up to every hardware
+    thread of the machine. *)

@@ -1,0 +1,1 @@
+lib/rangequery/bst_ebrrq_lockfree.ml: Atomic Ebr Hwts List Sync

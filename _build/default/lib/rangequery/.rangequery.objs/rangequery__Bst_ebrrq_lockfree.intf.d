@@ -1,0 +1,1 @@
+lib/rangequery/bst_ebrrq_lockfree.mli: Atomic Dstruct Hwts

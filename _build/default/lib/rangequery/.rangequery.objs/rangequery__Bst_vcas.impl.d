@@ -1,0 +1,1 @@
+lib/rangequery/bst_vcas.ml: Atomic Hwts List Rq_registry Vcas_obj

@@ -1,0 +1,1 @@
+lib/rangequery/bst_vcas_kv.mli: Hwts

@@ -1,0 +1,1 @@
+lib/rangequery/bundle.ml: Atomic Hwts Sync

@@ -1,0 +1,1 @@
+lib/rangequery/bundle.mli: Hwts

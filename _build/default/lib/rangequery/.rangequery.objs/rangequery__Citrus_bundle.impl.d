@@ -1,0 +1,1 @@
+lib/rangequery/citrus_bundle.ml: Atomic Bundle Dstruct Hwts List Rcu Rq_registry Sync

@@ -1,0 +1,1 @@
+lib/rangequery/citrus_bundle.mli: Dstruct Hwts

@@ -1,0 +1,1 @@
+lib/rangequery/citrus_ebrrq.ml: Atomic Dstruct Ebr Hwts List Rcu Sync

@@ -1,0 +1,1 @@
+lib/rangequery/citrus_ebrrq.mli: Dstruct Hwts

@@ -1,0 +1,1 @@
+lib/rangequery/citrus_vcas.ml: Dstruct Hwts List Rcu Rq_registry Sync Vcas_obj

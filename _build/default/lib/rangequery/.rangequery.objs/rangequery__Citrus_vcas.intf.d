@@ -1,0 +1,1 @@
+lib/rangequery/citrus_vcas.mli: Dstruct Hwts

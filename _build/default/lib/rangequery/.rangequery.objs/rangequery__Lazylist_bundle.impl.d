@@ -1,0 +1,1 @@
+lib/rangequery/lazylist_bundle.ml: Atomic Bundle Dstruct Hwts List Rq_registry Sync

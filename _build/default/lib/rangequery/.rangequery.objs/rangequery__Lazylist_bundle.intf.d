@@ -1,0 +1,1 @@
+lib/rangequery/lazylist_bundle.mli: Dstruct Hwts

@@ -1,0 +1,1 @@
+lib/rangequery/rq_registry.mli:

@@ -1,0 +1,1 @@
+lib/rangequery/skiplist_bundle.ml: Array Atomic Bundle Dstruct Hwts List Rq_registry Sync Tsc

@@ -1,0 +1,1 @@
+lib/rangequery/skiplist_bundle.mli: Dstruct Hwts

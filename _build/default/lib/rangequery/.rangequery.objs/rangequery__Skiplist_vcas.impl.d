@@ -1,0 +1,1 @@
+lib/rangequery/skiplist_vcas.ml: Array Atomic Dstruct Hwts List Rq_registry Vcas_obj

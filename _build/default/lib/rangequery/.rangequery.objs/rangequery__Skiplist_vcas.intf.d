@@ -1,0 +1,1 @@
+lib/rangequery/skiplist_vcas.mli: Dstruct Hwts

@@ -1,0 +1,1 @@
+lib/rangequery/vcas_obj.mli: Hwts

@@ -1,0 +1,247 @@
+module type LOGICAL = sig
+  include Hwts.Timestamp.S
+
+  val raw : int Atomic.t
+end
+
+module Make (T : LOGICAL) = struct
+  type node = Leaf of leaf | Internal of inode
+
+  and leaf = {
+    lkey : int;
+    itime : int Sync.Rdcss.loc; (* 0 = not yet labeled *)
+    dtime : int Sync.Rdcss.loc; (* 0 = alive *)
+  }
+
+  and inode = { ikey : int; left : edge Atomic.t; right : edge Atomic.t }
+  and edge = { target : node; flagged : bool; tagged : bool }
+
+  type dir = L | R
+
+  let inf0 = max_int - 2
+  let inf1 = max_int - 1
+  let inf2 = max_int
+
+  module Reclaim = Ebr.Make (struct
+    type t = leaf
+  end)
+
+  type t = { r : inode; s : inode; ebr : Reclaim.t }
+
+  let name = "ebrrq-lf-bst(" ^ T.name ^ ")"
+  let clean target = { target; flagged = false; tagged = false }
+
+  let make_leaf ?(itime = 0) key =
+    Leaf { lkey = key; itime = Sync.Rdcss.make itime; dtime = Sync.Rdcss.make 0 }
+
+  let create () =
+    let s =
+      {
+        ikey = inf1;
+        left = Atomic.make (clean (make_leaf ~itime:1 inf0));
+        right = Atomic.make (clean (make_leaf ~itime:1 inf1));
+      }
+    in
+    let r =
+      {
+        ikey = inf2;
+        left = Atomic.make (clean (Internal s));
+        right = Atomic.make (clean (make_leaf ~itime:1 inf2));
+      }
+    in
+    { r; s; ebr = Reclaim.create () }
+
+  let child n = function L -> n.left | R -> n.right
+  let other = function L -> R | R -> L
+  let dir_of n key = if key < n.ikey then L else R
+
+  (* Label a time field via DCSS against the timestamp's address: the write
+     lands only in the instant during which the timestamp still holds the
+     value we read — EBR-RQ's atomic read-and-label, without locks.
+     Any thread may help. *)
+  let rec label field =
+    let snap = Sync.Rdcss.read field in
+    if Sync.Rdcss.value snap = 0 then begin
+      let v = Atomic.get T.raw in
+      match
+        Sync.Rdcss.dcss ~control:T.raw ~expected_control:v ~loc:field
+          ~expected:snap v
+      with
+      | Sync.Rdcss.Success -> ()
+      | Sync.Rdcss.Control_changed | Sync.Rdcss.Loc_changed -> label field
+    end
+
+  let itime_of leaf =
+    label leaf.itime;
+    Sync.Rdcss.get leaf.itime
+
+  type seek_record = {
+    ancestor : inode;
+    anc_dir : dir;
+    successor : node;
+    parent : inode;
+    par_dir : dir;
+    par_edge : edge;
+    leaf_key : int;
+    leaf : node;
+  }
+
+  let seek t key =
+    let rec descend ancestor anc_dir successor parent par_dir par_edge =
+      match par_edge.target with
+      | Leaf l ->
+        {
+          ancestor;
+          anc_dir;
+          successor;
+          parent;
+          par_dir;
+          par_edge;
+          leaf_key = l.lkey;
+          leaf = par_edge.target;
+        }
+      | Internal n ->
+        let ancestor, anc_dir, successor =
+          if par_edge.tagged then (ancestor, anc_dir, successor)
+          else (parent, par_dir, par_edge.target)
+        in
+        let d = dir_of n key in
+        descend ancestor anc_dir successor n d (Atomic.get (child n d))
+    in
+    descend t.r L (Internal t.s) t.s L (Atomic.get t.s.left)
+
+  let cleanup r =
+    let key_cell = child r.parent r.par_dir in
+    let sibling_cell = child r.parent (other r.par_dir) in
+    let key_edge = Atomic.get key_cell in
+    let promote_cell = if key_edge.flagged then sibling_cell else key_cell in
+    let rec tag () =
+      let e = Atomic.get promote_cell in
+      if e.tagged then e
+      else
+        let tagged = { e with tagged = true } in
+        if Atomic.compare_and_set promote_cell e tagged then tagged else tag ()
+    in
+    let promoted = tag () in
+    let anc_cell = child r.ancestor r.anc_dir in
+    let anc_edge = Atomic.get anc_cell in
+    anc_edge.target == r.successor
+    && (not anc_edge.tagged)
+    && Atomic.compare_and_set anc_cell anc_edge
+         { target = promoted.target; flagged = promoted.flagged; tagged = false }
+
+  let rec insert t key = Reclaim.with_op t.ebr (fun () -> insert_loop t key)
+
+  and insert_loop t key =
+    assert (key < inf0);
+    let r = seek t key in
+    if r.leaf_key = key then false
+    else if r.par_edge.flagged || r.par_edge.tagged then begin
+      ignore (cleanup r);
+      insert_loop t key
+    end
+    else begin
+      let new_leaf = make_leaf key in
+      let small, big =
+        if key < r.leaf_key then (new_leaf, r.leaf) else (r.leaf, new_leaf)
+      in
+      let internal =
+        Internal
+          {
+            ikey = max key r.leaf_key;
+            left = Atomic.make (clean small);
+            right = Atomic.make (clean big);
+          }
+      in
+      let cell = child r.parent r.par_dir in
+      if Atomic.compare_and_set cell r.par_edge (clean internal) then begin
+        (match new_leaf with Leaf l -> label l.itime | Internal _ -> ());
+        true
+      end
+      else begin
+        let e = Atomic.get cell in
+        if e.target == r.leaf && (e.flagged || e.tagged) then ignore (cleanup r);
+        insert_loop t key
+      end
+    end
+
+  let rec delete t key = Reclaim.with_op t.ebr (fun () -> delete_loop t key)
+
+  and delete_loop t key =
+    let r = seek t key in
+    if r.leaf_key <> key then false
+    else if r.par_edge.flagged || r.par_edge.tagged then begin
+      ignore (cleanup r);
+      delete_loop t key
+    end
+    else begin
+      let cell = child r.parent r.par_dir in
+      if Atomic.compare_and_set cell r.par_edge { r.par_edge with flagged = true }
+      then begin
+        (match r.leaf with
+        | Leaf l ->
+          (* The winning deleter labels the deletion time, then splices. *)
+          label l.dtime;
+          let done_ = if cleanup r then true else finish t key r.leaf in
+          Reclaim.retire t.ebr l;
+          done_
+        | Internal _ -> assert false)
+      end
+      else begin
+        let e = Atomic.get cell in
+        if e.target == r.leaf && (e.flagged || e.tagged) then ignore (cleanup r);
+        delete_loop t key
+      end
+    end
+
+  and finish t key leaf =
+    let r = seek t key in
+    if r.leaf != leaf then true
+    else if cleanup r then true
+    else finish t key leaf
+
+  let contains t key =
+    let rec down node =
+      match node with
+      | Leaf l -> l.lkey = key
+      | Internal n -> down (Atomic.get (child n (dir_of n key))).target
+    in
+    down (Internal t.s)
+
+  let covers ts leaf =
+    let it = itime_of leaf in
+    let dt = Sync.Rdcss.get leaf.dtime in
+    it <= ts && (dt = 0 || dt > ts)
+
+  let range_query t ~lo ~hi =
+    Reclaim.with_op t.ebr (fun () ->
+        let ts = T.snapshot () in
+        let acc = ref [] in
+        let visit l =
+          if l.lkey >= lo && l.lkey <= hi && l.lkey < inf0 && covers ts l then
+            acc := l.lkey :: !acc
+        in
+        let rec walk node =
+          match node with
+          | Leaf l -> visit l
+          | Internal n ->
+            if lo < n.ikey then walk (Atomic.get n.left).target;
+            if hi >= n.ikey then walk (Atomic.get n.right).target
+        in
+        walk (Internal t.s);
+        Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () l -> visit l);
+        List.sort_uniq compare !acc)
+
+  let to_list t =
+    let rec walk acc node =
+      match node with
+      | Leaf l -> if l.lkey < inf0 then l.lkey :: acc else acc
+      | Internal n ->
+        let acc = walk acc (Atomic.get n.right).target in
+        walk acc (Atomic.get n.left).target
+    in
+    walk [] (Internal t.s)
+
+  let size t = List.length (to_list t)
+  let limbo_size t = Reclaim.limbo_size t.ebr
+end

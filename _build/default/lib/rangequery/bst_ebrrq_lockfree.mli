@@ -1,0 +1,22 @@
+(** Lock-free EBR-RQ over the Natarajan–Mittal BST.
+
+    Updates label leaves with insertion/deletion timestamps using DCSS:
+    the label is written only if the global timestamp word still holds the
+    value that was read — which requires the timestamp to {e have} an
+    address.  The functor therefore demands the extended signature below;
+    {!Hwts.Timestamp.Logical} satisfies it, the hardware providers cannot.
+    This is Section IV's address-dependence limitation made type-level:
+    the port to TSC is not slow, it is unwritable. *)
+
+module type LOGICAL = sig
+  include Hwts.Timestamp.S
+
+  val raw : int Atomic.t
+  (** The timestamp word itself — the address DCSS validates. *)
+end
+
+module Make (T : LOGICAL) : sig
+  include Dstruct.Ordered_set.RQ
+
+  val limbo_size : t -> int
+end

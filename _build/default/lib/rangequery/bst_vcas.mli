@@ -1,0 +1,38 @@
+(** vCAS-augmented lock-free external BST (the Figure-2 system).
+
+    The Natarajan–Mittal tree with every child edge replaced by a
+    {!Vcas_obj} versioned object.  Every update linearizes at exactly one
+    versioned CAS, so a range query that fixes a snapshot time [ts]
+    (advancing the timestamp, per vCAS's protocol) and traverses the tree
+    through [read_at ts] sees a consistent snapshot without locks.
+
+    Instantiate with {!Hwts.Timestamp.Logical} for the baseline or
+    {!Hwts.Timestamp.Hardware} for the TSC port — the code is identical,
+    which is the paper's drop-in-replacement claim. *)
+
+module Make (T : Hwts.Timestamp.S) : sig
+  include Dstruct.Ordered_set.RQ
+
+  type snap
+  (** A pinned moment in the structure's history. *)
+
+  val take_snapshot : t -> snap
+  (** Fix the current state as a persistent snapshot.  The snapshot's
+      versions are protected from pruning until released, from any
+      thread.  O(1): no copying — this is the versioned structure's
+      native superpower. *)
+
+  val release_snapshot : t -> snap -> unit
+  (** Allow the snapshot's history to be reclaimed.  Idempotence is not
+      guaranteed; release once. *)
+
+  val range_query_at : t -> snap -> lo:int -> hi:int -> int list
+  (** Time travel: the keys in [lo, hi] as of the snapshot. *)
+
+  val contains_at : t -> snap -> int -> bool
+  (** Membership as of the snapshot. *)
+
+  val version_chain_stats : t -> int * int
+  (** (number of edges sampled, total retained versions) along the leftmost
+      spine — a cheap memory-pressure probe for tests. *)
+end

@@ -1,0 +1,44 @@
+(** Key-value variant of the vCAS lock-free BST.
+
+    The paper motivates range queries with key-value stores; this is the
+    map the set-based {!Bst_vcas} implies.  Values live in leaves, and an
+    update-in-place is one versioned CAS that swaps the whole leaf — so
+    every operation (including [set] over an existing key) keeps the
+    single-linearizing-write property that makes snapshots consistent.
+
+    Same timestamp discipline as {!Bst_vcas}: updates label by helping,
+    range queries fix their snapshot with [T.snapshot ()], histories are
+    pruned under the active-RQ registry, and persistent snapshots pin the
+    past for time-travel reads. *)
+
+module Make (T : Hwts.Timestamp.S) : sig
+  type 'v t
+
+  val name : string
+  val create : unit -> 'v t
+
+  val set : 'v t -> int -> 'v -> unit
+  (** Insert or overwrite. *)
+
+  val add : 'v t -> int -> 'v -> bool
+  (** Insert only; false if the key exists (value untouched). *)
+
+  val remove : 'v t -> int -> bool
+  val find : 'v t -> int -> 'v option
+  val mem : 'v t -> int -> bool
+
+  val range_query : 'v t -> lo:int -> hi:int -> (int * 'v) list
+  (** Linearizable snapshot of the bindings in [lo, hi], ascending. *)
+
+  val to_alist : 'v t -> (int * 'v) list
+  (** Quiescent use only. *)
+
+  val size : 'v t -> int
+
+  type snap
+
+  val take_snapshot : 'v t -> snap
+  val release_snapshot : 'v t -> snap -> unit
+  val range_query_at : 'v t -> snap -> lo:int -> hi:int -> (int * 'v) list
+  val find_at : 'v t -> snap -> int -> 'v option
+end

@@ -1,0 +1,75 @@
+module Make (T : Hwts.Timestamp.S) = struct
+  type 'a entry = {
+    ts : int Atomic.t; (* 0 = pending *)
+    target : 'a;
+    older : 'a entry option Atomic.t;
+  }
+
+  type 'a t = 'a entry Atomic.t
+
+  let entry ts target older = { ts = Atomic.make ts; target; older = Atomic.make older }
+
+  let make target = Atomic.make (entry (T.read ()) target None)
+  let make_pending target = Atomic.make (entry 0 target None)
+
+  let prepare t target =
+    let head = Atomic.get t in
+    assert (Atomic.get head.ts <> 0);
+    Atomic.set t (entry 0 target (Some head))
+
+  let label t ts =
+    assert (ts > 0);
+    let head = Atomic.get t in
+    let was_pending = Atomic.compare_and_set head.ts 0 ts in
+    assert was_pending
+
+  let read t = (Atomic.get t).target
+
+  let wait_label e =
+    let backoff = Sync.Backoff.make ~min_spins:1 () in
+    let rec spin () =
+      let ts = Atomic.get e.ts in
+      if ts = 0 then begin
+        Sync.Backoff.once backoff;
+        spin ()
+      end
+      else ts
+    in
+    spin ()
+
+  let rec find_at e ts =
+    let ets = wait_label e in
+    if ets <= ts then Some e.target
+    else match Atomic.get e.older with None -> None | Some o -> find_at o ts
+
+  let read_at t ts =
+    let head = Atomic.get t in
+    match find_at head ts with
+    | Some target -> target
+    | None ->
+      (* Chain exhausted: the oldest entry is the creation value, valid
+         since before this bundle became reachable at [ts]. *)
+      let rec oldest e =
+        match Atomic.get e.older with None -> e.target | Some o -> oldest o
+      in
+      oldest head
+
+  let read_at_opt t ts = find_at (Atomic.get t) ts
+
+  let prune t min_ts =
+    let rec cut e =
+      let ets = Atomic.get e.ts in
+      if ets <> 0 && ets <= min_ts then Atomic.set e.older None
+      else
+        match Atomic.get e.older with None -> () | Some o -> cut o
+    in
+    cut (Atomic.get t)
+
+  let length t =
+    let rec count acc e =
+      match Atomic.get e.older with
+      | None -> acc + 1
+      | Some o -> count (acc + 1) o
+    in
+    count 0 (Atomic.get t)
+end

@@ -1,0 +1,55 @@
+(** Bundles (Nelson-Slivon et al., PPoPP'22): per-link version histories.
+
+    A bundle records the history of one link as a chain of entries, newest
+    first, each labeled with the timestamp of the update that installed it.
+    Entries are born {e pending} (ts = 0) inside the update's critical
+    section, the structural change is applied, and only then is the entry
+    labeled — with [advance ()], since in Bundling the {e updates} advance
+    the timestamp.  This "fine structural-lock" labeling is what lets
+    Bundling profit from hardware timestamps (Section IV).
+
+    Range queries read the timestamp (no advance) and follow, at each
+    bundle, the newest entry labeled at or before their snapshot, spinning
+    briefly on pending entries exactly as the original protocol does.
+
+    Mutators of one bundle must already be serialized by the owning
+    structure's node lock; readers are lock-free. *)
+
+module Make (T : Hwts.Timestamp.S) : sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  (** Bundle whose initial entry is labeled immediately (for structure
+      roots created before any snapshot). *)
+
+  val make_pending : 'a -> 'a t
+  (** Bundle whose initial entry awaits labeling by the installing update
+      (for nodes created inside an operation). *)
+
+  val prepare : 'a t -> 'a -> unit
+  (** Push a pending entry for a new target.  Caller holds the node lock;
+      the previous head must already be labeled. *)
+
+  val label : 'a t -> int -> unit
+  (** Label the pending head entry.  One update may label several bundles
+      with the same timestamp to make a multi-link change atomic. *)
+
+  val read : 'a t -> 'a
+  (** Current head target, pending or not (elemental-path debugging). *)
+
+  val read_at : 'a t -> int -> 'a
+  (** Target at snapshot [ts]; spins on pending entries; falls back to the
+      oldest entry if the whole chain is newer (only reachable-at-[ts]
+      bundles may be read, so this is the creation value). *)
+
+  val read_at_opt : 'a t -> int -> 'a option
+  (** Like {!read_at} but [None] when no entry is labeled [<= ts] — used
+      to detect a traversal starting point that did not exist at [ts]. *)
+
+  val prune : 'a t -> int -> unit
+  (** Drop entries that no snapshot at or after [min_ts] can need (keeps
+      the newest entry labeled [<= min_ts] and everything newer).  Caller
+      holds the node lock. *)
+
+  val length : 'a t -> int
+end

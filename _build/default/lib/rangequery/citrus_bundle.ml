@@ -1,0 +1,233 @@
+module Make (T : Hwts.Timestamp.S) = struct
+  module B = Bundle.Make (T)
+
+  type node = {
+    key : int;
+    left : node option Atomic.t; (* raw links: elemental operations *)
+    right : node option Atomic.t;
+    bleft : node option B.t; (* bundled links: range queries *)
+    bright : node option B.t;
+    lock : Sync.Spinlock.t;
+    mutable marked : bool;
+  }
+
+  type t = { root : node; rcu_dom : Rcu.t; registry : Rq_registry.t }
+
+  let name = "bundle-citrus(" ^ T.name ^ ")"
+
+  (* Fresh nodes' bundles start pending; the installing update labels them
+     together with the link entry. *)
+  let make_node key l r =
+    {
+      key;
+      left = Atomic.make l;
+      right = Atomic.make r;
+      bleft = B.make_pending l;
+      bright = B.make_pending r;
+      lock = Sync.Spinlock.make ();
+      marked = false;
+    }
+
+  let create () =
+    let root =
+      {
+        key = Dstruct.Ordered_set.min_key;
+        left = Atomic.make None;
+        right = Atomic.make None;
+        bleft = B.make None;
+        bright = B.make None;
+        lock = Sync.Spinlock.make ();
+        marked = false;
+      }
+    in
+    { root; rcu_dom = Rcu.create (); registry = Rq_registry.create () }
+
+  type dir = L | R
+
+  let child n = function L -> n.left | R -> n.right
+  let bchild n = function L -> n.bleft | R -> n.bright
+  let dir_of n key = if key < n.key then L else R
+
+  let find root key =
+    let rec walk prev d curr =
+      match curr with
+      | None -> (prev, d, None)
+      | Some n ->
+        if n.key = key then (prev, d, Some n)
+        else
+          let d' = dir_of n key in
+          walk n d' (Atomic.get (child n d'))
+    in
+    walk root R (Atomic.get root.right)
+
+  let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
+
+  let contains t key =
+    let _, _, found = traverse t key in
+    found <> None
+
+  let child_is n d c =
+    match Atomic.get (child n d) with Some x -> x == c | None -> false
+
+  let prune_with t bundle ts =
+    B.prune bundle (Rq_registry.min_active t.registry ~default:ts)
+
+  let rec insert t key =
+    assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
+    let prev, d, found = traverse t key in
+    match found with
+    | Some _ -> false
+    | None ->
+      Sync.Spinlock.lock prev.lock;
+      let valid = (not prev.marked) && Atomic.get (child prev d) = None in
+      if valid then begin
+        let node = make_node key None None in
+        let link = bchild prev d in
+        B.prepare link (Some node);
+        Atomic.set (child prev d) (Some node);
+        let ts = T.advance () in
+        B.label link ts;
+        B.label node.bleft ts;
+        B.label node.bright ts;
+        prune_with t link ts;
+        Sync.Spinlock.unlock prev.lock;
+        true
+      end
+      else begin
+        Sync.Spinlock.unlock prev.lock;
+        insert t key
+      end
+
+  let leftmost parent0 start =
+    let rec walk sprev s =
+      match Atomic.get s.left with None -> (sprev, s) | Some nl -> walk s nl
+    in
+    walk parent0 start
+
+  let rec delete t key =
+    let prev, d, found = traverse t key in
+    match found with
+    | None -> false
+    | Some curr ->
+      Sync.Spinlock.lock prev.lock;
+      Sync.Spinlock.lock curr.lock;
+      let valid = (not prev.marked) && (not curr.marked) && child_is prev d curr in
+      if not valid then begin
+        Sync.Spinlock.unlock curr.lock;
+        Sync.Spinlock.unlock prev.lock;
+        delete t key
+      end
+      else begin
+        let l = Atomic.get curr.left and r = Atomic.get curr.right in
+        match (l, r) with
+        | None, None -> splice_out t prev d curr None
+        | (Some _ as only), None | None, (Some _ as only) ->
+          splice_out t prev d curr only
+        | Some _, Some right_child ->
+          delete_two_children t key prev d curr right_child l r
+      end
+
+  and splice_out t prev d curr repl =
+    let link = bchild prev d in
+    B.prepare link repl;
+    Atomic.set (child prev d) repl;
+    curr.marked <- true;
+    let ts = T.advance () in
+    B.label link ts;
+    prune_with t link ts;
+    Sync.Spinlock.unlock curr.lock;
+    Sync.Spinlock.unlock prev.lock;
+    true
+
+  and delete_two_children t key prev d curr right_child l r =
+    let succ_prev, succ = leftmost curr right_child in
+    if succ_prev != curr then Sync.Spinlock.lock succ_prev.lock;
+    Sync.Spinlock.lock succ.lock;
+    let valid =
+      (not succ.marked)
+      && (not succ_prev.marked)
+      && Atomic.get succ.left = None
+      &&
+      if succ_prev == curr then succ == right_child else child_is succ_prev L succ
+    in
+    if not valid then begin
+      Sync.Spinlock.unlock succ.lock;
+      if succ_prev != curr then Sync.Spinlock.unlock succ_prev.lock;
+      Sync.Spinlock.unlock curr.lock;
+      Sync.Spinlock.unlock prev.lock;
+      delete t key
+    end
+    else begin
+      let succ_right = Atomic.get succ.right in
+      let direct = succ_prev == curr in
+      let replacement =
+        make_node succ.key l (if direct then succ_right else r)
+      in
+      let link = bchild prev d in
+      B.prepare link (Some replacement);
+      if not direct then B.prepare succ_prev.bleft succ_right;
+      Atomic.set (child prev d) (Some replacement);
+      curr.marked <- true;
+      succ.marked <- true;
+      (* One timestamp for every entry: the whole relocation is a single
+         atomic step for snapshot traversals. *)
+      let ts = T.advance () in
+      B.label link ts;
+      B.label replacement.bleft ts;
+      B.label replacement.bright ts;
+      if not direct then B.label succ_prev.bleft ts;
+      prune_with t link ts;
+      if not direct then begin
+        (* Elemental traversals may still be en route to the original
+           successor through the old links: drain them before unlinking. *)
+        Rcu.synchronize t.rcu_dom;
+        Atomic.set succ_prev.left succ_right
+      end;
+      Sync.Spinlock.unlock succ.lock;
+      if succ_prev != curr then Sync.Spinlock.unlock succ_prev.lock;
+      Sync.Spinlock.unlock curr.lock;
+      Sync.Spinlock.unlock prev.lock;
+      true
+    end
+
+  (* Bundling range query: announce a lower bound, then fix the snapshot
+     with a second clock read so concurrent pruning stays safe. *)
+  let range_query t ~lo ~hi =
+    let announce = T.read () in
+    Rq_registry.enter t.registry announce;
+    let ts = T.read () in
+    let rec walk acc node_opt =
+      match node_opt with
+      | None -> acc
+      | Some n ->
+        let acc = if hi > n.key then walk acc (B.read_at n.bright ts) else acc in
+        let acc = if n.key >= lo && n.key <= hi then n.key :: acc else acc in
+        if lo < n.key then walk acc (B.read_at n.bleft ts) else acc
+    in
+    let result = walk [] (B.read_at t.root.bright ts) in
+    Rq_registry.exit_rq t.registry;
+    result
+
+  let to_list t =
+    let rec walk acc = function
+      | None -> acc
+      | Some n ->
+        let acc = walk acc (Atomic.get n.right) in
+        walk (n.key :: acc) (Atomic.get n.left)
+    in
+    walk [] (Atomic.get t.root.right)
+
+  let size t = List.length (to_list t)
+  let active_rqs t = Rq_registry.active_count t.registry
+
+  let bundle_stats t =
+    let rec spine (links, entries) n =
+      let links = links + 1 and entries = entries + B.length n.bleft in
+      match Atomic.get n.left with
+      | None -> (links, entries)
+      | Some l -> spine (links, entries) l
+    in
+    match Atomic.get t.root.right with
+    | None -> (0, 0)
+    | Some n -> spine (0, 0) n
+end

@@ -1,0 +1,19 @@
+(** Bundled-references port of the Citrus tree (one of the Figure-3
+    systems).
+
+    Every child link carries a {!Bundle}: updates push a pending entry
+    under the node locks they already hold, apply the structural change,
+    advance the timestamp and label every entry they created with that one
+    timestamp — so even the multi-link successor-relocation delete is a
+    single atomic step for snapshots.  Range queries read (never advance)
+    the timestamp and traverse the bundles, which is why Bundling shows no
+    hardware-timestamp gain on read-only workloads (Fig. 3a) but gains on
+    update-heavy ones. *)
+
+module Make (T : Hwts.Timestamp.S) : sig
+  include Dstruct.Ordered_set.RQ
+
+  val active_rqs : t -> int
+  val bundle_stats : t -> int * int
+  (** (links sampled, total retained entries) down the leftmost spine. *)
+end

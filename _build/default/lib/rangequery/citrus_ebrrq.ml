@@ -1,0 +1,230 @@
+module Make (T : Hwts.Timestamp.S) = struct
+  type node = {
+    key : int;
+    left : node option Atomic.t;
+    right : node option Atomic.t;
+    lock : Sync.Spinlock.t;
+    mutable marked : bool;
+    itime : int Atomic.t; (* set before the node is linked *)
+    dtime : int Atomic.t; (* 0 = alive *)
+  }
+
+  module Reclaim = Ebr.Make (struct
+    type t = node
+  end)
+
+  type t = {
+    root : node;
+    rcu_dom : Rcu.t;
+    ebr : Reclaim.t;
+    ts_lock : Sync.Rwlock.t; (* the EBR-RQ timestamp lock *)
+  }
+
+  let name = "ebrrq-citrus(" ^ T.name ^ ")"
+
+  let make_node key l r =
+    {
+      key;
+      left = Atomic.make l;
+      right = Atomic.make r;
+      lock = Sync.Spinlock.make ();
+      marked = false;
+      itime = Atomic.make 0;
+      dtime = Atomic.make 0;
+    }
+
+  let create () =
+    let root = make_node Dstruct.Ordered_set.min_key None None in
+    Atomic.set root.itime 1;
+    {
+      root;
+      rcu_dom = Rcu.create ();
+      ebr = Reclaim.create ();
+      ts_lock = Sync.Rwlock.make ();
+    }
+
+  type dir = L | R
+
+  let child n = function L -> n.left | R -> n.right
+  let dir_of n key = if key < n.key then L else R
+
+  let find root key =
+    let rec walk prev d curr =
+      match curr with
+      | None -> (prev, d, None)
+      | Some n ->
+        if n.key = key then (prev, d, Some n)
+        else
+          let d' = dir_of n key in
+          walk n d' (Atomic.get (child n d'))
+    in
+    walk root R (Atomic.get root.right)
+
+  let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
+
+  let contains t key =
+    Reclaim.with_op t.ebr (fun () ->
+        let _, _, found = traverse t key in
+        found <> None)
+
+  let child_is n d c =
+    match Atomic.get (child n d) with Some x -> x == c | None -> false
+
+  let rec insert t key =
+    assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
+    Reclaim.with_op t.ebr (fun () -> insert_locked t key)
+
+  and insert_locked t key =
+    let prev, d, found = traverse t key in
+    match found with
+    | Some _ -> false
+    | None ->
+      Sync.Spinlock.lock prev.lock;
+      let valid = (not prev.marked) && Atomic.get (child prev d) = None in
+      if valid then begin
+        let node = make_node key None None in
+        (* Atomic read-and-label: shared mode on the timestamp lock. *)
+        Sync.Rwlock.with_read t.ts_lock (fun () ->
+            Atomic.set node.itime (T.read ());
+            Atomic.set (child prev d) (Some node));
+        Sync.Spinlock.unlock prev.lock;
+        true
+      end
+      else begin
+        Sync.Spinlock.unlock prev.lock;
+        insert_locked t key
+      end
+
+  let leftmost parent0 start =
+    let rec walk sprev s =
+      match Atomic.get s.left with None -> (sprev, s) | Some nl -> walk s nl
+    in
+    walk parent0 start
+
+  let rec delete t key = Reclaim.with_op t.ebr (fun () -> delete_locked t key)
+
+  and delete_locked t key =
+    let prev, d, found = traverse t key in
+    match found with
+    | None -> false
+    | Some curr ->
+      Sync.Spinlock.lock prev.lock;
+      Sync.Spinlock.lock curr.lock;
+      let valid = (not prev.marked) && (not curr.marked) && child_is prev d curr in
+      if not valid then begin
+        Sync.Spinlock.unlock curr.lock;
+        Sync.Spinlock.unlock prev.lock;
+        delete_locked t key
+      end
+      else begin
+        let l = Atomic.get curr.left and r = Atomic.get curr.right in
+        match (l, r) with
+        | None, None -> splice_out t prev d curr None
+        | (Some _ as only), None | None, (Some _ as only) ->
+          splice_out t prev d curr only
+        | Some _, Some right_child ->
+          delete_two_children t key prev d curr right_child l r
+      end
+
+  and splice_out t prev d curr repl =
+    Sync.Rwlock.with_read t.ts_lock (fun () ->
+        Atomic.set curr.dtime (T.read ());
+        Atomic.set (child prev d) repl);
+    curr.marked <- true;
+    Reclaim.retire t.ebr curr;
+    Sync.Spinlock.unlock curr.lock;
+    Sync.Spinlock.unlock prev.lock;
+    true
+
+  and delete_two_children t key prev d curr right_child l r =
+    let succ_prev, succ = leftmost curr right_child in
+    if succ_prev != curr then Sync.Spinlock.lock succ_prev.lock;
+    Sync.Spinlock.lock succ.lock;
+    let valid =
+      (not succ.marked)
+      && (not succ_prev.marked)
+      && Atomic.get succ.left = None
+      &&
+      if succ_prev == curr then succ == right_child else child_is succ_prev L succ
+    in
+    if not valid then begin
+      Sync.Spinlock.unlock succ.lock;
+      if succ_prev != curr then Sync.Spinlock.unlock succ_prev.lock;
+      Sync.Spinlock.unlock curr.lock;
+      Sync.Spinlock.unlock prev.lock;
+      delete_locked t key
+    end
+    else begin
+      let succ_right = Atomic.get succ.right in
+      let direct = succ_prev == curr in
+      let replacement =
+        make_node succ.key l (if direct then succ_right else r)
+      in
+      (* One shared-mode section labels the delete of [curr], the
+         relocation of [succ] and the birth of its replacement with one
+         timestamp, so snapshots see the whole step or none of it. *)
+      Sync.Rwlock.with_read t.ts_lock (fun () ->
+          let now = T.read () in
+          Atomic.set replacement.itime now;
+          Atomic.set curr.dtime now;
+          Atomic.set succ.dtime now;
+          Atomic.set (child prev d) (Some replacement));
+      curr.marked <- true;
+      succ.marked <- true;
+      if not direct then begin
+        Rcu.synchronize t.rcu_dom;
+        Atomic.set succ_prev.left succ_right
+      end;
+      Reclaim.retire t.ebr curr;
+      Reclaim.retire t.ebr succ;
+      Sync.Spinlock.unlock succ.lock;
+      if succ_prev != curr then Sync.Spinlock.unlock succ_prev.lock;
+      Sync.Spinlock.unlock curr.lock;
+      Sync.Spinlock.unlock prev.lock;
+      true
+    end
+
+  (* A key is in the snapshot iff some node holding it was inserted at or
+     before [ts] and not deleted at or before [ts]. *)
+  let covers ts n =
+    let it = Atomic.get n.itime and dt = Atomic.get n.dtime in
+    it > 0 && it <= ts && (dt = 0 || dt > ts)
+
+  let range_query t ~lo ~hi =
+    Reclaim.with_op t.ebr (fun () ->
+        (* Exclusive mode: the RQ's snapshot point cannot interleave with
+           any update's read-and-label section. *)
+        let ts =
+          Sync.Rwlock.with_write t.ts_lock (fun () -> T.snapshot ())
+        in
+        let acc = ref [] in
+        let visit n =
+          if n.key >= lo && n.key <= hi && covers ts n then acc := n.key :: !acc
+        in
+        Rcu.with_read t.rcu_dom (fun () ->
+            let rec walk = function
+              | None -> ()
+              | Some n ->
+                if lo < n.key then walk (Atomic.get n.left);
+                if n.key > Dstruct.Ordered_set.min_key then visit n;
+                if hi > n.key then walk (Atomic.get n.right)
+            in
+            walk (Atomic.get t.root.right));
+        (* Recently deleted nodes may already be unlinked: recover them
+           from the limbo lists, as EBR-RQ does. *)
+        Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () n -> visit n);
+        List.sort_uniq compare !acc)
+
+  let to_list t =
+    let rec walk acc = function
+      | None -> acc
+      | Some n ->
+        let acc = walk acc (Atomic.get n.right) in
+        walk (n.key :: acc) (Atomic.get n.left)
+    in
+    walk [] (Atomic.get t.root.right)
+
+  let size t = List.length (to_list t)
+  let limbo_size t = Reclaim.limbo_size t.ebr
+  let reclaimed t = Reclaim.reclaimed t.ebr
+end

@@ -1,0 +1,183 @@
+module Make (T : Hwts.Timestamp.S) = struct
+  module V = Vcas_obj.Make (T)
+
+  type node = {
+    key : int;
+    left : node option V.t;
+    right : node option V.t;
+    lock : Sync.Spinlock.t;
+    mutable marked : bool;
+  }
+
+  type t = { root : node; rcu_dom : Rcu.t; registry : Rq_registry.t }
+
+  let name = "vcas-citrus(" ^ T.name ^ ")"
+
+  let make_node key l r =
+    {
+      key;
+      left = V.make l;
+      right = V.make r;
+      lock = Sync.Spinlock.make ();
+      marked = false;
+    }
+
+  let create () =
+    {
+      root = make_node Dstruct.Ordered_set.min_key None None;
+      rcu_dom = Rcu.create ();
+      registry = Rq_registry.create ();
+    }
+
+  type dir = L | R
+
+  let child n = function L -> n.left | R -> n.right
+  let dir_of n key = if key < n.key then L else R
+
+  let find root key =
+    let rec walk prev d curr =
+      match curr with
+      | None -> (prev, d, None)
+      | Some n ->
+        if n.key = key then (prev, d, Some n)
+        else
+          let d' = dir_of n key in
+          walk n d' (V.read (child n d'))
+    in
+    walk root R (V.read root.right)
+
+  let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
+
+  let contains t key =
+    let _, _, found = traverse t key in
+    found <> None
+
+  let child_is n d c =
+    match V.read (child n d) with Some x -> x == c | None -> false
+
+  (* versioned write + history pruning under the announce-then-read rule *)
+  let write_pruned t cell v =
+    let installed = V.write_with cell v in
+    V.prune cell
+      (Rq_registry.min_active t.registry ~default:(V.timestamp installed))
+
+  let rec insert t key =
+    assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
+    let prev, d, found = traverse t key in
+    match found with
+    | Some _ -> false
+    | None ->
+      Sync.Spinlock.lock prev.lock;
+      let valid = (not prev.marked) && V.read (child prev d) = None in
+      if valid then begin
+        write_pruned t (child prev d) (Some (make_node key None None));
+        Sync.Spinlock.unlock prev.lock;
+        true
+      end
+      else begin
+        Sync.Spinlock.unlock prev.lock;
+        insert t key
+      end
+
+  let leftmost parent0 start =
+    let rec walk sprev s =
+      match V.read s.left with None -> (sprev, s) | Some nl -> walk s nl
+    in
+    walk parent0 start
+
+  let rec delete t key =
+    let prev, d, found = traverse t key in
+    match found with
+    | None -> false
+    | Some curr ->
+      Sync.Spinlock.lock prev.lock;
+      Sync.Spinlock.lock curr.lock;
+      let valid = (not prev.marked) && (not curr.marked) && child_is prev d curr in
+      if not valid then begin
+        Sync.Spinlock.unlock curr.lock;
+        Sync.Spinlock.unlock prev.lock;
+        delete t key
+      end
+      else begin
+        let l = V.read curr.left and r = V.read curr.right in
+        match (l, r) with
+        | None, None -> splice_out t prev d curr None
+        | (Some _ as only), None | None, (Some _ as only) ->
+          splice_out t prev d curr only
+        | Some _, Some right_child ->
+          delete_two_children t key prev d curr right_child l r
+      end
+
+  and splice_out t prev d curr repl =
+    curr.marked <- true;
+    write_pruned t (child prev d) repl;
+    Sync.Spinlock.unlock curr.lock;
+    Sync.Spinlock.unlock prev.lock;
+    true
+
+  and delete_two_children t key prev d curr right_child l r =
+    let succ_prev, succ = leftmost curr right_child in
+    if succ_prev != curr then Sync.Spinlock.lock succ_prev.lock;
+    Sync.Spinlock.lock succ.lock;
+    let valid =
+      (not succ.marked)
+      && (not succ_prev.marked)
+      && V.read succ.left = None
+      &&
+      if succ_prev == curr then succ == right_child else child_is succ_prev L succ
+    in
+    if not valid then begin
+      Sync.Spinlock.unlock succ.lock;
+      if succ_prev != curr then Sync.Spinlock.unlock succ_prev.lock;
+      Sync.Spinlock.unlock curr.lock;
+      Sync.Spinlock.unlock prev.lock;
+      delete t key
+    end
+    else begin
+      let succ_right = V.read succ.right in
+      let direct = succ_prev == curr in
+      let replacement =
+        make_node succ.key l (if direct then succ_right else r)
+      in
+      curr.marked <- true;
+      succ.marked <- true;
+      write_pruned t (child prev d) (Some replacement);
+      if not direct then begin
+        Rcu.synchronize t.rcu_dom;
+        write_pruned t succ_prev.left succ_right
+      end;
+      Sync.Spinlock.unlock succ.lock;
+      if succ_prev != curr then Sync.Spinlock.unlock succ_prev.lock;
+      Sync.Spinlock.unlock curr.lock;
+      Sync.Spinlock.unlock prev.lock;
+      true
+    end
+
+  (* vCAS range query: the RQ advances the timestamp to fix its snapshot.
+     The relocation delete is two versioned writes, so de-duplicate. *)
+  let range_query t ~lo ~hi =
+    Rq_registry.enter t.registry (T.read ());
+    let ts = T.snapshot () in
+    let rec walk acc node_opt =
+      match node_opt with
+      | None -> acc
+      | Some n ->
+        let acc = if hi > n.key then walk acc (V.read_at n.right ts) else acc in
+        let acc = if n.key >= lo && n.key <= hi then n.key :: acc else acc in
+        if lo < n.key then walk acc (V.read_at n.left ts) else acc
+    in
+    let result = walk [] (V.read_at t.root.right ts) in
+    Rq_registry.exit_rq t.registry;
+    List.sort_uniq compare result
+
+  let to_list t =
+    let rec walk acc = function
+      | None -> acc
+      | Some n ->
+        let acc = walk acc (V.read n.right) in
+        walk (n.key :: acc) (V.read n.left)
+    in
+    walk [] (V.read t.root.right)
+
+  let size t = List.length (to_list t)
+end

@@ -1,0 +1,17 @@
+(** vCAS port of the Citrus tree (the other Figure-3 system).
+
+    Child pointers become {!Vcas_obj} versioned objects; the lock-based
+    update path writes through them, and range queries advance the
+    timestamp (the vCAS protocol) and traverse at that snapshot.  The
+    successor-relocation delete issues two versioned writes, so a snapshot
+    between them can see the relocated key twice — results are therefore
+    de-duplicated, matching the original artifact's behaviour.
+
+    Per Figure 3, this port gains from hardware timestamps on read-mostly
+    workloads (every RQ advances the shared counter in the logical
+    baseline) but less than on the lock-free BST: the structure's own
+    locking now bounds the benefit (Section IV). *)
+
+module Make (T : Hwts.Timestamp.S) : sig
+  include Dstruct.Ordered_set.RQ
+end

@@ -1,0 +1,129 @@
+module Make (T : Hwts.Timestamp.S) = struct
+  module B = Bundle.Make (T)
+
+  type node = {
+    key : int;
+    next : node option Atomic.t; (* raw link; None = list end *)
+    b : node option B.t; (* bundled link *)
+    lock : Sync.Spinlock.t;
+    marked : bool Atomic.t;
+  }
+
+  type t = { head : node; registry : Rq_registry.t }
+
+  let name = "bundle-lazylist(" ^ T.name ^ ")"
+
+  let make_node key next b =
+    { key; next = Atomic.make next; b; lock = Sync.Spinlock.make (); marked = Atomic.make false }
+
+  let create () =
+    {
+      head = make_node Dstruct.Ordered_set.min_key None (B.make None);
+      registry = Rq_registry.create ();
+    }
+
+  let node_key = function None -> max_int | Some n -> n.key
+
+  let search t key =
+    let rec walk pred =
+      let curr = Atomic.get pred.next in
+      if node_key curr < key then
+        match curr with Some n -> walk n | None -> assert false
+      else (pred, curr)
+    in
+    walk t.head
+
+  let validate pred curr =
+    (not (Atomic.get pred.marked))
+    && (match curr with Some c -> not (Atomic.get c.marked) | None -> true)
+    && Atomic.get pred.next == curr
+
+  let prune_with t bundle ts =
+    B.prune bundle (Rq_registry.min_active t.registry ~default:ts)
+
+  let rec insert t key =
+    assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
+    let pred, curr = search t key in
+    Sync.Spinlock.lock pred.lock;
+    if not (validate pred curr) then begin
+      Sync.Spinlock.unlock pred.lock;
+      insert t key
+    end
+    else begin
+      let result =
+        if node_key curr = key then false
+        else begin
+          let node = make_node key curr (B.make_pending curr) in
+          B.prepare pred.b (Some node);
+          Atomic.set pred.next (Some node);
+          let ts = T.advance () in
+          B.label pred.b ts;
+          B.label node.b ts;
+          prune_with t pred.b ts;
+          true
+        end
+      in
+      Sync.Spinlock.unlock pred.lock;
+      result
+    end
+
+  let rec delete t key =
+    let pred, curr = search t key in
+    match curr with
+    | None -> false
+    | Some c when c.key <> key -> false
+    | Some c ->
+      Sync.Spinlock.lock pred.lock;
+      Sync.Spinlock.lock c.lock;
+      (* [curr] (not a rebuilt [Some c]) keeps the physical equality the
+         validation relies on *)
+      if not (validate pred curr) then begin
+        Sync.Spinlock.unlock c.lock;
+        Sync.Spinlock.unlock pred.lock;
+        delete t key
+      end
+      else begin
+        Atomic.set c.marked true;
+        let after = Atomic.get c.next in
+        B.prepare pred.b after;
+        Atomic.set pred.next after;
+        let ts = T.advance () in
+        B.label pred.b ts;
+        prune_with t pred.b ts;
+        Sync.Spinlock.unlock c.lock;
+        Sync.Spinlock.unlock pred.lock;
+        true
+      end
+
+  let contains t key =
+    let _, curr = search t key in
+    match curr with
+    | None -> false
+    | Some c -> c.key = key && not (Atomic.get c.marked)
+
+  let range_query t ~lo ~hi =
+    let announce = T.read () in
+    Rq_registry.enter t.registry announce;
+    let ts = T.read () in
+    let rec walk acc n =
+      match B.read_at n.b ts with
+      | None -> acc
+      | Some m ->
+        if m.key > hi then acc
+        else walk (if m.key >= lo then m.key :: acc else acc) m
+    in
+    let result = walk [] t.head in
+    Rq_registry.exit_rq t.registry;
+    List.rev result
+
+  let to_list t =
+    let rec walk acc = function
+      | None -> List.rev acc
+      | Some n ->
+        let acc = if Atomic.get n.marked then acc else n.key :: acc in
+        walk acc (Atomic.get n.next)
+    in
+    walk [] (Atomic.get t.head.next)
+
+  let size t = List.length (to_list t)
+end

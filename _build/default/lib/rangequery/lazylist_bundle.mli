@@ -1,0 +1,9 @@
+(** Bundled-references port of the lazy list.
+
+    The paper tested this combination and omitted it from the figures: the
+    O(n) traversal dominates, so hardware timestamps bring no speedup.  We
+    keep it to reproduce that negative result (see the `lazylist` bench). *)
+
+module Make (T : Hwts.Timestamp.S) : sig
+  include Dstruct.Ordered_set.RQ
+end

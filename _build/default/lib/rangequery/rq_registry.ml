@@ -1,0 +1,24 @@
+type t = int Atomic.t array (* per slot: 0 = inactive, else snapshot ts *)
+
+let create () = Sync.Padding.atomic_array Sync.Slot.max_slots 0
+
+let enter t ts =
+  assert (ts > 0);
+  Atomic.set t.(Sync.Slot.my_slot ()) ts
+
+let exit_rq t = Atomic.set t.(Sync.Slot.my_slot ()) 0
+
+let min_active t ~default =
+  let acc = ref default in
+  for slot = 0 to Sync.Slot.max_slots - 1 do
+    let ts = Atomic.get t.(slot) in
+    if ts > 0 && ts < !acc then acc := ts
+  done;
+  !acc
+
+let active_count t =
+  let n = ref 0 in
+  for slot = 0 to Sync.Slot.max_slots - 1 do
+    if Atomic.get t.(slot) > 0 then incr n
+  done;
+  !n

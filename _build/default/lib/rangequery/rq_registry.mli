@@ -1,0 +1,20 @@
+(** Registry of active range queries.
+
+    Bundled structures prune bundle histories that no active range query
+    can still need.  An RQ announces its snapshot timestamp in its thread's
+    slot for the duration of the traversal; updates prune entries strictly
+    older than the oldest announced snapshot. *)
+
+type t
+
+val create : unit -> t
+
+val enter : t -> int -> unit
+(** Announce the calling thread's RQ snapshot timestamp. *)
+
+val exit_rq : t -> unit
+
+val min_active : t -> default:int -> int
+(** Oldest announced snapshot, or [default] when no RQ is active. *)
+
+val active_count : t -> int

@@ -1,0 +1,268 @@
+let max_level = Dstruct.Skip_level.max_level
+
+module Make (T : Hwts.Timestamp.S) = struct
+  module B = Bundle.Make (T)
+
+  type node = {
+    key : int;
+    next : node Atomic.t array; (* raw links, all levels; [||] for tail *)
+    b0 : node option B.t; (* bundled level-0 link; None = list end *)
+    lock : Sync.Spinlock.t;
+    marked : bool Atomic.t;
+    fully_linked : bool Atomic.t;
+    top_level : int;
+  }
+
+  type t = { head : node; registry : Rq_registry.t }
+
+  let name = "bundle-skiplist(" ^ T.name ^ ")"
+
+  let make_node key top_level next_init b0 =
+    {
+      key;
+      next = Array.init (top_level + 1) (fun _ -> Atomic.make next_init);
+      b0;
+      lock = Sync.Spinlock.make ();
+      marked = Atomic.make false;
+      fully_linked = Atomic.make false;
+      top_level;
+    }
+
+  let create () =
+    let tail =
+      {
+        key = max_int;
+        next = [||];
+        b0 = B.make None;
+        lock = Sync.Spinlock.make ();
+        marked = Atomic.make false;
+        fully_linked = Atomic.make true;
+        top_level = max_level;
+      }
+    in
+    let head = make_node Dstruct.Ordered_set.min_key max_level tail (B.make (Some tail)) in
+    Atomic.set head.fully_linked true;
+    { head; registry = Rq_registry.create () }
+
+  let random_level = Dstruct.Skip_level.random
+
+  let find t key preds succs =
+    let lfound = ref (-1) in
+    let pred = ref t.head in
+    for level = max_level downto 0 do
+      let curr = ref (Atomic.get !pred.next.(level)) in
+      while !curr.key < key do
+        pred := !curr;
+        curr := Atomic.get !curr.next.(level)
+      done;
+      if !lfound = -1 && !curr.key = key then lfound := level;
+      preds.(level) <- !pred;
+      succs.(level) <- !curr
+    done;
+    !lfound
+
+  let contains t key =
+    let preds = Array.make (max_level + 1) t.head
+    and succs = Array.make (max_level + 1) t.head in
+    let lfound = find t key preds succs in
+    lfound <> -1
+    && Atomic.get succs.(lfound).fully_linked
+    && not (Atomic.get succs.(lfound).marked)
+
+  let t_null =
+    {
+      key = min_int;
+      next = [||];
+      b0 = B.make None;
+      lock = Sync.Spinlock.make ();
+      marked = Atomic.make false;
+      fully_linked = Atomic.make false;
+      top_level = 0;
+    }
+
+  let with_locked_preds preds succs top ~validate_succ f =
+    let rec lock_from level last =
+      if level <= top then begin
+        let pred = preds.(level) in
+        if pred != last then Sync.Spinlock.lock pred.lock;
+        lock_from (level + 1) pred
+      end
+    in
+    let rec unlock_from level last =
+      if level <= top then begin
+        let pred = preds.(level) in
+        if pred != last then Sync.Spinlock.unlock pred.lock;
+        unlock_from (level + 1) pred
+      end
+    in
+    lock_from 0 t_null;
+    let valid =
+      let ok = ref true in
+      for level = 0 to top do
+        let pred = preds.(level) and succ = succs.(level) in
+        if
+          Atomic.get pred.marked
+          || (validate_succ && Atomic.get succ.marked)
+          || Atomic.get pred.next.(level) != succ
+        then ok := false
+      done;
+      !ok
+    in
+    let result = f valid in
+    unlock_from 0 t_null;
+    result
+
+  let prune_with t bundle ts =
+    B.prune bundle (Rq_registry.min_active t.registry ~default:ts)
+
+  let rec insert t key =
+    assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
+    let top = random_level () in
+    let preds = Array.make (max_level + 1) t.head
+    and succs = Array.make (max_level + 1) t.head in
+    let lfound = find t key preds succs in
+    if lfound <> -1 then begin
+      let found = succs.(lfound) in
+      if not (Atomic.get found.marked) then begin
+        while not (Atomic.get found.fully_linked) do
+          Tsc.cpu_relax ()
+        done;
+        false
+      end
+      else insert t key
+    end
+    else
+      let outcome =
+        with_locked_preds preds succs top ~validate_succ:true (fun valid ->
+            if not valid then `Retry
+            else begin
+              let node =
+                make_node key top t.head (B.make_pending (Some succs.(0)))
+              in
+              for level = 0 to top do
+                Atomic.set node.next.(level) succs.(level)
+              done;
+              let link = preds.(0).b0 in
+              B.prepare link (Some node);
+              for level = 0 to top do
+                Atomic.set preds.(level).next.(level) node
+              done;
+              let ts = T.advance () in
+              B.label link ts;
+              B.label node.b0 ts;
+              prune_with t link ts;
+              Atomic.set node.fully_linked true;
+              `Added
+            end)
+      in
+      match outcome with `Added -> true | `Retry -> insert t key
+
+  let ok_to_delete node lfound =
+    Atomic.get node.fully_linked
+    && node.top_level = lfound
+    && not (Atomic.get node.marked)
+
+  let delete t key =
+    let preds = Array.make (max_level + 1) t.head
+    and succs = Array.make (max_level + 1) t.head in
+    let rec attempt victim =
+      let lfound = find t key preds succs in
+      let victim =
+        match victim with
+        | Some _ -> victim
+        | None ->
+          if lfound <> -1 && ok_to_delete succs.(lfound) lfound then begin
+            let v = succs.(lfound) in
+            Sync.Spinlock.lock v.lock;
+            if Atomic.get v.marked then begin
+              Sync.Spinlock.unlock v.lock;
+              None
+            end
+            else begin
+              Atomic.set v.marked true;
+              Some v
+            end
+          end
+          else None
+      in
+      match victim with
+      | None -> false
+      | Some v ->
+        let outcome =
+          with_locked_preds preds succs v.top_level ~validate_succ:false
+            (fun valid ->
+              if not valid then `Retry
+              else begin
+                let still = ref true in
+                for level = 0 to v.top_level do
+                  if Atomic.get preds.(level).next.(level) != v then
+                    still := false
+                done;
+                if not !still then `Retry
+                else begin
+                  let link = preds.(0).b0 in
+                  B.prepare link (Some (Atomic.get v.next.(0)));
+                  for level = v.top_level downto 0 do
+                    Atomic.set preds.(level).next.(level)
+                      (Atomic.get v.next.(level))
+                  done;
+                  let ts = T.advance () in
+                  B.label link ts;
+                  prune_with t link ts;
+                  `Done
+                end
+              end)
+        in
+        (match outcome with
+        | `Done ->
+          Sync.Spinlock.unlock v.lock;
+          true
+        | `Retry -> attempt (Some v))
+    in
+    attempt None
+
+  (* Range query: locate a predecessor of [lo] through the raw levels, fall
+     back to the head if that node postdates the snapshot, then walk the
+     level-0 bundles at the snapshot time. *)
+  let range_query t ~lo ~hi =
+    let announce = T.read () in
+    Rq_registry.enter t.registry announce;
+    let ts = T.read () in
+    let preds = Array.make (max_level + 1) t.head
+    and succs = Array.make (max_level + 1) t.head in
+    ignore (find t lo preds succs);
+    let start =
+      match B.read_at_opt preds.(0).b0 ts with
+      | Some _ -> preds.(0)
+      | None -> t.head (* the predecessor did not exist at [ts] *)
+    in
+    let rec walk acc n =
+      match B.read_at n.b0 ts with
+      | None -> acc
+      | Some m ->
+        if m.key > hi then acc
+        else walk (if m.key >= lo then m.key :: acc else acc) m
+    in
+    let result = walk [] start in
+    Rq_registry.exit_rq t.registry;
+    List.rev result
+
+  let to_list t =
+    let rec walk acc n =
+      if n.key = max_int then List.rev acc
+      else
+        let acc =
+          if
+            n.key > Dstruct.Ordered_set.min_key
+            && (not (Atomic.get n.marked))
+            && Atomic.get n.fully_linked
+          then n.key :: acc
+          else acc
+        in
+        walk acc (Atomic.get n.next.(0))
+    in
+    walk [] t.head
+
+  let size t = List.length (to_list t)
+  let active_rqs t = Rq_registry.active_count t.registry
+end

@@ -1,0 +1,14 @@
+(** Bundled-references port of the lazy skip list (the Figure-5 system).
+
+    Level-0 links carry bundles; upper levels stay raw and are only used
+    to locate the range start.  Updates label under the node locks they
+    already hold (fine-grained labeling), so with hardware timestamps the
+    atomic-increment bottleneck disappears — but, as Figure 5 shows, the
+    benefit surfaces only in update-heavy mixes because read-heavy mixes
+    are bottlenecked by the skip list itself. *)
+
+module Make (T : Hwts.Timestamp.S) : sig
+  include Dstruct.Ordered_set.RQ
+
+  val active_rqs : t -> int
+end

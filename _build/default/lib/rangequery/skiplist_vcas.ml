@@ -1,0 +1,298 @@
+let max_level = Dstruct.Skip_level.max_level
+
+module Make (T : Hwts.Timestamp.S) = struct
+  module V = Vcas_obj.Make (T)
+
+  type node = {
+    key : int;
+    bottom : succ V.t array; (* versioned level-0 cell; [||] for the tail *)
+    upper : succ Atomic.t array; (* levels 1..top_level, index l-1 *)
+    top_level : int;
+    linked_at : int Atomic.t; (* label of the bottom-level link; 0 = unknown *)
+  }
+
+  and succ = { target : node; marked : bool }
+
+  type t = { head : node; tail : node; registry : Rq_registry.t }
+
+  let name = "vcas-skiplist(" ^ T.name ^ ")"
+
+  let create () =
+    let tail =
+      {
+        key = max_int;
+        bottom = [||];
+        upper = [||];
+        top_level = max_level;
+        linked_at = Atomic.make 1;
+      }
+    in
+    let head =
+      {
+        key = Dstruct.Ordered_set.min_key;
+        bottom = [| V.make { target = tail; marked = false } |];
+        upper =
+          Array.init max_level (fun _ ->
+              Atomic.make { target = tail; marked = false });
+        top_level = max_level;
+        linked_at = Atomic.make 1;
+      }
+    in
+    { head; tail; registry = Rq_registry.create () }
+
+  let next0 n = n.bottom.(0)
+  let upper_cell n level = n.upper.(level - 1)
+
+  exception Retry
+
+  type witness = { w0 : succ V.version; wup : succ }
+  (* per-level CAS witness: a version at level 0, a raw block above *)
+
+  let dummy_succ t = { target = t.tail; marked = false }
+
+  (* As in the lock-free skip list, but level 0 goes through the versioned
+     cells.  Returns whether succs.(0) holds [key]. *)
+  let find t key preds succs wit =
+    let rec attempt () =
+      match
+        let pred = ref t.head in
+        for level = max_level downto 1 do
+          let rec step () =
+            let pblock = Atomic.get (upper_cell !pred level) in
+            if pblock.marked then raise_notrace Retry;
+            let curr = pblock.target in
+            if curr == t.tail then begin
+              preds.(level) <- !pred;
+              succs.(level) <- curr;
+              wit.(level) <- { (wit.(level)) with wup = pblock }
+            end
+            else begin
+              let cblock = Atomic.get (upper_cell curr level) in
+              if cblock.marked then begin
+                if
+                  Atomic.compare_and_set (upper_cell !pred level) pblock
+                    { target = cblock.target; marked = false }
+                then step ()
+                else raise_notrace Retry
+              end
+              else if curr.key < key then begin
+                pred := curr;
+                step ()
+              end
+              else begin
+                preds.(level) <- !pred;
+                succs.(level) <- curr;
+                wit.(level) <- { (wit.(level)) with wup = pblock }
+              end
+            end
+          in
+          step ()
+        done;
+        let rec step0 () =
+          let pver = V.head (next0 !pred) in
+          let pblock = V.value pver in
+          if pblock.marked then raise_notrace Retry;
+          let curr = pblock.target in
+          if curr == t.tail then begin
+            preds.(0) <- !pred;
+            succs.(0) <- curr;
+            wit.(0) <- { (wit.(0)) with w0 = pver }
+          end
+          else begin
+            let cblock = V.read (next0 curr) in
+            if cblock.marked then begin
+              if V.cas (next0 !pred) pver { target = cblock.target; marked = false }
+              then step0 ()
+              else raise_notrace Retry
+            end
+            else if curr.key < key then begin
+              pred := curr;
+              step0 ()
+            end
+            else begin
+              preds.(0) <- !pred;
+              succs.(0) <- curr;
+              wit.(0) <- { (wit.(0)) with w0 = pver }
+            end
+          end
+        in
+        step0 ();
+        succs.(0).key = key
+      with
+      | result -> result
+      | exception Retry -> attempt ()
+    in
+    attempt ()
+
+  let fresh_arrays t =
+    ( Array.make (max_level + 1) t.head,
+      Array.make (max_level + 1) t.tail,
+      Array.make (max_level + 1)
+        { w0 = V.head (next0 t.head); wup = dummy_succ t } )
+
+  let rec insert t key =
+    assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
+    let preds, succs, wit = fresh_arrays t in
+    if find t key preds succs wit then false
+    else begin
+      let top = Dstruct.Skip_level.random () in
+      let node =
+        {
+          key;
+          top_level = top;
+          bottom = [| V.make { target = succs.(0); marked = false } |];
+          upper =
+            Array.init top (fun i ->
+                Atomic.make { target = succs.(i + 1); marked = false });
+          linked_at = Atomic.make 0;
+        }
+      in
+      match
+        V.cas_with (next0 preds.(0)) wit.(0).w0 { target = node; marked = false }
+      with
+      | None -> insert t key
+      | Some installed ->
+        Atomic.set node.linked_at (V.timestamp installed);
+        V.prune (next0 preds.(0))
+          (Rq_registry.min_active t.registry ~default:(V.timestamp installed));
+        link_upper t key node preds succs wit 1;
+        true
+    end
+
+  and link_upper t key node preds succs wit level =
+    if level <= node.top_level then begin
+      let rec link () =
+        let cur = Atomic.get (upper_cell node level) in
+        if cur.marked then ()
+        else if
+          cur.target != succs.(level)
+          && not
+               (Atomic.compare_and_set (upper_cell node level) cur
+                  { target = succs.(level); marked = false })
+        then link ()
+        else if
+          Atomic.compare_and_set
+            (upper_cell preds.(level) level)
+            wit.(level).wup
+            { target = node; marked = false }
+        then link_upper t key node preds succs wit (level + 1)
+        else begin
+          ignore (find t key preds succs wit);
+          if succs.(0) == node then link ()
+        end
+      in
+      link ()
+    end
+
+  let delete t key =
+    let preds, succs, wit = fresh_arrays t in
+    if not (find t key preds succs wit) then false
+    else begin
+      let victim = succs.(0) in
+      for level = victim.top_level downto 1 do
+        let rec mark () =
+          let s = Atomic.get (upper_cell victim level) in
+          if not s.marked then
+            if
+              not
+                (Atomic.compare_and_set (upper_cell victim level) s
+                   { s with marked = true })
+            then mark ()
+        in
+        mark ()
+      done;
+      let rec mark0 () =
+        let ver = V.head (next0 victim) in
+        let s = V.value ver in
+        if s.marked then false
+        else
+          match V.cas_with (next0 victim) ver { s with marked = true } with
+          | Some installed ->
+            V.prune (next0 victim)
+              (Rq_registry.min_active t.registry
+                 ~default:(V.timestamp installed));
+            ignore (find t key preds succs wit);
+            true
+          | None -> mark0 ()
+      in
+      mark0 ()
+    end
+
+  let contains t key =
+    let pred = ref t.head in
+    (* descend the raw index levels *)
+    for level = max_level downto 1 do
+      let curr = ref (Atomic.get (upper_cell !pred level)).target in
+      let continue_ = ref true in
+      while !continue_ do
+        let c = !curr in
+        if c == t.tail then continue_ := false
+        else
+          let cblock = Atomic.get (upper_cell c level) in
+          if cblock.marked then curr := cblock.target
+          else if c.key < key then begin
+            pred := c;
+            curr := cblock.target
+          end
+          else continue_ := false
+      done
+    done;
+    (* finish at level 0 through the versioned cells *)
+    let found = ref false in
+    let curr = ref (V.read (next0 !pred)).target in
+    let continue_ = ref true in
+    while !continue_ do
+      let c = !curr in
+      if c == t.tail then continue_ := false
+      else
+        let cblock = V.read (next0 c) in
+        if cblock.marked then curr := cblock.target
+        else if c.key < key then curr := cblock.target
+        else begin
+          found := c.key = key;
+          continue_ := false
+        end
+    done;
+    !found
+
+  (* vCAS range query: advance the clock, walk level 0 at the snapshot.
+     The start node must have been *linked* at the snapshot time. *)
+  let range_query t ~lo ~hi =
+    Rq_registry.enter t.registry (T.read ());
+    let ts = T.snapshot () in
+    let preds, succs, wit = fresh_arrays t in
+    ignore (find t lo preds succs wit);
+    let pred = preds.(0) in
+    let linked = Atomic.get pred.linked_at in
+    let start = if linked > 0 && linked <= ts then pred else t.head in
+    let rec walk acc node =
+      if node == t.tail || node.key > hi then acc
+      else
+        let s = V.read_at (next0 node) ts in
+        let acc =
+          if node.key >= lo && (not s.marked) && node.key > Dstruct.Ordered_set.min_key
+          then node.key :: acc
+          else acc
+        in
+        walk acc s.target
+    in
+    let result = List.rev (walk [] start) in
+    Rq_registry.exit_rq t.registry;
+    result
+
+  let to_list t =
+    let rec walk acc n =
+      if n == t.tail then List.rev acc
+      else
+        let s = V.read (next0 n) in
+        let acc =
+          if (not s.marked) && n.key > Dstruct.Ordered_set.min_key then
+            n.key :: acc
+          else acc
+        in
+        walk acc s.target
+    in
+    walk [] t.head
+
+  let size t = List.length (to_list t)
+end

@@ -1,0 +1,97 @@
+module Make (T : Hwts.Timestamp.S) = struct
+  type 'a version = {
+    v : 'a;
+    ts : int Atomic.t; (* 0 = not yet labeled *)
+    older : 'a version option Atomic.t;
+  }
+
+  type 'a t = 'a version Atomic.t
+
+  (* Labeling by helping: any thread that needs the timestamp fills it in
+     with the *current* clock; the first CAS wins and later helpers agree. *)
+  let init_ts version =
+    if Atomic.get version.ts = 0 then begin
+      let now = T.read () in
+      ignore (Atomic.compare_and_set version.ts 0 now)
+    end
+
+  let make v =
+    let version = { v; ts = Atomic.make 0; older = Atomic.make None } in
+    init_ts version;
+    Atomic.make version
+
+  let head t =
+    let version = Atomic.get t in
+    init_ts version;
+    version
+
+  let value version = version.v
+  let timestamp version = Atomic.get version.ts
+  let read t = (head t).v
+
+  let cas_with t expected v =
+    (* The expected head is already labeled (head labels), so a new version
+       installed after it can only get an equal or later label. *)
+    let candidate =
+      { v; ts = Atomic.make 0; older = Atomic.make (Some expected) }
+    in
+    if Atomic.get t == expected && Atomic.compare_and_set t expected candidate
+    then begin
+      init_ts candidate;
+      Some candidate
+    end
+    else None
+
+  let cas t expected v = cas_with t expected v <> None
+
+  let rec write_with t v =
+    match cas_with t (head t) v with
+    | Some version -> version
+    | None -> write_with t v
+
+  let write t v = ignore (write_with t v)
+
+  let read_at t ts =
+    let rec walk version =
+      init_ts version;
+      if Atomic.get version.ts <= ts then version.v
+      else
+        match Atomic.get version.older with
+        | None -> version.v
+        | Some older -> walk older
+    in
+    walk (Atomic.get t)
+
+  let read_at_opt t ts =
+    let rec walk version =
+      init_ts version;
+      if Atomic.get version.ts <= ts then Some version.v
+      else
+        match Atomic.get version.older with
+        | None -> None
+        | Some older -> walk older
+    in
+    walk (Atomic.get t)
+
+  let prune t min_ts =
+    let rec cut version =
+      let ts = Atomic.get version.ts in
+      (* keep the newest version labeled <= min_ts; sever everything
+         older.  Pending (ts = 0) versions are newer than any labeled
+         one, so keep walking. *)
+      if ts <> 0 && ts <= min_ts then Atomic.set version.older None
+      else
+        match Atomic.get version.older with
+        | None -> ()
+        | Some older -> cut older
+    in
+    cut (Atomic.get t)
+
+  let chain_length t =
+    let rec count acc version =
+      match Atomic.get version.older with
+      | None -> acc
+      | Some older -> count (acc + 1) older
+    in
+    count 1 (Atomic.get t)
+end

@@ -1,0 +1,58 @@
+type t = {
+  global : int Atomic.t; (* current epoch, starts at 1 *)
+  announce : int Atomic.t array; (* per slot: 0 = quiescent, else epoch *)
+  nesting : int ref Domain.DLS.key;
+  completed : int Atomic.t;
+}
+
+let create () =
+  {
+    global = Sync.Padding.atomic 1;
+    announce = Sync.Padding.atomic_array Sync.Slot.max_slots 0;
+    nesting = Domain.DLS.new_key (fun () -> ref 0);
+    completed = Atomic.make 0;
+  }
+
+let read_lock t =
+  let n = Domain.DLS.get t.nesting in
+  if !n = 0 then begin
+    let slot = Sync.Slot.my_slot () in
+    Atomic.set t.announce.(slot) (Atomic.get t.global)
+  end;
+  incr n
+
+let read_unlock t =
+  let n = Domain.DLS.get t.nesting in
+  assert (!n > 0);
+  decr n;
+  if !n = 0 then begin
+    let slot = Sync.Slot.my_slot () in
+    Atomic.set t.announce.(slot) 0
+  end
+
+let with_read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) f
+
+let in_read_section t = !(Domain.DLS.get t.nesting) > 0
+
+let synchronize t =
+  assert (not (in_read_section t));
+  let epoch = Atomic.fetch_and_add t.global 1 + 1 in
+  let backoff = Sync.Backoff.make () in
+  for slot = 0 to Sync.Slot.max_slots - 1 do
+    let cell = t.announce.(slot) in
+    let rec wait () =
+      let a = Atomic.get cell in
+      (* A reader blocks the grace period only if it entered before the
+         epoch bump and is still inside its section. *)
+      if a <> 0 && a < epoch then begin
+        Sync.Backoff.once backoff;
+        wait ()
+      end
+    in
+    wait ()
+  done;
+  Atomic.incr t.completed
+
+let grace_periods t = Atomic.get t.completed

@@ -1,0 +1,34 @@
+(** Quiescent-state userspace RCU.
+
+    The Citrus tree traverses under an RCU read-side critical section and
+    its delete operation waits for a grace period ([synchronize]) before
+    reusing a relocated node.  Readers announce the global epoch they
+    observed on entering a read section; [synchronize] bumps the epoch and
+    waits until every active reader has either left its section or entered
+    under the new epoch.
+
+    Threads are identified by {!Sync.Slot} slots.  Read sections may nest;
+    [synchronize] must not be called from inside one (it would wait for
+    itself) — this is asserted. *)
+
+type t
+
+val create : unit -> t
+
+val read_lock : t -> unit
+(** Enter a read-side critical section (reentrant). *)
+
+val read_unlock : t -> unit
+(** Leave the section opened by the matching {!read_lock}. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+
+val synchronize : t -> unit
+(** Wait until every read-side critical section that was active when this
+    call began has completed. *)
+
+val in_read_section : t -> bool
+(** Whether the calling thread is inside a read section (for assertions). *)
+
+val grace_periods : t -> int
+(** Number of grace periods completed so far (tests/metrics). *)

@@ -1,0 +1,1 @@
+lib/sync/padding.ml: Array Atomic Sys

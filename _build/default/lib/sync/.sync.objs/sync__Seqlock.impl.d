@@ -1,0 +1,1 @@
+lib/sync/seqlock.ml: Atomic Backoff Fun Padding Spinlock

@@ -1,0 +1,1 @@
+lib/sync/slot.ml: Array Atomic Domain Fun Padding

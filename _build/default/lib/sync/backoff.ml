@@ -1,0 +1,18 @@
+type t = { min_spins : int; max_spins : int; mutable current : int }
+
+let make ?(min_spins = 8) ?(max_spins = 4096) () =
+  assert (min_spins > 0 && max_spins >= min_spins);
+  { min_spins; max_spins; current = min_spins }
+
+let once t =
+  if t.current >= t.max_spins then
+    (* saturated: yield the processor — on oversubscribed machines the
+       lock holder may need our core to make progress *)
+    Unix.sleepf 1e-6
+  else
+    for _ = 1 to t.current do
+      Tsc.cpu_relax ()
+    done;
+  t.current <- min t.max_spins (t.current * 2)
+
+let reset t = t.current <- t.min_spins

@@ -1,0 +1,16 @@
+(** Bounded exponential backoff for spin loops. *)
+
+type t
+
+val make : ?min_spins:int -> ?max_spins:int -> unit -> t
+(** Fresh backoff state.  [min_spins] (default 8) is the initial spin count,
+    [max_spins] (default 4096) the cap. *)
+
+val once : t -> unit
+(** Spin for the current budget (issuing CPU relax hints), then double it.
+    Once the budget saturates at [max_spins], each call yields the
+    processor briefly instead — essential on oversubscribed machines,
+    where the thread being waited on may need this core. *)
+
+val reset : t -> unit
+(** Return to the initial budget, e.g. after a successful acquisition. *)

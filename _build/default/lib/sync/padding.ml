@@ -1,0 +1,14 @@
+(* 7 boxed words of filler + header ≈ one 64-byte line on each side. *)
+let filler_words = 7
+
+let pad () = ignore (Sys.opaque_identity (Array.make filler_words 0))
+
+let atomic v =
+  pad ();
+  let a = Atomic.make v in
+  pad ();
+  a
+
+let atomic_array n v =
+  assert (n >= 0);
+  Array.init n (fun _ -> atomic v)

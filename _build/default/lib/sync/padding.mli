@@ -1,0 +1,13 @@
+(** Best-effort cache-line padding for contended atomics.
+
+    OCaml's allocator places successive small blocks contiguously, so two
+    hot atomics allocated back to back share a cache line and suffer false
+    sharing.  Interleaving throwaway filler blocks between allocations
+    spreads them across lines.  This is best effort (the GC may compact),
+    which matches how the paper's C++ artifact relies on alignas. *)
+
+val atomic : 'a -> 'a Atomic.t
+(** [atomic v] is [Atomic.make v] surrounded by one cache line of filler. *)
+
+val atomic_array : int -> 'a -> 'a Atomic.t array
+(** [atomic_array n v] is [n] padded atomics, each on its own line. *)

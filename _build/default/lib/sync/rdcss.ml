@@ -1,0 +1,82 @@
+type decision = Undecided | Succeeded | Failed
+
+type 'a content = Value of 'a | Desc of 'a desc
+
+and 'a desc = {
+  control : int Atomic.t;
+  expected_control : int;
+  loc : 'a content Atomic.t;
+  expected : 'a content;
+  new_value : 'a content;
+  decision : decision Atomic.t;
+}
+
+type 'a loc = 'a content Atomic.t
+type 'a snapshot = 'a content
+
+type outcome = Success | Control_changed | Loc_changed
+
+let make v = Atomic.make (Value v)
+
+(* The decision is fixed by a CAS on the descriptor before the location is
+   restored, so all helpers agree on the outcome even if the control word
+   keeps changing underneath them. *)
+let complete d =
+  let proposal =
+    if Atomic.get d.control = d.expected_control then Succeeded else Failed
+  in
+  ignore (Atomic.compare_and_set d.decision Undecided proposal);
+  let final =
+    match Atomic.get d.decision with
+    | Succeeded -> d.new_value
+    | Failed -> d.expected
+    | Undecided -> assert false
+  in
+  (* CAS against the exact block that is installed: a freshly built
+     [Desc d] would never be physically equal. *)
+  match Atomic.get d.loc with
+  | Desc d' as current when d' == d ->
+    ignore (Atomic.compare_and_set d.loc current final)
+  | Desc _ | Value _ -> ()
+
+let rec read loc =
+  match Atomic.get loc with
+  | Value _ as v -> v
+  | Desc d ->
+    complete d;
+    read loc
+
+let value = function Value v -> v | Desc _ -> assert false
+let get loc = value (read loc)
+
+let rdcss ~control ~expected_control ~loc ~expected new_value =
+  let d =
+    {
+      control;
+      expected_control;
+      loc;
+      expected;
+      new_value = Value new_value;
+      decision = Atomic.make Undecided;
+    }
+  in
+  let rec attempt () =
+    let cur = Atomic.get loc in
+    match cur with
+    | Desc d' ->
+      complete d';
+      attempt ()
+    | Value _ ->
+      if cur != expected then Loc_changed
+      else if Atomic.compare_and_set loc cur (Desc d) then begin
+        complete d;
+        match Atomic.get d.decision with
+        | Succeeded -> Success
+        | Failed -> Control_changed
+        | Undecided -> assert false
+      end
+      else attempt ()
+  in
+  attempt ()
+
+let dcss = rdcss

@@ -1,0 +1,51 @@
+(** Restricted double-compare single-swap (RDCSS), after Harris et al.
+
+    [rdcss] atomically installs a new value into a data location only if
+    (1) the data location holds the expected snapshot and (2) a separate
+    control word holds an expected value.  The lock-free EBR-RQ technique
+    uses it to make "read the timestamp" and "label the node" atomic.
+
+    Note the signature: the control word is an [int Atomic.t] — an
+    *address*.  This is the address dependence of Section IV: a hardware
+    timestamp has no address, so this labeling scheme cannot be ported to
+    TSC at all.
+
+    OCaml cannot steal pointer bits, so descriptors live in the location as
+    an explicit constructor and reads help complete them.  Comparison of
+    snapshots is physical, hence the [snapshot] witness type: pass back the
+    exact block you read. *)
+
+type 'a loc
+type 'a snapshot
+
+val make : 'a -> 'a loc
+
+val read : 'a loc -> 'a snapshot
+(** Current content, helping any in-flight RDCSS first. *)
+
+val get : 'a loc -> 'a
+(** [value (read loc)]. *)
+
+val value : 'a snapshot -> 'a
+
+type outcome =
+  | Success  (** both comparisons held; the new value was installed *)
+  | Control_changed  (** the control word differed; location untouched *)
+  | Loc_changed  (** the location no longer held the expected snapshot *)
+
+val rdcss :
+  control:int Atomic.t ->
+  expected_control:int ->
+  loc:'a loc ->
+  expected:'a snapshot ->
+  'a ->
+  outcome
+
+val dcss :
+  control:int Atomic.t ->
+  expected_control:int ->
+  loc:'a loc ->
+  expected:'a snapshot ->
+  'a ->
+  outcome
+(** Alias for {!rdcss} under the name the EBR-RQ paper uses. *)

@@ -1,0 +1,56 @@
+(* State word: -1 = writer holds it; n >= 0 = n readers.  A separate
+   waiting-writer count gates new readers so writers cannot starve. *)
+type t = { state : int Atomic.t; waiting_writers : int Atomic.t }
+
+let make () =
+  { state = Padding.atomic 0; waiting_writers = Padding.atomic 0 }
+
+let try_read_lock t =
+  Atomic.get t.waiting_writers = 0
+  &&
+  let s = Atomic.get t.state in
+  s >= 0 && Atomic.compare_and_set t.state s (s + 1)
+
+let read_lock t =
+  let backoff = Backoff.make () in
+  let rec loop () =
+    if not (try_read_lock t) then begin
+      Backoff.once backoff;
+      loop ()
+    end
+  in
+  loop ()
+
+let read_unlock t =
+  let prev = Atomic.fetch_and_add t.state (-1) in
+  assert (prev > 0)
+
+let try_write_lock t =
+  Atomic.get t.state = 0 && Atomic.compare_and_set t.state 0 (-1)
+
+let write_lock t =
+  ignore (Atomic.fetch_and_add t.waiting_writers 1);
+  let backoff = Backoff.make () in
+  let rec loop () =
+    if not (try_write_lock t) then begin
+      Backoff.once backoff;
+      loop ()
+    end
+  in
+  loop ();
+  ignore (Atomic.fetch_and_add t.waiting_writers (-1))
+
+let write_unlock t =
+  let swapped = Atomic.compare_and_set t.state (-1) 0 in
+  assert swapped
+
+let with_read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) f
+
+let with_write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f
+
+let readers t = max 0 (Atomic.get t.state)
+let write_held t = Atomic.get t.state = -1

@@ -1,0 +1,26 @@
+(** Centralized readers-writer lock.
+
+    This is the lock the lock-based EBR-RQ technique wraps around its
+    timestamp (Section IV): updates acquire it in shared mode to atomically
+    read-and-label, range queries acquire it in exclusive mode to advance
+    the timestamp.  It is deliberately a single contended word — the point
+    the paper makes is that this word, not the timestamp, becomes the
+    bottleneck once the timestamp goes to hardware. *)
+
+type t
+
+val make : unit -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+val try_read_lock : t -> bool
+val try_write_lock : t -> bool
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a
+
+val readers : t -> int
+(** Current reader count; 0 if write-held or free (for tests). *)
+
+val write_held : t -> bool

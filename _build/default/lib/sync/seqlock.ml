@@ -1,0 +1,32 @@
+type t = { seq : int Atomic.t; writer : Spinlock.t }
+
+let make () = { seq = Padding.atomic 0; writer = Spinlock.make () }
+
+let write t f =
+  Spinlock.lock t.writer;
+  Atomic.incr t.seq;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.incr t.seq;
+      Spinlock.unlock t.writer)
+    f
+
+let read t f =
+  let backoff = Backoff.make () in
+  let rec attempt () =
+    let s0 = Atomic.get t.seq in
+    if s0 land 1 = 1 then begin
+      Backoff.once backoff;
+      attempt ()
+    end
+    else
+      let result = f () in
+      if Atomic.get t.seq = s0 then result
+      else begin
+        Backoff.once backoff;
+        attempt ()
+      end
+  in
+  attempt ()
+
+let sequence t = Atomic.get t.seq

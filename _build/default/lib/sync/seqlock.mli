@@ -1,0 +1,19 @@
+(** Sequence lock: optimistic readers, single-writer-at-a-time sections.
+
+    Readers retry if they observe an odd sequence number (writer active) or
+    the number changed across their read. *)
+
+type t
+
+val make : unit -> t
+
+val write : t -> (unit -> 'a) -> 'a
+(** Enter a write section (mutual exclusion with other writers via an
+    internal spinlock), bumping the sequence number around the body. *)
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run a read section, retrying until it observes a stable even sequence
+    number on both sides.  The body must be safe to re-run. *)
+
+val sequence : t -> int
+(** Current raw sequence number (for tests). *)

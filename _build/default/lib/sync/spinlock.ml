@@ -1,0 +1,21 @@
+type t = bool Atomic.t
+
+let make () = Atomic.make false
+let try_lock t = (not (Atomic.get t)) && Atomic.compare_and_set t false true
+
+let lock t =
+  let backoff = Backoff.make () in
+  let rec loop () =
+    if not (try_lock t) then begin
+      Backoff.once backoff;
+      loop ()
+    end
+  in
+  loop ()
+
+let unlock t = Atomic.set t false
+let is_locked t = Atomic.get t
+
+let with_lock t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f

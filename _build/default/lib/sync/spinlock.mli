@@ -1,0 +1,15 @@
+(** Test-and-test-and-set spinlock with exponential backoff.
+
+    Used as the per-node lock of the Citrus tree, the lazy list, and the
+    lazy skip list. *)
+
+type t
+
+val make : unit -> t
+val try_lock : t -> bool
+val lock : t -> unit
+val unlock : t -> unit
+val is_locked : t -> bool
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run a function holding the lock, releasing it on exceptions too. *)

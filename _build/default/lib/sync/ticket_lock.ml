@@ -1,0 +1,18 @@
+type t = { next : int Atomic.t; owner : int Atomic.t }
+
+let make () = { next = Padding.atomic 0; owner = Padding.atomic 0 }
+
+let lock t =
+  let my = Atomic.fetch_and_add t.next 1 in
+  let backoff = Backoff.make () in
+  while Atomic.get t.owner <> my do
+    Backoff.once backoff
+  done
+
+let unlock t = Atomic.set t.owner (Atomic.get t.owner + 1)
+
+let with_lock t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f
+
+let waiters t = max 0 (Atomic.get t.next - Atomic.get t.owner)

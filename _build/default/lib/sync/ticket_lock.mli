@@ -1,0 +1,11 @@
+(** FIFO ticket lock: fair, two-counter design. *)
+
+type t
+
+val make : unit -> t
+val lock : t -> unit
+val unlock : t -> unit
+val with_lock : t -> (unit -> 'a) -> 'a
+
+val waiters : t -> int
+(** Approximate number of threads queued (including the holder). *)

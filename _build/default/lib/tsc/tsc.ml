@@ -1,0 +1,62 @@
+external rdtsc : unit -> int = "caml_hwts_rdtsc" [@@noalloc]
+external rdtscp : unit -> int = "caml_hwts_rdtscp" [@@noalloc]
+external rdtscp_lfence : unit -> int = "caml_hwts_rdtscp_lfence" [@@noalloc]
+external rdtsc_cpuid : unit -> int = "caml_hwts_rdtsc_cpuid" [@@noalloc]
+external has_invariant_tsc : unit -> bool = "caml_hwts_has_invariant_tsc"
+  [@@noalloc]
+
+external is_x86_stub : unit -> bool = "caml_hwts_is_x86" [@@noalloc]
+external monotonic_ns : unit -> int = "caml_hwts_monotonic_ns" [@@noalloc]
+external cpu_relax : unit -> unit = "caml_hwts_cpu_relax" [@@noalloc]
+external pin_to_cpu : int -> bool = "caml_hwts_pin_to_cpu" [@@noalloc]
+external num_cpus : unit -> int = "caml_hwts_num_cpus" [@@noalloc]
+
+let is_x86 = is_x86_stub ()
+let serializing_read = rdtscp_lfence
+
+(* Calibrate the TSC frequency against the monotonic clock.  A ~5 ms busy
+   window gives better than 0.1% accuracy, plenty for reporting. *)
+let calibrate_cycles_per_ns () =
+  let window_ns = 5_000_000 in
+  let t0_ns = monotonic_ns () in
+  let c0 = rdtscp_lfence () in
+  let rec spin () =
+    if monotonic_ns () - t0_ns < window_ns then begin
+      cpu_relax ();
+      spin ()
+    end
+  in
+  spin ();
+  let c1 = rdtscp_lfence () in
+  let t1_ns = monotonic_ns () in
+  let dns = t1_ns - t0_ns and dcy = c1 - c0 in
+  if dns <= 0 || dcy <= 0 then 1.0 else float_of_int dcy /. float_of_int dns
+
+let cycles_per_ns_cache = Atomic.make nan
+
+let cycles_per_ns () =
+  let c = Atomic.get cycles_per_ns_cache in
+  if Float.is_nan c then begin
+    let measured = calibrate_cycles_per_ns () in
+    (* A concurrent calibration may have won the race; either result is
+       equally valid, keep the first one stored. *)
+    ignore (Atomic.compare_and_set cycles_per_ns_cache c measured);
+    Atomic.get cycles_per_ns_cache
+  end
+  else c
+
+let cycles_to_ns cycles = float_of_int cycles /. cycles_per_ns ()
+
+let measure_cost_cycles ?(iters = 100_000) reader =
+  let sink = ref 0 in
+  (* Warm up instruction caches and branch predictors. *)
+  for _ = 1 to 1_000 do
+    sink := !sink lxor reader ()
+  done;
+  let start = rdtscp_lfence () in
+  for _ = 1 to iters do
+    sink := !sink lxor reader ()
+  done;
+  let stop = rdtscp_lfence () in
+  ignore (Sys.opaque_identity !sink);
+  float_of_int (stop - start) /. float_of_int iters

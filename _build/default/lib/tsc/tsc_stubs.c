@@ -1,0 +1,158 @@
+/* C stubs for the hardware timestamp counter (TSC).
+ *
+ * Implements the paper's Listing-1 API (RDTSCP followed by LFENCE) plus the
+ * other fence variants compared in Figure 1: plain RDTSC, plain RDTSCP, and
+ * CPUID-serialized RDTSC.  On non-x86 targets every variant falls back to
+ * clock_gettime(CLOCK_MONOTONIC) in nanoseconds, which is itself TSC-derived
+ * on Linux/x86 and preserves the contention-free property that matters.
+ */
+
+#define _GNU_SOURCE
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <stdint.h>
+#include <time.h>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+static uint64_t monotonic_ns_raw(void)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (uint64_t)ts.tv_sec * 1000000000ULL + (uint64_t)ts.tv_nsec;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HWTS_HAVE_X86_TSC 1
+
+static inline uint64_t do_rdtsc(void)
+{
+  uint32_t lo, hi;
+  __asm__ volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return ((uint64_t)hi << 32) | lo;
+}
+
+static inline uint64_t do_rdtscp(void)
+{
+  uint32_t lo, hi;
+  __asm__ volatile("rdtscp" : "=a"(lo), "=d"(hi) : : "rcx");
+  return ((uint64_t)hi << 32) | lo;
+}
+
+static inline uint64_t do_rdtscp_lfence(void)
+{
+  uint32_t lo, hi;
+  __asm__ volatile("rdtscp\n\tlfence" : "=a"(lo), "=d"(hi) : : "rcx");
+  return ((uint64_t)hi << 32) | lo;
+}
+
+static inline uint64_t do_rdtsc_cpuid(void)
+{
+  uint32_t lo, hi;
+  uint32_t eax = 0, ebx, ecx, edx;
+  __asm__ volatile("cpuid"
+                   : "+a"(eax), "=b"(ebx), "=c"(ecx), "=d"(edx));
+  __asm__ volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return ((uint64_t)hi << 32) | lo;
+}
+
+static int do_has_invariant_tsc(void)
+{
+  uint32_t eax = 0x80000000u, ebx, ecx, edx;
+  __asm__ volatile("cpuid" : "+a"(eax), "=b"(ebx), "=c"(ecx), "=d"(edx));
+  if (eax < 0x80000007u) return 0;
+  eax = 0x80000007u;
+  __asm__ volatile("cpuid" : "+a"(eax), "=b"(ebx), "=c"(ecx), "=d"(edx));
+  return (edx >> 8) & 1; /* EDX bit 8: invariant TSC */
+}
+
+#else
+#define HWTS_HAVE_X86_TSC 0
+static inline uint64_t do_rdtsc(void) { return monotonic_ns_raw(); }
+static inline uint64_t do_rdtscp(void) { return monotonic_ns_raw(); }
+static inline uint64_t do_rdtscp_lfence(void) { return monotonic_ns_raw(); }
+static inline uint64_t do_rdtsc_cpuid(void) { return monotonic_ns_raw(); }
+static int do_has_invariant_tsc(void) { return 0; }
+#endif
+
+/* All readers return the counter as an OCaml int (63 bits); at a few GHz the
+ * counter stays below 2^62 for decades of uptime. */
+
+CAMLprim value caml_hwts_rdtsc(value unit)
+{
+  (void)unit;
+  return Val_long((long)do_rdtsc());
+}
+
+CAMLprim value caml_hwts_rdtscp(value unit)
+{
+  (void)unit;
+  return Val_long((long)do_rdtscp());
+}
+
+CAMLprim value caml_hwts_rdtscp_lfence(value unit)
+{
+  (void)unit;
+  return Val_long((long)do_rdtscp_lfence());
+}
+
+CAMLprim value caml_hwts_rdtsc_cpuid(value unit)
+{
+  (void)unit;
+  return Val_long((long)do_rdtsc_cpuid());
+}
+
+CAMLprim value caml_hwts_has_invariant_tsc(value unit)
+{
+  (void)unit;
+  return Val_bool(do_has_invariant_tsc());
+}
+
+CAMLprim value caml_hwts_is_x86(value unit)
+{
+  (void)unit;
+  return Val_bool(HWTS_HAVE_X86_TSC);
+}
+
+CAMLprim value caml_hwts_monotonic_ns(value unit)
+{
+  (void)unit;
+  return Val_long((long)monotonic_ns_raw());
+}
+
+CAMLprim value caml_hwts_cpu_relax(value unit)
+{
+  (void)unit;
+#if HWTS_HAVE_X86_TSC
+  __asm__ volatile("pause");
+#endif
+  return Val_unit;
+}
+
+CAMLprim value caml_hwts_pin_to_cpu(value cpu)
+{
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(Long_val(cpu) % (long)sysconf(_SC_NPROCESSORS_ONLN), &set);
+  return Val_bool(sched_setaffinity(0, sizeof(set), &set) == 0);
+#else
+  (void)cpu;
+  return Val_false;
+#endif
+}
+
+CAMLprim value caml_hwts_num_cpus(value unit)
+{
+  (void)unit;
+#if defined(__linux__)
+  return Val_long(sysconf(_SC_NPROCESSORS_ONLN));
+#else
+  return Val_long(1);
+#endif
+}

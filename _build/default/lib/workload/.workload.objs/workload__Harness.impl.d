@@ -1,0 +1,1 @@
+lib/workload/harness.ml: Array Atomic Domain Dstruct List Mix Stats Sync Unix Zipf

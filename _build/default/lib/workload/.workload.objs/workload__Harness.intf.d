@@ -1,0 +1,1 @@
+lib/workload/harness.mli: Dstruct Mix

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Dstruct Printf String

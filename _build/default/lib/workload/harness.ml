@@ -1,0 +1,122 @@
+type config = {
+  threads : int;
+  seconds : float;
+  key_range : int;
+  rq_len : int;
+  mix : Mix.t;
+  seed : int;
+  prefill : bool;
+  zipf_theta : float option;
+}
+
+let default =
+  {
+    threads = 2;
+    seconds = 1.0;
+    key_range = 16_384;
+    rq_len = 100;
+    mix = Mix.make ~u:10 ~rq:10 ~c:80;
+    seed = 0xC0FFEE;
+    prefill = true;
+    zipf_theta = None;
+  }
+
+type result = {
+  config : config;
+  total_ops : int;
+  mops : float;
+  per_thread : int array;
+  elapsed : float;
+}
+
+type target = Target : (module Dstruct.Ordered_set.RQ with type t = 'a) * 'a -> target
+
+let prefill (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
+    ~key_range ~seed =
+  let rng = Dstruct.Prng.make ~seed in
+  let goal = key_range / 2 in
+  let count = ref 0 in
+  while !count < goal do
+    if S.insert t (1 + Dstruct.Prng.below rng key_range) then incr count
+  done;
+  !count
+
+let make_target (module S : Dstruct.Ordered_set.RQ) config =
+  let t = S.create () in
+  if config.prefill then
+    ignore (prefill (module S) t ~key_range:config.key_range ~seed:config.seed);
+  Target ((module S), t)
+
+(* Worker loop: check the clock every [check_every] operations to keep the
+   timing overhead out of the measured path. *)
+let check_every = 64
+
+let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
+    config ~id ~stop =
+  let rng = Dstruct.Prng.make ~seed:(config.seed + (id * 7919) + 13) in
+  let key =
+    match config.zipf_theta with
+    | None -> fun () -> 1 + Dstruct.Prng.below rng config.key_range
+    | Some theta ->
+      let z = Zipf.make ~n:config.key_range ~theta in
+      fun () -> Zipf.sample z rng
+  in
+  let ops = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    for _ = 1 to check_every do
+      (match Mix.pick_with config.mix rng ~key with
+      | Mix.Insert k -> ignore (S.insert t k)
+      | Mix.Delete k -> ignore (S.delete t k)
+      | Mix.Contains k -> ignore (S.contains t k)
+      | Mix.Range lo ->
+        ignore (S.range_query t ~lo ~hi:(lo + config.rq_len - 1)));
+      incr ops
+    done;
+    if Atomic.get stop then continue_ := false
+  done;
+  !ops
+
+let run_prepared (Target ((module S), t)) config =
+  let stop = Atomic.make false in
+  let started = Atomic.make 0 in
+  let t0 = ref 0. in
+  let domains =
+    List.init config.threads (fun id ->
+        Domain.spawn (fun () ->
+            Sync.Slot.with_slot (fun _ ->
+                ignore (Atomic.fetch_and_add started 1);
+                worker (module S) t config ~id ~stop)))
+  in
+  (* Wait for all workers to be up before starting the clock. *)
+  while Atomic.get started < config.threads do
+    Domain.cpu_relax ()
+  done;
+  t0 := Unix.gettimeofday ();
+  let target_end = !t0 +. config.seconds in
+  while Unix.gettimeofday () < target_end do
+    Unix.sleepf 0.005
+  done;
+  Atomic.set stop true;
+  let per_thread = Array.of_list (List.map Domain.join domains) in
+  let elapsed = Unix.gettimeofday () -. !t0 in
+  let total_ops = Array.fold_left ( + ) 0 per_thread in
+  {
+    config;
+    total_ops;
+    per_thread;
+    elapsed;
+    mops = float_of_int total_ops /. elapsed /. 1e6;
+  }
+
+let run impl config = run_prepared (make_target impl config) config
+
+let run_trials ?(trials = 3) impl config =
+  (* Reuse one prepared structure across trials, as the paper's driver
+     does: the size is kept stable by the balanced insert/delete mix. *)
+  let target = make_target impl config in
+  List.init trials (fun _ -> run_prepared target config)
+
+let mops_of_trials results =
+  let xs = List.map (fun r -> r.mops) results in
+  (Stats.mean xs, Stats.coefficient_of_variation xs)

@@ -1,0 +1,50 @@
+(** Fixed-duration multi-domain throughput harness.
+
+    Mirrors Section III-B's methodology: pre-populate the structure to half
+    the key range, then have [threads] domains execute the U-RQ-C mix for a
+    fixed wall-clock duration; report Mops/s.  Each data point can be
+    averaged over several trials ([run_trials]), and the per-trial spread
+    is reported as a coefficient of variation. *)
+
+type config = {
+  threads : int;
+  seconds : float;
+  key_range : int;
+  rq_len : int;
+  mix : Mix.t;
+  seed : int;
+  prefill : bool;
+  zipf_theta : float option;
+      (** [None] = uniform keys (the paper's setup); [Some theta] draws
+          keys from a Zipf distribution instead. *)
+}
+
+val default : config
+(** 2 threads, 1 s, 16k keys, RQ length 100, mix 10-10-80, prefilled. *)
+
+type result = {
+  config : config;
+  total_ops : int;
+  mops : float;  (** million operations per second, all threads *)
+  per_thread : int array;
+  elapsed : float;
+}
+
+type target = Target : (module Dstruct.Ordered_set.RQ with type t = 'a) * 'a -> target
+
+val prefill :
+  (module Dstruct.Ordered_set.RQ with type t = 'a) -> 'a -> key_range:int -> seed:int -> int
+(** Insert until the structure holds [key_range / 2] keys; returns size. *)
+
+val make_target : (module Dstruct.Ordered_set.RQ) -> config -> target
+(** Instantiate and (optionally) prefill a structure for [config]. *)
+
+val run_prepared : target -> config -> result
+(** Run the mix against an already-prepared structure. *)
+
+val run : (module Dstruct.Ordered_set.RQ) -> config -> result
+
+val run_trials : ?trials:int -> (module Dstruct.Ordered_set.RQ) -> config -> result list
+
+val mops_of_trials : result list -> float * float
+(** (mean Mops/s, coefficient of variation). *)

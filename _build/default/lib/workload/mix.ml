@@ -1,0 +1,27 @@
+type t = { updates : int; range_queries : int; contains : int }
+
+let make ~u ~rq ~c =
+  if u + rq + c <> 100 || u < 0 || rq < 0 || c < 0 then
+    invalid_arg "Mix.make: percentages must be non-negative and sum to 100";
+  { updates = u; range_queries = rq; contains = c }
+
+let of_label s =
+  match String.split_on_char '-' s with
+  | [ u; rq; c ] ->
+    make ~u:(int_of_string u) ~rq:(int_of_string rq) ~c:(int_of_string c)
+  | _ -> invalid_arg ("Mix.of_label: expected U-RQ-C, got " ^ s)
+
+let label t = Printf.sprintf "%d-%d-%d" t.updates t.range_queries t.contains
+
+type op = Insert of int | Delete of int | Contains of int | Range of int
+
+let pick_with t rng ~key =
+  let roll = Dstruct.Prng.below rng 100 in
+  if roll < t.updates then
+    (* equal numbers of insertions and deletions, per Section III-B *)
+    if Dstruct.Prng.below rng 2 = 0 then Insert (key ()) else Delete (key ())
+  else if roll < t.updates + t.range_queries then Range (key ())
+  else Contains (key ())
+
+let pick t rng ~key_range =
+  pick_with t rng ~key:(fun () -> 1 + Dstruct.Prng.below rng key_range)

@@ -1,0 +1,25 @@
+(** Workload mixes in the paper's U-RQ-C notation: U% updates (split evenly
+    between inserts and deletes), RQ% range queries, C% contains. *)
+
+type t = private { updates : int; range_queries : int; contains : int }
+
+val make : u:int -> rq:int -> c:int -> t
+(** Percentages; must sum to 100. *)
+
+val of_label : string -> t
+(** Parse ["10-10-80"]. *)
+
+val label : t -> string
+
+type op =
+  | Insert of int
+  | Delete of int
+  | Contains of int
+  | Range of int  (** start key; length is the harness's [rq_len] *)
+
+val pick : t -> Dstruct.Prng.t -> key_range:int -> op
+(** Draw the next operation: keys uniform in [1, key_range] as in the
+    paper's setup. *)
+
+val pick_with : t -> Dstruct.Prng.t -> key:(unit -> int) -> op
+(** Like {!pick} with a caller-supplied key sampler (e.g. {!Zipf}). *)

@@ -1,0 +1,9 @@
+(** Small statistics helpers for trial aggregation. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val coefficient_of_variation : float list -> float
+(** stddev / mean (the paper reports an average CV of 1.6%). *)
+
+val speedup : baseline:float -> float -> float

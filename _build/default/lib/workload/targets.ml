@@ -1,0 +1,70 @@
+type ts = [ `Logical | `Hardware ]
+
+let ts_name = function `Logical -> "logical" | `Hardware -> "rdtscp"
+
+let bst_vcas ts : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    (module Rangequery.Bst_vcas.Make (L))
+  | `Hardware -> (module Rangequery.Bst_vcas.Make (Hwts.Timestamp.Hardware))
+
+let citrus_vcas ts : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    (module Rangequery.Citrus_vcas.Make (L))
+  | `Hardware -> (module Rangequery.Citrus_vcas.Make (Hwts.Timestamp.Hardware))
+
+let citrus_bundle ts : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    (module Rangequery.Citrus_bundle.Make (L))
+  | `Hardware -> (module Rangequery.Citrus_bundle.Make (Hwts.Timestamp.Hardware))
+
+let citrus_ebrrq ts : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    (module Rangequery.Citrus_ebrrq.Make (L))
+  | `Hardware -> (module Rangequery.Citrus_ebrrq.Make (Hwts.Timestamp.Hardware))
+
+let skiplist_bundle ts : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    (module Rangequery.Skiplist_bundle.Make (L))
+  | `Hardware ->
+    (module Rangequery.Skiplist_bundle.Make (Hwts.Timestamp.Hardware))
+
+let skiplist_vcas ts : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    (module Rangequery.Skiplist_vcas.Make (L))
+  | `Hardware ->
+    (module Rangequery.Skiplist_vcas.Make (Hwts.Timestamp.Hardware))
+
+let lazylist_bundle ts : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    (module Rangequery.Lazylist_bundle.Make (L))
+  | `Hardware ->
+    (module Rangequery.Lazylist_bundle.Make (Hwts.Timestamp.Hardware))
+
+let bst_ebrrq_lockfree () : (module Dstruct.Ordered_set.RQ) =
+  let module L = Hwts.Timestamp.Logical () in
+  (module Rangequery.Bst_ebrrq_lockfree.Make (L))
+
+let all =
+  [
+    ("bst-vcas", bst_vcas);
+    ("citrus-vcas", citrus_vcas);
+    ("citrus-bundle", citrus_bundle);
+    ("citrus-ebrrq", citrus_ebrrq);
+    ("skiplist-bundle", skiplist_bundle);
+    ("skiplist-vcas", skiplist_vcas);
+    ("lazylist-bundle", lazylist_bundle);
+  ]

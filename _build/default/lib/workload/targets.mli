@@ -1,0 +1,22 @@
+(** Registry of benchmarkable structure/technique/timestamp combinations.
+
+    Logical providers are generative (one shared counter per structure
+    instance set), so every call with [`Logical] makes a fresh counter —
+    exactly the per-structure global timestamp of the original systems. *)
+
+type ts = [ `Logical | `Hardware ]
+
+val ts_name : ts -> string
+
+val bst_vcas : ts -> (module Dstruct.Ordered_set.RQ)
+val citrus_vcas : ts -> (module Dstruct.Ordered_set.RQ)
+val citrus_bundle : ts -> (module Dstruct.Ordered_set.RQ)
+val citrus_ebrrq : ts -> (module Dstruct.Ordered_set.RQ)
+val skiplist_bundle : ts -> (module Dstruct.Ordered_set.RQ)
+val skiplist_vcas : ts -> (module Dstruct.Ordered_set.RQ)
+val lazylist_bundle : ts -> (module Dstruct.Ordered_set.RQ)
+
+val bst_ebrrq_lockfree : unit -> (module Dstruct.Ordered_set.RQ)
+(** Logical only: the DCSS labeling needs the timestamp's address. *)
+
+val all : (string * (ts -> (module Dstruct.Ordered_set.RQ))) list

@@ -1,0 +1,28 @@
+type t = { n : int; theta : float; cdf : float array }
+
+let make ~n ~theta =
+  if n <= 0 || theta < 0. then invalid_arg "Zipf.make";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 1 to n do
+    acc := !acc +. (1. /. (float_of_int k ** theta));
+    cdf.(k - 1) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; theta; cdf }
+
+let n t = t.n
+let theta t = t.theta
+
+let sample t rng =
+  let u = Dstruct.Prng.float rng in
+  (* first index with cdf >= u *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo + 1

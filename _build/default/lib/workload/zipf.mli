@@ -1,0 +1,20 @@
+(** Zipfian key sampler.
+
+    The paper's workloads draw keys uniformly (§III-B); real key-value
+    traffic is usually skewed, and skew concentrates structural contention
+    the way a logical timestamp concentrates clock contention — so the
+    harness supports it as an extension.  Standard power-law with
+    parameter [theta]: the k-th most popular key has probability
+    proportional to [1 / k^theta]. *)
+
+type t
+
+val make : n:int -> theta:float -> t
+(** Precomputes the CDF over keys [1..n].  [theta >= 0]; [theta = 0] is
+    uniform, [theta ~ 0.99] is the YCSB default. *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Dstruct.Prng.t -> int
+(** A key in [1, n], by binary search over the CDF. *)

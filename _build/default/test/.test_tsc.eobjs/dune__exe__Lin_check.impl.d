@@ -1,0 +1,1 @@
+test/lin_check.ml: Array Dstruct Hashtbl List Tsc Util

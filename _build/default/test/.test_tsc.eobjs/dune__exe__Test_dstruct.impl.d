@@ -1,0 +1,1 @@
+test/test_dstruct.ml: Alcotest Array Dstruct Hashtbl List Printf QCheck2 Util

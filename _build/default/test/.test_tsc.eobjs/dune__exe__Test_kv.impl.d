@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Atomic Dstruct Hashtbl Hwts List QCheck2 Rangequery Util

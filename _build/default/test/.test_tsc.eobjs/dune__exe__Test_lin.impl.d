@@ -1,0 +1,1 @@
+test/test_lin.ml: Alcotest Dstruct Lin_check List Workload

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Dstruct List Model Printf Workload

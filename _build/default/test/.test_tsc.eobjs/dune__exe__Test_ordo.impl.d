@@ -1,0 +1,1 @@
+test/test_ordo.ml: Alcotest Domain Hwts List Printf Rangequery

@@ -1,0 +1,1 @@
+test/test_rangequery.ml: Alcotest Array Atomic Dstruct Hwts List QCheck2 Rangequery Util

@@ -1,0 +1,1 @@
+test/test_rcu_ebr.ml: Alcotest Atomic Domain Ebr List QCheck2 Rcu Sync Unix Util

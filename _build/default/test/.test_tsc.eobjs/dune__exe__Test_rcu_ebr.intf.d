@@ -1,0 +1,1 @@
+test/test_rcu_ebr.mli:

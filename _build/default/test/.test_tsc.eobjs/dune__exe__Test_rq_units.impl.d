@@ -1,0 +1,1 @@
+test/test_rq_units.ml: Alcotest Atomic Domain Dstruct Hwts List Printf QCheck2 Rangequery Sync Unix Util

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Atomic List Option Sync Util

@@ -1,0 +1,1 @@
+test/test_timestamp.ml: Alcotest Atomic Domain Hwts List Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Domain Dstruct List QCheck2 QCheck_alcotest Sync

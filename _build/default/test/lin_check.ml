@@ -1,0 +1,88 @@
+(* A small linearizability checker for integer-set histories.
+
+   Events carry real-time intervals stamped with the fenced TSC; the
+   checker searches for a total order that (1) respects real-time
+   precedence (e1 before e2 iff e1 ended before e2 began), and (2) is a
+   legal sequential set execution producing exactly the observed results.
+
+   Wing–Gong style DFS with memoization.  Histories are limited to 62
+   events (bitmask) and keys to [0, 61] (set state is a bitmask too). *)
+
+type op = Insert of int | Delete of int | Contains of int
+
+type event = { start_t : int; end_t : int; op : op; result : bool }
+
+let max_events = 62
+
+(* result a sequential set in [state] would return, and the new state *)
+let apply state = function
+  | Insert k ->
+    let bit = 1 lsl k in
+    if state land bit <> 0 then (false, state) else (true, state lor bit)
+  | Delete k ->
+    let bit = 1 lsl k in
+    if state land bit = 0 then (false, state) else (true, state lxor bit)
+  | Contains k -> (state land (1 lsl k) <> 0, state)
+
+let check ?(initial = []) events =
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  assert (n <= max_events);
+  let state0 = List.fold_left (fun s k -> s lor (1 lsl k)) 0 initial in
+  let full = if n = 0 then 0 else (1 lsl n) - 1 in
+  let memo = Hashtbl.create 4096 in
+  let rec dfs remaining state =
+    if remaining = 0 then true
+    else if Hashtbl.mem memo (remaining, state) then false
+    else begin
+      Hashtbl.add memo (remaining, state) ();
+      (* earliest completion among remaining events bounds who may go first *)
+      let min_end = ref max_int in
+      for i = 0 to n - 1 do
+        if remaining land (1 lsl i) <> 0 && arr.(i).end_t < !min_end then
+          min_end := arr.(i).end_t
+      done;
+      let rec try_candidates i =
+        if i >= n then false
+        else if
+          remaining land (1 lsl i) <> 0
+          && arr.(i).start_t <= !min_end
+          &&
+          let expected, state' = apply state arr.(i).op in
+          expected = arr.(i).result
+          && dfs (remaining lxor (1 lsl i)) state'
+        then true
+        else try_candidates (i + 1)
+      in
+      try_candidates 0
+    end
+  in
+  dfs full state0
+
+(* Record a multi-domain history against a structure with elemental ops. *)
+let record_history ~domains ~ops_per_domain ~key_space ~seed ~insert ~delete
+    ~contains =
+  assert (domains * ops_per_domain <= max_events);
+  assert (key_space <= max_events);
+  let histories =
+    Util.spawn_workers domains (fun me ->
+        let rng = Util.rng (seed + (me * 101)) in
+        List.init ops_per_domain (fun _ ->
+            let k = Dstruct.Prng.below rng key_space in
+            let op =
+              match Dstruct.Prng.below rng 3 with
+              | 0 -> Insert k
+              | 1 -> Delete k
+              | _ -> Contains k
+            in
+            let start_t = Tsc.rdtscp_lfence () in
+            let result =
+              match op with
+              | Insert k -> insert k
+              | Delete k -> delete k
+              | Contains k -> contains k
+            in
+            let end_t = Tsc.rdtscp_lfence () in
+            { start_t; end_t; op; result }))
+  in
+  List.concat histories

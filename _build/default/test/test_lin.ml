@@ -1,0 +1,109 @@
+(* Linearizability tests: checker self-tests on hand-built histories, then
+   recorded multi-domain histories for every structure's elemental ops. *)
+
+open Lin_check
+
+let ev s e op result = { start_t = s; end_t = e; op; result }
+
+let checker_accepts_sequential () =
+  let h =
+    [
+      ev 0 1 (Insert 3) true;
+      ev 2 3 (Contains 3) true;
+      ev 4 5 (Delete 3) true;
+      ev 6 7 (Contains 3) false;
+    ]
+  in
+  Alcotest.(check bool) "sequential history" true (check h)
+
+let checker_accepts_overlap () =
+  (* two overlapping inserts of the same key: either may win *)
+  let h =
+    [
+      ev 0 10 (Insert 5) true;
+      ev 1 9 (Insert 5) false;
+      ev 20 21 (Contains 5) true;
+    ]
+  in
+  Alcotest.(check bool) "overlapping inserts" true (check h)
+
+let checker_rejects_lost_update () =
+  (* insert completed strictly before the contains began, yet unseen,
+     and nothing else touches the key: not linearizable *)
+  let h = [ ev 0 1 (Insert 4) true; ev 5 6 (Contains 4) false ] in
+  Alcotest.(check bool) "lost update rejected" false (check h)
+
+let checker_rejects_double_insert () =
+  (* both non-overlapping inserts of one key claim success, no delete *)
+  let h = [ ev 0 1 (Insert 2) true; ev 5 6 (Insert 2) true ] in
+  Alcotest.(check bool) "double insert rejected" false (check h)
+
+let checker_respects_initial_state () =
+  let h = [ ev 0 1 (Contains 7) true; ev 2 3 (Insert 7) false ] in
+  Alcotest.(check bool) "prefilled key visible" true (check ~initial:[ 7 ] h)
+
+let checker_reordering_window () =
+  (* contains false is fine while overlapping the insert *)
+  let h = [ ev 0 10 (Insert 1) true; ev 2 3 (Contains 1) false ] in
+  Alcotest.(check bool) "overlap may order either way" true (check h)
+
+(* ---------- recorded histories ---------- *)
+
+let history_rounds = 15
+
+let check_structure name ~insert ~delete ~contains ~make () =
+  for round = 1 to history_rounds do
+    let t = make () in
+    let history =
+      record_history ~domains:3 ~ops_per_domain:15 ~key_space:10
+        ~seed:(round * 1733)
+        ~insert:(insert t) ~delete:(delete t) ~contains:(contains t)
+    in
+    if not (check history) then
+      Alcotest.failf "%s: non-linearizable history in round %d (%d events)"
+        name round (List.length history)
+  done
+
+let plain_cases =
+  let mk (module S : Dstruct.Ordered_set.S) =
+    Alcotest.test_case (S.name ^ " elemental linearizability") `Slow
+      (check_structure S.name ~make:S.create
+         ~insert:(fun t k -> S.insert t k)
+         ~delete:(fun t k -> S.delete t k)
+         ~contains:(fun t k -> S.contains t k))
+  in
+  [
+    mk (module Dstruct.Lazy_list);
+    mk (module Dstruct.Bst_lockfree);
+    mk (module Dstruct.Citrus);
+    mk (module Dstruct.Skiplist_lazy);
+    mk (module Dstruct.Skiplist_lockfree);
+  ]
+
+let rq_cases =
+  let mk (module S : Dstruct.Ordered_set.RQ) =
+    Alcotest.test_case (S.name ^ " elemental linearizability") `Slow
+      (check_structure S.name ~make:S.create
+         ~insert:(fun t k -> S.insert t k)
+         ~delete:(fun t k -> S.delete t k)
+         ~contains:(fun t k -> S.contains t k))
+  in
+  List.concat_map
+    (fun (_, make) -> [ mk (make `Logical); mk (make `Hardware) ])
+    Workload.Targets.all
+  @ [ mk (Workload.Targets.bst_ebrrq_lockfree ()) ]
+
+let () =
+  Alcotest.run "linearizability"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "sequential" `Quick checker_accepts_sequential;
+          Alcotest.test_case "overlap" `Quick checker_accepts_overlap;
+          Alcotest.test_case "lost update" `Quick checker_rejects_lost_update;
+          Alcotest.test_case "double insert" `Quick checker_rejects_double_insert;
+          Alcotest.test_case "initial state" `Quick checker_respects_initial_state;
+          Alcotest.test_case "reordering window" `Quick checker_reordering_window;
+        ] );
+      ("histories", plain_cases @ rq_cases);
+    ]

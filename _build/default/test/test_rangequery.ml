@@ -1,0 +1,301 @@
+(* Snapshot-consistency tests for the range-query ports.
+
+   The strongest checks exploit serial writers:
+   - a writer inserting keys one at a time means every snapshot must be a
+     *prefix* of the insertion sequence (a later key implies all earlier);
+   - a writer deleting serially means every snapshot is a *suffix*;
+   - with a static backdrop and toggling filler keys, every snapshot must
+     contain all static keys (catches torn traversals during tree
+     restructuring) and nothing outside static ∪ toggles. *)
+
+module type RQSET = Dstruct.Ordered_set.RQ
+
+module L1 = Hwts.Timestamp.Logical ()
+module L2 = Hwts.Timestamp.Logical ()
+module L3 = Hwts.Timestamp.Logical ()
+module L4 = Hwts.Timestamp.Logical ()
+module L5 = Hwts.Timestamp.Logical ()
+module L6 = Hwts.Timestamp.Logical ()
+module L7 = Hwts.Timestamp.Logical ()
+module L8 = Hwts.Timestamp.Logical ()
+module H = Hwts.Timestamp.Hardware
+module SH = Hwts.Timestamp.Strict (Hwts.Timestamp.Hardware) ()
+
+module Bst_vcas_l = Rangequery.Bst_vcas.Make (L1)
+module Bst_vcas_h = Rangequery.Bst_vcas.Make (H)
+module Bst_vcas_sh = Rangequery.Bst_vcas.Make (SH)
+module Citrus_vcas_l = Rangequery.Citrus_vcas.Make (L2)
+module Citrus_vcas_h = Rangequery.Citrus_vcas.Make (H)
+module Citrus_bundle_l = Rangequery.Citrus_bundle.Make (L3)
+module Citrus_bundle_h = Rangequery.Citrus_bundle.Make (H)
+module Citrus_ebrrq_l = Rangequery.Citrus_ebrrq.Make (L4)
+module Citrus_ebrrq_h = Rangequery.Citrus_ebrrq.Make (H)
+module Skiplist_bundle_l = Rangequery.Skiplist_bundle.Make (L5)
+module Skiplist_bundle_h = Rangequery.Skiplist_bundle.Make (H)
+module Skiplist_vcas_l = Rangequery.Skiplist_vcas.Make (L8)
+module Skiplist_vcas_h = Rangequery.Skiplist_vcas.Make (H)
+module Lazylist_bundle_l = Rangequery.Lazylist_bundle.Make (L6)
+module Lazylist_bundle_h = Rangequery.Lazylist_bundle.Make (H)
+module Bst_ebrrq_lf = Rangequery.Bst_ebrrq_lockfree.Make (L7)
+
+let impls : (module RQSET) list =
+  [
+    (module Bst_vcas_l);
+    (module Bst_vcas_h);
+    (module Bst_vcas_sh);
+    (module Citrus_vcas_l);
+    (module Citrus_vcas_h);
+    (module Citrus_bundle_l);
+    (module Citrus_bundle_h);
+    (module Citrus_ebrrq_l);
+    (module Citrus_ebrrq_h);
+    (module Skiplist_bundle_l);
+    (module Skiplist_bundle_h);
+    (module Skiplist_vcas_l);
+    (module Skiplist_vcas_h);
+    (module Lazylist_bundle_l);
+    (module Lazylist_bundle_h);
+    (module Bst_ebrrq_lf);
+  ]
+
+(* ---------- sequential semantics ---------- *)
+
+let sequential_rq (module S : RQSET) () =
+  let t = S.create () in
+  List.iter (fun k -> ignore (S.insert t k)) [ 10; 20; 30; 40; 50 ];
+  Alcotest.(check (list int)) "inner" [ 20; 30; 40 ] (S.range_query t ~lo:20 ~hi:40);
+  Alcotest.(check (list int)) "inclusive lo/hi" [ 10; 20; 30; 40; 50 ]
+    (S.range_query t ~lo:10 ~hi:50);
+  Alcotest.(check (list int)) "empty below" [] (S.range_query t ~lo:1 ~hi:9);
+  Alcotest.(check (list int)) "empty above" [] (S.range_query t ~lo:51 ~hi:99);
+  Alcotest.(check (list int)) "point hit" [ 30 ] (S.range_query t ~lo:30 ~hi:30);
+  Alcotest.(check (list int)) "point miss" [] (S.range_query t ~lo:31 ~hi:31);
+  ignore (S.delete t 30);
+  Alcotest.(check (list int)) "after delete" [ 20; 40 ] (S.range_query t ~lo:20 ~hi:40)
+
+let quiescent_matches_contents (module S : RQSET) =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 200) (pair bool (int_range 1 80)))
+        (pair (int_range 1 80) (int_range 0 40)))
+  in
+  Util.qcheck ~count:100
+    (S.name ^ " quiescent RQ = filtered contents")
+    gen
+    (fun (ops, (lo0, width)) ->
+      let t = S.create () in
+      List.iter
+        (fun (ins, k) -> if ins then ignore (S.insert t k) else ignore (S.delete t k))
+        ops;
+      let lo = lo0 and hi = lo0 + width in
+      let expected = List.filter (fun k -> k >= lo && k <= hi) (S.to_list t) in
+      S.range_query t ~lo ~hi = expected)
+
+(* ---------- concurrent snapshot consistency ---------- *)
+
+let is_prefix_of seq snapshot =
+  let n = List.length snapshot in
+  let prefix = List.filteri (fun i _ -> i < n) seq in
+  List.sort compare prefix = snapshot
+
+let prefix_consistency (module S : RQSET) () =
+  let t = S.create () in
+  let n = 300 in
+  let rng = Util.rng 42 in
+  (* a pseudo-random permutation of 3, 6, ..., 3n *)
+  let seq = Array.init n (fun i -> 3 * (i + 1)) in
+  for i = n - 1 downto 1 do
+    let j = Dstruct.Prng.below rng (i + 1) in
+    let tmp = seq.(i) in
+    seq.(i) <- seq.(j);
+    seq.(j) <- tmp
+  done;
+  let seq = Array.to_list seq in
+  let stop = Atomic.make false in
+  let bad = Atomic.make None in
+  let results =
+    Util.spawn_workers 2 (fun me ->
+        if me = 0 then begin
+          List.iter (fun k -> ignore (S.insert t k)) seq;
+          Atomic.set stop true;
+          0
+        end
+        else begin
+          let count = ref 0 in
+          while not (Atomic.get stop) do
+            let snapshot = S.range_query t ~lo:1 ~hi:(3 * n) in
+            incr count;
+            if not (is_prefix_of seq snapshot) then
+              Atomic.set bad (Some snapshot)
+          done;
+          !count
+        end)
+  in
+  (match Atomic.get bad with
+  | Some snapshot ->
+    Alcotest.failf "%s: snapshot is not an insertion prefix (%d keys)" S.name
+      (List.length snapshot)
+  | None -> ());
+  Alcotest.(check bool) "reader ran" true (List.nth results 1 >= 0);
+  Alcotest.(check (list int)) "final" (List.sort compare seq)
+    (S.range_query t ~lo:1 ~hi:(3 * n))
+
+let is_suffix_of seq snapshot =
+  let total = List.length seq in
+  let n = List.length snapshot in
+  let suffix = List.filteri (fun i _ -> i >= total - n) seq in
+  List.sort compare suffix = snapshot
+
+let suffix_consistency (module S : RQSET) () =
+  let t = S.create () in
+  let n = 300 in
+  let rng = Util.rng 43 in
+  let seq = Array.init n (fun i -> 3 * (i + 1)) in
+  for i = n - 1 downto 1 do
+    let j = Dstruct.Prng.below rng (i + 1) in
+    let tmp = seq.(i) in
+    seq.(i) <- seq.(j);
+    seq.(j) <- tmp
+  done;
+  let seq = Array.to_list seq in
+  List.iter (fun k -> ignore (S.insert t k)) seq;
+  let stop = Atomic.make false in
+  let bad = Atomic.make None in
+  ignore
+    (Util.spawn_workers 2 (fun me ->
+         if me = 0 then begin
+           List.iter (fun k -> ignore (S.delete t k)) seq;
+           Atomic.set stop true
+         end
+         else
+           while not (Atomic.get stop) do
+             let snapshot = S.range_query t ~lo:1 ~hi:(3 * n) in
+             if not (is_suffix_of seq snapshot) then
+               Atomic.set bad (Some snapshot)
+           done));
+  (match Atomic.get bad with
+  | Some snapshot ->
+    Alcotest.failf "%s: snapshot is not a deletion suffix (%d keys)" S.name
+      (List.length snapshot)
+  | None -> ());
+  Alcotest.(check (list int)) "emptied" [] (S.range_query t ~lo:1 ~hi:(3 * n))
+
+(* Static backdrop keys must appear in *every* snapshot while filler keys
+   toggle around them — this hammers the Citrus successor relocation and
+   the skip list unlink paths. *)
+let static_backdrop (module S : RQSET) () =
+  let t = S.create () in
+  let statics = List.init 60 (fun i -> (i + 1) * 10) in
+  let toggles = List.init 59 (fun i -> ((i + 1) * 10) + 5) in
+  List.iter (fun k -> ignore (S.insert t k)) statics;
+  let stop = Atomic.make false in
+  let bad = Atomic.make None in
+  let static_sorted = List.sort compare statics in
+  let allowed = List.sort compare (statics @ toggles) in
+  ignore
+    (Util.spawn_workers 4 (fun me ->
+         if me < 2 then begin
+           (* writers toggle filler keys *)
+           let rng = Util.rng (500 + me) in
+           for _ = 1 to 2_000 do
+             let k = List.nth toggles (Dstruct.Prng.below rng (List.length toggles)) in
+             if Dstruct.Prng.below rng 2 = 0 then ignore (S.insert t k)
+             else ignore (S.delete t k)
+           done;
+           if me = 0 then Atomic.set stop true
+         end
+         else
+           while not (Atomic.get stop) do
+             let snapshot = S.range_query t ~lo:1 ~hi:1000 in
+             let sorted = List.sort_uniq compare snapshot in
+             if sorted <> snapshot then
+               Atomic.set bad (Some ("unsorted/dup", snapshot));
+             if List.exists (fun k -> not (List.mem k snapshot)) static_sorted
+             then Atomic.set bad (Some ("missing static", snapshot));
+             if List.exists (fun k -> not (List.mem k allowed)) snapshot then
+               Atomic.set bad (Some ("alien key", snapshot))
+           done));
+  match Atomic.get bad with
+  | Some (why, snapshot) ->
+    Alcotest.failf "%s: %s (snapshot size %d)" S.name why (List.length snapshot)
+  | None -> ()
+
+(* §III-A failure injection: drive each technique with a frozen clock so
+   every label and every snapshot tie.  Sequential semantics must be
+   unaffected (chain order disambiguates), and concurrent use must neither
+   crash nor hang. *)
+let forced_ties_sequential () =
+  let module Frozen = Hwts.Timestamp.Mock () in
+  Frozen.set 7;
+  Frozen.freeze ();
+  let checks = ref 0 in
+  let check (module S : RQSET) =
+    let t = S.create () in
+    List.iter (fun k -> ignore (S.insert t k)) [ 5; 1; 9; 3; 7 ];
+    ignore (S.delete t 3);
+    Alcotest.(check (list int)) (S.name ^ " under 100% ties") [ 1; 5; 7; 9 ]
+      (S.range_query t ~lo:0 ~hi:100);
+    Alcotest.(check bool) (S.name ^ " contains") true (S.contains t 9);
+    incr checks
+  in
+  let module B = Rangequery.Bst_vcas.Make (Frozen) in
+  let module C = Rangequery.Citrus_vcas.Make (Frozen) in
+  let module D = Rangequery.Citrus_bundle.Make (Frozen) in
+  let module E = Rangequery.Citrus_ebrrq.Make (Frozen) in
+  let module F = Rangequery.Skiplist_bundle.Make (Frozen) in
+  let module G = Rangequery.Skiplist_vcas.Make (Frozen) in
+  let module H = Rangequery.Lazylist_bundle.Make (Frozen) in
+  check (module B);
+  check (module C);
+  check (module D);
+  check (module E);
+  check (module F);
+  check (module G);
+  check (module H);
+  Alcotest.(check int) "all techniques exercised" 7 !checks
+
+let forced_ties_concurrent_smoke () =
+  let module Frozen = Hwts.Timestamp.Mock () in
+  Frozen.set 7;
+  Frozen.freeze ();
+  let module S = Rangequery.Bst_vcas.Make (Frozen) in
+  let t = S.create () in
+  ignore
+    (Util.spawn_workers 3 (fun me ->
+         let rng = Util.rng (me + 400) in
+         for _ = 1 to 2_000 do
+           let k = 1 + Dstruct.Prng.below rng 100 in
+           match Dstruct.Prng.below rng 4 with
+           | 0 -> ignore (S.insert t k)
+           | 1 -> ignore (S.delete t k)
+           | 2 -> ignore (S.contains t k)
+           | _ ->
+             (* snapshots under total ties are well-formed, not torn-free *)
+             let snap = S.range_query t ~lo:k ~hi:(k + 20) in
+             assert (List.sort_uniq compare snap = snap)
+         done));
+  Util.check_sorted_unique "post-tie state" (S.to_list t)
+
+let per_impl (module S : RQSET) =
+  let t name speed f = Alcotest.test_case (S.name ^ ": " ^ name) speed f in
+  [
+    t "sequential rq" `Quick (sequential_rq (module S));
+    quiescent_matches_contents (module S);
+    t "prefix consistency" `Slow (prefix_consistency (module S));
+    t "suffix consistency" `Slow (suffix_consistency (module S));
+    t "static backdrop" `Slow (static_backdrop (module S));
+  ]
+
+let () =
+  Alcotest.run "rangequery"
+    [
+      ("snapshots", List.concat_map per_impl impls);
+      ( "forced-ties",
+        [
+          Alcotest.test_case "sequential under 100% ties" `Quick
+            forced_ties_sequential;
+          Alcotest.test_case "concurrent smoke under ties" `Slow
+            forced_ties_concurrent_smoke;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the RCU and EBR reclamation substrates. *)
+
+(* ---------- RCU ---------- *)
+
+let rcu_nesting () =
+  let r = Rcu.create () in
+  Alcotest.(check bool) "outside" false (Rcu.in_read_section r);
+  Rcu.read_lock r;
+  Rcu.read_lock r;
+  Alcotest.(check bool) "nested" true (Rcu.in_read_section r);
+  Rcu.read_unlock r;
+  Alcotest.(check bool) "still inside" true (Rcu.in_read_section r);
+  Rcu.read_unlock r;
+  Alcotest.(check bool) "left" false (Rcu.in_read_section r)
+
+let rcu_synchronize_no_readers () =
+  let r = Rcu.create () in
+  Rcu.synchronize r;
+  Rcu.synchronize r;
+  Alcotest.(check int) "grace periods counted" 2 (Rcu.grace_periods r)
+
+let rcu_synchronize_waits_for_reader () =
+  let r = Rcu.create () in
+  let reader_in = Atomic.make false in
+  let release_reader = Atomic.make false in
+  let sync_done = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ ->
+            Rcu.with_read r (fun () ->
+                Atomic.set reader_in true;
+                while not (Atomic.get release_reader) do
+                  Domain.cpu_relax ()
+                done)))
+  in
+  while not (Atomic.get reader_in) do
+    Domain.cpu_relax ()
+  done;
+  let syncer =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ ->
+            Rcu.synchronize r;
+            Atomic.set sync_done true))
+  in
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "synchronize blocked by active reader" false
+    (Atomic.get sync_done);
+  Atomic.set release_reader true;
+  Domain.join reader;
+  Domain.join syncer;
+  Alcotest.(check bool) "synchronize completed after release" true
+    (Atomic.get sync_done)
+
+let rcu_new_readers_dont_block () =
+  let r = Rcu.create () in
+  (* A reader that enters *after* synchronize starts must not block it:
+     run synchronize concurrently with a storm of short read sections. *)
+  let stop = Atomic.make false in
+  let readers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            Sync.Slot.with_slot (fun _ ->
+                while not (Atomic.get stop) do
+                  Rcu.with_read r (fun () -> ())
+                done)))
+  in
+  for _ = 1 to 50 do
+    Rcu.synchronize r
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check int) "all grace periods completed" 50 (Rcu.grace_periods r)
+
+(* ---------- EBR ---------- *)
+
+module E = Ebr.Make (struct
+  type t = int
+end)
+
+let ebr_retire_visible () =
+  let e = E.create () in
+  E.with_op e (fun () ->
+      E.retire e 11;
+      E.retire e 22);
+  let seen = E.fold_limbo e ~init:[] ~f:(fun acc n -> n :: acc) in
+  Alcotest.(check (list int)) "limbo contents" [ 11; 22 ]
+    (List.sort compare seen);
+  Alcotest.(check int) "size" 2 (E.limbo_size e)
+
+let ebr_epoch_advances () =
+  let e = E.create ~epoch_frequency:1 () in
+  let e0 = E.current_epoch e in
+  E.with_op e (fun () -> E.retire e 1);
+  (* no other thread active: advancing must succeed (enter may already
+     have advanced once on its own) *)
+  Alcotest.(check bool) "advance" true (E.try_advance e);
+  Alcotest.(check bool) "epoch moved" true (E.current_epoch e > e0)
+
+let ebr_stale_thread_blocks_advance () =
+  let e = E.create () in
+  let inside = Atomic.make false and release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ ->
+            E.enter e;
+            Atomic.set inside true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            E.exit e))
+  in
+  while not (Atomic.get inside) do
+    Domain.cpu_relax ()
+  done;
+  (* the domain announced the current epoch: first advance succeeds, the
+     next is blocked because its announcement is now stale *)
+  Alcotest.(check bool) "first advance ok" true (E.try_advance e);
+  Alcotest.(check bool) "blocked by stale announce" false (E.try_advance e);
+  Atomic.set release true;
+  Domain.join d;
+  Alcotest.(check bool) "unblocked after exit" true (E.try_advance e)
+
+let ebr_trim_reclaims () =
+  let e = E.create ~epoch_frequency:1 () in
+  E.with_op e (fun () -> E.retire e 7);
+  (* each enter tries to advance and trims entries two epochs old *)
+  for _ = 1 to 10 do
+    E.with_op e (fun () -> ())
+  done;
+  Alcotest.(check bool) "eventually reclaimed" true (E.reclaimed e >= 1);
+  Alcotest.(check int) "limbo drained" 0 (E.limbo_size e)
+
+let ebr_active_op_protects () =
+  let e = E.create ~epoch_frequency:1 () in
+  let retired = Atomic.make false and release = Atomic.make false in
+  let scanner =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ ->
+            E.enter e;
+            (* wait until another thread retires under us *)
+            while not (Atomic.get retired) do
+              Domain.cpu_relax ()
+            done;
+            let seen = E.fold_limbo e ~init:0 ~f:(fun n _ -> n + 1) in
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            E.exit e;
+            seen))
+  in
+  ignore
+    (Util.spawn_workers 1 (fun _ ->
+         E.with_op e (fun () -> E.retire e 99);
+         Atomic.set retired true;
+         (* churn: without the scanner's active op these would reclaim *)
+         for _ = 1 to 10 do
+           E.with_op e (fun () -> ())
+         done));
+  Alcotest.(check int) "node still in limbo under active op" 0 (E.reclaimed e);
+  Atomic.set release true;
+  let seen = Domain.join scanner in
+  Alcotest.(check bool) "scanner saw the retired node" true (seen >= 1)
+
+let ebr_qcheck_accounting =
+  Util.qcheck ~count:100 "ebr retire/reclaim accounting"
+    QCheck2.Gen.(list_size (int_range 1 100) (int_range 0 2))
+    (fun ops ->
+      let e = E.create ~epoch_frequency:1 () in
+      let retired = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+            E.with_op e (fun () ->
+                E.retire e !retired;
+                incr retired)
+          | 1 -> E.with_op e (fun () -> ())
+          | _ -> ignore (E.try_advance e))
+        ops;
+      (* conservation: everything retired is either in limbo or reclaimed,
+         and the epoch never runs backwards *)
+      E.limbo_size e + E.reclaimed e = !retired && E.current_epoch e >= 1)
+
+let () =
+  Alcotest.run "rcu-ebr"
+    [
+      ( "rcu",
+        [
+          Alcotest.test_case "nesting" `Quick rcu_nesting;
+          Alcotest.test_case "synchronize idle" `Quick rcu_synchronize_no_readers;
+          Alcotest.test_case "synchronize waits" `Slow
+            rcu_synchronize_waits_for_reader;
+          Alcotest.test_case "new readers don't block" `Slow
+            rcu_new_readers_dont_block;
+        ] );
+      ( "ebr",
+        [
+          Alcotest.test_case "retire visible" `Quick ebr_retire_visible;
+          Alcotest.test_case "epoch advances" `Quick ebr_epoch_advances;
+          Alcotest.test_case "stale thread blocks" `Slow
+            ebr_stale_thread_blocks_advance;
+          Alcotest.test_case "trim reclaims" `Quick ebr_trim_reclaims;
+          Alcotest.test_case "active op protects" `Slow ebr_active_op_protects;
+          ebr_qcheck_accounting;
+        ] );
+    ]

@@ -1,0 +1,356 @@
+(* Unit tests for the range-query building blocks: versioned CAS objects,
+   bundles, and the active-RQ registry — including qcheck properties. *)
+
+module M = Hwts.Timestamp.Mock ()
+module V = Rangequery.Vcas_obj.Make (M)
+module B = Rangequery.Bundle.Make (M)
+
+(* fresh mock state per test *)
+let reset () =
+  M.thaw ();
+  M.set 10
+
+(* ---------- vCAS objects ---------- *)
+
+let vcas_basics () =
+  reset ();
+  let o = V.make "a" in
+  Alcotest.(check string) "read" "a" (V.read o);
+  let h = V.head o in
+  Alcotest.(check bool) "labeled" true (V.timestamp h > 0);
+  Alcotest.(check bool) "cas ok" true (V.cas o h "b");
+  Alcotest.(check string) "new value" "b" (V.read o);
+  Alcotest.(check bool) "stale witness rejected" false (V.cas o h "c");
+  Alcotest.(check string) "value intact" "b" (V.read o);
+  Alcotest.(check int) "two versions retained" 2 (V.chain_length o)
+
+let vcas_read_at () =
+  reset ();
+  M.set 100;
+  let o = V.make 0 in
+  (* version 0 labeled at 100 *)
+  M.set 200;
+  V.write o 1 (* labeled at 200 *);
+  M.set 300;
+  V.write o 2 (* labeled at 300 *);
+  Alcotest.(check int) "at 250" 1 (V.read_at o 250);
+  Alcotest.(check int) "at 200" 1 (V.read_at o 200);
+  Alcotest.(check int) "at 199" 0 (V.read_at o 199);
+  Alcotest.(check int) "at 1000" 2 (V.read_at o 1000);
+  (* older than creation: falls back to the creation value *)
+  Alcotest.(check int) "before creation" 0 (V.read_at o 50)
+
+let vcas_helping_labels_pending () =
+  reset ();
+  M.set 500;
+  let o = V.make "x" in
+  (* install a version while frozen so its label is 500, then advance the
+     clock; a later read_at must still see it at 500, proving the label was
+     fixed when first needed, not when read *)
+  V.write o "y";
+  M.set 900;
+  Alcotest.(check string) "labeled at write time" "y" (V.read_at o 501);
+  Alcotest.(check string) "old value before" "x" (V.read_at o 499)
+
+let vcas_concurrent_single_winner () =
+  reset ();
+  let o = V.make 0 in
+  let rounds = 2_000 in
+  let wins =
+    Util.spawn_workers 4 (fun _ ->
+        let mine = ref 0 in
+        for round = 1 to rounds do
+          let rec attempt () =
+            let h = V.head o in
+            if V.value h >= round then ()
+            else if V.cas o h round then incr mine
+            else attempt ()
+          in
+          attempt ()
+        done;
+        !mine)
+  in
+  Alcotest.(check int) "final value" rounds (V.read o);
+  Alcotest.(check int) "one winner per round" rounds (List.fold_left ( + ) 0 wins)
+
+let vcas_qcheck_read_at =
+  Util.qcheck ~count:200 "vcas read_at returns version in force"
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 1 1000))
+    (fun writes ->
+      M.thaw ();
+      M.set 10;
+      let o = V.make (-1) in
+      let labeled =
+        List.mapi
+          (fun i v ->
+            M.set ((i + 2) * 100);
+            V.write o v;
+            ((i + 2) * 100, v))
+          writes
+      in
+      (* at any probe time, read_at = last write with label <= probe *)
+      List.for_all
+        (fun probe ->
+          let expected =
+            List.fold_left
+              (fun acc (ts, v) -> if ts <= probe then v else acc)
+              (-1) labeled
+          in
+          V.read_at o probe = expected)
+        [ 50; 150; 250; 550; 1_000_000 ])
+
+let vcas_prune () =
+  reset ();
+  M.set 10;
+  let o = V.make 0 in
+  M.set 100;
+  V.write o 1;
+  M.set 200;
+  V.write o 2;
+  M.set 300;
+  V.write o 3;
+  Alcotest.(check int) "4 versions" 4 (V.chain_length o);
+  (* a snapshot at 250 needs the version labeled 200 *)
+  V.prune o 250;
+  Alcotest.(check int) "pruned to 2" 2 (V.chain_length o);
+  Alcotest.(check int) "snapshot at 250 intact" 2 (V.read_at o 250);
+  Alcotest.(check int) "newest intact" 3 (V.read_at o 1000)
+
+let vcas_chains_stay_bounded () =
+  (* hammering one key with no active RQs must not grow version chains *)
+  let module H = Rangequery.Bst_vcas.Make (Hwts.Timestamp.Hardware) in
+  let t = H.create () in
+  for _ = 1 to 500 do
+    ignore (H.insert t 42);
+    ignore (H.delete t 42)
+  done;
+  let edges, versions = H.version_chain_stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded (%d versions over %d edges)" versions edges)
+    true
+    (versions <= (edges * 3) + 8)
+
+(* ---------- persistent snapshots (time travel) ---------- *)
+
+module BH = Rangequery.Bst_vcas.Make (Hwts.Timestamp.Hardware)
+
+let snapshot_time_travel () =
+  let t = BH.create () in
+  List.iter (fun k -> ignore (BH.insert t k)) [ 1; 2; 3; 4; 5 ];
+  let past = BH.take_snapshot t in
+  ignore (BH.delete t 2);
+  ignore (BH.delete t 4);
+  ignore (BH.insert t 9);
+  Alcotest.(check (list int)) "present" [ 1; 3; 5; 9 ]
+    (BH.range_query t ~lo:1 ~hi:10);
+  Alcotest.(check (list int)) "past" [ 1; 2; 3; 4; 5 ]
+    (BH.range_query_at t past ~lo:1 ~hi:10);
+  Alcotest.(check bool) "contains_at deleted key" true (BH.contains_at t past 2);
+  Alcotest.(check bool) "contains_at future key" false (BH.contains_at t past 9);
+  BH.release_snapshot t past
+
+let snapshot_survives_pruning_churn () =
+  let t = BH.create () in
+  ignore (BH.insert t 42);
+  let past = BH.take_snapshot t in
+  (* churn hard: pruning runs on every update, but the pin must protect
+     the snapshot's versions *)
+  for _ = 1 to 500 do
+    ignore (BH.delete t 42);
+    ignore (BH.insert t 42)
+  done;
+  ignore (BH.delete t 42);
+  Alcotest.(check (list int)) "pinned state intact" [ 42 ]
+    (BH.range_query_at t past ~lo:0 ~hi:100);
+  Alcotest.(check (list int)) "current state" [] (BH.range_query t ~lo:0 ~hi:100);
+  BH.release_snapshot t past;
+  (* after release, churn shrinks history again *)
+  for _ = 1 to 200 do
+    ignore (BH.insert t 42);
+    ignore (BH.delete t 42)
+  done;
+  let edges, versions = BH.version_chain_stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "chains shrink after release (%d/%d)" versions edges)
+    true
+    (versions <= (edges * 3) + 8)
+
+let snapshot_stable_under_concurrency () =
+  let t = BH.create () in
+  for k = 1 to 64 do
+    ignore (BH.insert t (2 * k))
+  done;
+  let past = BH.take_snapshot t in
+  let baseline = BH.range_query_at t past ~lo:0 ~hi:200 in
+  let stop = Atomic.make false in
+  let results =
+    Util.spawn_workers 3 (fun me ->
+        if me = 0 then begin
+          let rng = Util.rng 99 in
+          for _ = 1 to 4_000 do
+            let k = 1 + Dstruct.Prng.below rng 200 in
+            if Dstruct.Prng.below rng 2 = 0 then ignore (BH.insert t k)
+            else ignore (BH.delete t k)
+          done;
+          Atomic.set stop true;
+          true
+        end
+        else begin
+          let ok = ref true in
+          while not (Atomic.get stop) do
+            if BH.range_query_at t past ~lo:0 ~hi:200 <> baseline then
+              ok := false
+          done;
+          !ok
+        end)
+  in
+  Alcotest.(check (list bool)) "snapshot immutable under churn"
+    [ true; true; true ] results;
+  BH.release_snapshot t past
+
+(* ---------- bundles ---------- *)
+
+let bundle_basics () =
+  reset ();
+  M.set 100;
+  let b = B.make "root" in
+  Alcotest.(check string) "read" "root" (B.read b);
+  B.prepare b "v1";
+  Alcotest.(check string) "pending head visible to raw read" "v1" (B.read b);
+  B.label b 150;
+  Alcotest.(check string) "at 150" "v1" (B.read_at b 150);
+  Alcotest.(check string) "at 149" "root" (B.read_at b 149);
+  Alcotest.(check int) "chain" 2 (B.length b)
+
+let bundle_read_at_opt () =
+  reset ();
+  M.set 100;
+  let b = B.make_pending "born" in
+  B.label b 200;
+  Alcotest.(check (option string)) "before birth" None (B.read_at_opt b 150);
+  Alcotest.(check (option string)) "after birth" (Some "born")
+    (B.read_at_opt b 200);
+  (* read_at falls back to the creation value *)
+  Alcotest.(check string) "fallback" "born" (B.read_at b 150)
+
+let bundle_pending_spin_resolves () =
+  reset ();
+  M.set 100;
+  let b = B.make 0 in
+  B.prepare b 1;
+  let reader =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ -> B.read_at b 500))
+  in
+  Unix.sleepf 0.02;
+  B.label b 400;
+  Alcotest.(check int) "reader unblocked with labeled entry" 1
+    (Domain.join reader)
+
+let bundle_prune () =
+  reset ();
+  M.set 10;
+  let b = B.make 0 in
+  List.iter
+    (fun (v, ts) ->
+      B.prepare b v;
+      B.label b ts)
+    [ (1, 100); (2, 200); (3, 300) ];
+  Alcotest.(check int) "4 entries" 4 (B.length b);
+  (* an active snapshot at 250 needs entry(200); everything older can go *)
+  B.prune b 250;
+  Alcotest.(check int) "pruned to 2" 2 (B.length b);
+  Alcotest.(check int) "snapshot at 250 intact" 2 (B.read_at b 250);
+  Alcotest.(check int) "newest intact" 3 (B.read_at b 1000)
+
+let bundle_multi_label_atomicity () =
+  reset ();
+  M.set 10;
+  (* one update labels two bundles with one timestamp: a snapshot sees both
+     or neither *)
+  let b1 = B.make "a0" and b2 = B.make "b0" in
+  B.prepare b1 "a1";
+  B.prepare b2 "b1";
+  B.label b1 500;
+  B.label b2 500;
+  List.iter
+    (fun ts ->
+      let x = B.read_at b1 ts and y = B.read_at b2 ts in
+      Alcotest.(check bool)
+        (Printf.sprintf "consistent at %d" ts)
+        true
+        ((x = "a0" && y = "b0") || (x = "a1" && y = "b1")))
+    [ 499; 500; 501 ]
+
+(* ---------- registry ---------- *)
+
+let registry_basics () =
+  let r = Rangequery.Rq_registry.create () in
+  Alcotest.(check int) "empty min" 42
+    (Rangequery.Rq_registry.min_active r ~default:42);
+  Alcotest.(check int) "empty count" 0 (Rangequery.Rq_registry.active_count r);
+  Rangequery.Rq_registry.enter r 100;
+  Alcotest.(check int) "active min" 100
+    (Rangequery.Rq_registry.min_active r ~default:500);
+  Alcotest.(check int) "count" 1 (Rangequery.Rq_registry.active_count r);
+  Rangequery.Rq_registry.exit_rq r;
+  Alcotest.(check int) "cleared" 0 (Rangequery.Rq_registry.active_count r)
+
+let registry_across_domains () =
+  let r = Rangequery.Rq_registry.create () in
+  let announced = Atomic.make 0 and release = Atomic.make false in
+  let ds =
+    List.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            Sync.Slot.with_slot (fun _ ->
+                Rangequery.Rq_registry.enter r ((i + 1) * 100);
+                ignore (Atomic.fetch_and_add announced 1);
+                while not (Atomic.get release) do
+                  Domain.cpu_relax ()
+                done;
+                Rangequery.Rq_registry.exit_rq r)))
+  in
+  while Atomic.get announced < 3 do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "min across domains" 100
+    (Rangequery.Rq_registry.min_active r ~default:9999);
+  Alcotest.(check int) "three active" 3 (Rangequery.Rq_registry.active_count r);
+  Atomic.set release true;
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all gone" 0 (Rangequery.Rq_registry.active_count r)
+
+let () =
+  Alcotest.run "rq-units"
+    [
+      ( "vcas-obj",
+        [
+          Alcotest.test_case "basics" `Quick vcas_basics;
+          Alcotest.test_case "read_at" `Quick vcas_read_at;
+          Alcotest.test_case "helping labels" `Quick vcas_helping_labels_pending;
+          Alcotest.test_case "single winner" `Slow vcas_concurrent_single_winner;
+          Alcotest.test_case "prune" `Quick vcas_prune;
+          Alcotest.test_case "chains bounded" `Quick vcas_chains_stay_bounded;
+          Alcotest.test_case "snapshot time travel" `Quick snapshot_time_travel;
+          Alcotest.test_case "snapshot vs pruning" `Quick
+            snapshot_survives_pruning_churn;
+          Alcotest.test_case "snapshot stable under churn" `Slow
+            snapshot_stable_under_concurrency;
+          vcas_qcheck_read_at;
+        ] );
+      ( "bundle",
+        [
+          Alcotest.test_case "basics" `Quick bundle_basics;
+          Alcotest.test_case "read_at_opt" `Quick bundle_read_at_opt;
+          Alcotest.test_case "pending spin resolves" `Quick
+            bundle_pending_spin_resolves;
+          Alcotest.test_case "prune" `Quick bundle_prune;
+          Alcotest.test_case "multi-label atomicity" `Quick
+            bundle_multi_label_atomicity;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "basics" `Quick registry_basics;
+          Alcotest.test_case "across domains" `Quick registry_across_domains;
+        ] );
+    ]

@@ -1,0 +1,283 @@
+(* Tests for the synchronization substrate: locks, seqlock, RDCSS, slots. *)
+
+(* ---------- backoff / padding ---------- *)
+
+let backoff_bounds () =
+  let b = Sync.Backoff.make ~min_spins:2 ~max_spins:8 () in
+  (* growth is internal; we only require it not to hang and reset to work *)
+  for _ = 1 to 10 do
+    Sync.Backoff.once b
+  done;
+  Sync.Backoff.reset b;
+  Sync.Backoff.once b;
+  Alcotest.(check pass) "ran" () ()
+
+let padding_array () =
+  let arr = Sync.Padding.atomic_array 16 0 in
+  Array.iteri (fun i a -> Atomic.set a i) arr;
+  Array.iteri (fun i a -> Alcotest.(check int) "slot" i (Atomic.get a)) arr;
+  Alcotest.(check bool) "distinct cells" true (arr.(0) != arr.(1))
+
+(* ---------- slots ---------- *)
+
+let slot_reuse () =
+  let before = Sync.Slot.current () in
+  let used =
+    Util.spawn_workers 4 (fun _ ->
+        match Sync.Slot.current () with
+        | Some s -> s
+        | None -> Alcotest.fail "spawn_workers should hold a slot")
+  in
+  List.iter (fun s -> Alcotest.(check bool) "valid" true (s >= 0 && s < 256)) used;
+  (* after release, sequentially spawned domains can reuse low slots *)
+  let again =
+    Util.spawn_workers 1 (fun _ -> Option.get (Sync.Slot.current ()))
+  in
+  Alcotest.(check bool) "low slot reused" true (List.hd again < 8);
+  Alcotest.(check bool) "main slot unchanged" true (Sync.Slot.current () = before)
+
+let slot_nested () =
+  ignore
+    (Util.spawn_workers 1 (fun _ ->
+         let s1 = Sync.Slot.my_slot () in
+         Sync.Slot.with_slot (fun s2 ->
+             Alcotest.(check int) "nested reuses same slot" s1 s2)))
+
+(* ---------- mutual exclusion ---------- *)
+
+let counter_under_lock ~lock ~unlock () =
+  let counter = ref 0 in
+  let per_domain = 20_000 in
+  ignore
+    (Util.spawn_workers 4 (fun _ ->
+         for _ = 1 to per_domain do
+           lock ();
+           counter := !counter + 1;
+           unlock ()
+         done));
+  Alcotest.(check int) "no lost updates" (4 * per_domain) !counter
+
+let spinlock_mutex () =
+  let l = Sync.Spinlock.make () in
+  counter_under_lock
+    ~lock:(fun () -> Sync.Spinlock.lock l)
+    ~unlock:(fun () -> Sync.Spinlock.unlock l)
+    ()
+
+let spinlock_trylock () =
+  let l = Sync.Spinlock.make () in
+  Alcotest.(check bool) "free" true (Sync.Spinlock.try_lock l);
+  Alcotest.(check bool) "held" false (Sync.Spinlock.try_lock l);
+  Sync.Spinlock.unlock l;
+  Alcotest.(check bool) "free again" true (Sync.Spinlock.try_lock l);
+  Sync.Spinlock.unlock l
+
+let ticket_mutex () =
+  let l = Sync.Ticket_lock.make () in
+  counter_under_lock
+    ~lock:(fun () -> Sync.Ticket_lock.lock l)
+    ~unlock:(fun () -> Sync.Ticket_lock.unlock l)
+    ()
+
+let rwlock_mutex () =
+  let l = Sync.Rwlock.make () in
+  counter_under_lock
+    ~lock:(fun () -> Sync.Rwlock.write_lock l)
+    ~unlock:(fun () -> Sync.Rwlock.write_unlock l)
+    ()
+
+let rwlock_readers_and_writers () =
+  let l = Sync.Rwlock.make () in
+  let a = ref 0 and b = ref 0 in
+  let torn = Atomic.make false in
+  ignore
+    (Util.spawn_workers 4 (fun me ->
+         if me = 0 then
+           for _ = 1 to 5_000 do
+             Sync.Rwlock.with_write l (fun () ->
+                 incr a;
+                 incr b)
+           done
+         else
+           for _ = 1 to 5_000 do
+             Sync.Rwlock.with_read l (fun () ->
+                 if !a <> !b then Atomic.set torn true)
+           done));
+  Alcotest.(check bool) "readers never saw a torn write" false
+    (Atomic.get torn);
+  Alcotest.(check int) "writer completed" 5_000 !a
+
+let rwlock_writer_not_starved () =
+  let l = Sync.Rwlock.make () in
+  let stop = Atomic.make false in
+  let acquired = Atomic.make false in
+  ignore
+    (Util.spawn_workers 3 (fun me ->
+         if me < 2 then
+           (* constant reader churn *)
+           while not (Atomic.get stop) do
+             Sync.Rwlock.with_read l (fun () -> ())
+           done
+         else begin
+           Sync.Rwlock.with_write l (fun () -> Atomic.set acquired true);
+           Atomic.set stop true
+         end));
+  Alcotest.(check bool) "writer acquired under reader churn" true
+    (Atomic.get acquired)
+
+(* ---------- seqlock ---------- *)
+
+let seqlock_no_torn_reads () =
+  let sl = Sync.Seqlock.make () in
+  let a = ref 0 and b = ref 0 in
+  ignore
+    (Util.spawn_workers 4 (fun me ->
+         if me = 0 then
+           for i = 1 to 10_000 do
+             Sync.Seqlock.write sl (fun () ->
+                 a := i;
+                 b := 2 * i)
+           done
+         else
+           for _ = 1 to 10_000 do
+             let x, y = Sync.Seqlock.read sl (fun () -> (!a, !b)) in
+             if y <> 2 * x then Alcotest.failf "torn read: %d %d" x y
+           done));
+  Alcotest.(check bool) "sequence even at rest" true
+    (Sync.Seqlock.sequence sl land 1 = 0)
+
+(* ---------- RDCSS ---------- *)
+
+let rdcss_success () =
+  let control = Atomic.make 7 in
+  let loc = Sync.Rdcss.make "old" in
+  let snap = Sync.Rdcss.read loc in
+  Alcotest.(check string) "initial" "old" (Sync.Rdcss.value snap);
+  (match
+     Sync.Rdcss.rdcss ~control ~expected_control:7 ~loc ~expected:snap "new"
+   with
+  | Sync.Rdcss.Success -> ()
+  | _ -> Alcotest.fail "expected success");
+  Alcotest.(check string) "installed" "new" (Sync.Rdcss.get loc)
+
+let rdcss_control_mismatch () =
+  let control = Atomic.make 7 in
+  let loc = Sync.Rdcss.make 1 in
+  let snap = Sync.Rdcss.read loc in
+  (match
+     Sync.Rdcss.rdcss ~control ~expected_control:8 ~loc ~expected:snap 2
+   with
+  | Sync.Rdcss.Control_changed -> ()
+  | _ -> Alcotest.fail "expected control_changed");
+  Alcotest.(check int) "unchanged" 1 (Sync.Rdcss.get loc)
+
+let rdcss_loc_mismatch () =
+  let control = Atomic.make 0 in
+  let loc = Sync.Rdcss.make 1 in
+  let stale = Sync.Rdcss.read loc in
+  let fresh = Sync.Rdcss.read loc in
+  ignore
+    (Sync.Rdcss.rdcss ~control ~expected_control:0 ~loc ~expected:fresh 2);
+  (match Sync.Rdcss.rdcss ~control ~expected_control:0 ~loc ~expected:stale 3 with
+  | Sync.Rdcss.Loc_changed -> ()
+  | _ -> Alcotest.fail "expected loc_changed");
+  Alcotest.(check int) "second write rejected" 2 (Sync.Rdcss.get loc)
+
+(* Regression: a completed RDCSS must leave a plain value behind — an
+   unfinished descriptor once made every subsequent read spin forever. *)
+let rdcss_descriptor_cleared () =
+  let control = Atomic.make 1 in
+  let loc = Sync.Rdcss.make 0 in
+  for i = 1 to 1_000 do
+    let snap = Sync.Rdcss.read loc in
+    ignore
+      (Sync.Rdcss.rdcss ~control ~expected_control:1 ~loc ~expected:snap i);
+    (* [get] must terminate and see the latest value *)
+    Alcotest.(check int) "value visible" i (Sync.Rdcss.get loc)
+  done
+
+let rdcss_concurrent_single_winner () =
+  let control = Atomic.make 1 in
+  let loc = Sync.Rdcss.make 0 in
+  let rounds = 2_000 in
+  let wins =
+    Util.spawn_workers 4 (fun me ->
+        let mine = ref 0 in
+        for round = 1 to rounds do
+          let rec try_round () =
+            let snap = Sync.Rdcss.read loc in
+            if Sync.Rdcss.value snap >= round then ()
+            else
+              match
+                Sync.Rdcss.rdcss ~control ~expected_control:1 ~loc
+                  ~expected:snap round
+              with
+              | Sync.Rdcss.Success -> incr mine
+              | Sync.Rdcss.Loc_changed -> try_round ()
+              | Sync.Rdcss.Control_changed ->
+                Alcotest.fail "control never changes here"
+          in
+          try_round ();
+          ignore me
+        done;
+        !mine)
+  in
+  Alcotest.(check int) "final value" rounds (Sync.Rdcss.get loc);
+  Alcotest.(check int) "every round had exactly one winner" rounds
+    (List.fold_left ( + ) 0 wins)
+
+let rdcss_concurrent_with_control_flips () =
+  let control = Atomic.make 0 in
+  let loc = Sync.Rdcss.make 0 in
+  ignore
+    (Util.spawn_workers 4 (fun me ->
+         if me = 0 then
+           for _ = 1 to 20_000 do
+             Atomic.incr control
+           done
+         else
+           for _ = 1 to 5_000 do
+             let snap = Sync.Rdcss.read loc in
+             let c = Atomic.get control in
+             ignore
+               (Sync.Rdcss.rdcss ~control ~expected_control:c ~loc
+                  ~expected:snap (Sync.Rdcss.value snap + 1))
+           done));
+  (* whatever happened, the location must hold a readable value *)
+  Alcotest.(check bool) "location readable" true (Sync.Rdcss.get loc >= 0)
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "backoff" `Quick backoff_bounds;
+          Alcotest.test_case "padding array" `Quick padding_array;
+          Alcotest.test_case "slot reuse" `Quick slot_reuse;
+          Alcotest.test_case "slot nesting" `Quick slot_nested;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "spinlock mutual exclusion" `Slow spinlock_mutex;
+          Alcotest.test_case "spinlock trylock" `Quick spinlock_trylock;
+          Alcotest.test_case "ticket mutual exclusion" `Slow ticket_mutex;
+          Alcotest.test_case "rwlock write mutual exclusion" `Slow rwlock_mutex;
+          Alcotest.test_case "rwlock readers vs writer" `Slow
+            rwlock_readers_and_writers;
+          Alcotest.test_case "rwlock writer preference" `Slow
+            rwlock_writer_not_starved;
+          Alcotest.test_case "seqlock no torn reads" `Slow seqlock_no_torn_reads;
+        ] );
+      ( "rdcss",
+        [
+          Alcotest.test_case "success" `Quick rdcss_success;
+          Alcotest.test_case "control mismatch" `Quick rdcss_control_mismatch;
+          Alcotest.test_case "loc mismatch" `Quick rdcss_loc_mismatch;
+          Alcotest.test_case "descriptor cleared (regression)" `Quick
+            rdcss_descriptor_cleared;
+          Alcotest.test_case "single winner per round" `Slow
+            rdcss_concurrent_single_winner;
+          Alcotest.test_case "concurrent control flips" `Slow
+            rdcss_concurrent_with_control_flips;
+        ] );
+    ]

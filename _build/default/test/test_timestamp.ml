@@ -1,0 +1,160 @@
+(* Tests for the core timestamp providers. *)
+
+let logical_basics () =
+  let module L = Hwts.Timestamp.Logical () in
+  Alcotest.(check int) "initial read" 1 (L.read ());
+  Alcotest.(check int) "first advance" 2 (L.advance ());
+  Alcotest.(check int) "second advance" 3 (L.advance ());
+  Alcotest.(check int) "read after" 3 (L.read ());
+  Alcotest.(check bool) "not hardware" false L.is_hardware;
+  Alcotest.(check int) "raw exposed" 3 (Atomic.get L.raw)
+
+let logical_instances_independent () =
+  let module A = Hwts.Timestamp.Logical () in
+  let module B = Hwts.Timestamp.Logical () in
+  ignore (A.advance ());
+  ignore (A.advance ());
+  Alcotest.(check int) "B untouched" 1 (B.read ())
+
+let logical_unique_across_domains () =
+  let module L = Hwts.Timestamp.Logical () in
+  let per_domain = 5_000 in
+  let results =
+    Util.spawn_workers 4 (fun _ -> List.init per_domain (fun _ -> L.advance ()))
+  in
+  let all = List.concat results in
+  let unique = List.sort_uniq compare all in
+  Alcotest.(check int) "all advances unique" (4 * per_domain)
+    (List.length unique);
+  List.iter
+    (fun seq ->
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "per-thread increasing" true (increasing seq))
+    results
+
+let logical_snapshot_excludes_later_labels () =
+  (* regression for the torn-snapshot bug: a snapshot must be strictly
+     below every label assigned after it *)
+  let module L = Hwts.Timestamp.Logical () in
+  let s = L.snapshot () in
+  Alcotest.(check int) "pre-increment value" 1 s;
+  Alcotest.(check bool) "later label reads above" true (L.read () > s);
+  let s2 = L.snapshot () in
+  Alcotest.(check bool) "snapshots strictly increase" true (s2 > s);
+  Alcotest.(check bool) "advance above snapshot" true (L.advance () > s2)
+
+let hardware_snapshot () =
+  let s = Hwts.Timestamp.Hardware.snapshot () in
+  Alcotest.(check bool) "later reads not below" true
+    (Hwts.Timestamp.Hardware.read () >= s)
+
+let hardware_monotone () =
+  let last = ref 0 in
+  for _ = 1 to 10_000 do
+    let v = Hwts.Timestamp.Hardware.advance () in
+    if v < !last then Alcotest.fail "hardware timestamp went backwards";
+    last := v
+  done;
+  Alcotest.(check bool) "hardware flag" true Hwts.Timestamp.Hardware.is_hardware
+
+let hardware_cross_domain_monotone () =
+  (* With invariant TSC and fenced reads, a value observed by one domain
+     after joining another domain's last read must not be smaller. *)
+  let d = Domain.spawn (fun () -> Hwts.Timestamp.Hardware.advance ()) in
+  let other = Domain.join d in
+  let mine = Hwts.Timestamp.Hardware.advance () in
+  Alcotest.(check bool) "synchronized across domains" true (mine >= other)
+
+let strict_strictly_increasing () =
+  let module Frozen = Hwts.Timestamp.Mock () in
+  Frozen.set 50;
+  Frozen.freeze ();
+  let module S = Hwts.Timestamp.Strict (Frozen) () in
+  let a = S.advance () in
+  let b = S.advance () in
+  let c = S.advance () in
+  Alcotest.(check bool) "a<b<c despite frozen base" true (a < b && b < c)
+
+let strict_concurrent_unique () =
+  let module S = Hwts.Timestamp.Strict (Hwts.Timestamp.Hardware) () in
+  let per_domain = 3_000 in
+  let results =
+    Util.spawn_workers 4 (fun _ -> List.init per_domain (fun _ -> S.advance ()))
+  in
+  let all = List.concat results in
+  Alcotest.(check int) "strict advances unique" (4 * per_domain)
+    (List.length (List.sort_uniq compare all))
+
+let mock_controls () =
+  let module M = Hwts.Timestamp.Mock () in
+  Alcotest.(check int) "initial" 1 (M.read ());
+  M.set 42;
+  Alcotest.(check int) "set" 42 (M.read ());
+  Alcotest.(check int) "advance returns current" 42 (M.advance ());
+  Alcotest.(check int) "auto increment" 43 (M.read ());
+  M.freeze ();
+  Alcotest.(check int) "frozen advance" 43 (M.advance ());
+  Alcotest.(check int) "frozen advance again" 43 (M.advance ());
+  M.thaw ();
+  Alcotest.(check int) "thawed" 43 (M.advance ());
+  Alcotest.(check int) "moves again" 44 (M.read ())
+
+let providers_list () =
+  let names = List.map fst Hwts.Timestamp.providers in
+  Alcotest.(check (list string)) "names"
+    [ "rdtscp"; "rdtscp-nofence"; "rdtsc"; "rdtsc-nofence" ]
+    names;
+  List.iter
+    (fun (_, (module P : Hwts.Timestamp.S)) ->
+      Alcotest.(check bool) "hardware" true P.is_hardware;
+      Alcotest.(check bool) "usable" true (P.advance () > 0))
+    Hwts.Timestamp.providers
+
+let labeling_taxonomy () =
+  Alcotest.(check int) "four profiles" 4 (List.length Hwts.Labeling.all);
+  Alcotest.(check bool) "dcss not portable" false
+    (Hwts.Labeling.tsc_applicable Hwts.Labeling.ebr_rq_lock_free);
+  Alcotest.(check bool) "others portable" true
+    (List.for_all Hwts.Labeling.tsc_applicable
+       [
+         Hwts.Labeling.bundling;
+         Hwts.Labeling.vcas;
+         Hwts.Labeling.ebr_rq_lock_based;
+       ]);
+  let benefit p = Hwts.Labeling.expected_benefit p in
+  Alcotest.(check bool) "vcas high" true (benefit Hwts.Labeling.vcas = `High);
+  Alcotest.(check bool) "ebr-rq low" true
+    (benefit Hwts.Labeling.ebr_rq_lock_based = `Low);
+  Alcotest.(check bool) "lock-free ebr-rq none" true
+    (benefit Hwts.Labeling.ebr_rq_lock_free = `None);
+  Alcotest.(check bool) "bundling moderate" true
+    (benefit Hwts.Labeling.bundling = `Moderate)
+
+let () =
+  Alcotest.run "timestamp"
+    [
+      ( "providers",
+        [
+          Alcotest.test_case "logical basics" `Quick logical_basics;
+          Alcotest.test_case "logical instances independent" `Quick
+            logical_instances_independent;
+          Alcotest.test_case "logical unique across domains" `Slow
+            logical_unique_across_domains;
+          Alcotest.test_case "logical snapshot semantics" `Quick
+            logical_snapshot_excludes_later_labels;
+          Alcotest.test_case "hardware snapshot" `Quick hardware_snapshot;
+          Alcotest.test_case "hardware monotone" `Quick hardware_monotone;
+          Alcotest.test_case "hardware cross-domain" `Quick
+            hardware_cross_domain_monotone;
+          Alcotest.test_case "strict strictly increasing" `Quick
+            strict_strictly_increasing;
+          Alcotest.test_case "strict concurrent unique" `Slow
+            strict_concurrent_unique;
+          Alcotest.test_case "mock controls" `Quick mock_controls;
+          Alcotest.test_case "providers list" `Quick providers_list;
+          Alcotest.test_case "labeling taxonomy" `Quick labeling_taxonomy;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+(* Tests for the TSC stubs. *)
+
+let readers =
+  [
+    ("rdtsc", Tsc.rdtsc);
+    ("rdtscp", Tsc.rdtscp);
+    ("rdtscp_lfence", Tsc.rdtscp_lfence);
+    ("serializing_read", Tsc.serializing_read);
+    ("monotonic_ns", Tsc.monotonic_ns);
+  ]
+
+let monotone () =
+  List.iter
+    (fun (name, reader) ->
+      let last = ref 0 in
+      for _ = 1 to 20_000 do
+        let v = reader () in
+        if v < !last then Alcotest.failf "%s went backwards" name;
+        last := v
+      done;
+      Alcotest.(check bool) (name ^ " positive") true (!last > 0))
+    readers
+
+let cpuid_reader_monotone () =
+  (* CPUID is very slow under virtualization; fewer iterations. *)
+  let last = ref 0 in
+  for _ = 1 to 100 do
+    let v = Tsc.rdtsc_cpuid () in
+    Alcotest.(check bool) "cpuid+rdtsc nondecreasing" true (v >= !last);
+    last := v
+  done
+
+let invariant_probe () =
+  (* On x86 the probe must answer; on this repo's CI machine it's true. *)
+  if Tsc.is_x86 then
+    Alcotest.(check bool) "invariant tsc available" true
+      (Tsc.has_invariant_tsc ())
+  else Alcotest.(check bool) "fallback mode" false (Tsc.has_invariant_tsc ())
+
+let calibration () =
+  let c = Tsc.cycles_per_ns () in
+  Alcotest.(check bool) "plausible frequency" true (c > 0.3 && c < 10.);
+  Alcotest.(check bool) "calibration is cached" true (Tsc.cycles_per_ns () = c);
+  let ns = Tsc.cycles_to_ns 2100 in
+  Alcotest.(check bool) "2100 cycles ~ 1000ns at ~2.1GHz" true
+    (ns > 100. && ns < 10_000.)
+
+let measured_costs () =
+  let cost f = Tsc.measure_cost_cycles ~iters:20_000 f in
+  let rdtsc = cost Tsc.rdtsc in
+  let fenced = cost Tsc.rdtscp_lfence in
+  Alcotest.(check bool) "positive" true (rdtsc > 0.);
+  Alcotest.(check bool) "fence costs more than bare rdtsc" true (fenced > rdtsc)
+
+let wall_clock_agreement () =
+  (* A busy 20ms window must measure ~20ms in TSC cycles. *)
+  let t0 = Tsc.monotonic_ns () in
+  let c0 = Tsc.rdtscp_lfence () in
+  while Tsc.monotonic_ns () - t0 < 20_000_000 do
+    Tsc.cpu_relax ()
+  done;
+  let cycles = Tsc.rdtscp_lfence () - c0 in
+  let measured_ns = Tsc.cycles_to_ns cycles in
+  let err = abs_float (measured_ns -. 20_000_000.) /. 20_000_000. in
+  Alcotest.(check bool) "within 10% of wall clock" true (err < 0.10)
+
+let pinning () =
+  (* Must not raise; on Linux with 1 cpu it pins to cpu 0. *)
+  let r = Tsc.pin_to_cpu 3 in
+  Alcotest.(check bool) "returns bool" true (r || not r);
+  Alcotest.(check bool) "num_cpus positive" true (Tsc.num_cpus () >= 1)
+
+let () =
+  Alcotest.run "tsc"
+    [
+      ( "stubs",
+        [
+          Alcotest.test_case "monotone readers" `Quick monotone;
+          Alcotest.test_case "cpuid reader" `Quick cpuid_reader_monotone;
+          Alcotest.test_case "invariant probe" `Quick invariant_probe;
+          Alcotest.test_case "calibration" `Quick calibration;
+          Alcotest.test_case "measured costs" `Quick measured_costs;
+          Alcotest.test_case "wall clock agreement" `Quick wall_clock_agreement;
+          Alcotest.test_case "pinning" `Quick pinning;
+        ] );
+    ]

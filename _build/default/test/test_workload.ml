@@ -1,0 +1,193 @@
+(* Tests for the workload generator, statistics and throughput harness. *)
+
+let mix_roundtrip () =
+  let m = Workload.Mix.make ~u:10 ~rq:10 ~c:80 in
+  Alcotest.(check string) "label" "10-10-80" (Workload.Mix.label m);
+  let m' = Workload.Mix.of_label "2-20-78" in
+  Alcotest.(check string) "parse" "2-20-78" (Workload.Mix.label m')
+
+let mix_invalid () =
+  Alcotest.check_raises "sum != 100" (Invalid_argument
+    "Mix.make: percentages must be non-negative and sum to 100") (fun () ->
+      ignore (Workload.Mix.make ~u:50 ~rq:10 ~c:50));
+  Alcotest.check_raises "bad label"
+    (Invalid_argument "Mix.of_label: expected U-RQ-C, got nope") (fun () ->
+      ignore (Workload.Mix.of_label "nope"))
+
+let mix_distribution () =
+  let m = Workload.Mix.make ~u:20 ~rq:10 ~c:70 in
+  let rng = Util.rng 7 in
+  let n = 100_000 in
+  let ins = ref 0 and del = ref 0 and con = ref 0 and rq = ref 0 in
+  for _ = 1 to n do
+    match Workload.Mix.pick m rng ~key_range:1000 with
+    | Workload.Mix.Insert k ->
+      Alcotest.(check bool) "key range" true (k >= 1 && k <= 1000);
+      incr ins
+    | Workload.Mix.Delete _ -> incr del
+    | Workload.Mix.Contains _ -> incr con
+    | Workload.Mix.Range _ -> incr rq
+  done;
+  let pct x = 100. *. float_of_int x /. float_of_int n in
+  Alcotest.(check bool) "updates ~20%" true (abs_float (pct (!ins + !del) -. 20.) < 1.5);
+  Alcotest.(check bool) "inserts ~ deletes" true
+    (abs_float (pct !ins -. pct !del) < 1.5);
+  Alcotest.(check bool) "rq ~10%" true (abs_float (pct !rq -. 10.) < 1.5);
+  Alcotest.(check bool) "contains ~70%" true (abs_float (pct !con -. 70.) < 1.5)
+
+let mix_deterministic_stream () =
+  (* the harness relies on seeded reproducibility of the op stream *)
+  let m = Workload.Mix.make ~u:30 ~rq:20 ~c:50 in
+  let draw seed =
+    let rng = Util.rng seed in
+    List.init 2_000 (fun _ -> Workload.Mix.pick m rng ~key_range:999)
+  in
+  Alcotest.(check bool) "same seed, same stream" true (draw 5 = draw 5);
+  Alcotest.(check bool) "different seed differs" true (draw 5 <> draw 6)
+
+let zipf_cdf_and_range () =
+  let z = Workload.Zipf.make ~n:1_000 ~theta:0.99 in
+  Alcotest.(check int) "n" 1_000 (Workload.Zipf.n z);
+  let rng = Util.rng 17 in
+  for _ = 1 to 10_000 do
+    let k = Workload.Zipf.sample z rng in
+    if k < 1 || k > 1_000 then Alcotest.failf "out of range: %d" k
+  done
+
+let zipf_skew () =
+  let n = 1_000 and draws = 50_000 in
+  let z = Workload.Zipf.make ~n ~theta:0.99 in
+  let rng = Util.rng 23 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to draws do
+    let k = Workload.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let share k = float_of_int counts.(k) /. float_of_int draws in
+  (* key 1 dwarfs the uniform share (1/1000) and key 2 ~ half of key 1 *)
+  Alcotest.(check bool) "head heavy" true (share 1 > 0.05);
+  Alcotest.(check bool) "rank 2 about half of rank 1" true
+    (share 2 > share 1 *. 0.3 && share 2 < share 1 *. 0.8);
+  Alcotest.(check bool) "tail light" true (share 900 < share 1 /. 20.)
+
+let zipf_theta_zero_uniform () =
+  let n = 100 and draws = 100_000 in
+  let z = Workload.Zipf.make ~n ~theta:0. in
+  let rng = Util.rng 29 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to draws do
+    let k = Workload.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int n in
+  Array.iteri
+    (fun k c ->
+      if k >= 1 && abs_float (float_of_int c -. expected) > expected *. 0.25
+      then Alcotest.failf "theta=0 not uniform at key %d (%d)" k c)
+    counts
+
+let harness_zipf_runs () =
+  let config =
+    {
+      Workload.Harness.default with
+      threads = 1;
+      seconds = 0.1;
+      key_range = 1_024;
+      zipf_theta = Some 0.99;
+    }
+  in
+  let r = Workload.Harness.run (Workload.Targets.bst_vcas `Hardware) config in
+  Alcotest.(check bool) "did work under skew" true (r.Workload.Harness.total_ops > 500)
+
+let stats_known_values () =
+  Alcotest.(check (float 1e-9)) "mean" 3. (Workload.Stats.mean [ 1.; 3.; 5. ]);
+  Alcotest.(check (float 1e-9)) "stddev" 2. (Workload.Stats.stddev [ 1.; 3.; 5. ]);
+  Alcotest.(check (float 1e-9)) "cv" (2. /. 3.)
+    (Workload.Stats.coefficient_of_variation [ 1.; 3.; 5. ]);
+  Alcotest.(check (float 1e-9)) "speedup" 2.5
+    (Workload.Stats.speedup ~baseline:2. 5.);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0. (Workload.Stats.stddev [ 4. ])
+
+let harness_prefill_exact () =
+  let (module S : Dstruct.Ordered_set.RQ) = Workload.Targets.bst_vcas `Hardware in
+  let t = S.create () in
+  let n = Workload.Harness.prefill (module S) t ~key_range:1_000 ~seed:3 in
+  Alcotest.(check int) "prefill count" 500 n;
+  Alcotest.(check int) "structure size" 500 (S.size t)
+
+let harness_runs () =
+  let config =
+    {
+      Workload.Harness.default with
+      threads = 2;
+      seconds = 0.15;
+      key_range = 1_024;
+    }
+  in
+  let r = Workload.Harness.run (Workload.Targets.citrus_bundle `Hardware) config in
+  Alcotest.(check bool) "did work" true (r.Workload.Harness.total_ops > 1_000);
+  Alcotest.(check int) "per-thread counts" 2 (Array.length r.per_thread);
+  Alcotest.(check bool) "mops consistent" true
+    (abs_float
+       (r.mops
+       -. (float_of_int r.total_ops /. r.elapsed /. 1e6))
+    < 1e-6)
+
+let harness_trials () =
+  let config =
+    { Workload.Harness.default with threads = 1; seconds = 0.1; key_range = 512 }
+  in
+  let rs = Workload.Harness.run_trials ~trials:3 (Workload.Targets.bst_vcas `Logical) config in
+  Alcotest.(check int) "three trials" 3 (List.length rs);
+  let mean, cv = Workload.Harness.mops_of_trials rs in
+  Alcotest.(check bool) "mean positive" true (mean > 0.);
+  Alcotest.(check bool) "cv finite" true (cv >= 0. && cv < 2.)
+
+let targets_all_work () =
+  List.iter
+    (fun (name, make) ->
+      List.iter
+        (fun ts ->
+          let (module S : Dstruct.Ordered_set.RQ) = make ts in
+          let t = S.create () in
+          Alcotest.(check bool) (name ^ " insert") true (S.insert t 5);
+          Alcotest.(check bool) (name ^ " contains") true (S.contains t 5);
+          ignore (S.insert t 7);
+          Alcotest.(check (list int)) (name ^ " rq") [ 5; 7 ]
+            (S.range_query t ~lo:1 ~hi:10);
+          Alcotest.(check bool) (name ^ " delete") true (S.delete t 5))
+        [ `Logical; `Hardware ])
+    Workload.Targets.all;
+  let (module LF : Dstruct.Ordered_set.RQ) = Workload.Targets.bst_ebrrq_lockfree () in
+  let t = LF.create () in
+  ignore (LF.insert t 9);
+  Alcotest.(check (list int)) "lock-free ebr-rq rq" [ 9 ] (LF.range_query t ~lo:1 ~hi:10)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "mix",
+        [
+          Alcotest.test_case "roundtrip" `Quick mix_roundtrip;
+          Alcotest.test_case "invalid" `Quick mix_invalid;
+          Alcotest.test_case "distribution" `Quick mix_distribution;
+          Alcotest.test_case "deterministic stream" `Quick
+            mix_deterministic_stream;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "cdf and range" `Quick zipf_cdf_and_range;
+          Alcotest.test_case "skew" `Quick zipf_skew;
+          Alcotest.test_case "theta=0 uniform" `Quick zipf_theta_zero_uniform;
+          Alcotest.test_case "harness runs" `Slow harness_zipf_runs;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "known values" `Quick stats_known_values ] );
+      ( "harness",
+        [
+          Alcotest.test_case "prefill exact" `Quick harness_prefill_exact;
+          Alcotest.test_case "runs" `Slow harness_runs;
+          Alcotest.test_case "trials" `Slow harness_trials;
+          Alcotest.test_case "targets all work" `Quick targets_all_work;
+        ] );
+    ]

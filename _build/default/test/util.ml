@@ -1,0 +1,21 @@
+(* Shared helpers for the test suites. *)
+
+let spawn_workers n body =
+  let domains =
+    List.init n (fun i ->
+        Domain.spawn (fun () -> Sync.Slot.with_slot (fun _ -> body i)))
+  in
+  List.map Domain.join domains
+
+(* A deterministic PRNG per test. *)
+let rng seed = Dstruct.Prng.make ~seed
+
+let qcheck ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let check_sorted_unique what keys =
+  let rec ok = function
+    | a :: (b :: _ as rest) -> a < b && ok rest
+    | _ -> true
+  in
+  Alcotest.(check bool) (what ^ " sorted+unique") true (ok keys)

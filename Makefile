@@ -1,0 +1,36 @@
+# Convenience entry points; everything below is plain dune.
+
+SMOKE_METRICS := /tmp/obs.json
+
+.PHONY: all build test fmt-check check bench-smoke bench-obs clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# ocamlformat is not in the toolchain, so the fmt alias is scoped to dune
+# files (see dune-project); this still catches drift in build stanzas.
+fmt-check:
+	dune build @fmt
+
+check: build fmt-check test
+
+# End-to-end smoke of the metrics pipeline: a short instrumented run must
+# produce a JSON-lines file containing the canonical metric set.
+bench-smoke: build
+	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 0.2 \
+	  --metrics-out $(SMOKE_METRICS)
+	dune exec test/validate_metrics.exe -- $(SMOKE_METRICS)
+
+# Refresh the checked-in observability benchmark artifact.
+bench-obs: build
+	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 1 \
+	  --metrics-out BENCH_obs.json
+	dune exec test/validate_metrics.exe -- BENCH_obs.json
+
+clean:
+	dune clean

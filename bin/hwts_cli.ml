@@ -5,7 +5,12 @@
      calibrate   measure primitive costs and print a Costs.t suggestion
      figure      regenerate one paper figure on the timing model
      run         run a real workload on a chosen structure/timestamp
-     stress      concurrency smoke test of every range-query port *)
+     stress      concurrency smoke test of every range-query port
+     stats       run a short workload and dump the metrics registry
+
+   Observability: `run` and `stress` accept --metrics-out FILE (JSON lines,
+   see Hwts_obs.Registry); HWTS_OBS=0 in the environment disables every
+   hook. *)
 
 open Cmdliner
 
@@ -134,7 +139,8 @@ let structure_conv =
   in
   Arg.conv (parse, fun ppf (s, _) -> Format.pp_print_string ppf s)
 
-let run_real (name, make) hardware threads seconds mix_label key_range zipf =
+let run_real (name, make) hardware threads seconds mix_label key_range zipf ops
+    metrics_out =
   let ts = if hardware then `Hardware else `Logical in
   let config =
     {
@@ -144,6 +150,7 @@ let run_real (name, make) hardware threads seconds mix_label key_range zipf =
       key_range;
       mix = Workload.Mix.of_label mix_label;
       zipf_theta = zipf;
+      fixed_ops = ops;
     }
   in
   let result = Workload.Harness.run (make ts) config in
@@ -151,9 +158,48 @@ let run_real (name, make) hardware threads seconds mix_label key_range zipf =
     "%s(%s) threads=%d mix=%s range=%d: %.3f Mops/s (%d ops in %.2fs)\n" name
     (Workload.Targets.ts_name ts) threads mix_label key_range
     result.Workload.Harness.mops result.total_ops result.elapsed;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    Workload.Harness.write_metrics ~label:name result path;
+    Printf.printf "(metrics -> %s)\n" path);
   0
 
-let stress () =
+let stats (name, make) hardware threads seconds mix_label key_range format out =
+  let ts = if hardware then `Hardware else `Logical in
+  let config =
+    {
+      Workload.Harness.default with
+      threads;
+      seconds;
+      key_range;
+      mix = Workload.Mix.of_label mix_label;
+    }
+  in
+  Hwts_obs.Registry.reset_all ();
+  let result = Workload.Harness.run (make ts) config in
+  Workload.Harness.ensure_canonical_metrics ();
+  Printf.printf "%s(%s) threads=%d mix=%s: %.3f Mops/s (%d ops in %.2fs)\n\n"
+    name
+    (Workload.Targets.ts_name ts)
+    threads mix_label result.Workload.Harness.mops result.total_ops
+    result.elapsed;
+  let body =
+    match format with
+    | `Table -> Hwts_obs.Registry.to_table ()
+    | `Csv -> Hwts_obs.Registry.to_csv ()
+    | `Json -> Hwts_obs.Registry.to_json_lines ()
+  in
+  (match out with
+  | None -> print_string body
+  | Some path ->
+    let oc = open_out path in
+    output_string oc body;
+    close_out oc;
+    Printf.printf "(wrote %s)\n" path);
+  0
+
+let stress metrics_out =
   let ok = ref 0 in
   List.iter
     (fun (name, make) ->
@@ -185,6 +231,12 @@ let stress () =
         [ `Logical; `Hardware ])
     Workload.Targets.all;
   Printf.printf "stress: %d combinations passed\n" !ok;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    Workload.Harness.ensure_canonical_metrics ();
+    Hwts_obs.Registry.write_json_lines path;
+    Printf.printf "(metrics -> %s)\n" path);
   0
 
 (* command wiring *)
@@ -209,32 +261,72 @@ let figure_cmd =
     (Cmd.info "figure" ~doc:"Regenerate one paper figure on the timing model")
     Term.(const figure $ id $ full $ csv)
 
-let run_cmd =
-  let structure =
+let structure_pos ?(default = false) () =
+  if default then
+    Arg.(
+      value
+      & pos 0 structure_conv (List.hd Workload.Targets.all)
+      & info [] ~docv:"STRUCTURE" ~doc:"bst-vcas, citrus-vcas, ...")
+  else
     Arg.(
       required
       & pos 0 (some structure_conv) None
       & info [] ~docv:"STRUCTURE" ~doc:"bst-vcas, citrus-vcas, ...")
-  in
-  let hardware =
-    Arg.(value & flag & info [ "rdtscp"; "hardware" ] ~doc:"Use the TSC provider")
-  in
-  let threads = Arg.(value & opt int 2 & info [ "t"; "threads" ]) in
-  let seconds = Arg.(value & opt float 1.0 & info [ "d"; "duration" ]) in
-  let mix = Arg.(value & opt string "10-10-80" & info [ "m"; "mix" ]) in
-  let range = Arg.(value & opt int 16_384 & info [ "k"; "key-range" ]) in
+
+let hardware_flag =
+  Arg.(value & flag & info [ "rdtscp"; "hardware" ] ~doc:"Use the TSC provider")
+
+let threads_opt = Arg.(value & opt int 2 & info [ "t"; "threads" ])
+let seconds_opt = Arg.(value & opt float 1.0 & info [ "d"; "duration"; "seconds" ])
+let mix_opt = Arg.(value & opt string "10-10-80" & info [ "m"; "mix" ])
+let range_opt = Arg.(value & opt int 16_384 & info [ "k"; "key-range" ])
+
+let metrics_out_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the metrics registry as JSON lines to $(docv)")
+
+let run_cmd =
   let zipf =
     Arg.(value & opt (some float) None & info [ "zipf" ] ~docv:"THETA"
            ~doc:"Zipfian key skew instead of uniform")
   in
+  let ops =
+    Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"N"
+           ~doc:"Run exactly $(docv) ops per thread (deterministic) instead \
+                 of a fixed duration")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a real workload on this machine")
-    Term.(const run_real $ structure $ hardware $ threads $ seconds $ mix $ range $ zipf)
+    Term.(
+      const run_real $ structure_pos () $ hardware_flag $ threads_opt
+      $ seconds_opt $ mix_opt $ range_opt $ zipf $ ops $ metrics_out_opt)
+
+let stats_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("csv", `Csv); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"table, csv or json")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write to $(docv) instead of stdout")
+  in
+  let seconds = Arg.(value & opt float 0.25 & info [ "d"; "duration"; "seconds" ]) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a short workload and print every registered metric")
+    Term.(
+      const stats $ structure_pos ~default:true () $ hardware_flag
+      $ threads_opt $ seconds $ mix_opt $ range_opt $ format $ out)
 
 let stress_cmd =
   Cmd.v
     (Cmd.info "stress" ~doc:"Concurrency smoke test of every port")
-    Term.(const stress $ const ())
+    Term.(const stress $ metrics_out_opt)
 
 let () =
   let doc = "hardware-timestamp range-query structures (IPPS'23 reproduction)" in
@@ -242,4 +334,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "hwts-cli" ~doc)
-          [ tsc_info_cmd; calibrate_cmd; figure_cmd; run_cmd; stress_cmd ]))
+          [ tsc_info_cmd; calibrate_cmd; figure_cmd; run_cmd; stats_cmd; stress_cmd ]))

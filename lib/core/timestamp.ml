@@ -53,18 +53,26 @@ module Strict (T : S) () = struct
   let name = T.name ^ "-strict"
   let is_hardware = false (* the tie-break word is shared state *)
   let last = Sync.Padding.atomic 0
+  let advances = Hwts_obs.Registry.counter "timestamp.strict.advances"
+  let ties = Hwts_obs.Registry.counter "timestamp.strict.ties"
   let read () = max (T.read ()) (Atomic.get last)
 
-  let rec advance () =
-    let t = T.advance () in
-    let prev = Atomic.get last in
-    if t > prev then
-      if Atomic.compare_and_set last prev t then t else advance ()
-    else
-      (* Tie (or stale hardware read): bump past the last value handed out,
-         as Jiffy's revision lists require. *)
-      let bumped = prev + 1 in
-      if Atomic.compare_and_set last prev bumped then bumped else advance ()
+  let advance () =
+    Hwts_obs.Counter.incr advances;
+    let rec attempt () =
+      let t = T.advance () in
+      let prev = Atomic.get last in
+      if t > prev then
+        if Atomic.compare_and_set last prev t then t else attempt ()
+      else begin
+        (* Tie (or stale hardware read): bump past the last value handed
+           out, as Jiffy's revision lists require. *)
+        Hwts_obs.Counter.incr ties;
+        let bumped = prev + 1 in
+        if Atomic.compare_and_set last prev bumped then bumped else attempt ()
+      end
+    in
+    attempt ()
 
   (* strictly increasing labels make the advance itself a safe snapshot *)
   let snapshot = advance

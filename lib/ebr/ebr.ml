@@ -13,6 +13,11 @@ struct
     reclaimed : int Atomic.t;
   }
 
+  let epoch_advances = Hwts_obs.Registry.counter "ebr.epoch_advances"
+  let retired_total = Hwts_obs.Registry.counter "ebr.retired"
+  let reclaimed_total = Hwts_obs.Registry.counter "ebr.reclaimed"
+  let limbo_len = Hwts_obs.Registry.histogram "ebr.limbo_len"
+
   let create ?(epoch_frequency = 64) () =
     {
       global = Sync.Padding.atomic 1;
@@ -32,7 +37,12 @@ struct
       let a = Atomic.get t.announce.(slot) in
       if a <> 0 && a <> epoch then all_current := false
     done;
-    !all_current && Atomic.compare_and_set t.global epoch (epoch + 1)
+    !all_current
+    && Atomic.compare_and_set t.global epoch (epoch + 1)
+    && begin
+         Hwts_obs.Counter.incr epoch_advances;
+         true
+       end
 
   (* Only the slot's owner rewrites its limbo list, so a plain get/set pair
      cannot lose concurrent entries. *)
@@ -40,12 +50,16 @@ struct
     let epoch = Atomic.get t.global in
     let cell = t.limbo.(slot) in
     let entries = Atomic.get cell in
+    if Hwts_obs.Config.enabled () then
+      Hwts_obs.Histogram.record limbo_len (List.length entries);
     let keep, dropped =
       List.partition (fun e -> e.retired_at >= epoch - 2) entries
     in
     if dropped <> [] then begin
       Atomic.set cell keep;
-      ignore (Atomic.fetch_and_add t.reclaimed (List.length dropped))
+      let n = List.length dropped in
+      ignore (Atomic.fetch_and_add t.reclaimed n);
+      Hwts_obs.Counter.add reclaimed_total n
     end
 
   let enter t =
@@ -70,6 +84,7 @@ struct
   let retire t node =
     let slot = Sync.Slot.my_slot () in
     assert (Atomic.get t.announce.(slot) <> 0);
+    Hwts_obs.Counter.incr retired_total;
     let cell = t.limbo.(slot) in
     let entry = { node; retired_at = Atomic.get t.global } in
     Atomic.set cell (entry :: Atomic.get cell)

@@ -1,0 +1,12 @@
+(* The kill switch.  Read once from the environment at load time so that a
+   run started with HWTS_OBS=0 pays only a single predictable branch per
+   hook; tests flip it at runtime with [set_enabled]. *)
+
+let initial =
+  match Sys.getenv_opt "HWTS_OBS" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | _ -> true
+
+let state = Atomic.make initial
+let enabled () = Atomic.get state
+let set_enabled b = Atomic.set state b

@@ -1,0 +1,14 @@
+(** Global enable/disable switch for every observability hook.
+
+    Initialised from the [HWTS_OBS] environment variable ([0], [false],
+    [off] and [no] disable; anything else, or unset, enables).  When
+    disabled, every hook ({!Counter.incr}, {!Histogram.record}, ...)
+    reduces to one shared-read branch, so instrumented and uninstrumented
+    throughput can be compared on the same binary. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Runtime override, used by tests and the CLI.  Metrics recorded while
+    disabled are simply dropped; derived gauges (e.g. active-RQ depth) may
+    drift if the switch is flipped in the middle of a bracketed section. *)

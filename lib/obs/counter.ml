@@ -1,0 +1,20 @@
+(* One padded atomic per thread slot: [incr] touches only the caller's own
+   cache line, [sum] pays the full scan on the cold read path. *)
+
+type t = { name : string; shards : int Atomic.t array }
+
+let create name =
+  { name; shards = Sync.Padding.atomic_array Sync.Slot.max_slots 0 }
+
+let name t = t.name
+
+let incr t =
+  if Config.enabled () then
+    ignore (Atomic.fetch_and_add t.shards.(Sync.Slot.my_slot ()) 1)
+
+let add t n =
+  if n <> 0 && Config.enabled () then
+    ignore (Atomic.fetch_and_add t.shards.(Sync.Slot.my_slot ()) n)
+
+let sum t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.shards
+let reset t = Array.iter (fun a -> Atomic.set a 0) t.shards

@@ -1,0 +1,23 @@
+(** Per-domain sharded event counter.
+
+    Each thread slot ({!Sync.Slot}) owns one cache-line-padded atomic, so
+    the [incr] hot path is an uncontended fetch-and-add; [sum] folds over
+    all slots on the (cold) read path.  Increments are dropped entirely
+    when {!Config.enabled} is false. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val incr : t -> unit
+(** Add 1 to the calling domain's shard. *)
+
+val add : t -> int -> unit
+(** Add [n] (no-op when [n = 0]). *)
+
+val sum : t -> int
+(** Total across all shards.  Linearizes only against quiescent writers;
+    concurrent increments may or may not be included. *)
+
+val reset : t -> unit

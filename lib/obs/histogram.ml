@@ -1,0 +1,143 @@
+(* Log-bucketed histogram in the HdrHistogram style: values 0..7 get exact
+   buckets, every power-of-two octave above is split into 4 sub-buckets, so
+   the quantile error is bounded by a quarter of the value.  Recording is
+   lock-free and sharded: each thread slot owns a plain-int shard that only
+   it mutates; readers merge all shards with racy (but non-tearing) loads,
+   which is exact whenever the writers are quiescent (e.g. after a join). *)
+
+let sub_per_octave = 4
+let first_octave = 3 (* values below 2^3 get exact buckets *)
+let exact_buckets = 8
+let max_octave = 62
+let n_buckets = exact_buckets + ((max_octave - first_octave) * sub_per_octave)
+
+let floor_log2 v =
+  let v = ref v and r = ref 0 in
+  if !v lsr 32 <> 0 then begin
+    r := !r + 32;
+    v := !v lsr 32
+  end;
+  if !v lsr 16 <> 0 then begin
+    r := !r + 16;
+    v := !v lsr 16
+  end;
+  if !v lsr 8 <> 0 then begin
+    r := !r + 8;
+    v := !v lsr 8
+  end;
+  if !v lsr 4 <> 0 then begin
+    r := !r + 4;
+    v := !v lsr 4
+  end;
+  if !v lsr 2 <> 0 then begin
+    r := !r + 2;
+    v := !v lsr 2
+  end;
+  if !v lsr 1 <> 0 then r := !r + 1;
+  !r
+
+let index_of v =
+  if v < exact_buckets then if v < 0 then 0 else v
+  else
+    let octave = floor_log2 v in
+    let sub = (v lsr (octave - 2)) land (sub_per_octave - 1) in
+    exact_buckets + ((octave - first_octave) * sub_per_octave) + sub
+
+let bounds i =
+  if i < exact_buckets then (i, i)
+  else
+    let octave = first_octave + ((i - exact_buckets) / sub_per_octave) in
+    let sub = (i - exact_buckets) mod sub_per_octave in
+    let width = 1 lsl (octave - 2) in
+    let lo = (1 lsl octave) + (sub * width) in
+    (lo, lo + width - 1)
+
+type shard = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable max_v : int;
+}
+
+type t = { name : string; shards : shard option Atomic.t array }
+
+let create name =
+  { name; shards = Array.init Sync.Slot.max_slots (fun _ -> Atomic.make None) }
+
+let name t = t.name
+
+(* Only the slot's owner allocates and mutates its shard; publication goes
+   through the atomic so readers see initialised fields. *)
+let my_shard t =
+  let cell = t.shards.(Sync.Slot.my_slot ()) in
+  match Atomic.get cell with
+  | Some s -> s
+  | None ->
+    let s = { buckets = Array.make n_buckets 0; count = 0; sum = 0; max_v = 0 } in
+    Atomic.set cell (Some s);
+    s
+
+let record t v =
+  if Config.enabled () then begin
+    let v = if v < 0 then 0 else v in
+    let s = my_shard t in
+    let i = index_of v in
+    s.buckets.(i) <- s.buckets.(i) + 1;
+    s.count <- s.count + 1;
+    s.sum <- s.sum + v;
+    if v > s.max_v then s.max_v <- v
+  end
+
+let fold_shards t ~init ~f =
+  Array.fold_left
+    (fun acc cell -> match Atomic.get cell with None -> acc | Some s -> f acc s)
+    init t.shards
+
+let count t = fold_shards t ~init:0 ~f:(fun acc s -> acc + s.count)
+let sum t = fold_shards t ~init:0 ~f:(fun acc s -> acc + s.sum)
+let max_value t = fold_shards t ~init:0 ~f:(fun acc s -> max acc s.max_v)
+
+let mean t =
+  let n = count t in
+  if n = 0 then 0. else float_of_int (sum t) /. float_of_int n
+
+let merged_buckets t =
+  let merged = Array.make n_buckets 0 in
+  ignore
+    (fold_shards t ~init:() ~f:(fun () s ->
+         Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) s.buckets));
+  merged
+
+let snapshot t =
+  let merged = merged_buckets t in
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if merged.(i) > 0 then
+      let lo, hi = bounds i in
+      acc := (lo, hi, merged.(i)) :: !acc
+  done;
+  !acc
+
+(* Nearest-rank on the merged buckets; reports the bucket's upper bound
+   (clamped to the observed maximum), i.e. "p99 <= result". *)
+let percentile t p =
+  let merged = merged_buckets t in
+  let n = Array.fold_left ( + ) 0 merged in
+  if n = 0 then 0.
+  else begin
+    let p = if p < 0. then 0. else if p > 100. then 100. else p in
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))) in
+    let maxv = max_value t in
+    let rec walk i cum =
+      if i >= n_buckets then float_of_int maxv
+      else
+        let cum = cum + merged.(i) in
+        if cum >= rank then
+          let _, hi = bounds i in
+          float_of_int (min hi maxv)
+        else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+let reset t = Array.iter (fun cell -> Atomic.set cell None) t.shards

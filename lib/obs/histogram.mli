@@ -1,0 +1,37 @@
+(** Lock-free log-bucketed latency histogram.
+
+    Designed for TSC cycle deltas: values 0..7 are exact, each power-of-two
+    octave above is split into 4 sub-buckets, bounding the relative quantile
+    error at 25%.  Recording is an array increment in a per-thread-slot
+    shard (no CAS, no contention); the read side merges all shards. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val record : t -> int -> unit
+(** Record one observation (negative values clamp to 0).  Dropped when
+    {!Config.enabled} is false. *)
+
+val count : t -> int
+val sum : t -> int
+val mean : t -> float
+val max_value : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0, 100]: upper bound of the bucket holding
+    the nearest-rank observation, clamped to the observed maximum.  0 on an
+    empty histogram. *)
+
+val snapshot : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+val reset : t -> unit
+
+(** Bucket layout, exposed for tests and exporters: *)
+
+val n_buckets : int
+val index_of : int -> int
+val bounds : int -> int * int
+(** [bounds i] is the inclusive value range of bucket [i]. *)

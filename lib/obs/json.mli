@@ -1,0 +1,27 @@
+(** Minimal dependency-free JSON: enough to print the metrics pipeline's
+    output and parse it back (exporter round-trip tests, [validate_metrics],
+    downstream tooling).  Ints and floats stay distinct: a printed float
+    always carries a decimal point or exponent; non-finite floats print as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+
+val parse_lines : string -> (t list, string) result
+(** Parse a JSON-lines document (one value per line, blank lines skipped). *)
+
+(** Accessors (all return [None] on a shape mismatch): *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,210 @@
+(* Process-global metric registry.  Metrics are get-or-create by full name,
+   so every functor instantiation of an instrumented structure shares the
+   same process-wide counters (sharding already handles concurrency).
+   Registration is cold-path and mutex-protected; the hot path only ever
+   touches the metric value handed back at creation. *)
+
+type metric =
+  | Counter of Counter.t
+  | Histogram of Histogram.t
+  | Watermark of Watermark.t
+  | Gauge of (unit -> float)
+
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let full_name ?scope name =
+  match scope with None -> name | Some s -> s ^ "." ^ name
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Histogram _ -> "histogram"
+  | Watermark _ -> "watermark"
+  | Gauge _ -> "gauge"
+
+let counter ?scope name =
+  let name = full_name ?scope name in
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Counter c) -> c
+      | Some m ->
+        invalid_arg
+          (Printf.sprintf "Hwts_obs.Registry: %S already registered as a %s"
+             name (kind_name m))
+      | None ->
+        let c = Counter.create name in
+        Hashtbl.replace table name (Counter c);
+        c)
+
+let histogram ?scope name =
+  let name = full_name ?scope name in
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Histogram h) -> h
+      | Some m ->
+        invalid_arg
+          (Printf.sprintf "Hwts_obs.Registry: %S already registered as a %s"
+             name (kind_name m))
+      | None ->
+        let h = Histogram.create name in
+        Hashtbl.replace table name (Histogram h);
+        h)
+
+let watermark ?scope name =
+  let name = full_name ?scope name in
+  with_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some (Watermark w) -> w
+      | Some m ->
+        invalid_arg
+          (Printf.sprintf "Hwts_obs.Registry: %S already registered as a %s"
+             name (kind_name m))
+      | None ->
+        let w = Watermark.create name in
+        Hashtbl.replace table name (Watermark w);
+        w)
+
+let gauge ?scope name f =
+  let name = full_name ?scope name in
+  with_lock (fun () -> Hashtbl.replace table name (Gauge f))
+
+let find name = with_lock (fun () -> Hashtbl.find_opt table name)
+
+let counter_value name =
+  match find name with Some (Counter c) -> Some (Counter.sum c) | _ -> None
+
+let all () =
+  let items =
+    with_lock (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) items
+
+let reset_all () =
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Counter c -> Counter.reset c
+      | Histogram h -> Histogram.reset h
+      | Watermark w -> Watermark.reset w
+      | Gauge _ -> ())
+    (all ())
+
+(* ---------- exporters ---------- *)
+
+let read_gauge f = try f () with _ -> nan
+
+let percentiles = [ ("p50", 50.); ("p90", 90.); ("p99", 99.); ("p999", 99.9) ]
+
+let to_table () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %-10s %12s  %s\n" "name" "type" "value" "detail");
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s %-10s %12d\n" name "counter" (Counter.sum c))
+      | Watermark w ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s %-10s %12d\n" name "watermark" (Watermark.get w))
+      | Gauge f ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s %-10s %12.2f\n" name "gauge" (read_gauge f))
+      | Histogram h ->
+        let detail =
+          String.concat " "
+            (List.map
+               (fun (label, p) ->
+                 Printf.sprintf "%s=%.0f" label (Histogram.percentile h p))
+               percentiles)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s %-10s %12d  mean=%.1f %s max=%d\n" name
+             "histogram" (Histogram.count h) (Histogram.mean h) detail
+             (Histogram.max_value h)))
+    (all ());
+  Buffer.contents buf
+
+let to_csv () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "name,type,count,value,mean,p50,p90,p99,p999,max\n";
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,counter,,%d,,,,,,\n" name (Counter.sum c))
+      | Watermark w ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,watermark,,%d,,,,,,\n" name (Watermark.get w))
+      | Gauge f ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,gauge,,%.6g,,,,,,\n" name (read_gauge f))
+      | Histogram h ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s,histogram,%d,,%.2f,%.0f,%.0f,%.0f,%.0f,%d\n" name
+             (Histogram.count h) (Histogram.mean h)
+             (Histogram.percentile h 50.)
+             (Histogram.percentile h 90.)
+             (Histogram.percentile h 99.)
+             (Histogram.percentile h 99.9)
+             (Histogram.max_value h)))
+    (all ());
+  Buffer.contents buf
+
+let json_of_metric name m =
+  match m with
+  | Counter c ->
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("type", Json.Str "counter");
+        ("value", Json.Int (Counter.sum c));
+      ]
+  | Watermark w ->
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("type", Json.Str "watermark");
+        ("value", Json.Int (Watermark.get w));
+      ]
+  | Gauge f ->
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("type", Json.Str "gauge");
+        ("value", Json.Float (read_gauge f));
+      ]
+  | Histogram h ->
+    Json.Obj
+      ([
+         ("name", Json.Str name);
+         ("type", Json.Str "histogram");
+         ("count", Json.Int (Histogram.count h));
+         ("sum", Json.Int (Histogram.sum h));
+         ("mean", Json.Float (Histogram.mean h));
+       ]
+      @ List.map
+          (fun (label, p) -> (label, Json.Float (Histogram.percentile h p)))
+          percentiles
+      @ [ ("max", Json.Int (Histogram.max_value h)) ])
+
+let to_json_lines () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      Buffer.add_string buf (Json.to_string (json_of_metric name m));
+      Buffer.add_char buf '\n')
+    (all ());
+  Buffer.contents buf
+
+let write_json_lines path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_lines ()))

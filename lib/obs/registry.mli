@@ -1,0 +1,46 @@
+(** Process-global metric registry with named scopes and exporters.
+
+    Metrics are get-or-create by full name ([scope ^ "." ^ name] when a
+    scope is given), so independent functor instantiations of the same
+    instrumented structure share one process-wide metric; the per-domain
+    sharding inside {!Counter} and {!Histogram} keeps that cheap.
+    Requesting an existing name with a different kind raises
+    [Invalid_argument]. *)
+
+type metric =
+  | Counter of Counter.t
+  | Histogram of Histogram.t
+  | Watermark of Watermark.t
+  | Gauge of (unit -> float)
+
+val counter : ?scope:string -> string -> Counter.t
+val histogram : ?scope:string -> string -> Histogram.t
+val watermark : ?scope:string -> string -> Watermark.t
+
+val gauge : ?scope:string -> string -> (unit -> float) -> unit
+(** Register (or replace) a pull-style gauge. *)
+
+val find : string -> metric option
+
+val counter_value : string -> int option
+(** [Some (Counter.sum c)] when [name] is a registered counter. *)
+
+val all : unit -> (string * metric) list
+(** Every registered metric, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Zero every counter, histogram and watermark (gauges are pull-only). *)
+
+(** Exporters, all over the current registry contents in name order: *)
+
+val to_table : unit -> string
+(** Human-readable aligned table. *)
+
+val to_csv : unit -> string
+(** One header line, then one row per metric. *)
+
+val to_json_lines : unit -> string
+(** One JSON object per line; parse back with {!Json.parse_lines}.
+    Histograms carry [count]/[sum]/[mean]/[p50]/[p90]/[p99]/[p999]/[max]. *)
+
+val write_json_lines : string -> unit

@@ -1,0 +1,16 @@
+type t = { name : string; cell : int Atomic.t }
+
+let create name = { name; cell = Sync.Padding.atomic 0 }
+let name t = t.name
+
+let observe t v =
+  if Config.enabled () then begin
+    let rec raise_to () =
+      let cur = Atomic.get t.cell in
+      if v > cur && not (Atomic.compare_and_set t.cell cur v) then raise_to ()
+    in
+    raise_to ()
+  end
+
+let get t = Atomic.get t.cell
+let reset t = Atomic.set t.cell 0

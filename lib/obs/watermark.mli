@@ -1,0 +1,13 @@
+(** High-water mark: a CAS-max cell (e.g. peak number of concurrently
+    active range queries). *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Raise the mark to [v] if [v] is larger (no-op when disabled). *)
+
+val get : t -> int
+val reset : t -> unit

@@ -7,6 +7,10 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   type 'a t = 'a entry Atomic.t
 
+  let depth = Hwts_obs.Registry.histogram "rangequery.bundle.depth"
+  let label_waits = Hwts_obs.Registry.counter "rangequery.bundle.label_waits"
+  let prunes = Hwts_obs.Registry.counter "rangequery.bundle.prunes"
+
   let entry ts target older = { ts = Atomic.make ts; target; older = Atomic.make older }
 
   let make target = Atomic.make (entry (T.read ()) target None)
@@ -26,21 +30,38 @@ module Make (T : Hwts.Timestamp.S) = struct
   let read t = (Atomic.get t).target
 
   let wait_label e =
-    let backoff = Sync.Backoff.make ~min_spins:1 () in
-    let rec spin () =
-      let ts = Atomic.get e.ts in
-      if ts = 0 then begin
-        Sync.Backoff.once backoff;
-        spin ()
-      end
-      else ts
-    in
-    spin ()
+    let ts = Atomic.get e.ts in
+    if ts <> 0 then ts
+    else begin
+      Hwts_obs.Counter.incr label_waits;
+      let backoff = Sync.Backoff.make ~min_spins:1 () in
+      let rec spin () =
+        let ts = Atomic.get e.ts in
+        if ts = 0 then begin
+          Sync.Backoff.once backoff;
+          spin ()
+        end
+        else ts
+      in
+      spin ()
+    end
 
-  let rec find_at e ts =
+  (* [hops] counts entries visited; recorded as the chain depth a snapshot
+     read had to traverse. *)
+  let rec find_at_counted hops e ts =
     let ets = wait_label e in
-    if ets <= ts then Some e.target
-    else match Atomic.get e.older with None -> None | Some o -> find_at o ts
+    if ets <= ts then begin
+      Hwts_obs.Histogram.record depth hops;
+      Some e.target
+    end
+    else
+      match Atomic.get e.older with
+      | None ->
+        Hwts_obs.Histogram.record depth hops;
+        None
+      | Some o -> find_at_counted (hops + 1) o ts
+
+  let find_at e ts = find_at_counted 1 e ts
 
   let read_at t ts =
     let head = Atomic.get t in
@@ -59,7 +80,11 @@ module Make (T : Hwts.Timestamp.S) = struct
   let prune t min_ts =
     let rec cut e =
       let ets = Atomic.get e.ts in
-      if ets <> 0 && ets <= min_ts then Atomic.set e.older None
+      if ets <> 0 && ets <= min_ts then begin
+        if Hwts_obs.Config.enabled () && Atomic.get e.older <> None then
+          Hwts_obs.Counter.incr prunes;
+        Atomic.set e.older None
+      end
       else
         match Atomic.get e.older with None -> () | Some o -> cut o
     in

@@ -1,17 +1,31 @@
-type t = int Atomic.t array (* per slot: 0 = inactive, else snapshot ts *)
+type t = {
+  slots : int Atomic.t array; (* per slot: 0 = inactive, else snapshot ts *)
+  active : int Atomic.t; (* metrics only: current number of announced RQs *)
+}
 
-let create () = Sync.Padding.atomic_array Sync.Slot.max_slots 0
+let hwm = Hwts_obs.Registry.watermark "rangequery.rq.active_hwm"
+
+let create () =
+  {
+    slots = Sync.Padding.atomic_array Sync.Slot.max_slots 0;
+    active = Sync.Padding.atomic 0;
+  }
 
 let enter t ts =
   assert (ts > 0);
-  Atomic.set t.(Sync.Slot.my_slot ()) ts
+  Atomic.set t.slots.(Sync.Slot.my_slot ()) ts;
+  if Hwts_obs.Config.enabled () then
+    Hwts_obs.Watermark.observe hwm (Atomic.fetch_and_add t.active 1 + 1)
 
-let exit_rq t = Atomic.set t.(Sync.Slot.my_slot ()) 0
+let exit_rq t =
+  Atomic.set t.slots.(Sync.Slot.my_slot ()) 0;
+  if Hwts_obs.Config.enabled () then
+    ignore (Atomic.fetch_and_add t.active (-1))
 
 let min_active t ~default =
   let acc = ref default in
   for slot = 0 to Sync.Slot.max_slots - 1 do
-    let ts = Atomic.get t.(slot) in
+    let ts = Atomic.get t.slots.(slot) in
     if ts > 0 && ts < !acc then acc := ts
   done;
   !acc
@@ -19,6 +33,6 @@ let min_active t ~default =
 let active_count t =
   let n = ref 0 in
   for slot = 0 to Sync.Slot.max_slots - 1 do
-    if Atomic.get t.(slot) > 0 then incr n
+    if Atomic.get t.slots.(slot) > 0 then incr n
   done;
   !n

@@ -7,12 +7,24 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   type 'a t = 'a version Atomic.t
 
+  (* Shared across all instantiations: the registry get-or-creates by name,
+     and the counters shard per domain internally. *)
+  let help_attempts = Hwts_obs.Registry.counter "rangequery.vcas.help_attempts"
+  let help_wins = Hwts_obs.Registry.counter "rangequery.vcas.help_wins"
+  let read_hops = Hwts_obs.Registry.counter "rangequery.vcas.read_hops"
+  let prunes = Hwts_obs.Registry.counter "rangequery.vcas.prunes"
+
   (* Labeling by helping: any thread that needs the timestamp fills it in
-     with the *current* clock; the first CAS wins and later helpers agree. *)
+     with the *current* clock; the first CAS wins and later helpers agree.
+     [help_attempts] counts every encounter with an unlabeled version
+     (including the installer labeling its own write); [help_wins] counts
+     the CASes that actually assigned the label. *)
   let init_ts version =
     if Atomic.get version.ts = 0 then begin
+      Hwts_obs.Counter.incr help_attempts;
       let now = T.read () in
-      ignore (Atomic.compare_and_set version.ts 0 now)
+      if Atomic.compare_and_set version.ts 0 now then
+        Hwts_obs.Counter.incr help_wins
     end
 
   let make v =
@@ -52,26 +64,36 @@ module Make (T : Hwts.Timestamp.S) = struct
   let write t v = ignore (write_with t v)
 
   let read_at t ts =
-    let rec walk version =
+    let rec walk hops version =
       init_ts version;
-      if Atomic.get version.ts <= ts then version.v
+      if Atomic.get version.ts <= ts then begin
+        Hwts_obs.Counter.add read_hops hops;
+        version.v
+      end
       else
         match Atomic.get version.older with
-        | None -> version.v
-        | Some older -> walk older
+        | None ->
+          Hwts_obs.Counter.add read_hops hops;
+          version.v
+        | Some older -> walk (hops + 1) older
     in
-    walk (Atomic.get t)
+    walk 0 (Atomic.get t)
 
   let read_at_opt t ts =
-    let rec walk version =
+    let rec walk hops version =
       init_ts version;
-      if Atomic.get version.ts <= ts then Some version.v
+      if Atomic.get version.ts <= ts then begin
+        Hwts_obs.Counter.add read_hops hops;
+        Some version.v
+      end
       else
         match Atomic.get version.older with
-        | None -> None
-        | Some older -> walk older
+        | None ->
+          Hwts_obs.Counter.add read_hops hops;
+          None
+        | Some older -> walk (hops + 1) older
     in
-    walk (Atomic.get t)
+    walk 0 (Atomic.get t)
 
   let prune t min_ts =
     let rec cut version =
@@ -79,7 +101,11 @@ module Make (T : Hwts.Timestamp.S) = struct
       (* keep the newest version labeled <= min_ts; sever everything
          older.  Pending (ts = 0) versions are newer than any labeled
          one, so keep walking. *)
-      if ts <> 0 && ts <= min_ts then Atomic.set version.older None
+      if ts <> 0 && ts <= min_ts then begin
+        if Hwts_obs.Config.enabled () && Atomic.get version.older <> None then
+          Hwts_obs.Counter.incr prunes;
+        Atomic.set version.older None
+      end
       else
         match Atomic.get version.older with
         | None -> ()

@@ -7,6 +7,7 @@ type config = {
   seed : int;
   prefill : bool;
   zipf_theta : float option;
+  fixed_ops : int option;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     seed = 0xC0FFEE;
     prefill = true;
     zipf_theta = None;
+    fixed_ops = None;
   }
 
 type result = {
@@ -26,10 +28,21 @@ type result = {
   total_ops : int;
   mops : float;
   per_thread : int array;
+  per_class : int array;
   elapsed : float;
 }
 
 type target = Target : (module Dstruct.Ordered_set.RQ with type t = 'a) * 'a -> target
+
+(* Per-op-class latency histograms, in TSC cycles.  Registered at library
+   load so they appear (zero-valued) in every metrics export even before
+   the first instrumented run. *)
+let hist_insert = Hwts_obs.Registry.histogram "harness.latency.insert"
+let hist_delete = Hwts_obs.Registry.histogram "harness.latency.delete"
+let hist_contains = Hwts_obs.Registry.histogram "harness.latency.contains"
+let hist_range = Hwts_obs.Registry.histogram "harness.latency.range"
+
+let op_classes = [| "insert"; "delete"; "contains"; "range" |]
 
 let prefill (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
     ~key_range ~seed =
@@ -62,20 +75,66 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
       fun () -> Zipf.sample z rng
   in
   let ops = ref 0 in
-  let continue_ = ref true in
-  while !continue_ do
-    for _ = 1 to check_every do
-      (match Mix.pick_with config.mix rng ~key with
-      | Mix.Insert k -> ignore (S.insert t k)
-      | Mix.Delete k -> ignore (S.delete t k)
-      | Mix.Contains k -> ignore (S.contains t k)
-      | Mix.Range lo ->
-        ignore (S.range_query t ~lo ~hi:(lo + config.rq_len - 1)));
-      incr ops
-    done;
-    if Atomic.get stop then continue_ := false
-  done;
-  !ops
+  let per_class = Array.make (Array.length op_classes) 0 in
+  (* Two step functions so that with the kill switch off the measured path
+     contains no TSC reads and no histogram code at all. *)
+  let step_plain () =
+    (match Mix.pick_with config.mix rng ~key with
+    | Mix.Insert k ->
+      per_class.(0) <- per_class.(0) + 1;
+      ignore (S.insert t k)
+    | Mix.Delete k ->
+      per_class.(1) <- per_class.(1) + 1;
+      ignore (S.delete t k)
+    | Mix.Contains k ->
+      per_class.(2) <- per_class.(2) + 1;
+      ignore (S.contains t k)
+    | Mix.Range lo ->
+      per_class.(3) <- per_class.(3) + 1;
+      ignore (S.range_query t ~lo ~hi:(lo + config.rq_len - 1)));
+    incr ops
+  in
+  let step_timed () =
+    (match Mix.pick_with config.mix rng ~key with
+    | Mix.Insert k ->
+      per_class.(0) <- per_class.(0) + 1;
+      let c0 = Tsc.rdtscp () in
+      ignore (S.insert t k);
+      Hwts_obs.Histogram.record hist_insert (Tsc.rdtscp () - c0)
+    | Mix.Delete k ->
+      per_class.(1) <- per_class.(1) + 1;
+      let c0 = Tsc.rdtscp () in
+      ignore (S.delete t k);
+      Hwts_obs.Histogram.record hist_delete (Tsc.rdtscp () - c0)
+    | Mix.Contains k ->
+      per_class.(2) <- per_class.(2) + 1;
+      let c0 = Tsc.rdtscp () in
+      ignore (S.contains t k);
+      Hwts_obs.Histogram.record hist_contains (Tsc.rdtscp () - c0)
+    | Mix.Range lo ->
+      per_class.(3) <- per_class.(3) + 1;
+      let c0 = Tsc.rdtscp () in
+      ignore (S.range_query t ~lo ~hi:(lo + config.rq_len - 1));
+      Hwts_obs.Histogram.record hist_range (Tsc.rdtscp () - c0));
+    incr ops
+  in
+  let step = if Hwts_obs.Config.enabled () then step_timed else step_plain in
+  (match config.fixed_ops with
+  | Some n ->
+    (* Deterministic mode: exactly [n] operations, no clock involved, so a
+       fixed seed reproduces the run byte for byte. *)
+    for _ = 1 to n do
+      step ()
+    done
+  | None ->
+    let continue_ = ref true in
+    while !continue_ do
+      for _ = 1 to check_every do
+        step ()
+      done;
+      if Atomic.get stop then continue_ := false
+    done);
+  (!ops, per_class)
 
 let run_prepared (Target ((module S), t)) config =
   let stop = Atomic.make false in
@@ -93,18 +152,27 @@ let run_prepared (Target ((module S), t)) config =
     Domain.cpu_relax ()
   done;
   t0 := Unix.gettimeofday ();
-  let target_end = !t0 +. config.seconds in
-  while Unix.gettimeofday () < target_end do
-    Unix.sleepf 0.005
-  done;
-  Atomic.set stop true;
-  let per_thread = Array.of_list (List.map Domain.join domains) in
+  (match config.fixed_ops with
+  | Some _ -> () (* workers run to completion on their own *)
+  | None ->
+    let target_end = !t0 +. config.seconds in
+    while Unix.gettimeofday () < target_end do
+      Unix.sleepf 0.005
+    done;
+    Atomic.set stop true);
+  let joined = List.map Domain.join domains in
   let elapsed = Unix.gettimeofday () -. !t0 in
+  let per_thread = Array.of_list (List.map fst joined) in
+  let per_class = Array.make (Array.length op_classes) 0 in
+  List.iter
+    (fun (_, pc) -> Array.iteri (fun i n -> per_class.(i) <- per_class.(i) + n) pc)
+    joined;
   let total_ops = Array.fold_left ( + ) 0 per_thread in
   {
     config;
     total_ops;
     per_thread;
+    per_class;
     elapsed;
     mops = float_of_int total_ops /. elapsed /. 1e6;
   }
@@ -120,3 +188,70 @@ let run_trials ?(trials = 3) impl config =
 let mops_of_trials results =
   let xs = List.map (fun r -> r.mops) results in
   (Stats.mean xs, Stats.coefficient_of_variation xs)
+
+(* ---------- metrics export ---------- *)
+
+(* The canonical metric set every export must cover, even when the run
+   exercised none of the code paths that create them lazily (a bst-vcas run
+   touches no bundles; a short run may never advance an epoch). *)
+let ensure_canonical_metrics () =
+  List.iter
+    (fun n -> ignore (Hwts_obs.Registry.counter n))
+    [
+      "timestamp.strict.advances";
+      "timestamp.strict.ties";
+      "rangequery.vcas.help_attempts";
+      "rangequery.vcas.help_wins";
+      "rangequery.vcas.read_hops";
+      "rangequery.vcas.prunes";
+      "rangequery.bundle.label_waits";
+      "rangequery.bundle.prunes";
+      "ebr.epoch_advances";
+      "ebr.retired";
+      "ebr.reclaimed";
+    ];
+  List.iter
+    (fun n -> ignore (Hwts_obs.Registry.histogram n))
+    [ "rangequery.bundle.depth"; "ebr.limbo_len" ];
+  ignore (Hwts_obs.Registry.watermark "rangequery.rq.active_hwm")
+
+let run_json ?label result =
+  let config = result.config in
+  let open Hwts_obs.Json in
+  let per_thread_f =
+    Array.to_list (Array.map float_of_int result.per_thread)
+  in
+  Obj
+    ([ ("name", Str "harness.run"); ("type", Str "run") ]
+    @ (match label with None -> [] | Some l -> [ ("structure", Str l) ])
+    @ [
+        ("threads", Int config.threads);
+        ("seconds", Float config.seconds);
+        ("key_range", Int config.key_range);
+        ("rq_len", Int config.rq_len);
+        ("mix", Str (Mix.label config.mix));
+        ("seed", Int config.seed);
+        ( "fixed_ops",
+          match config.fixed_ops with None -> Null | Some n -> Int n );
+        ("total_ops", Int result.total_ops);
+        ("mops", Float result.mops);
+        ("elapsed", Float result.elapsed);
+        ( "per_class",
+          Obj
+            (Array.to_list
+               (Array.mapi
+                  (fun i name -> (name, Int result.per_class.(i)))
+                  op_classes)) );
+        ("per_thread_p50_ops", Float (Stats.percentile 50. per_thread_f));
+        ("obs_enabled", Bool (Hwts_obs.Config.enabled ()));
+      ])
+
+let write_metrics ?label result path =
+  ensure_canonical_metrics ();
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Hwts_obs.Json.to_string (run_json ?label result));
+      output_char oc '\n';
+      output_string oc (Hwts_obs.Registry.to_json_lines ()))

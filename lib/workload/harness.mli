@@ -4,7 +4,12 @@
     the key range, then have [threads] domains execute the U-RQ-C mix for a
     fixed wall-clock duration; report Mops/s.  Each data point can be
     averaged over several trials ([run_trials]), and the per-trial spread
-    is reported as a coefficient of variation. *)
+    is reported as a coefficient of variation.
+
+    When {!Hwts_obs.Config.enabled} is true, each worker additionally
+    records per-op-class latency (TSC cycles, [Tsc.rdtscp] deltas) into the
+    [harness.latency.*] histograms; with the kill switch off the measured
+    path contains no TSC reads at all. *)
 
 type config = {
   threads : int;
@@ -17,6 +22,11 @@ type config = {
   zipf_theta : float option;
       (** [None] = uniform keys (the paper's setup); [Some theta] draws
           keys from a Zipf distribution instead. *)
+  fixed_ops : int option;
+      (** [Some n]: each worker executes exactly [n] operations and the
+          wall clock plays no role, so a fixed seed reproduces the run
+          deterministically (used to verify instrumentation inertness).
+          [None]: run for [seconds] (the paper's methodology). *)
 }
 
 val default : config
@@ -27,10 +37,15 @@ type result = {
   total_ops : int;
   mops : float;  (** million operations per second, all threads *)
   per_thread : int array;
+  per_class : int array;  (** ops by class, indexed as {!op_classes} *)
   elapsed : float;
 }
 
 type target = Target : (module Dstruct.Ordered_set.RQ with type t = 'a) * 'a -> target
+
+val op_classes : string array
+(** [[| "insert"; "delete"; "contains"; "range" |]] — index order of
+    [result.per_class]. *)
 
 val prefill :
   (module Dstruct.Ordered_set.RQ with type t = 'a) -> 'a -> key_range:int -> seed:int -> int
@@ -48,3 +63,14 @@ val run_trials : ?trials:int -> (module Dstruct.Ordered_set.RQ) -> config -> res
 
 val mops_of_trials : result list -> float * float
 (** (mean Mops/s, coefficient of variation). *)
+
+val ensure_canonical_metrics : unit -> unit
+(** Make sure the canonical metric names (timestamp ties, vCAS helping,
+    bundle prunes, EBR epochs, harness latency) exist in the registry, so
+    exports cover them even when a run never touched the lazy creation
+    sites. *)
+
+val write_metrics : ?label:string -> result -> string -> unit
+(** Write a JSON-lines metrics file: one [harness.run] summary line
+    (config, total ops, Mops/s, per-class op counts) followed by every
+    registered metric, as printed by {!Hwts_obs.Registry.to_json_lines}. *)

@@ -1,5 +1,5 @@
 let mean = function
-  | [] -> nan
+  | [] -> 0.
   | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
 let stddev = function
@@ -12,8 +12,23 @@ let stddev = function
     in
     sqrt var
 
-let coefficient_of_variation xs =
-  let m = mean xs in
-  if m = 0. then 0. else stddev xs /. m
+let coefficient_of_variation = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    if m = 0. then 0. else stddev xs /. m
 
 let speedup ~baseline x = if baseline = 0. then nan else x /. baseline
+
+let percentile p = function
+  | [] -> 0.
+  | [ x ] -> x
+  | xs ->
+    let arr = Array.of_list (List.sort compare xs) in
+    let n = Array.length arr in
+    let p = if p < 0. then 0. else if p > 100. then 100. else p in
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))

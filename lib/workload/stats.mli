@@ -1,9 +1,17 @@
-(** Small statistics helpers for trial aggregation. *)
+(** Small statistics helpers for trial aggregation.
+
+    All functions are total: empty (and, where relevant, singleton) inputs
+    yield 0 rather than NaN, so exporters can feed them unchecked. *)
 
 val mean : float list -> float
 val stddev : float list -> float
 
 val coefficient_of_variation : float list -> float
-(** stddev / mean (the paper reports an average CV of 1.6%). *)
+(** stddev / mean (the paper reports an average CV of 1.6%); 0 for empty,
+    singleton, or zero-mean samples. *)
 
 val speedup : baseline:float -> float -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0, 100]: linear interpolation between
+    closest ranks of the sorted sample; 0 on an empty list. *)

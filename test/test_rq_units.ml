@@ -320,6 +320,50 @@ let registry_across_domains () =
   List.iter Domain.join ds;
   Alcotest.(check int) "all gone" 0 (Rangequery.Rq_registry.active_count r)
 
+(* ---------- observability is inert ---------- *)
+
+(* One deterministic vCAS RQ scenario with a known number of forced
+   timestamp ties: after [advance] settles the strict clock at the frozen
+   mock value, every further snapshot observes a tie and bumps. *)
+let obs_scenario enabled =
+  Hwts_obs.Config.set_enabled enabled;
+  Hwts_obs.Registry.reset_all ();
+  let module MT = Hwts.Timestamp.Mock () in
+  let module ST = Hwts.Timestamp.Strict (MT) () in
+  let module T = Rangequery.Bst_vcas.Make (ST) in
+  let t = T.create () in
+  for k = 1 to 16 do
+    ignore (T.insert t k)
+  done;
+  MT.set 50;
+  MT.freeze ();
+  ignore (ST.advance ());
+  (* the strict clock now holds the frozen value: each of these snapshots
+     ties and must bump *)
+  let rqs = List.init 5 (fun i -> T.range_query t ~lo:1 ~hi:(4 + i)) in
+  MT.thaw ();
+  (* move the mock clock past the bumped strict word so the final check
+     query is not itself a tie *)
+  MT.set 1000;
+  ignore (T.delete t 3);
+  ignore (T.insert t 40);
+  (rqs, T.range_query t ~lo:1 ~hi:64)
+
+let obs_inert () =
+  let prev = Hwts_obs.Config.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Hwts_obs.Config.set_enabled prev)
+    (fun () ->
+      let off = obs_scenario false in
+      let ties_off = Hwts_obs.Registry.counter_value "timestamp.strict.ties" in
+      let on = obs_scenario true in
+      let ties_on = Hwts_obs.Registry.counter_value "timestamp.strict.ties" in
+      Alcotest.(check bool) "identical results with obs off/on" true (off = on);
+      Alcotest.(check (option int)) "nothing counted when disabled" (Some 0)
+        ties_off;
+      Alcotest.(check (option int)) "forced ties counted when enabled" (Some 5)
+        ties_on)
+
 let () =
   Alcotest.run "rq-units"
     [
@@ -353,4 +397,6 @@ let () =
           Alcotest.test_case "basics" `Quick registry_basics;
           Alcotest.test_case "across domains" `Quick registry_across_domains;
         ] );
+      ( "observability",
+        [ Alcotest.test_case "obs is inert" `Quick obs_inert ] );
     ]

@@ -108,6 +108,62 @@ let stats_known_values () =
     (Workload.Stats.speedup ~baseline:2. 5.);
   Alcotest.(check (float 1e-9)) "stddev singleton" 0. (Workload.Stats.stddev [ 4. ])
 
+let stats_degenerate_inputs () =
+  Alcotest.(check (float 1e-9)) "mean empty" 0. (Workload.Stats.mean []);
+  Alcotest.(check (float 1e-9)) "stddev empty" 0. (Workload.Stats.stddev []);
+  Alcotest.(check (float 1e-9)) "cv empty" 0.
+    (Workload.Stats.coefficient_of_variation []);
+  Alcotest.(check (float 1e-9)) "cv singleton" 0.
+    (Workload.Stats.coefficient_of_variation [ 4. ]);
+  Alcotest.(check (float 1e-9)) "cv of zeros" 0.
+    (Workload.Stats.coefficient_of_variation [ 0.; 0.; 0. ])
+
+let stats_percentile () =
+  let p = Workload.Stats.percentile in
+  Alcotest.(check (float 1e-9)) "empty" 0. (p 50. []);
+  Alcotest.(check (float 1e-9)) "singleton" 7. (p 99. [ 7. ]);
+  Alcotest.(check (float 1e-9)) "median odd" 3. (p 50. [ 5.; 1.; 3. ]);
+  Alcotest.(check (float 1e-9)) "median even interpolates" 2.5
+    (p 50. [ 4.; 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 2. (p 25. [ 1.; 3.; 5. ]);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1. (p 0. [ 3.; 1.; 5. ]);
+  Alcotest.(check (float 1e-9)) "p100 is max" 5. (p 100. [ 3.; 1.; 5. ]);
+  Alcotest.(check (float 1e-9)) "clamped above" 5. (p 150. [ 3.; 1.; 5. ]);
+  Alcotest.(check (float 1e-9)) "clamped below" 1. (p (-10.) [ 3.; 1.; 5. ])
+
+(* With [fixed_ops] the op count is seed-determined, so toggling the obs
+   kill switch must not change what the harness reports. *)
+let harness_obs_kill_switch_deterministic () =
+  let config =
+    {
+      Workload.Harness.default with
+      threads = 2;
+      key_range = 512;
+      fixed_ops = Some 2_000;
+    }
+  in
+  let run_once enabled =
+    Hwts_obs.Config.set_enabled enabled;
+    Workload.Harness.run (Workload.Targets.bst_vcas `Logical) config
+  in
+  let prev = Hwts_obs.Config.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Hwts_obs.Config.set_enabled prev)
+    (fun () ->
+      let r_off = run_once false in
+      let r_on = run_once true in
+      Alcotest.(check int) "exact op count (off)" 4_000
+        r_off.Workload.Harness.total_ops;
+      Alcotest.(check int) "same total_ops" r_off.Workload.Harness.total_ops
+        r_on.Workload.Harness.total_ops;
+      Alcotest.(check (array int)) "same per-thread counts"
+        r_off.Workload.Harness.per_thread r_on.Workload.Harness.per_thread;
+      Alcotest.(check (array int)) "same per-class counts"
+        r_off.Workload.Harness.per_class r_on.Workload.Harness.per_class;
+      Alcotest.(check int) "per-class sums to total"
+        r_on.Workload.Harness.total_ops
+        (Array.fold_left ( + ) 0 r_on.Workload.Harness.per_class))
+
 let harness_prefill_exact () =
   let (module S : Dstruct.Ordered_set.RQ) = Workload.Targets.bst_vcas `Hardware in
   let t = S.create () in
@@ -182,10 +238,16 @@ let () =
           Alcotest.test_case "harness runs" `Slow harness_zipf_runs;
         ] );
       ( "stats",
-        [ Alcotest.test_case "known values" `Quick stats_known_values ] );
+        [
+          Alcotest.test_case "known values" `Quick stats_known_values;
+          Alcotest.test_case "degenerate inputs" `Quick stats_degenerate_inputs;
+          Alcotest.test_case "percentile" `Quick stats_percentile;
+        ] );
       ( "harness",
         [
           Alcotest.test_case "prefill exact" `Quick harness_prefill_exact;
+          Alcotest.test_case "obs kill switch deterministic" `Quick
+            harness_obs_kill_switch_deterministic;
           Alcotest.test_case "runs" `Slow harness_runs;
           Alcotest.test_case "trials" `Slow harness_trials;
           Alcotest.test_case "targets all work" `Quick targets_all_work;

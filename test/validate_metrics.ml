@@ -1,0 +1,72 @@
+(* Validate a --metrics-out JSON-lines file (used by `make bench-smoke`):
+   every line must parse, and the canonical metric set — timestamp ties,
+   vCAS helping, bundle prunes, EBR epochs, per-op-class latency — must be
+   present with the expected shape. *)
+
+module J = Hwts_obs.Json
+
+let required_counters =
+  [
+    "timestamp.strict.ties";
+    "rangequery.vcas.help_attempts";
+    "rangequery.bundle.prunes";
+    "ebr.epoch_advances";
+  ]
+
+let required_histograms =
+  [
+    "harness.latency.insert";
+    "harness.latency.delete";
+    "harness.latency.contains";
+    "harness.latency.range";
+  ]
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: validate_metrics FILE";
+    exit 2
+  end;
+  let path = Sys.argv.(1) in
+  let ic = open_in_bin path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match J.parse_lines content with
+  | Error e ->
+    Printf.eprintf "%s: invalid JSON lines: %s\n" path e;
+    exit 1
+  | Ok lines ->
+    let find name =
+      List.find_opt (fun l -> J.member "name" l = Some (J.Str name)) lines
+    in
+    let missing = ref [] in
+    let require name check what =
+      match find name with
+      | Some l when check l -> ()
+      | Some _ -> missing := Printf.sprintf "%s (%s)" name what :: !missing
+      | None -> missing := Printf.sprintf "%s (absent)" name :: !missing
+    in
+    List.iter
+      (fun n ->
+        require n
+          (fun l ->
+            J.member "type" l = Some (J.Str "counter")
+            && Option.bind (J.member "value" l) J.to_int <> None)
+          "counter with an integer value")
+      required_counters;
+    List.iter
+      (fun n ->
+        require n
+          (fun l ->
+            J.member "type" l = Some (J.Str "histogram")
+            && Option.bind (J.member "p50" l) J.to_float <> None
+            && Option.bind (J.member "p99" l) J.to_float <> None)
+          "histogram with p50/p99")
+      required_histograms;
+    if !missing = [] then begin
+      Printf.printf "ok: %d metric lines in %s\n" (List.length lines) path;
+      exit 0
+    end
+    else begin
+      List.iter (Printf.eprintf "validate_metrics: missing %s\n") !missing;
+      exit 1
+    end

@@ -2,7 +2,7 @@
 
 SMOKE_METRICS := /tmp/obs.json
 
-.PHONY: all build test fmt-check check bench-smoke bench-obs clean
+.PHONY: all build test fmt-check check bench-smoke bench-obs bench-hotpath clean
 
 all: build
 
@@ -31,6 +31,12 @@ bench-obs: build
 	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 1 \
 	  --metrics-out BENCH_obs.json
 	dune exec test/validate_metrics.exe -- BENCH_obs.json
+
+# Refresh the checked-in hot-path before/after artifact: baseline leg
+# (scratch off, registry scan per prune) vs optimized leg (per-domain
+# scratch reuse, cached floor) over the same seeded fixed-op runs.
+bench-hotpath: build
+	dune exec bench/hotpath.exe -- -trials 5 -out BENCH_hotpath.json
 
 clean:
 	dune clean

@@ -1,0 +1,189 @@
+(* Before/after microbench for the hot-path overhaul: per-domain scratch
+   reuse, cached min-active pruning, and buffered range-query collection.
+
+   Both mechanisms ship with runtime switches, so one binary measures both
+   sides honestly: the baseline leg disables the scratch pools
+   ([Sync.Scratch.set_enabled false] makes every [Scratch.get] return a
+   fresh allocation) and pins the registry refresh period to 1 (a full
+   slot scan on every prune) — exactly the pre-overhaul behavior.  The
+   optimized leg restores the defaults.  Each leg replays the same fixed,
+   seeded operation sequence against a freshly prefilled structure, so
+   the only difference between legs is the mechanism under test.
+
+   Reports Mops/s and minor-heap words allocated per operation (summed
+   [Gc.minor_words] deltas of the worker domains), one JSON line per
+   structure, to BENCH_hotpath.json. *)
+
+let default_out = "BENCH_hotpath.json"
+
+type leg = {
+  mops : float;
+  words_per_op : float;
+  minor_words : float;
+  total_ops : int;
+  elapsed : float;
+}
+
+let optimized_period = Rangequery.Rq_registry.refresh_period ()
+
+let set_baseline () =
+  Sync.Scratch.set_enabled false;
+  Rangequery.Rq_registry.set_refresh_period 1
+
+let set_optimized () =
+  Sync.Scratch.set_enabled true;
+  Rangequery.Rq_registry.set_refresh_period optimized_period
+
+let run_leg make config ~warmup =
+  (* Fresh structure per leg: prefill is seeded, so both legs start from
+     the same contents and replay the same op sequence.  Compact first so
+     a leg does not pay major-GC debt for its predecessor's garbage. *)
+  Gc.compact ();
+  let target = Workload.Harness.make_target make config in
+  if warmup > 0 then
+    ignore
+      (Workload.Harness.run_prepared target
+         { config with fixed_ops = Some warmup });
+  let r = Workload.Harness.run_prepared target config in
+  {
+    mops = r.Workload.Harness.mops;
+    words_per_op = r.Workload.Harness.words_per_op;
+    minor_words = r.Workload.Harness.minor_words;
+    total_ops = r.Workload.Harness.total_ops;
+    elapsed = r.Workload.Harness.elapsed;
+  }
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let summarize legs =
+  {
+    mops = median (List.map (fun l -> l.mops) legs);
+    words_per_op = median (List.map (fun l -> l.words_per_op) legs);
+    minor_words = median (List.map (fun l -> l.minor_words) legs);
+    total_ops = (List.hd legs).total_ops;
+    elapsed = median (List.map (fun l -> l.elapsed) legs);
+  }
+
+(* Paired, order-alternating trials with component-wise medians: fixed-op
+   legs make words/op essentially exact, but wall-clock Mops on a shared
+   machine drifts, so each trial runs both legs back to back (alternating
+   which goes first) rather than all of one leg before all of the other —
+   a slow phase of the machine then lands on both sides equally. *)
+let run_paired_trials make config ~warmup ~trials =
+  let base_legs = ref [] and opt_legs = ref [] in
+  for i = 1 to trials do
+    let base () =
+      set_baseline ();
+      base_legs := run_leg make config ~warmup :: !base_legs
+    and opt () =
+      set_optimized ();
+      opt_legs := run_leg make config ~warmup :: !opt_legs
+    in
+    if i mod 2 = 1 then (base (); opt ()) else (opt (); base ())
+  done;
+  set_optimized ();
+  (summarize !base_legs, summarize !opt_legs)
+
+let leg_json l =
+  Hwts_obs.Json.Obj
+    [
+      ("mops", Hwts_obs.Json.Float l.mops);
+      ("words_per_op", Hwts_obs.Json.Float l.words_per_op);
+      ("minor_words", Hwts_obs.Json.Float l.minor_words);
+      ("total_ops", Hwts_obs.Json.Int l.total_ops);
+      ("elapsed", Hwts_obs.Json.Float l.elapsed);
+    ]
+
+let () =
+  let threads = ref 1 in
+  let ops = ref 200_000 in
+  let warmup = ref 50_000 in
+  let key_range = ref 16_384 in
+  let rq_len = ref 100 in
+  let out = ref default_out in
+  let only = ref "" in
+  let mix = ref "10-10-80" in
+  let trials = ref 3 in
+  Arg.parse
+    [
+      ("-threads", Arg.Set_int threads, " worker domains (default 1)");
+      ("-ops", Arg.Set_int ops, " fixed ops per thread per leg (default 200k)");
+      ("-warmup", Arg.Set_int warmup, " discarded warmup ops (default 50k)");
+      ("-key-range", Arg.Set_int key_range, " key range (default 16384)");
+      ("-rq-len", Arg.Set_int rq_len, " range-query length (default 100)");
+      ("-out", Arg.Set_string out, " output file (default BENCH_hotpath.json)");
+      ("-structure", Arg.Set_string only, " run only this structure");
+      ("-mix", Arg.Set_string mix, " U-RQ-C mix label (default 10-10-80)");
+      ("-trials", Arg.Set_int trials, " trials per leg, medians kept (default 3)");
+    ]
+    (fun _ -> ())
+    "hotpath: before/after scratch-reuse + cached-pruning microbench";
+  (* Latency instrumentation off: the measured path should contain only
+     the structures' own work. *)
+  Hwts_obs.Config.set_enabled false;
+  let config =
+    {
+      Workload.Harness.default with
+      threads = !threads;
+      key_range = !key_range;
+      rq_len = !rq_len;
+      fixed_ops = Some !ops;
+      mix = Workload.Mix.of_label !mix;
+    }
+  in
+  let structures =
+    List.filter
+      (fun (name, _) -> !only = "" || name = !only)
+      Workload.Targets.all
+  in
+  let oc = open_out !out in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  let emit json =
+    output_string oc (Hwts_obs.Json.to_string json);
+    output_char oc '\n'
+  in
+  emit
+    (Hwts_obs.Json.Obj
+       [
+         ("name", Hwts_obs.Json.Str "bench.hotpath");
+         ("type", Hwts_obs.Json.Str "meta");
+         ("threads", Hwts_obs.Json.Int !threads);
+         ("ops_per_thread", Hwts_obs.Json.Int !ops);
+         ("key_range", Hwts_obs.Json.Int !key_range);
+         ("rq_len", Hwts_obs.Json.Int !rq_len);
+         ("mix", Hwts_obs.Json.Str (Workload.Mix.label config.mix));
+         ("seed", Hwts_obs.Json.Int config.seed);
+         ("refresh_period", Hwts_obs.Json.Int optimized_period);
+         ("trials", Hwts_obs.Json.Int !trials);
+       ]);
+  Printf.printf "%-16s %10s %10s %12s %12s %8s %8s\n" "structure"
+    "base-mops" "opt-mops" "base-w/op" "opt-w/op" "w-red%" "mops-x";
+  List.iter
+    (fun (name, make) ->
+      let make = make `Hardware in
+      let base, opt =
+        run_paired_trials make config ~warmup:!warmup ~trials:!trials
+      in
+      let reduction =
+        if base.words_per_op = 0. then 0.
+        else (base.words_per_op -. opt.words_per_op) /. base.words_per_op *. 100.
+      in
+      let ratio = if base.mops = 0. then 0. else opt.mops /. base.mops in
+      Printf.printf "%-16s %10.3f %10.3f %12.1f %12.1f %7.1f%% %8.2f\n%!" name
+        base.mops opt.mops base.words_per_op opt.words_per_op reduction ratio;
+      emit
+        (Hwts_obs.Json.Obj
+           [
+             ("name", Hwts_obs.Json.Str "bench.hotpath");
+             ("type", Hwts_obs.Json.Str "comparison");
+             ("structure", Hwts_obs.Json.Str name);
+             ("baseline", leg_json base);
+             ("optimized", leg_json opt);
+             ("words_per_op_reduction_pct", Hwts_obs.Json.Float reduction);
+             ("mops_ratio", Hwts_obs.Json.Float ratio);
+           ]))
+    structures;
+  Printf.printf "wrote %s\n" !out

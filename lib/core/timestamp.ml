@@ -59,20 +59,32 @@ module Strict (T : S) () = struct
 
   let advance () =
     Hwts_obs.Counter.incr advances;
-    let rec attempt () =
+    (* On CAS failure (another domain advanced concurrently) back off
+       before retrying the shared tie-break word; the backoff state is
+       allocated only once a retry actually happens. *)
+    let rec attempt backoff =
       let t = T.advance () in
       let prev = Atomic.get last in
       if t > prev then
-        if Atomic.compare_and_set last prev t then t else attempt ()
+        if Atomic.compare_and_set last prev t then t else contended backoff
       else begin
         (* Tie (or stale hardware read): bump past the last value handed
            out, as Jiffy's revision lists require. *)
         Hwts_obs.Counter.incr ties;
         let bumped = prev + 1 in
-        if Atomic.compare_and_set last prev bumped then bumped else attempt ()
+        if Atomic.compare_and_set last prev bumped then bumped
+        else contended backoff
       end
+    and contended backoff =
+      let backoff =
+        match backoff with
+        | Some _ -> backoff
+        | None -> Some (Sync.Backoff.make ~min_spins:2 ~max_spins:512 ())
+      in
+      (match backoff with Some b -> Sync.Backoff.once b | None -> ());
+      attempt backoff
     in
-    attempt ()
+    attempt None
 
   (* strictly increasing labels make the advance itself a safe snapshot *)
   let snapshot = advance

@@ -75,9 +75,23 @@ let fresh_arrays t =
     Array.make (max_level + 1) t.tail,
     Array.make (max_level + 1) { target = t.tail; marked = false } )
 
+(* Per-domain traversal workspace ([find] overwrites every entry before
+   callers read it, so reuse across operations and instances is safe). *)
+let scratch_cell : (node array * node array * succ array) option ref Sync.Scratch.t =
+  Sync.Scratch.make (fun () -> ref None)
+
+let get_scratch t =
+  let cell = Sync.Scratch.get scratch_cell in
+  match !cell with
+  | Some s -> s
+  | None ->
+    let s = fresh_arrays t in
+    cell := Some s;
+    s
+
 let rec insert t key =
   assert (key > Ordered_set.min_key && key <= Ordered_set.max_key);
-  let preds, succs, blocks = fresh_arrays t in
+  let preds, succs, blocks = get_scratch t in
   if find t key preds succs blocks then false
   else begin
     let top = Skip_level.random () in
@@ -127,7 +141,7 @@ and link_upper t key node preds succs blocks level =
   end
 
 let delete t key =
-  let preds, succs, blocks = fresh_arrays t in
+  let preds, succs, blocks = get_scratch t in
   if not (find t key preds succs blocks) then false
   else begin
     let victim = succs.(0) in

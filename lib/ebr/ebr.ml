@@ -45,21 +45,28 @@ struct
        end
 
   (* Only the slot's owner rewrites its limbo list, so a plain get/set pair
-     cannot lose concurrent entries. *)
+     cannot lose concurrent entries.  One traversal computes the histogram
+     length, the surviving entries and the dropped count together. *)
   let trim t slot =
     let epoch = Atomic.get t.global in
     let cell = t.limbo.(slot) in
     let entries = Atomic.get cell in
-    if Hwts_obs.Config.enabled () then
-      Hwts_obs.Histogram.record limbo_len (List.length entries);
-    let keep, dropped =
-      List.partition (fun e -> e.retired_at >= epoch - 2) entries
+    let total = ref 0 and dropped = ref 0 in
+    let keep =
+      List.filter
+        (fun e ->
+          incr total;
+          let live = e.retired_at >= epoch - 2 in
+          if not live then incr dropped;
+          live)
+        entries
     in
-    if dropped <> [] then begin
+    if Hwts_obs.Config.enabled () then
+      Hwts_obs.Histogram.record limbo_len !total;
+    if !dropped > 0 then begin
       Atomic.set cell keep;
-      let n = List.length dropped in
-      ignore (Atomic.fetch_and_add t.reclaimed n);
-      Hwts_obs.Counter.add reclaimed_total n
+      ignore (Atomic.fetch_and_add t.reclaimed !dropped);
+      Hwts_obs.Counter.add reclaimed_total !dropped
     end
 
   let enter t =

@@ -213,13 +213,17 @@ module Make (T : LOGICAL) = struct
     let dt = Sync.Rdcss.get leaf.dtime in
     it <= ts && (dt = 0 || dt > ts)
 
+  let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
+    Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
+
   let range_query t ~lo ~hi =
     Reclaim.with_op t.ebr (fun () ->
         let ts = T.snapshot () in
-        let acc = ref [] in
+        let buf = Sync.Scratch.get buf_scratch in
+        Sync.Scratch.Int_buffer.clear buf;
         let visit l =
           if l.lkey >= lo && l.lkey <= hi && l.lkey < inf0 && covers ts l then
-            acc := l.lkey :: !acc
+            Sync.Scratch.Int_buffer.push buf l.lkey
         in
         let rec walk node =
           match node with
@@ -230,7 +234,7 @@ module Make (T : LOGICAL) = struct
         in
         walk (Internal t.s);
         Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () l -> visit l);
-        List.sort_uniq compare !acc)
+        List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf))
 
   let to_list t =
     let rec walk acc node =

@@ -25,9 +25,11 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   (* Bound version chains: after labeling our own write at [label], cut
      history that neither an active range query nor a pinned snapshot can
-     need (announce-then-read makes this safe). *)
+     need (announce-then-read makes this safe).  The registry floor is the
+     cached one: refreshed lazily, guaranteed never to lead the true
+     minimum.  Pins are few, so they are still folded in on every call. *)
   let prune_with t cell label =
-    let floor = Rq_registry.min_active t.registry ~default:label in
+    let floor = Rq_registry.min_active_cached t.registry ~default:label in
     let floor = List.fold_left min floor (Atomic.get t.pins) in
     V.prune cell floor
 
@@ -179,26 +181,40 @@ module Make (T : Hwts.Timestamp.S) = struct
     in
     down (Internal t.s)
 
+  (* In-order collection into the per-domain buffer: left subtree, leaf,
+     right subtree, so the buffer ends up sorted ascending and is
+     snapshotted into the result list exactly once. *)
+  let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
+    Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
+
+  let collect_keys ~read_edge ~lo ~hi root =
+    let buf = Sync.Scratch.get buf_scratch in
+    Sync.Scratch.Int_buffer.clear buf;
+    let rec collect node =
+      match node with
+      | Leaf k ->
+        if k >= lo && k <= hi && k < inf0 then
+          Sync.Scratch.Int_buffer.push buf k
+      | Internal n ->
+        if lo < n.ikey then collect (read_edge n.left).target;
+        if hi >= n.ikey then collect (read_edge n.right).target
+    in
+    collect root;
+    Sync.Scratch.Int_buffer.to_list buf
+
   (* Range query: fix the snapshot time by advancing the timestamp (vCAS
      protocol: the RQ is the advancing operation), then traverse the
      versioned edges at that time. *)
   let range_query t ~lo ~hi =
-    (* announce a lower bound first so concurrent pruning stays safe *)
+    (* announce a lower bound first so concurrent pruning stays safe; the
+       protected exit keeps a raising traversal from pinning its slot (and
+       with it every version chain) forever *)
     Rq_registry.enter t.registry (T.read ());
-    let ts = T.snapshot () in
-    let rec collect acc node =
-      match node with
-      | Leaf k -> if k >= lo && k <= hi && k < inf0 then k :: acc else acc
-      | Internal n ->
-        let acc =
-          if hi >= n.ikey then collect acc (V.read_at n.right ts).target
-          else acc
-        in
-        if lo < n.ikey then collect acc (V.read_at n.left ts).target else acc
-    in
-    let result = collect [] (Internal t.s) in
-    Rq_registry.exit_rq t.registry;
-    result
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.snapshot () in
+        collect_keys ~read_edge:(fun c -> V.read_at c ts) ~lo ~hi (Internal t.s))
 
   let rec add_pin t ts =
     let old = Atomic.get t.pins in
@@ -226,17 +242,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   let release_snapshot t ts = remove_pin t ts
 
   let range_query_at t ts ~lo ~hi =
-    let rec collect acc node =
-      match node with
-      | Leaf k -> if k >= lo && k <= hi && k < inf0 then k :: acc else acc
-      | Internal n ->
-        let acc =
-          if hi >= n.ikey then collect acc (V.read_at n.right ts).target
-          else acc
-        in
-        if lo < n.ikey then collect acc (V.read_at n.left ts).target else acc
-    in
-    collect [] (Internal t.s)
+    collect_keys ~read_edge:(fun c -> V.read_at c ts) ~lo ~hi (Internal t.s)
 
   let contains_at t ts key =
     let rec down node =
@@ -247,14 +253,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     down (Internal t.s)
 
   let to_list t =
-    let rec walk acc node =
-      match node with
-      | Leaf k -> if k < inf0 then k :: acc else acc
-      | Internal n ->
-        let acc = walk acc (V.read n.right).target in
-        walk acc (V.read n.left).target
-    in
-    walk [] (Internal t.s)
+    collect_keys ~read_edge:V.read ~lo:min_int ~hi:max_int (Internal t.s)
 
   let size t = List.length (to_list t)
 

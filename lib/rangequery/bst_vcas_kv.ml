@@ -36,7 +36,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   let clean target = { target; flagged = false; tagged = false }
 
   let prune_with t cell label =
-    let floor = Rq_registry.min_active t.registry ~default:label in
+    let floor = Rq_registry.min_active_cached t.registry ~default:label in
     let floor = List.fold_left min floor (Atomic.get t.pins) in
     V.prune cell floor
 
@@ -228,10 +228,11 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   let range_query t ~lo ~hi =
     Rq_registry.enter t.registry (T.read ());
-    let ts = T.snapshot () in
-    let result = collect_range ~read_edge:(fun c -> V.read_at c ts) t ~lo ~hi in
-    Rq_registry.exit_rq t.registry;
-    result
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.snapshot () in
+        collect_range ~read_edge:(fun c -> V.read_at c ts) t ~lo ~hi)
 
   let to_alist t =
     collect_range ~read_edge:V.read t ~lo:min_int ~hi:(inf0 - 1)

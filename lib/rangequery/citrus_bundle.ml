@@ -70,7 +70,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     match Atomic.get (child n d) with Some x -> x == c | None -> false
 
   let prune_with t bundle ts =
-    B.prune bundle (Rq_registry.min_active t.registry ~default:ts)
+    B.prune bundle (Rq_registry.min_active_cached t.registry ~default:ts)
 
   let rec insert t key =
     assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
@@ -190,23 +190,33 @@ module Make (T : Hwts.Timestamp.S) = struct
       true
     end
 
+  let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
+    Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
+
   (* Bundling range query: announce a lower bound, then fix the snapshot
-     with a second clock read so concurrent pruning stays safe. *)
+     with a second clock read so concurrent pruning stays safe.  In-order
+     traversal fills the per-domain buffer ascending; the result list is
+     snapshotted from it once. *)
   let range_query t ~lo ~hi =
     let announce = T.read () in
     Rq_registry.enter t.registry announce;
-    let ts = T.read () in
-    let rec walk acc node_opt =
-      match node_opt with
-      | None -> acc
-      | Some n ->
-        let acc = if hi > n.key then walk acc (B.read_at n.bright ts) else acc in
-        let acc = if n.key >= lo && n.key <= hi then n.key :: acc else acc in
-        if lo < n.key then walk acc (B.read_at n.bleft ts) else acc
-    in
-    let result = walk [] (B.read_at t.root.bright ts) in
-    Rq_registry.exit_rq t.registry;
-    result
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.read () in
+        let buf = Sync.Scratch.get buf_scratch in
+        Sync.Scratch.Int_buffer.clear buf;
+        let rec walk node_opt =
+          match node_opt with
+          | None -> ()
+          | Some n ->
+            if lo < n.key then walk (B.read_at n.bleft ts);
+            if n.key >= lo && n.key <= hi then
+              Sync.Scratch.Int_buffer.push buf n.key;
+            if hi > n.key then walk (B.read_at n.bright ts)
+        in
+        walk (B.read_at t.root.bright ts);
+        Sync.Scratch.Int_buffer.to_list buf)
 
   let to_list t =
     let rec walk acc = function

@@ -190,6 +190,9 @@ module Make (T : Hwts.Timestamp.S) = struct
     let it = Atomic.get n.itime and dt = Atomic.get n.dtime in
     it > 0 && it <= ts && (dt = 0 || dt > ts)
 
+  let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
+    Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
+
   let range_query t ~lo ~hi =
     Reclaim.with_op t.ebr (fun () ->
         (* Exclusive mode: the RQ's snapshot point cannot interleave with
@@ -197,9 +200,11 @@ module Make (T : Hwts.Timestamp.S) = struct
         let ts =
           Sync.Rwlock.with_write t.ts_lock (fun () -> T.snapshot ())
         in
-        let acc = ref [] in
+        let buf = Sync.Scratch.get buf_scratch in
+        Sync.Scratch.Int_buffer.clear buf;
         let visit n =
-          if n.key >= lo && n.key <= hi && covers ts n then acc := n.key :: !acc
+          if n.key >= lo && n.key <= hi && covers ts n then
+            Sync.Scratch.Int_buffer.push buf n.key
         in
         Rcu.with_read t.rcu_dom (fun () ->
             let rec walk = function
@@ -213,7 +218,7 @@ module Make (T : Hwts.Timestamp.S) = struct
         (* Recently deleted nodes may already be unlinked: recover them
            from the limbo lists, as EBR-RQ does. *)
         Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () n -> visit n);
-        List.sort_uniq compare !acc)
+        List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf))
 
   let to_list t =
     let rec walk acc = function

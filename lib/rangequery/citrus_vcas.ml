@@ -55,11 +55,13 @@ module Make (T : Hwts.Timestamp.S) = struct
   let child_is n d c =
     match V.read (child n d) with Some x -> x == c | None -> false
 
-  (* versioned write + history pruning under the announce-then-read rule *)
+  (* versioned write + history pruning under the announce-then-read rule;
+     the pruning floor comes from the lazily refreshed registry cache *)
   let write_pruned t cell v =
     let installed = V.write_with cell v in
     V.prune cell
-      (Rq_registry.min_active t.registry ~default:(V.timestamp installed))
+      (Rq_registry.min_active_cached t.registry
+         ~default:(V.timestamp installed))
 
   let rec insert t key =
     assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
@@ -153,22 +155,30 @@ module Make (T : Hwts.Timestamp.S) = struct
       true
     end
 
+  let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
+    Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
+
   (* vCAS range query: the RQ advances the timestamp to fix its snapshot.
      The relocation delete is two versioned writes, so de-duplicate. *)
   let range_query t ~lo ~hi =
     Rq_registry.enter t.registry (T.read ());
-    let ts = T.snapshot () in
-    let rec walk acc node_opt =
-      match node_opt with
-      | None -> acc
-      | Some n ->
-        let acc = if hi > n.key then walk acc (V.read_at n.right ts) else acc in
-        let acc = if n.key >= lo && n.key <= hi then n.key :: acc else acc in
-        if lo < n.key then walk acc (V.read_at n.left ts) else acc
-    in
-    let result = walk [] (V.read_at t.root.right ts) in
-    Rq_registry.exit_rq t.registry;
-    List.sort_uniq compare result
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.snapshot () in
+        let buf = Sync.Scratch.get buf_scratch in
+        Sync.Scratch.Int_buffer.clear buf;
+        let rec walk node_opt =
+          match node_opt with
+          | None -> ()
+          | Some n ->
+            if lo < n.key then walk (V.read_at n.left ts);
+            if n.key >= lo && n.key <= hi then
+              Sync.Scratch.Int_buffer.push buf n.key;
+            if hi > n.key then walk (V.read_at n.right ts)
+        in
+        walk (V.read_at t.root.right ts);
+        List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf))
 
   let to_list t =
     let rec walk acc = function

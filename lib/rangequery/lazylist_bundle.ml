@@ -39,7 +39,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     && Atomic.get pred.next == curr
 
   let prune_with t bundle ts =
-    B.prune bundle (Rq_registry.min_active t.registry ~default:ts)
+    B.prune bundle (Rq_registry.min_active_cached t.registry ~default:ts)
 
   let rec insert t key =
     assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
@@ -101,20 +101,29 @@ module Make (T : Hwts.Timestamp.S) = struct
     | None -> false
     | Some c -> c.key = key && not (Atomic.get c.marked)
 
+  let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
+    Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
+
   let range_query t ~lo ~hi =
     let announce = T.read () in
     Rq_registry.enter t.registry announce;
-    let ts = T.read () in
-    let rec walk acc n =
-      match B.read_at n.b ts with
-      | None -> acc
-      | Some m ->
-        if m.key > hi then acc
-        else walk (if m.key >= lo then m.key :: acc else acc) m
-    in
-    let result = walk [] t.head in
-    Rq_registry.exit_rq t.registry;
-    List.rev result
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.read () in
+        let buf = Sync.Scratch.get buf_scratch in
+        Sync.Scratch.Int_buffer.clear buf;
+        let rec walk n =
+          match B.read_at n.b ts with
+          | None -> ()
+          | Some m ->
+            if m.key <= hi then begin
+              if m.key >= lo then Sync.Scratch.Int_buffer.push buf m.key;
+              walk m
+            end
+        in
+        walk t.head;
+        Sync.Scratch.Int_buffer.to_list buf)
 
   let to_list t =
     let rec walk acc = function

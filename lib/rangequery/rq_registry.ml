@@ -1,19 +1,51 @@
 type t = {
   slots : int Atomic.t array; (* per slot: 0 = inactive, else snapshot ts *)
   active : int Atomic.t; (* metrics only: current number of announced RQs *)
+  cached_floor : int Atomic.t; (* 0 = not yet computed; else a lower bound
+                                  on every current and future announcement *)
+  tick : int ref Domain.DLS.key; (* per-domain ops since last refresh *)
 }
 
 let hwm = Hwts_obs.Registry.watermark "rangequery.rq.active_hwm"
+let refreshes = Hwts_obs.Registry.counter "rangequery.rq.floor_refreshes"
+
+(* Staleness knob for the cached floor: a full slot scan at most once per
+   this many update operations per domain.  1 = scan every time (the
+   uncached behavior). *)
+let default_refresh_period =
+  match Option.bind (Sys.getenv_opt "HWTS_RQ_REFRESH") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 64
+
+let refresh_period_state = Sync.Padding.atomic default_refresh_period
+let refresh_period () = Atomic.get refresh_period_state
+
+let set_refresh_period n =
+  assert (n >= 1);
+  Atomic.set refresh_period_state n
 
 let create () =
   {
     slots = Sync.Padding.atomic_array Sync.Slot.max_slots 0;
     active = Sync.Padding.atomic 0;
+    cached_floor = Sync.Padding.atomic 0;
+    tick = Domain.DLS.new_key (fun () -> ref 0);
   }
 
 let enter t ts =
   assert (ts > 0);
   Atomic.set t.slots.(Sync.Slot.my_slot ()) ts;
+  (* Fold the announcement into the cached floor.  Under a monotone clock
+     the cache can never exceed a later announcement anyway (every cached
+     value is <= the clock at the time it was computed); this CAS loop
+     additionally covers skewed hardware clocks, at a cost paid only on
+     the rare RQ path. *)
+  let rec lower () =
+    let c = Atomic.get t.cached_floor in
+    if c <> 0 && ts < c && not (Atomic.compare_and_set t.cached_floor c ts)
+    then lower ()
+  in
+  lower ();
   if Hwts_obs.Config.enabled () then
     Hwts_obs.Watermark.observe hwm (Atomic.fetch_and_add t.active 1 + 1)
 
@@ -29,6 +61,31 @@ let min_active t ~default =
     if ts > 0 && ts < !acc then acc := ts
   done;
   !acc
+
+(* Any value [min_active] returns stays a valid pruning floor forever: it is
+   <= every announcement in the scan, and <= the caller's own label, which
+   is <= the clock — so every *later* announcement (a fresh clock read) is
+   >= it too.  Hence racing refreshes may store either result and the cache
+   only ever *lags* the true minimum. *)
+let refresh t ~default =
+  if Hwts_obs.Config.enabled () then Hwts_obs.Counter.incr refreshes;
+  let fresh = min_active t ~default in
+  Atomic.set t.cached_floor fresh;
+  fresh
+
+let min_active_cached t ~default =
+  let period = Atomic.get refresh_period_state in
+  if period <= 1 then min_active t ~default
+  else begin
+    let tick = Domain.DLS.get t.tick in
+    incr tick;
+    let cached = Atomic.get t.cached_floor in
+    if cached = 0 || !tick >= period then begin
+      tick := 0;
+      refresh t ~default
+    end
+    else min cached default
+  end
 
 let active_count t =
   let n = ref 0 in

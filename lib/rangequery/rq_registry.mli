@@ -15,6 +15,22 @@ val enter : t -> int -> unit
 val exit_rq : t -> unit
 
 val min_active : t -> default:int -> int
-(** Oldest announced snapshot, or [default] when no RQ is active. *)
+(** Oldest announced snapshot, or [default] when no RQ is active.  Scans
+    every slot — O([Sync.Slot.max_slots]). *)
+
+val min_active_cached : t -> default:int -> int
+(** Like {!min_active}, but served from a shared cached floor refreshed by
+    a full scan at most once per {!refresh_period} calls per domain (and
+    clamped to [default], the caller's own label).  The cache may only
+    {e lag} the true minimum, never lead it: every cached value is a lower
+    bound on all current and future announcements, so pruning with it is
+    conservative.  The price of staleness is version chains up to
+    O(refresh period) entries longer, not correctness. *)
+
+val refresh_period : unit -> int
+
+val set_refresh_period : int -> unit
+(** Set the cached-floor staleness knob (>= 1; 1 = scan on every call).
+    Default 64, overridable at load time with [HWTS_RQ_REFRESH]. *)
 
 val active_count : t -> int

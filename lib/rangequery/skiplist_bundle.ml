@@ -46,6 +46,32 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   let random_level = Dstruct.Skip_level.random
 
+  type scratch = {
+    preds : node array;
+    succs : node array;
+    buf : Sync.Scratch.Int_buffer.t;
+  }
+  (* Per-domain traversal workspace: [find] overwrites every level before
+     callers read it, so reuse across operations (and instances) is safe. *)
+
+  let scratch_cell : scratch option ref Sync.Scratch.t =
+    Sync.Scratch.make (fun () -> ref None)
+
+  let get_scratch t =
+    let cell = Sync.Scratch.get scratch_cell in
+    match !cell with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          preds = Array.make (max_level + 1) t.head;
+          succs = Array.make (max_level + 1) t.head;
+          buf = Sync.Scratch.Int_buffer.create ();
+        }
+      in
+      cell := Some s;
+      s
+
   let find t key preds succs =
     let lfound = ref (-1) in
     let pred = ref t.head in
@@ -62,8 +88,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     !lfound
 
   let contains t key =
-    let preds = Array.make (max_level + 1) t.head
-    and succs = Array.make (max_level + 1) t.head in
+    let { preds; succs; _ } = get_scratch t in
     let lfound = find t key preds succs in
     lfound <> -1
     && Atomic.get succs.(lfound).fully_linked
@@ -113,13 +138,12 @@ module Make (T : Hwts.Timestamp.S) = struct
     result
 
   let prune_with t bundle ts =
-    B.prune bundle (Rq_registry.min_active t.registry ~default:ts)
+    B.prune bundle (Rq_registry.min_active_cached t.registry ~default:ts)
 
   let rec insert t key =
     assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
     let top = random_level () in
-    let preds = Array.make (max_level + 1) t.head
-    and succs = Array.make (max_level + 1) t.head in
+    let { preds; succs; _ } = get_scratch t in
     let lfound = find t key preds succs in
     if lfound <> -1 then begin
       let found = succs.(lfound) in
@@ -163,8 +187,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     && not (Atomic.get node.marked)
 
   let delete t key =
-    let preds = Array.make (max_level + 1) t.head
-    and succs = Array.make (max_level + 1) t.head in
+    let { preds; succs; _ } = get_scratch t in
     let rec attempt victim =
       let lfound = find t key preds succs in
       let victim =
@@ -227,25 +250,30 @@ module Make (T : Hwts.Timestamp.S) = struct
   let range_query t ~lo ~hi =
     let announce = T.read () in
     Rq_registry.enter t.registry announce;
-    let ts = T.read () in
-    let preds = Array.make (max_level + 1) t.head
-    and succs = Array.make (max_level + 1) t.head in
-    ignore (find t lo preds succs);
-    let start =
-      match B.read_at_opt preds.(0).b0 ts with
-      | Some _ -> preds.(0)
-      | None -> t.head (* the predecessor did not exist at [ts] *)
-    in
-    let rec walk acc n =
-      match B.read_at n.b0 ts with
-      | None -> acc
-      | Some m ->
-        if m.key > hi then acc
-        else walk (if m.key >= lo then m.key :: acc else acc) m
-    in
-    let result = walk [] start in
-    Rq_registry.exit_rq t.registry;
-    List.rev result
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.read () in
+        let sc = get_scratch t in
+        ignore (find t lo sc.preds sc.succs);
+        let start =
+          match B.read_at_opt sc.preds.(0).b0 ts with
+          | Some _ -> sc.preds.(0)
+          | None -> t.head (* the predecessor did not exist at [ts] *)
+        in
+        let buf = sc.buf in
+        Sync.Scratch.Int_buffer.clear buf;
+        let rec walk n =
+          match B.read_at n.b0 ts with
+          | None -> ()
+          | Some m ->
+            if m.key <= hi then begin
+              if m.key >= lo then Sync.Scratch.Int_buffer.push buf m.key;
+              walk m
+            end
+        in
+        walk start;
+        Sync.Scratch.Int_buffer.to_list buf)
 
   let to_list t =
     let rec walk acc n =

@@ -45,96 +45,121 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   exception Retry
 
-  type witness = { w0 : succ V.version; wup : succ }
-  (* per-level CAS witness: a version at level 0, a raw block above *)
+  type scratch = {
+    preds : node array;
+    succs : node array;
+    wit0 : succ V.version ref; (* level-0 CAS witness: a version *)
+    wup : succ array; (* per-level CAS witness above: a raw block *)
+    buf : Sync.Scratch.Int_buffer.t;
+  }
+  (* Per-domain traversal workspace: [find] overwrites every entry it
+     publishes before callers read it, so reuse across operations (and
+     across instances of this module) is safe. *)
 
-  let dummy_succ t = { target = t.tail; marked = false }
+  let scratch_cell : scratch option ref Sync.Scratch.t =
+    Sync.Scratch.make (fun () -> ref None)
+
+  let make_scratch t =
+    {
+      preds = Array.make (max_level + 1) t.head;
+      succs = Array.make (max_level + 1) t.tail;
+      wit0 = ref (V.head (next0 t.head));
+      wup = Array.make (max_level + 1) { target = t.tail; marked = false };
+      buf = Sync.Scratch.Int_buffer.create ();
+    }
+
+  let get_scratch t =
+    let cell = Sync.Scratch.get scratch_cell in
+    match !cell with
+    | Some s -> s
+    | None ->
+      let s = make_scratch t in
+      cell := Some s;
+      s
 
   (* As in the lock-free skip list, but level 0 goes through the versioned
-     cells.  Returns whether succs.(0) holds [key]. *)
-  let find t key preds succs wit =
-    let rec attempt () =
-      match
-        let pred = ref t.head in
-        for level = max_level downto 1 do
-          let rec step () =
-            let pblock = Atomic.get (upper_cell !pred level) in
-            if pblock.marked then raise_notrace Retry;
-            let curr = pblock.target in
-            if curr == t.tail then begin
-              preds.(level) <- !pred;
-              succs.(level) <- curr;
-              wit.(level) <- { (wit.(level)) with wup = pblock }
-            end
-            else begin
-              let cblock = Atomic.get (upper_cell curr level) in
-              if cblock.marked then begin
-                if
-                  Atomic.compare_and_set (upper_cell !pred level) pblock
-                    { target = cblock.target; marked = false }
-                then step ()
-                else raise_notrace Retry
-              end
-              else if curr.key < key then begin
-                pred := curr;
-                step ()
-              end
-              else begin
-                preds.(level) <- !pred;
-                succs.(level) <- curr;
-                wit.(level) <- { (wit.(level)) with wup = pblock }
-              end
-            end
-          in
-          step ()
-        done;
-        let rec step0 () =
-          let pver = V.head (next0 !pred) in
-          let pblock = V.value pver in
-          if pblock.marked then raise_notrace Retry;
-          let curr = pblock.target in
-          if curr == t.tail then begin
-            preds.(0) <- !pred;
-            succs.(0) <- curr;
-            wit.(0) <- { (wit.(0)) with w0 = pver }
-          end
-          else begin
-            let cblock = V.read (next0 curr) in
-            if cblock.marked then begin
-              if V.cas (next0 !pred) pver { target = cblock.target; marked = false }
-              then step0 ()
-              else raise_notrace Retry
-            end
-            else if curr.key < key then begin
-              pred := curr;
-              step0 ()
-            end
-            else begin
-              preds.(0) <- !pred;
-              succs.(0) <- curr;
-              wit.(0) <- { (wit.(0)) with w0 = pver }
-            end
-          end
-        in
-        step0 ();
-        succs.(0).key = key
-      with
-      | result -> result
-      | exception Retry -> attempt ()
-    in
-    attempt ()
+     cells.  The per-level steps are module-level recursions with explicit
+     arguments: nesting them inside [find] would allocate one closure per
+     index level on every traversal. *)
+  let rec find_upper t key preds succs wup pred level =
+    let pblock = Atomic.get (upper_cell !pred level) in
+    if pblock.marked then raise_notrace Retry;
+    let curr = pblock.target in
+    if curr == t.tail then begin
+      preds.(level) <- !pred;
+      succs.(level) <- curr;
+      wup.(level) <- pblock
+    end
+    else begin
+      let cblock = Atomic.get (upper_cell curr level) in
+      if cblock.marked then begin
+        if
+          Atomic.compare_and_set (upper_cell !pred level) pblock
+            { target = cblock.target; marked = false }
+        then find_upper t key preds succs wup pred level
+        else raise_notrace Retry
+      end
+      else if curr.key < key then begin
+        pred := curr;
+        find_upper t key preds succs wup pred level
+      end
+      else begin
+        preds.(level) <- !pred;
+        succs.(level) <- curr;
+        wup.(level) <- pblock
+      end
+    end
 
-  let fresh_arrays t =
-    ( Array.make (max_level + 1) t.head,
-      Array.make (max_level + 1) t.tail,
-      Array.make (max_level + 1)
-        { w0 = V.head (next0 t.head); wup = dummy_succ t } )
+  let rec find_bottom t key preds succs wit0 pred =
+    let pver = V.head (next0 !pred) in
+    let pblock = V.value pver in
+    if pblock.marked then raise_notrace Retry;
+    let curr = pblock.target in
+    if curr == t.tail then begin
+      preds.(0) <- !pred;
+      succs.(0) <- curr;
+      wit0 := pver
+    end
+    else begin
+      let cblock = V.read (next0 curr) in
+      if cblock.marked then begin
+        if V.cas (next0 !pred) pver { target = cblock.target; marked = false }
+        then find_bottom t key preds succs wit0 pred
+        else raise_notrace Retry
+      end
+      else if curr.key < key then begin
+        pred := curr;
+        find_bottom t key preds succs wit0 pred
+      end
+      else begin
+        preds.(0) <- !pred;
+        succs.(0) <- curr;
+        wit0 := pver
+      end
+    end
+
+  (* Returns whether succs.(0) holds [key]. *)
+  let rec find t key ({ preds; succs; wit0; wup; _ } as sc) =
+    match
+      let pred = ref t.head in
+      for level = max_level downto 1 do
+        find_upper t key preds succs wup pred level
+      done;
+      find_bottom t key preds succs wit0 pred;
+      succs.(0).key = key
+    with
+    | result -> result
+    | exception Retry -> find t key sc
+
+  let prune_with t cell label =
+    V.prune cell (Rq_registry.min_active_cached t.registry ~default:label)
 
   let rec insert t key =
     assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
-    let preds, succs, wit = fresh_arrays t in
-    if find t key preds succs wit then false
+    let sc = get_scratch t in
+    if find t key sc then false
     else begin
+      let succs = sc.succs in
       let top = Dstruct.Skip_level.random () in
       let node =
         {
@@ -148,47 +173,46 @@ module Make (T : Hwts.Timestamp.S) = struct
         }
       in
       match
-        V.cas_with (next0 preds.(0)) wit.(0).w0 { target = node; marked = false }
+        V.cas_with (next0 sc.preds.(0)) !(sc.wit0) { target = node; marked = false }
       with
       | None -> insert t key
       | Some installed ->
         Atomic.set node.linked_at (V.timestamp installed);
-        V.prune (next0 preds.(0))
-          (Rq_registry.min_active t.registry ~default:(V.timestamp installed));
-        link_upper t key node preds succs wit 1;
+        prune_with t (next0 sc.preds.(0)) (V.timestamp installed);
+        link_upper t key node sc 1;
         true
     end
 
-  and link_upper t key node preds succs wit level =
+  and link_upper t key node sc level =
     if level <= node.top_level then begin
       let rec link () =
         let cur = Atomic.get (upper_cell node level) in
         if cur.marked then ()
         else if
-          cur.target != succs.(level)
+          cur.target != sc.succs.(level)
           && not
                (Atomic.compare_and_set (upper_cell node level) cur
-                  { target = succs.(level); marked = false })
+                  { target = sc.succs.(level); marked = false })
         then link ()
         else if
           Atomic.compare_and_set
-            (upper_cell preds.(level) level)
-            wit.(level).wup
+            (upper_cell sc.preds.(level) level)
+            sc.wup.(level)
             { target = node; marked = false }
-        then link_upper t key node preds succs wit (level + 1)
+        then link_upper t key node sc (level + 1)
         else begin
-          ignore (find t key preds succs wit);
-          if succs.(0) == node then link ()
+          ignore (find t key sc);
+          if sc.succs.(0) == node then link ()
         end
       in
       link ()
     end
 
   let delete t key =
-    let preds, succs, wit = fresh_arrays t in
-    if not (find t key preds succs wit) then false
+    let sc = get_scratch t in
+    if not (find t key sc) then false
     else begin
-      let victim = succs.(0) in
+      let victim = sc.succs.(0) in
       for level = victim.top_level downto 1 do
         let rec mark () =
           let s = Atomic.get (upper_cell victim level) in
@@ -208,10 +232,8 @@ module Make (T : Hwts.Timestamp.S) = struct
         else
           match V.cas_with (next0 victim) ver { s with marked = true } with
           | Some installed ->
-            V.prune (next0 victim)
-              (Rq_registry.min_active t.registry
-                 ~default:(V.timestamp installed));
-            ignore (find t key preds succs wit);
+            prune_with t (next0 victim) (V.timestamp installed);
+            ignore (find t key sc);
             true
           | None -> mark0 ()
       in
@@ -259,26 +281,30 @@ module Make (T : Hwts.Timestamp.S) = struct
      The start node must have been *linked* at the snapshot time. *)
   let range_query t ~lo ~hi =
     Rq_registry.enter t.registry (T.read ());
-    let ts = T.snapshot () in
-    let preds, succs, wit = fresh_arrays t in
-    ignore (find t lo preds succs wit);
-    let pred = preds.(0) in
-    let linked = Atomic.get pred.linked_at in
-    let start = if linked > 0 && linked <= ts then pred else t.head in
-    let rec walk acc node =
-      if node == t.tail || node.key > hi then acc
-      else
-        let s = V.read_at (next0 node) ts in
-        let acc =
-          if node.key >= lo && (not s.marked) && node.key > Dstruct.Ordered_set.min_key
-          then node.key :: acc
-          else acc
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.snapshot () in
+        let sc = get_scratch t in
+        ignore (find t lo sc);
+        let pred = sc.preds.(0) in
+        let linked = Atomic.get pred.linked_at in
+        let start = if linked > 0 && linked <= ts then pred else t.head in
+        let buf = sc.buf in
+        Sync.Scratch.Int_buffer.clear buf;
+        let rec walk node =
+          if node == t.tail || node.key > hi then ()
+          else begin
+            let s = V.read_at (next0 node) ts in
+            if
+              node.key >= lo && (not s.marked)
+              && node.key > Dstruct.Ordered_set.min_key
+            then Sync.Scratch.Int_buffer.push buf node.key;
+            walk s.target
+          end
         in
-        walk acc s.target
-    in
-    let result = List.rev (walk [] start) in
-    Rq_registry.exit_rq t.registry;
-    result
+        walk start;
+        Sync.Scratch.Int_buffer.to_list buf)
 
   let to_list t =
     let rec walk acc n =

@@ -21,10 +21,11 @@ module Make (T : Hwts.Timestamp.S) = struct
      the CASes that actually assigned the label. *)
   let init_ts version =
     if Atomic.get version.ts = 0 then begin
-      Hwts_obs.Counter.incr help_attempts;
+      if Hwts_obs.Config.enabled () then
+        Hwts_obs.Counter.incr help_attempts;
       let now = T.read () in
       if Atomic.compare_and_set version.ts 0 now then
-        Hwts_obs.Counter.incr help_wins
+        if Hwts_obs.Config.enabled () then Hwts_obs.Counter.incr help_wins
     end
 
   let make v =
@@ -56,62 +57,65 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   let cas t expected v = cas_with t expected v <> None
 
-  let rec write_with t v =
+  let write_with t v =
     match cas_with t (head t) v with
     | Some version -> version
-    | None -> write_with t v
+    | None ->
+      (* Contended: back off between retries so the winning writer's line
+         is not hammered.  The backoff state is allocated only on this
+         slow path. *)
+      let backoff = Sync.Backoff.make ~min_spins:4 ~max_spins:1024 () in
+      let rec retry () =
+        Sync.Backoff.once backoff;
+        match cas_with t (head t) v with
+        | Some version -> version
+        | None -> retry ()
+      in
+      retry ()
 
   let write t v = ignore (write_with t v)
 
-  let read_at t ts =
-    let rec walk hops version =
-      init_ts version;
-      if Atomic.get version.ts <= ts then begin
-        Hwts_obs.Counter.add read_hops hops;
-        version.v
-      end
-      else
-        match Atomic.get version.older with
-        | None ->
-          Hwts_obs.Counter.add read_hops hops;
-          version.v
-        | Some older -> walk (hops + 1) older
-    in
-    walk 0 (Atomic.get t)
+  (* The chain walks are module-level recursions with explicit arguments:
+     a [let rec] nested inside the reading function would allocate a
+     closure on every call, and [read_at] runs once per node visited by a
+     range query.  Returns the newest version labeled <= [ts], or the
+     chain's oldest version when none qualifies (every version it meets is
+     labeled by the [init_ts] call, so the caller can re-check the label). *)
+  let rec version_at version ts hops =
+    init_ts version;
+    if Atomic.get version.ts <= ts then begin
+      if Hwts_obs.Config.enabled () then Hwts_obs.Counter.add read_hops hops;
+      version
+    end
+    else
+      match Atomic.get version.older with
+      | None ->
+        if Hwts_obs.Config.enabled () then Hwts_obs.Counter.add read_hops hops;
+        version
+      | Some older -> version_at older ts (hops + 1)
+
+  let read_at t ts = (version_at (Atomic.get t) ts 0).v
 
   let read_at_opt t ts =
-    let rec walk hops version =
-      init_ts version;
-      if Atomic.get version.ts <= ts then begin
-        Hwts_obs.Counter.add read_hops hops;
-        Some version.v
-      end
-      else
-        match Atomic.get version.older with
-        | None ->
-          Hwts_obs.Counter.add read_hops hops;
-          None
-        | Some older -> walk (hops + 1) older
-    in
-    walk 0 (Atomic.get t)
+    let version = version_at (Atomic.get t) ts 0 in
+    if Atomic.get version.ts <= ts then Some version.v else None
 
-  let prune t min_ts =
-    let rec cut version =
-      let ts = Atomic.get version.ts in
-      (* keep the newest version labeled <= min_ts; sever everything
-         older.  Pending (ts = 0) versions are newer than any labeled
-         one, so keep walking. *)
-      if ts <> 0 && ts <= min_ts then begin
-        if Hwts_obs.Config.enabled () && Atomic.get version.older <> None then
-          Hwts_obs.Counter.incr prunes;
-        Atomic.set version.older None
-      end
-      else
-        match Atomic.get version.older with
-        | None -> ()
-        | Some older -> cut older
-    in
-    cut (Atomic.get t)
+  (* keep the newest version labeled <= min_ts; sever everything older.
+     Pending (ts = 0) versions are newer than any labeled one, so keep
+     walking. *)
+  let rec cut version min_ts =
+    let ts = Atomic.get version.ts in
+    if ts <> 0 && ts <= min_ts then begin
+      if Hwts_obs.Config.enabled () && Atomic.get version.older <> None then
+        Hwts_obs.Counter.incr prunes;
+      Atomic.set version.older None
+    end
+    else
+      match Atomic.get version.older with
+      | None -> ()
+      | Some older -> cut older min_ts
+
+  let prune t min_ts = cut (Atomic.get t) min_ts
 
   let chain_length t =
     let rec count acc version =

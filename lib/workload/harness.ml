@@ -30,6 +30,8 @@ type result = {
   per_thread : int array;
   per_class : int array;
   elapsed : float;
+  minor_words : float;
+  words_per_op : float;
 }
 
 type target = Target : (module Dstruct.Ordered_set.RQ with type t = 'a) * 'a -> target
@@ -119,6 +121,9 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
     incr ops
   in
   let step = if Hwts_obs.Config.enabled () then step_timed else step_plain in
+  (* [Gc.minor_words] reads this domain's own young pointer, so the delta
+     is the worker's allocation, not the whole program's. *)
+  let words0 = Gc.minor_words () in
   (match config.fixed_ops with
   | Some n ->
     (* Deterministic mode: exactly [n] operations, no clock involved, so a
@@ -134,7 +139,7 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
       done;
       if Atomic.get stop then continue_ := false
     done);
-  (!ops, per_class)
+  (!ops, per_class, Gc.minor_words () -. words0)
 
 let run_prepared (Target ((module S), t)) config =
   let stop = Atomic.make false in
@@ -162,18 +167,25 @@ let run_prepared (Target ((module S), t)) config =
     Atomic.set stop true);
   let joined = List.map Domain.join domains in
   let elapsed = Unix.gettimeofday () -. !t0 in
-  let per_thread = Array.of_list (List.map fst joined) in
+  let per_thread = Array.of_list (List.map (fun (ops, _, _) -> ops) joined) in
   let per_class = Array.make (Array.length op_classes) 0 in
   List.iter
-    (fun (_, pc) -> Array.iteri (fun i n -> per_class.(i) <- per_class.(i) + n) pc)
+    (fun (_, pc, _) ->
+      Array.iteri (fun i n -> per_class.(i) <- per_class.(i) + n) pc)
     joined;
   let total_ops = Array.fold_left ( + ) 0 per_thread in
+  let minor_words =
+    List.fold_left (fun acc (_, _, w) -> acc +. w) 0. joined
+  in
   {
     config;
     total_ops;
     per_thread;
     per_class;
     elapsed;
+    minor_words;
+    words_per_op =
+      (if total_ops = 0 then 0. else minor_words /. float_of_int total_ops);
     mops = float_of_int total_ops /. elapsed /. 1e6;
   }
 
@@ -236,6 +248,8 @@ let run_json ?label result =
         ("total_ops", Int result.total_ops);
         ("mops", Float result.mops);
         ("elapsed", Float result.elapsed);
+        ("minor_words", Float result.minor_words);
+        ("words_per_op", Float result.words_per_op);
         ( "per_class",
           Obj
             (Array.to_list

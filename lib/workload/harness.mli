@@ -39,6 +39,12 @@ type result = {
   per_thread : int array;
   per_class : int array;  (** ops by class, indexed as {!op_classes} *)
   elapsed : float;
+  minor_words : float;
+      (** minor-heap words allocated by the workers during the measured
+          loop, summed over threads ([Gc.minor_words] deltas, which are
+          per-domain in OCaml 5) *)
+  words_per_op : float;  (** [minor_words /. total_ops] — the
+          allocation cost of one operation at this mix *)
 }
 
 type target = Target : (module Dstruct.Ordered_set.RQ with type t = 'a) * 'a -> target

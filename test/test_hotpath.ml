@@ -1,0 +1,198 @@
+(* Tests for the hot-path overhaul: per-domain scratch reuse, the cached
+   min-active pruning floor, and buffered range-query collection.
+
+   The two mechanisms ship with runtime switches (HWTS_SCRATCH /
+   HWTS_RQ_REFRESH), so the determinism tests run the same seeded
+   operation script under both settings and require identical output. *)
+
+module Int_buffer = Sync.Scratch.Int_buffer
+
+let with_scratch enabled f =
+  let prev = Sync.Scratch.enabled () in
+  Sync.Scratch.set_enabled enabled;
+  Fun.protect ~finally:(fun () -> Sync.Scratch.set_enabled prev) f
+
+let with_refresh_period period f =
+  let prev = Rangequery.Rq_registry.refresh_period () in
+  Rangequery.Rq_registry.set_refresh_period period;
+  Fun.protect
+    ~finally:(fun () -> Rangequery.Rq_registry.set_refresh_period prev)
+    f
+
+(* ---------- Int_buffer ---------- *)
+
+let int_buffer_basics () =
+  let b = Int_buffer.create ~capacity:2 () in
+  Alcotest.(check (list int)) "empty" [] (Int_buffer.to_list b);
+  for i = 1 to 100 do
+    Int_buffer.push b i
+  done;
+  Alcotest.(check int) "length" 100 (Int_buffer.length b);
+  Alcotest.(check (list int))
+    "push order preserved across growth"
+    (List.init 100 (fun i -> i + 1))
+    (Int_buffer.to_list b);
+  Int_buffer.clear b;
+  Alcotest.(check int) "cleared" 0 (Int_buffer.length b);
+  Alcotest.(check (list int)) "cleared list" [] (Int_buffer.to_list b);
+  Int_buffer.push b 7;
+  Alcotest.(check (list int)) "reusable after clear" [ 7 ] (Int_buffer.to_list b)
+
+(* ---------- determinism: scratch reuse must be invisible ---------- *)
+
+(* One seeded single-domain op script; returns every observable output:
+   each op's result (booleans as 0/1, range queries as their key lists)
+   plus the final contents. *)
+let scripted_run (module S : Dstruct.Ordered_set.RQ) =
+  let t = S.create () in
+  let rng = Util.rng 0xBEEF in
+  let outputs = ref [] in
+  let emit l = outputs := l :: !outputs in
+  for _ = 1 to 2_000 do
+    let k = 1 + Dstruct.Prng.below rng 512 in
+    match Dstruct.Prng.below rng 10 with
+    | 0 | 1 | 2 -> emit [ (if S.insert t k then 1 else 0) ]
+    | 3 | 4 -> emit [ (if S.delete t k then 1 else 0) ]
+    | 5 -> emit (S.range_query t ~lo:k ~hi:(k + 63))
+    | _ -> emit [ (if S.contains t k then 1 else 0) ]
+  done;
+  emit (S.to_list t);
+  List.rev !outputs
+
+let determinism_under_scratch name (make : (module Dstruct.Ordered_set.RQ)) ()
+    =
+  let on = with_scratch true (fun () -> scripted_run make) in
+  let off = with_scratch false (fun () -> scripted_run make) in
+  Alcotest.(check (list (list int)))
+    (name ^ ": identical outputs with scratch reuse on and off")
+    off on
+
+(* ---------- prune safety: the cached floor may lag, never lead ---------- *)
+
+(* 4 RQ domains announce and hold; 4 updater domains then hammer
+   [min_active_cached] with fresh labels.  Every value served — cached,
+   clamped, or freshly scanned — must stay <= the oldest announcement, or
+   pruning could cut a version an active RQ still needs. *)
+let prune_safety_stress () =
+  with_refresh_period 64 @@ fun () ->
+  let module L = Hwts.Timestamp.Logical () in
+  let reg = Rangequery.Rq_registry.create () in
+  (* stale the cache while no RQ is active: it now holds an old scan *)
+  for _ = 1 to 200 do
+    ignore (Rangequery.Rq_registry.min_active_cached reg ~default:(L.advance ()))
+  done;
+  let n_rq = 4 and n_upd = 4 in
+  let announced = Atomic.make 0 in
+  let release = Atomic.make false in
+  let min_announced = Atomic.make max_int in
+  let rq_domains =
+    List.init n_rq (fun _ ->
+        Domain.spawn (fun () ->
+            Sync.Slot.with_slot (fun _ ->
+                let ts = L.read () in
+                Rangequery.Rq_registry.enter reg ts;
+                let rec fold () =
+                  let cur = Atomic.get min_announced in
+                  if
+                    ts < cur
+                    && not (Atomic.compare_and_set min_announced cur ts)
+                  then fold ()
+                in
+                fold ();
+                ignore (Atomic.fetch_and_add announced 1);
+                while not (Atomic.get release) do
+                  Domain.cpu_relax ()
+                done;
+                Rangequery.Rq_registry.exit_rq reg)))
+  in
+  while Atomic.get announced < n_rq do
+    Domain.cpu_relax ()
+  done;
+  let floor_bound = Atomic.get min_announced in
+  let violations = Atomic.make 0 in
+  let updaters =
+    List.init n_upd (fun _ ->
+        Domain.spawn (fun () ->
+            Sync.Slot.with_slot (fun _ ->
+                for _ = 1 to 5_000 do
+                  let label = L.advance () in
+                  let floor =
+                    Rangequery.Rq_registry.min_active_cached reg ~default:label
+                  in
+                  if floor > floor_bound then
+                    ignore (Atomic.fetch_and_add violations 1)
+                done)))
+  in
+  List.iter Domain.join updaters;
+  Atomic.set release true;
+  List.iter Domain.join rq_domains;
+  Alcotest.(check int)
+    "cached floor never exceeded the oldest active announcement" 0
+    (Atomic.get violations);
+  Alcotest.(check int) "all slots released" 0
+    (Rangequery.Rq_registry.active_count reg)
+
+(* ---------- slot release on exceptional range queries ---------- *)
+
+(* A timestamp provider whose [snapshot] can be tripped to raise:
+   structures call it after announcing the RQ, so a raising snapshot
+   exercises exactly the traversal-raised path the Fun.protect guards. *)
+module Trip_clock = struct
+  let name = "trip"
+  let is_hardware = false
+  let clock = Atomic.make 1
+  let trip = ref false
+  let read () = Atomic.fetch_and_add clock 1 + 1
+  let advance = read
+  let snapshot () = if !trip then raise Stdlib.Exit else read ()
+end
+
+let rq_slot_released_on_raise () =
+  with_refresh_period 1 @@ fun () ->
+  let module S = Rangequery.Bst_vcas.Make (Trip_clock) in
+  let t = S.create () in
+  for i = 1 to 64 do
+    ignore (S.insert t i)
+  done;
+  Trip_clock.trip := true;
+  (try
+     ignore (S.range_query t ~lo:1 ~hi:64);
+     Alcotest.fail "range_query should have propagated the raise"
+   with Stdlib.Exit -> ());
+  Trip_clock.trip := false;
+  (* a leaked announcement would pin the pruning floor at the dead RQ's
+     timestamp forever, so chains would grow without bound below *)
+  for _ = 1 to 300 do
+    ignore (S.insert t 42);
+    ignore (S.delete t 42)
+  done;
+  let edges, versions = S.version_chain_stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "chains still pruned after raise (%d versions / %d edges)"
+       versions edges)
+    true
+    (versions <= (edges * 3) + 8)
+
+let () =
+  Alcotest.run "hotpath"
+    [
+      ( "int-buffer",
+        [ Alcotest.test_case "push/grow/clear/order" `Quick int_buffer_basics ]
+      );
+      ( "determinism",
+        [
+          Alcotest.test_case "skiplist-vcas scratch on/off" `Quick
+            (determinism_under_scratch "skiplist-vcas"
+               (module Rangequery.Skiplist_vcas.Make (Hwts.Timestamp.Hardware)));
+          Alcotest.test_case "skiplist-bundle scratch on/off" `Quick
+            (determinism_under_scratch "skiplist-bundle"
+               (module Rangequery.Skiplist_bundle.Make (Hwts.Timestamp.Hardware)));
+        ] );
+      ( "prune-safety",
+        [ Alcotest.test_case "8-domain stress" `Slow prune_safety_stress ] );
+      ( "rq-slots",
+        [
+          Alcotest.test_case "released when traversal raises" `Quick
+            rq_slot_released_on_raise;
+        ] );
+    ]

@@ -132,11 +132,13 @@ let ebr_trim_reclaims () =
 
 let ebr_active_op_protects () =
   let e = E.create ~epoch_frequency:1 () in
+  let entered = Atomic.make false in
   let retired = Atomic.make false and release = Atomic.make false in
   let scanner =
     Domain.spawn (fun () ->
         Sync.Slot.with_slot (fun _ ->
             E.enter e;
+            Atomic.set entered true;
             (* wait until another thread retires under us *)
             while not (Atomic.get retired) do
               Domain.cpu_relax ()
@@ -150,6 +152,12 @@ let ebr_active_op_protects () =
   in
   ignore
     (Util.spawn_workers 1 (fun _ ->
+         (* the retire must happen under the scanner's active op, so wait
+            for its announcement — otherwise the churn below is free to
+            reclaim and the test races against the domain scheduler *)
+         while not (Atomic.get entered) do
+           Domain.cpu_relax ()
+         done;
          E.with_op e (fun () -> E.retire e 99);
          Atomic.set retired true;
          (* churn: without the scanner's active op these would reclaim *)

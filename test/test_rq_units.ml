@@ -116,8 +116,18 @@ let vcas_prune () =
   Alcotest.(check int) "snapshot at 250 intact" 2 (V.read_at o 250);
   Alcotest.(check int) "newest intact" 3 (V.read_at o 1000)
 
+(* Run [f] with the cached-floor staleness knob pinned to [period]. *)
+let with_refresh_period period f =
+  let prev = Rangequery.Rq_registry.refresh_period () in
+  Rangequery.Rq_registry.set_refresh_period period;
+  Fun.protect
+    ~finally:(fun () -> Rangequery.Rq_registry.set_refresh_period prev)
+    f
+
 let vcas_chains_stay_bounded () =
-  (* hammering one key with no active RQs must not grow version chains *)
+  (* hammering one key with no active RQs must not grow version chains;
+     period 1 = a full registry scan on every prune, the tightest bound *)
+  with_refresh_period 1 @@ fun () ->
   let module H = Rangequery.Bst_vcas.Make (Hwts.Timestamp.Hardware) in
   let t = H.create () in
   for _ = 1 to 500 do
@@ -129,6 +139,24 @@ let vcas_chains_stay_bounded () =
     (Printf.sprintf "bounded (%d versions over %d edges)" versions edges)
     true
     (versions <= (edges * 3) + 8)
+
+let vcas_chains_bounded_by_staleness () =
+  (* under the default lazy refresh, chains may lag but only by O(period):
+     the floor catches up at most [period] update ops after it went stale *)
+  let period = 64 in
+  with_refresh_period period @@ fun () ->
+  let module H = Rangequery.Bst_vcas.Make (Hwts.Timestamp.Hardware) in
+  let t = H.create () in
+  for _ = 1 to 500 do
+    ignore (H.insert t 42);
+    ignore (H.delete t 42)
+  done;
+  let edges, versions = H.version_chain_stats t in
+  Alcotest.(check bool)
+    (Printf.sprintf "staleness-bounded (%d versions over %d edges)" versions
+       edges)
+    true
+    (versions <= (edges * 3) + 8 + (2 * period))
 
 (* ---------- persistent snapshots (time travel) ---------- *)
 
@@ -150,6 +178,7 @@ let snapshot_time_travel () =
   BH.release_snapshot t past
 
 let snapshot_survives_pruning_churn () =
+  with_refresh_period 1 @@ fun () ->
   let t = BH.create () in
   ignore (BH.insert t 42);
   let past = BH.take_snapshot t in
@@ -375,6 +404,8 @@ let () =
           Alcotest.test_case "single winner" `Slow vcas_concurrent_single_winner;
           Alcotest.test_case "prune" `Quick vcas_prune;
           Alcotest.test_case "chains bounded" `Quick vcas_chains_stay_bounded;
+          Alcotest.test_case "chains bounded by staleness" `Quick
+            vcas_chains_bounded_by_staleness;
           Alcotest.test_case "snapshot time travel" `Quick snapshot_time_travel;
           Alcotest.test_case "snapshot vs pruning" `Quick
             snapshot_survives_pruning_churn;

@@ -2,7 +2,8 @@
 
 SMOKE_METRICS := /tmp/obs.json
 
-.PHONY: all build test fmt-check check bench-smoke bench-obs bench-hotpath clean
+.PHONY: all build test fmt-check check bench-smoke bench-obs bench-hotpath \
+  bench-scaling bench-scaling-smoke clean
 
 all: build
 
@@ -21,7 +22,7 @@ check: build fmt-check test
 
 # End-to-end smoke of the metrics pipeline: a short instrumented run must
 # produce a JSON-lines file containing the canonical metric set.
-bench-smoke: build
+bench-smoke: build bench-scaling-smoke
 	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 0.2 \
 	  --metrics-out $(SMOKE_METRICS)
 	dune exec test/validate_metrics.exe -- $(SMOKE_METRICS)
@@ -37,6 +38,20 @@ bench-obs: build
 # scratch reuse, cached floor) over the same seeded fixed-op runs.
 bench-hotpath: build
 	dune exec bench/hotpath.exe -- -trials 5 -out BENCH_hotpath.json
+
+# Refresh the checked-in domain-scaling artifact: every structure under
+# the logical and rdtscp-strict providers across $(HWTS_DOMAINS)
+# (default 1,2,4,8) worker domains.
+bench-scaling: build
+	dune exec bench/scaling.exe -- -trials 3 -out BENCH_scaling.json
+	dune exec test/validate_metrics.exe -- BENCH_scaling.json
+
+# Fast CI-shaped pass over the same code path: two domain counts, few
+# ops, schema-validated output in /tmp.
+bench-scaling-smoke: build
+	HWTS_DOMAINS=1,2 dune exec bench/scaling.exe -- -ops 2000 -warmup 500 \
+	  -trials 1 -out /tmp/scaling_smoke.json
+	dune exec test/validate_metrics.exe -- /tmp/scaling_smoke.json
 
 clean:
 	dune clean

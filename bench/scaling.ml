@@ -1,0 +1,270 @@
+(* Domain-scaling sweep: every range-query structure under the logical
+   (fetch-and-add) and the sharded strict TSC ("rdtscp-strict") provider,
+   at 1/2/4/8 worker domains (HWTS_DOMAINS / -domains to override).
+
+   This is the Figure 1/2 experiment of the paper run as a regression
+   artifact: the logical clock's single shared word is the point of
+   contention its scaling pays for, so it wins at one domain (a local
+   fetch-and-add beats a serialized RDTSCP) and loses as domains are
+   added — the crossover.  The sweep records, per point, throughput,
+   minor-heap words per operation, and the *per-domain* throughput
+   spread (coefficient of variation over each worker's ops against its
+   own clock): a shared-word clock shows up as spread before it shows up
+   in the mean.
+
+   Honesty note: the crossover is a cache-coherence phenomenon.  On a
+   machine with fewer cores than domains, added domains time-slice
+   instead of contending, so the shape is reported per structure — found
+   or not — rather than asserted; the checked-in artifact states what
+   this machine produced.
+
+   Pairing discipline (as in bench/hotpath.ml): each trial runs both
+   providers back to back at the same domain count, alternating which
+   goes first, and points keep component-wise medians, so machine drift
+   lands on both series equally. *)
+
+let default_out = "BENCH_scaling.json"
+
+type point = {
+  mops : float;
+  words_per_op : float;
+  per_domain_cv : float;
+  imbalance : float;
+  total_ops : int;
+  elapsed : float;
+}
+
+let run_leg make config ~warmup =
+  Gc.compact ();
+  let target = Workload.Harness.make_target make config in
+  if warmup > 0 then
+    ignore
+      (Workload.Harness.run_prepared target
+         { config with Workload.Harness.fixed_ops = Some warmup });
+  let r = Workload.Harness.run_prepared target config in
+  {
+    mops = r.Workload.Harness.mops;
+    words_per_op = r.Workload.Harness.words_per_op;
+    per_domain_cv = Workload.Harness.per_thread_mops_cv r;
+    imbalance = Workload.Harness.imbalance r;
+    total_ops = r.Workload.Harness.total_ops;
+    elapsed = r.Workload.Harness.elapsed;
+  }
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let summarize legs =
+  {
+    mops = median (List.map (fun l -> l.mops) legs);
+    words_per_op = median (List.map (fun l -> l.words_per_op) legs);
+    per_domain_cv = median (List.map (fun l -> l.per_domain_cv) legs);
+    imbalance = median (List.map (fun l -> l.imbalance) legs);
+    total_ops = (List.hd legs).total_ops;
+    elapsed = median (List.map (fun l -> l.elapsed) legs);
+  }
+
+(* Paired trials at one (structure, domain count): logical and strict run
+   back to back, order alternating by trial. *)
+let run_pair make config ~warmup ~trials =
+  let log_legs = ref [] and strict_legs = ref [] in
+  for i = 1 to trials do
+    let log () =
+      log_legs := run_leg (make `Logical) config ~warmup :: !log_legs
+    and strict () =
+      strict_legs :=
+        run_leg (make `Hardware_strict) config ~warmup :: !strict_legs
+    in
+    if i mod 2 = 1 then (log (); strict ()) else (strict (); log ())
+  done;
+  (summarize !log_legs, summarize !strict_legs)
+
+let point_json ~structure ~provider ~domains p =
+  Hwts_obs.Json.Obj
+    [
+      ("name", Hwts_obs.Json.Str "bench.scaling");
+      ("type", Hwts_obs.Json.Str "point");
+      ("structure", Hwts_obs.Json.Str structure);
+      ("provider", Hwts_obs.Json.Str provider);
+      ("domains", Hwts_obs.Json.Int domains);
+      ("mops", Hwts_obs.Json.Float p.mops);
+      ("words_per_op", Hwts_obs.Json.Float p.words_per_op);
+      ("per_domain_mops_cv", Hwts_obs.Json.Float p.per_domain_cv);
+      ("per_domain_imbalance", Hwts_obs.Json.Float p.imbalance);
+      ("total_ops", Hwts_obs.Json.Int p.total_ops);
+      ("elapsed", Hwts_obs.Json.Float p.elapsed);
+    ]
+
+let parse_domains s =
+  match
+    List.filter_map
+      (fun tok ->
+        match int_of_string_opt (String.trim tok) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+      (String.split_on_char ',' s)
+  with
+  | [] -> failwith ("no valid domain counts in " ^ s)
+  | ds -> List.sort_uniq compare ds
+
+let () =
+  let domains_spec =
+    ref (try Sys.getenv "HWTS_DOMAINS" with Not_found -> "1,2,4,8")
+  in
+  let ops = ref 20_000 in
+  let warmup = ref 5_000 in
+  let key_range = ref 1_024 in
+  let rq_len = ref 50 in
+  let out = ref default_out in
+  let only = ref "" in
+  let mix = ref "10-10-80" in
+  let trials = ref 3 in
+  Arg.parse
+    [
+      ( "-domains",
+        Arg.Set_string domains_spec,
+        " comma-separated worker-domain counts (default $HWTS_DOMAINS or \
+         1,2,4,8)" );
+      ("-ops", Arg.Set_int ops, " fixed ops per domain per leg (default 20k)");
+      ("-warmup", Arg.Set_int warmup, " discarded warmup ops (default 5k)");
+      ( "-key-range",
+        Arg.Set_int key_range,
+        " key range, shared by every structure so cross-structure ratios \
+         are apples-to-apples (default 1024)" );
+      ("-rq-len", Arg.Set_int rq_len, " range-query length (default 50)");
+      ("-out", Arg.Set_string out, " output file (default BENCH_scaling.json)");
+      ("-structure", Arg.Set_string only, " run only this structure");
+      ("-mix", Arg.Set_string mix, " U-RQ-C mix label (default 10-10-80)");
+      ( "-trials",
+        Arg.Set_int trials,
+        " paired trials per point, medians kept (default 3)" );
+    ]
+    (fun _ -> ())
+    "scaling: logical vs rdtscp-strict domain sweep (the Fig. 1/2 crossover)";
+  let domain_counts = parse_domains !domains_spec in
+  Hwts_obs.Config.set_enabled false;
+  let config domains =
+    {
+      Workload.Harness.default with
+      threads = domains;
+      key_range = !key_range;
+      rq_len = !rq_len;
+      fixed_ops = Some !ops;
+      mix = Workload.Mix.of_label !mix;
+    }
+  in
+  let structures =
+    List.filter
+      (fun (name, _) -> !only = "" || name = !only)
+      Workload.Targets.all
+  in
+  let oc = open_out !out in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  let emit json =
+    output_string oc (Hwts_obs.Json.to_string json);
+    output_char oc '\n'
+  in
+  emit
+    (Hwts_obs.Json.Obj
+       [
+         ("name", Hwts_obs.Json.Str "bench.scaling");
+         ("type", Hwts_obs.Json.Str "meta");
+         ( "domains",
+           Hwts_obs.Json.List
+             (List.map (fun d -> Hwts_obs.Json.Int d) domain_counts) );
+         ("ops_per_domain", Hwts_obs.Json.Int !ops);
+         ("key_range", Hwts_obs.Json.Int !key_range);
+         ("rq_len", Hwts_obs.Json.Int !rq_len);
+         ("mix", Hwts_obs.Json.Str !mix);
+         ("trials", Hwts_obs.Json.Int !trials);
+         ("cores", Hwts_obs.Json.Int (Domain.recommended_domain_count ()));
+         ( "providers",
+           Hwts_obs.Json.List
+             [ Hwts_obs.Json.Str "logical"; Hwts_obs.Json.Str "rdtscp-strict" ]
+         );
+       ]);
+  Printf.printf "%-18s %-14s %8s %10s %10s %8s %8s\n" "structure" "provider"
+    "domains" "mops" "w/op" "cv" "imbal";
+  let crossover_structures = ref [] in
+  List.iter
+    (fun (name, make) ->
+      if not (Workload.Targets.supports name `Hardware_strict) then begin
+        (* Logical-only structure: one series, no crossover to look for. *)
+        List.iter
+          (fun d ->
+            let p = run_leg (make `Logical) (config d) ~warmup:!warmup in
+            Printf.printf "%-18s %-14s %8d %10.3f %10.1f %8.3f %8.2f\n%!" name
+              "logical" d p.mops p.words_per_op p.per_domain_cv p.imbalance;
+            emit (point_json ~structure:name ~provider:"logical" ~domains:d p))
+          domain_counts
+      end
+      else begin
+        let series =
+          List.map
+            (fun d ->
+              let log, strict =
+                run_pair make (config d) ~warmup:!warmup ~trials:!trials
+              in
+              List.iter
+                (fun (provider, p) ->
+                  Printf.printf "%-18s %-14s %8d %10.3f %10.1f %8.3f %8.2f\n%!"
+                    name provider d p.mops p.words_per_op p.per_domain_cv
+                    p.imbalance;
+                  emit (point_json ~structure:name ~provider ~domains:d p))
+                [ ("logical", log); ("rdtscp-strict", strict) ];
+              (d, log, strict))
+            domain_counts
+        in
+        (* The Fig. 1/2 shape: logical ahead at the smallest count, strict
+           ahead at some larger one. *)
+        let d0, log0, strict0 = List.hd series in
+        let logical_wins_at_min = log0.mops >= strict0.mops in
+        let crossover =
+          List.find_map
+            (fun (d, log, strict) ->
+              if d > d0 && strict.mops > log.mops then Some d else None)
+            series
+        in
+        let shape_found = logical_wins_at_min && crossover <> None in
+        if shape_found then crossover_structures := name :: !crossover_structures;
+        emit
+          (Hwts_obs.Json.Obj
+             [
+               ("name", Hwts_obs.Json.Str "bench.scaling");
+               ("type", Hwts_obs.Json.Str "shape");
+               ("structure", Hwts_obs.Json.Str name);
+               ("min_domains", Hwts_obs.Json.Int d0);
+               ("logical_wins_at_min", Hwts_obs.Json.Bool logical_wins_at_min);
+               ( "crossover_domains",
+                 match crossover with
+                 | Some d -> Hwts_obs.Json.Int d
+                 | None -> Hwts_obs.Json.Null );
+               ("shape_found", Hwts_obs.Json.Bool shape_found);
+             ])
+      end)
+    structures;
+  emit
+    (Hwts_obs.Json.Obj
+       [
+         ("name", Hwts_obs.Json.Str "bench.scaling");
+         ("type", Hwts_obs.Json.Str "summary");
+         ( "crossover_structures",
+           Hwts_obs.Json.List
+             (List.map
+                (fun s -> Hwts_obs.Json.Str s)
+                (List.rev !crossover_structures)) );
+         ( "crossover_observed",
+           Hwts_obs.Json.Bool (!crossover_structures <> []) );
+       ]);
+  (match !crossover_structures with
+  | [] ->
+    Printf.printf
+      "no logical->strict crossover on this machine (cores=%d); see the \
+       honesty note in bench/scaling.ml\n"
+      (Domain.recommended_domain_count ())
+  | cs ->
+    Printf.printf "crossover shape found for: %s\n"
+      (String.concat ", " (List.rev cs)));
+  Printf.printf "wrote %s\n" !out

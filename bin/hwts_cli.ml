@@ -139,9 +139,24 @@ let structure_conv =
   in
   Arg.conv (parse, fun ppf (s, _) -> Format.pp_print_string ppf s)
 
-let run_real (name, make) hardware threads seconds mix_label key_range zipf ops
-    metrics_out =
-  let ts = if hardware then `Hardware else `Logical in
+let ts_of_flags ~hardware ~strict : Workload.Targets.ts =
+  if strict then `Hardware_strict else if hardware then `Hardware else `Logical
+
+let check_supported name ts =
+  if Workload.Targets.supports name ts then true
+  else begin
+    Printf.eprintf "%s cannot run over %s: the DCSS labeling needs the \
+                    timestamp's address (use a logical clock)\n"
+      name
+      (Workload.Targets.ts_name ts);
+    false
+  end
+
+let run_real (name, make) hardware strict threads seconds mix_label key_range
+    zipf ops metrics_out =
+  let ts = ts_of_flags ~hardware ~strict in
+  if not (check_supported name ts) then 1
+  else begin
   let config =
     {
       Workload.Harness.default with
@@ -158,15 +173,19 @@ let run_real (name, make) hardware threads seconds mix_label key_range zipf ops
     "%s(%s) threads=%d mix=%s range=%d: %.3f Mops/s (%d ops in %.2fs)\n" name
     (Workload.Targets.ts_name ts) threads mix_label key_range
     result.Workload.Harness.mops result.total_ops result.elapsed;
-  (match metrics_out with
-  | None -> ()
-  | Some path ->
-    Workload.Harness.write_metrics ~label:name result path;
-    Printf.printf "(metrics -> %s)\n" path);
-  0
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      Workload.Harness.write_metrics ~label:name result path;
+      Printf.printf "(metrics -> %s)\n" path);
+    0
+  end
 
-let stats (name, make) hardware threads seconds mix_label key_range format out =
-  let ts = if hardware then `Hardware else `Logical in
+let stats (name, make) hardware strict threads seconds mix_label key_range
+    format out =
+  let ts = ts_of_flags ~hardware ~strict in
+  if not (check_supported name ts) then 1
+  else begin
   let config =
     {
       Workload.Harness.default with
@@ -190,14 +209,15 @@ let stats (name, make) hardware threads seconds mix_label key_range format out =
     | `Csv -> Hwts_obs.Registry.to_csv ()
     | `Json -> Hwts_obs.Registry.to_json_lines ()
   in
-  (match out with
-  | None -> print_string body
-  | Some path ->
-    let oc = open_out path in
-    output_string oc body;
-    close_out oc;
-    Printf.printf "(wrote %s)\n" path);
-  0
+    (match out with
+    | None -> print_string body
+    | Some path ->
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc;
+      Printf.printf "(wrote %s)\n" path);
+    0
+  end
 
 let stress metrics_out =
   let ok = ref 0 in
@@ -226,9 +246,11 @@ let stress metrics_out =
           in
           List.iter Domain.join domains;
           incr ok;
-          Printf.printf "  %-18s %-8s ok (size now %d)\n%!" name
+          Printf.printf "  %-18s %-13s ok (size now %d)\n%!" name
             (Workload.Targets.ts_name ts) (S.size t))
-        [ `Logical; `Hardware ])
+        (List.filter
+           (Workload.Targets.supports name)
+           Workload.Targets.all_ts))
     Workload.Targets.all;
   Printf.printf "stress: %d combinations passed\n" !ok;
   (match metrics_out with
@@ -276,6 +298,15 @@ let structure_pos ?(default = false) () =
 let hardware_flag =
   Arg.(value & flag & info [ "rdtscp"; "hardware" ] ~doc:"Use the TSC provider")
 
+let strict_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "strict" ]
+        ~doc:
+          "Use the sharded strictly-increasing TSC provider (rdtscp-strict); \
+           overrides $(b,--rdtscp)")
+
 let threads_opt = Arg.(value & opt int 2 & info [ "t"; "threads" ])
 let seconds_opt = Arg.(value & opt float 1.0 & info [ "d"; "duration"; "seconds" ])
 let mix_opt = Arg.(value & opt string "10-10-80" & info [ "m"; "mix" ])
@@ -301,8 +332,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a real workload on this machine")
     Term.(
-      const run_real $ structure_pos () $ hardware_flag $ threads_opt
-      $ seconds_opt $ mix_opt $ range_opt $ zipf $ ops $ metrics_out_opt)
+      const run_real $ structure_pos () $ hardware_flag $ strict_flag
+      $ threads_opt $ seconds_opt $ mix_opt $ range_opt $ zipf $ ops
+      $ metrics_out_opt)
 
 let stats_cmd =
   let format =
@@ -321,7 +353,8 @@ let stats_cmd =
        ~doc:"Run a short workload and print every registered metric")
     Term.(
       const stats $ structure_pos ~default:true () $ hardware_flag
-      $ threads_opt $ seconds $ mix_opt $ range_opt $ format $ out)
+      $ strict_flag $ threads_opt $ seconds $ mix_opt $ range_opt $ format
+      $ out)
 
 let stress_cmd =
   Cmd.v

@@ -90,6 +90,75 @@ module Strict (T : S) () = struct
   let snapshot = advance
 end
 
+(* Strictly increasing labels without a shared-word CAS on the common
+   path: the low [shard_bits] bits of every label carry the issuing
+   domain's slot id, so two domains can never produce the same label and
+   the tie-bump war of [Strict] (every advance must win a CAS against
+   every other domain) disappears.  Within a domain, a stamp that does
+   not exceed the previous one is bumped using purely domain-local state.
+   Cross-domain monotonicity normally comes from the invariant TSC
+   itself: an advance that *begins* after another *completes* reads a
+   strictly larger stamp (an advance spans many TSC ticks), so its packed
+   label is strictly larger regardless of the id bits.  The shared word
+   exists only to defend against skewed clocks: it is read once per
+   advance, and written only while this domain's label is ahead of it —
+   a loop that, unlike [Strict], never re-reads the clock and backs off
+   losing because a failed CAS means another domain has already moved
+   the word toward (or past) our label. *)
+module Strict_sharded (T : S) () = struct
+  let shard_bits = 8 (* Sync.Slot.max_slots = 256 *)
+  let () = assert (1 lsl shard_bits >= Sync.Slot.max_slots)
+  let name = T.name ^ "-strict-sharded"
+  let is_hardware = false (* the skew-guard word is shared state *)
+  let last_pub = Sync.Padding.atomic 0
+  let advances = Hwts_obs.Registry.counter "timestamp.sharded.advances"
+  let bumps = Hwts_obs.Registry.counter "timestamp.sharded.bumps"
+  let catchups = Hwts_obs.Registry.counter "timestamp.sharded.catchups"
+
+  (* Domain-local high-water stamp (pre-shift). *)
+  let last_mine : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+  let read () = max (T.read () lsl shard_bits) (Atomic.get last_pub)
+
+  let advance () =
+    Hwts_obs.Counter.incr advances;
+    let id = Sync.Slot.my_slot () in
+    let mine = Domain.DLS.get last_mine in
+    let hw = T.advance () in
+    let hw =
+      if hw <= !mine then begin
+        Hwts_obs.Counter.incr bumps;
+        !mine + 1
+      end
+      else hw
+    in
+    (* Skew guard: if the published global label is ahead of our stamp,
+       step past it (shared READ only on this common path). *)
+    let g = Atomic.get last_pub in
+    let hw =
+      if (hw lsl shard_bits) lor id <= g then begin
+        Hwts_obs.Counter.incr catchups;
+        (g asr shard_bits) + 1
+      end
+      else hw
+    in
+    mine := hw;
+    let label = (hw lsl shard_bits) lor id in
+    (* Publish for the skew guard; retry only while strictly ahead, so a
+       failed CAS (someone published a larger value, or a value we are
+       about to supersede) converges instead of storming. *)
+    let rec publish () =
+      let g = Atomic.get last_pub in
+      if label > g && not (Atomic.compare_and_set last_pub g label) then
+        publish ()
+    in
+    publish ();
+    label
+
+  (* strictly increasing labels make the advance itself a safe snapshot *)
+  let snapshot = advance
+end
+
 module Mock () = struct
   let name = "mock"
   let is_hardware = false

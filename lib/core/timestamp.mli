@@ -73,6 +73,17 @@ module Strict (T : S) () : S
     shared last-seen word (the Jiffy approach, Section III-A).  Generative
     because of that shared state. *)
 
+module Strict_sharded (T : S) () : S
+(** Strictly increasing wrapper over [T] without a shared-word CAS on the
+    common path: the low 8 bits of every label carry the issuing domain's
+    {!Sync.Slot} id, so labels from different domains can never collide
+    and within-domain ties are bumped with domain-local state only.  A
+    shared word is read once per advance (and written only when a skewed
+    clock left this domain behind) to preserve cross-domain monotonicity,
+    replacing [Strict]'s must-win CAS per advance.  Labels are the
+    hardware stamp shifted left by 8, so they are ordered consistently
+    with, but not numerically equal to, raw [T] stamps. *)
+
 module Mock () : sig
   include S
 

@@ -209,7 +209,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     (* announce a lower bound first so concurrent pruning stays safe; the
        protected exit keeps a raising traversal from pinning its slot (and
        with it every version chain) forever *)
-    Rq_registry.enter t.registry (T.read ());
+    ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

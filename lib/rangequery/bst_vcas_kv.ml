@@ -227,7 +227,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     collect [] (Internal t.s)
 
   let range_query t ~lo ~hi =
-    Rq_registry.enter t.registry (T.read ());
+    ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

@@ -63,17 +63,27 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   let find_at e ts = find_at_counted 1 e ts
 
+  (* Allocation-free variant of [find_at]: a range query calls this once
+     per node it visits, so wrapping each result in [Some] (and the
+     second chain walk the old exhausted-chain fallback did) showed up
+     directly in words/op.  When the chain is exhausted the deepest entry
+     is the creation value, valid since before this bundle became
+     reachable at [ts]. *)
   let read_at t ts =
-    let head = Atomic.get t in
-    match find_at head ts with
-    | Some target -> target
-    | None ->
-      (* Chain exhausted: the oldest entry is the creation value, valid
-         since before this bundle became reachable at [ts]. *)
-      let rec oldest e =
-        match Atomic.get e.older with None -> e.target | Some o -> oldest o
-      in
-      oldest head
+    let rec go hops e =
+      let ets = wait_label e in
+      if ets <= ts then begin
+        Hwts_obs.Histogram.record depth hops;
+        e.target
+      end
+      else
+        match Atomic.get e.older with
+        | None ->
+          Hwts_obs.Histogram.record depth hops;
+          e.target
+        | Some o -> go (hops + 1) o
+    in
+    go 1 (Atomic.get t)
 
   let read_at_opt t ts = find_at (Atomic.get t) ts
 

@@ -198,8 +198,7 @@ module Make (T : Hwts.Timestamp.S) = struct
      traversal fills the per-domain buffer ascending; the result list is
      snapshotted from it once. *)
   let range_query t ~lo ~hi =
-    let announce = T.read () in
-    Rq_registry.enter t.registry announce;
+    ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

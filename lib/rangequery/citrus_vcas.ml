@@ -161,7 +161,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   (* vCAS range query: the RQ advances the timestamp to fix its snapshot.
      The relocation delete is two versioned writes, so de-duplicate. *)
   let range_query t ~lo ~hi =
-    Rq_registry.enter t.registry (T.read ());
+    ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

@@ -1,6 +1,9 @@
 type t = {
   slots : int Atomic.t array; (* per slot: 0 = inactive, else snapshot ts *)
-  active : int Atomic.t; (* metrics only: current number of announced RQs *)
+  active : int Atomic.t; (* accurate count of announced RQs: the update-path
+                            early-exit reads only this word when no RQ is in
+                            flight (the common case in update-heavy mixes) *)
+  hw_slot : int Atomic.t; (* scan bound: 1 + highest slot that ever announced *)
   cached_floor : int Atomic.t; (* 0 = not yet computed; else a lower bound
                                   on every current and future announcement *)
   tick : int ref Domain.DLS.key; (* per-domain ops since last refresh *)
@@ -8,6 +11,8 @@ type t = {
 
 let hwm = Hwts_obs.Registry.watermark "rangequery.rq.active_hwm"
 let refreshes = Hwts_obs.Registry.counter "rangequery.rq.floor_refreshes"
+let early_exits = Hwts_obs.Registry.counter "rangequery.rq.early_exits"
+let slot_scans = Hwts_obs.Registry.counter "rangequery.rq.slot_scans"
 
 (* Staleness knob for the cached floor: a full slot scan at most once per
    this many update operations per domain.  1 = scan every time (the
@@ -28,13 +33,45 @@ let create () =
   {
     slots = Sync.Padding.atomic_array Sync.Slot.max_slots 0;
     active = Sync.Padding.atomic 0;
+    hw_slot = Sync.Padding.atomic 0;
     cached_floor = Sync.Padding.atomic 0;
     tick = Domain.DLS.new_key (fun () -> ref 0);
   }
 
-let enter t ts =
+(* A slot holding [pending_ts] is an announcement whose snapshot time is
+   not yet known; any scan that sees it computes a floor <= 1, below every
+   real label, so nothing the pending RQ could need is pruned. *)
+let pending_ts = 1
+
+(* Announce-then-stamp, in that order.  Publishing intent (the increment
+   and the [pending_ts] store) *before* reading the clock closes the race
+   the old enter-with-a-prepared-timestamp API had: a scanner either sees
+   the announcement (and stays at floor <= 1 until the stamp lands), or
+   completed its scan before the sentinel store — in which case [read]
+   below, ordered after that store, returns a value >= the label the
+   scanner used as its floor, so the floor it computed cannot cut history
+   this RQ still needs. *)
+let announce t ~read =
+  ignore (Atomic.fetch_and_add t.active 1);
+  let slot = Sync.Slot.my_slot () in
+  Atomic.set t.slots.(slot) pending_ts;
+  let rec grow () =
+    let hw = Atomic.get t.hw_slot in
+    if slot >= hw && not (Atomic.compare_and_set t.hw_slot hw (slot + 1)) then
+      grow ()
+  in
+  grow ();
+  let ts =
+    try read ()
+    with e ->
+      (* a raising clock must not leave a pending announcement pinning
+         every floor at 1 forever *)
+      Atomic.set t.slots.(slot) 0;
+      ignore (Atomic.fetch_and_add t.active (-1));
+      raise e
+  in
   assert (ts > 0);
-  Atomic.set t.slots.(Sync.Slot.my_slot ()) ts;
+  Atomic.set t.slots.(slot) ts;
   (* Fold the announcement into the cached floor.  Under a monotone clock
      the cache can never exceed a later announcement anyway (every cached
      value is <= the clock at the time it was computed); this CAS loop
@@ -47,20 +84,35 @@ let enter t ts =
   in
   lower ();
   if Hwts_obs.Config.enabled () then
-    Hwts_obs.Watermark.observe hwm (Atomic.fetch_and_add t.active 1 + 1)
+    Hwts_obs.Watermark.observe hwm (Atomic.get t.active);
+  ts
 
 let exit_rq t =
   Atomic.set t.slots.(Sync.Slot.my_slot ()) 0;
-  if Hwts_obs.Config.enabled () then
-    ignore (Atomic.fetch_and_add t.active (-1))
+  ignore (Atomic.fetch_and_add t.active (-1))
 
+(* Zero announced RQs is the common case for update-heavy mixes: one load
+   of [active] then answers without touching any slot, and the answer —
+   the caller's own fresh label — is exact, not a cached lag.  (Safety of
+   the early exit: if this load returns 0, no announce had completed its
+   increment, so any in-flight announce reads its snapshot time after
+   this point and gets a value >= [default].)  Otherwise the scan is
+   bounded by the announcement high-water slot instead of the full
+   [Slot.max_slots] array. *)
 let min_active t ~default =
-  let acc = ref default in
-  for slot = 0 to Sync.Slot.max_slots - 1 do
-    let ts = Atomic.get t.slots.(slot) in
-    if ts > 0 && ts < !acc then acc := ts
-  done;
-  !acc
+  if Atomic.get t.active = 0 then begin
+    if Hwts_obs.Config.enabled () then Hwts_obs.Counter.incr early_exits;
+    default
+  end
+  else begin
+    if Hwts_obs.Config.enabled () then Hwts_obs.Counter.incr slot_scans;
+    let acc = ref default in
+    for slot = 0 to Atomic.get t.hw_slot - 1 do
+      let ts = Atomic.get t.slots.(slot) in
+      if ts > 0 && ts < !acc then acc := ts
+    done;
+    !acc
+  end
 
 (* Any value [min_active] returns stays a valid pruning floor forever: it is
    <= every announcement in the scan, and <= the caller's own label, which
@@ -74,22 +126,25 @@ let refresh t ~default =
   fresh
 
 let min_active_cached t ~default =
-  let period = Atomic.get refresh_period_state in
-  if period <= 1 then min_active t ~default
-  else begin
-    let tick = Domain.DLS.get t.tick in
-    incr tick;
-    let cached = Atomic.get t.cached_floor in
-    if cached = 0 || !tick >= period then begin
-      tick := 0;
-      refresh t ~default
-    end
-    else min cached default
+  if Atomic.get t.active = 0 then begin
+    (* Exact, not stale: skip the cache entirely so version chains and
+       bundles are pruned right up to the caller's own label whenever no
+       RQ is in flight. *)
+    if Hwts_obs.Config.enabled () then Hwts_obs.Counter.incr early_exits;
+    default
   end
+  else
+    let period = Atomic.get refresh_period_state in
+    if period <= 1 then min_active t ~default
+    else begin
+      let tick = Domain.DLS.get t.tick in
+      incr tick;
+      let cached = Atomic.get t.cached_floor in
+      if cached = 0 || !tick >= period then begin
+        tick := 0;
+        refresh t ~default
+      end
+      else min cached default
+    end
 
-let active_count t =
-  let n = ref 0 in
-  for slot = 0 to Sync.Slot.max_slots - 1 do
-    if Atomic.get t.slots.(slot) > 0 then incr n
-  done;
-  !n
+let active_count t = Atomic.get t.active

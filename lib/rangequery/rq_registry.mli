@@ -9,23 +9,37 @@ type t
 
 val create : unit -> t
 
-val enter : t -> int -> unit
-(** Announce the calling thread's RQ snapshot timestamp. *)
+val announce : t -> read:(unit -> int) -> int
+(** Announce the calling thread's RQ and stamp it with [read ()], in that
+    order: presence (an accurate active count plus a pending sentinel in
+    the slot) is published {e before} the clock is read, so a concurrent
+    {!min_active} either sees the announcement — and computes a floor no
+    real label can be below — or finished scanning first, in which case
+    the snapshot time read afterwards is at least the scanner's own
+    label and the floor it computed is safe.  Announcing with a
+    previously read timestamp (the old [enter] API) left a window in
+    which a floor could outrun an announced-but-unseen RQ.  Returns the
+    announced snapshot timestamp. *)
 
 val exit_rq : t -> unit
 
 val min_active : t -> default:int -> int
-(** Oldest announced snapshot, or [default] when no RQ is active.  Scans
-    every slot — O([Sync.Slot.max_slots]). *)
+(** Oldest announced snapshot, or [default] when no RQ is active.  When
+    the accurate active count is zero — the common case in update-heavy
+    mixes — this is a single shared load and no slot is touched;
+    otherwise the scan is bounded by the announcement high-water slot,
+    not [Sync.Slot.max_slots]. *)
 
 val min_active_cached : t -> default:int -> int
 (** Like {!min_active}, but served from a shared cached floor refreshed by
     a full scan at most once per {!refresh_period} calls per domain (and
-    clamped to [default], the caller's own label).  The cache may only
-    {e lag} the true minimum, never lead it: every cached value is a lower
-    bound on all current and future announcements, so pruning with it is
-    conservative.  The price of staleness is version chains up to
-    O(refresh period) entries longer, not correctness. *)
+    clamped to [default], the caller's own label).  The zero-active early
+    exit applies first and returns [default] exactly (not a stale cached
+    value), so chains are pruned tight whenever no RQ is in flight.  The
+    cache may only {e lag} the true minimum, never lead it: every cached
+    value is a lower bound on all current and future announcements, so
+    pruning with it is conservative.  The price of staleness is version
+    chains up to O(refresh period) entries longer, not correctness. *)
 
 val refresh_period : unit -> int
 
@@ -34,3 +48,4 @@ val set_refresh_period : int -> unit
     Default 64, overridable at load time with [HWTS_RQ_REFRESH]. *)
 
 val active_count : t -> int
+(** Number of currently announced RQs (one shared load). *)

@@ -248,8 +248,7 @@ module Make (T : Hwts.Timestamp.S) = struct
      back to the head if that node postdates the snapshot, then walk the
      level-0 bundles at the snapshot time. *)
   let range_query t ~lo ~hi =
-    let announce = T.read () in
-    Rq_registry.enter t.registry announce;
+    ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

@@ -280,7 +280,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   (* vCAS range query: advance the clock, walk level 0 at the snapshot.
      The start node must have been *linked* at the snapshot time. *)
   let range_query t ~lo ~hi =
-    Rq_registry.enter t.registry (T.read ());
+    ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

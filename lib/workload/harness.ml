@@ -28,11 +28,32 @@ type result = {
   total_ops : int;
   mops : float;
   per_thread : int array;
+  per_thread_elapsed : float array;
   per_class : int array;
   elapsed : float;
   minor_words : float;
   words_per_op : float;
 }
+
+(* Each worker's own throughput, from its own clock: on an oversubscribed
+   machine (domains > cores) workers time-slice, so dividing a worker's
+   ops by the *global* elapsed conflates scheduling with structure
+   behaviour. *)
+let per_thread_mops r =
+  Array.mapi
+    (fun i ops ->
+      let dt = r.per_thread_elapsed.(i) in
+      if dt <= 0. then 0. else float_of_int ops /. dt /. 1e6)
+    r.per_thread
+
+let imbalance r =
+  let ops = Array.to_list (Array.map float_of_int r.per_thread) in
+  match (List.fold_left min infinity ops, List.fold_left max 0. ops) with
+  | mn, mx when mn > 0. -> mx /. mn
+  | _, mx -> if mx > 0. then infinity else 1.
+
+let per_thread_mops_cv r =
+  Stats.coefficient_of_variation (Array.to_list (per_thread_mops r))
 
 type target = Target : (module Dstruct.Ordered_set.RQ with type t = 'a) * 'a -> target
 
@@ -124,6 +145,7 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
   (* [Gc.minor_words] reads this domain's own young pointer, so the delta
      is the worker's allocation, not the whole program's. *)
   let words0 = Gc.minor_words () in
+  let wt0 = Unix.gettimeofday () in
   (match config.fixed_ops with
   | Some n ->
     (* Deterministic mode: exactly [n] operations, no clock involved, so a
@@ -139,7 +161,7 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
       done;
       if Atomic.get stop then continue_ := false
     done);
-  (!ops, per_class, Gc.minor_words () -. words0)
+  (!ops, per_class, Gc.minor_words () -. words0, Unix.gettimeofday () -. wt0)
 
 let run_prepared (Target ((module S), t)) config =
   let stop = Atomic.make false in
@@ -166,27 +188,43 @@ let run_prepared (Target ((module S), t)) config =
     done;
     Atomic.set stop true);
   let joined = List.map Domain.join domains in
-  let elapsed = Unix.gettimeofday () -. !t0 in
-  let per_thread = Array.of_list (List.map (fun (ops, _, _) -> ops) joined) in
+  let wall_elapsed = Unix.gettimeofday () -. !t0 in
+  let per_thread =
+    Array.of_list (List.map (fun (ops, _, _, _) -> ops) joined)
+  in
+  let per_thread_elapsed =
+    Array.of_list (List.map (fun (_, _, _, dt) -> dt) joined)
+  in
   let per_class = Array.make (Array.length op_classes) 0 in
   List.iter
-    (fun (_, pc, _) ->
+    (fun (_, pc, _, _) ->
       Array.iteri (fun i n -> per_class.(i) <- per_class.(i) + n) pc)
     joined;
   let total_ops = Array.fold_left ( + ) 0 per_thread in
   let minor_words =
-    List.fold_left (fun acc (_, _, w) -> acc +. w) 0. joined
+    List.fold_left (fun acc (_, _, w, _) -> acc +. w) 0. joined
+  in
+  (* In fixed-op mode workers can finish before the coordinator's clock
+     even starts (they begin stepping the moment they are spawned), so
+     the span is taken from the workers' own measured-loop clocks: the
+     slowest worker bounds the concurrent run. *)
+  let elapsed =
+    match config.fixed_ops with
+    | Some _ -> Array.fold_left max 0. per_thread_elapsed
+    | None -> wall_elapsed
   in
   {
     config;
     total_ops;
     per_thread;
+    per_thread_elapsed;
     per_class;
     elapsed;
     minor_words;
     words_per_op =
       (if total_ops = 0 then 0. else minor_words /. float_of_int total_ops);
-    mops = float_of_int total_ops /. elapsed /. 1e6;
+    mops =
+      (if elapsed <= 0. then 0. else float_of_int total_ops /. elapsed /. 1e6);
   }
 
 let run impl config = run_prepared (make_target impl config) config
@@ -257,6 +295,8 @@ let run_json ?label result =
                   (fun i name -> (name, Int result.per_class.(i)))
                   op_classes)) );
         ("per_thread_p50_ops", Float (Stats.percentile 50. per_thread_f));
+        ("per_thread_imbalance", Float (imbalance result));
+        ("per_thread_mops_cv", Float (per_thread_mops_cv result));
         ("obs_enabled", Bool (Hwts_obs.Config.enabled ()));
       ])
 

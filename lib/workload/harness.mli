@@ -37,6 +37,10 @@ type result = {
   total_ops : int;
   mops : float;  (** million operations per second, all threads *)
   per_thread : int array;
+  per_thread_elapsed : float array;
+      (** each worker's own measured-loop duration, from its own clock;
+          on an oversubscribed machine this differs from [elapsed] by the
+          scheduling the worker did not get *)
   per_class : int array;  (** ops by class, indexed as {!op_classes} *)
   elapsed : float;
   minor_words : float;
@@ -69,6 +73,17 @@ val run_trials : ?trials:int -> (module Dstruct.Ordered_set.RQ) -> config -> res
 
 val mops_of_trials : result list -> float * float
 (** (mean Mops/s, coefficient of variation). *)
+
+val per_thread_mops : result -> float array
+(** Each worker's ops over its own elapsed time. *)
+
+val imbalance : result -> float
+(** max/min of per-worker op counts (1.0 = perfectly balanced; [infinity]
+    when a worker completed no operations). *)
+
+val per_thread_mops_cv : result -> float
+(** Coefficient of variation of {!per_thread_mops} — the contention /
+    scheduling-unfairness signal a scaling sweep reports per point. *)
 
 val ensure_canonical_metrics : unit -> unit
 (** Make sure the canonical metric names (timestamp ties, vCAS helping,

@@ -1,66 +1,139 @@
-type ts = [ `Logical | `Hardware ]
+type ts = [ `Logical | `Hardware | `Hardware_strict ]
 
-let ts_name = function `Logical -> "logical" | `Hardware -> "rdtscp"
+let ts_name = function
+  | `Logical -> "logical"
+  | `Hardware -> "rdtscp"
+  | `Hardware_strict -> "rdtscp-strict"
 
-let bst_vcas ts : (module Dstruct.Ordered_set.RQ) =
+let all_ts : ts list = [ `Logical; `Hardware; `Hardware_strict ]
+
+(* [`Hardware_strict] is the sharded strict provider: raw TSC stamps are
+   not strictly increasing across domains (the tie corner case of Section
+   III-A), so techniques that need strictness get rdtscp wrapped in
+   {!Hwts.Timestamp.Strict_sharded} — strict labels without a shared-word
+   CAS on the common path.  The plain [`Hardware] series keeps raw
+   [RDTSCP; LFENCE] stamps for comparison with the paper's figures. *)
+
+let bst_vcas (ts : ts) : (module Dstruct.Ordered_set.RQ) =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
     (module Rangequery.Bst_vcas.Make (L))
   | `Hardware -> (module Rangequery.Bst_vcas.Make (Hwts.Timestamp.Hardware))
+  | `Hardware_strict ->
+    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    (module Rangequery.Bst_vcas.Make (S))
 
-let citrus_vcas ts : (module Dstruct.Ordered_set.RQ) =
+let citrus_vcas (ts : ts) : (module Dstruct.Ordered_set.RQ) =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
     (module Rangequery.Citrus_vcas.Make (L))
   | `Hardware -> (module Rangequery.Citrus_vcas.Make (Hwts.Timestamp.Hardware))
+  | `Hardware_strict ->
+    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    (module Rangequery.Citrus_vcas.Make (S))
 
-let citrus_bundle ts : (module Dstruct.Ordered_set.RQ) =
+let citrus_bundle (ts : ts) : (module Dstruct.Ordered_set.RQ) =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
     (module Rangequery.Citrus_bundle.Make (L))
   | `Hardware -> (module Rangequery.Citrus_bundle.Make (Hwts.Timestamp.Hardware))
+  | `Hardware_strict ->
+    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    (module Rangequery.Citrus_bundle.Make (S))
 
-let citrus_ebrrq ts : (module Dstruct.Ordered_set.RQ) =
+let citrus_ebrrq (ts : ts) : (module Dstruct.Ordered_set.RQ) =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
     (module Rangequery.Citrus_ebrrq.Make (L))
   | `Hardware -> (module Rangequery.Citrus_ebrrq.Make (Hwts.Timestamp.Hardware))
+  | `Hardware_strict ->
+    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    (module Rangequery.Citrus_ebrrq.Make (S))
 
-let skiplist_bundle ts : (module Dstruct.Ordered_set.RQ) =
+let skiplist_bundle (ts : ts) : (module Dstruct.Ordered_set.RQ) =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
     (module Rangequery.Skiplist_bundle.Make (L))
   | `Hardware ->
     (module Rangequery.Skiplist_bundle.Make (Hwts.Timestamp.Hardware))
+  | `Hardware_strict ->
+    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    (module Rangequery.Skiplist_bundle.Make (S))
 
-let skiplist_vcas ts : (module Dstruct.Ordered_set.RQ) =
+let skiplist_vcas (ts : ts) : (module Dstruct.Ordered_set.RQ) =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
     (module Rangequery.Skiplist_vcas.Make (L))
   | `Hardware ->
     (module Rangequery.Skiplist_vcas.Make (Hwts.Timestamp.Hardware))
+  | `Hardware_strict ->
+    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    (module Rangequery.Skiplist_vcas.Make (S))
 
-let lazylist_bundle ts : (module Dstruct.Ordered_set.RQ) =
+let lazylist_bundle (ts : ts) : (module Dstruct.Ordered_set.RQ) =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
     (module Rangequery.Lazylist_bundle.Make (L))
   | `Hardware ->
     (module Rangequery.Lazylist_bundle.Make (Hwts.Timestamp.Hardware))
+  | `Hardware_strict ->
+    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    (module Rangequery.Lazylist_bundle.Make (S))
+
+(* The KV map run as a set (unit values): exercises the leaf-replacement
+   write path and value plumbing under the same workload as its set
+   sibling, so regressions in the KV-only code show up in throughput
+   sweeps, not just unit tests. *)
+module Kv_as_set (T : Hwts.Timestamp.S) = struct
+  module K = Rangequery.Bst_vcas_kv.Make (T)
+
+  type t = unit K.t
+
+  let name = K.name
+  let create () = K.create ()
+  let insert t k = K.add t k ()
+  let delete t k = K.remove t k
+  let contains t k = K.mem t k
+  let range_query t ~lo ~hi = List.map fst (K.range_query t ~lo ~hi)
+  let to_list t = List.map fst (K.to_alist t)
+  let size t = K.size t
+end
+
+let bst_vcas_kv (ts : ts) : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    (module Kv_as_set (L))
+  | `Hardware -> (module Kv_as_set (Hwts.Timestamp.Hardware))
+  | `Hardware_strict ->
+    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    (module Kv_as_set (S))
 
 let bst_ebrrq_lockfree () : (module Dstruct.Ordered_set.RQ) =
   let module L = Hwts.Timestamp.Logical () in
   (module Rangequery.Bst_ebrrq_lockfree.Make (L))
 
+(* The lock-free EBR-RQ labels via DCSS against the timestamp word's
+   address, so it is unwritable over an address-free provider (Section
+   IV); requesting a hardware series for it is a caller bug. *)
+let bst_ebrrq_lockfree_ts (ts : ts) : (module Dstruct.Ordered_set.RQ) =
+  match ts with
+  | `Logical -> bst_ebrrq_lockfree ()
+  | `Hardware | `Hardware_strict ->
+    invalid_arg "bst-ebrrq-lockfree requires a logical (addressable) clock"
+
 let all =
   [
     ("bst-vcas", bst_vcas);
+    ("bst-vcas-kv", bst_vcas_kv);
+    ("bst-ebrrq-lockfree", bst_ebrrq_lockfree_ts);
     ("citrus-vcas", citrus_vcas);
     ("citrus-bundle", citrus_bundle);
     ("citrus-ebrrq", citrus_ebrrq);
@@ -68,3 +141,16 @@ let all =
     ("skiplist-vcas", skiplist_vcas);
     ("lazylist-bundle", lazylist_bundle);
   ]
+
+let supports name (ts : ts) =
+  match (name, ts) with
+  | "bst-ebrrq-lockfree", (`Hardware | `Hardware_strict) -> false
+  | _ -> true
+
+(* Linked-list throughput is O(n) in the key range where the trees and
+   skiplists are O(log n); sweeping every structure over one shared range
+   either starves the list or removes the trees' depth.  Benchmarks that
+   compare across structures use this per-structure range so each runs at
+   a size its asymptotics can carry. *)
+let preferred_key_range name ~default =
+  if name = "lazylist-bundle" then min default 1_024 else default

@@ -2,11 +2,17 @@
 
     Logical providers are generative (one shared counter per structure
     instance set), so every call with [`Logical] makes a fresh counter —
-    exactly the per-structure global timestamp of the original systems. *)
+    exactly the per-structure global timestamp of the original systems.
+    [`Hardware_strict] is likewise generative: each call wraps rdtscp in a
+    fresh {!Hwts.Timestamp.Strict_sharded} instance (per-structure shared
+    defence word, as the strict systems deploy it). *)
 
-type ts = [ `Logical | `Hardware ]
+type ts = [ `Logical | `Hardware | `Hardware_strict ]
 
 val ts_name : ts -> string
+(** ["logical"], ["rdtscp"], ["rdtscp-strict"]. *)
+
+val all_ts : ts list
 
 val bst_vcas : ts -> (module Dstruct.Ordered_set.RQ)
 val citrus_vcas : ts -> (module Dstruct.Ordered_set.RQ)
@@ -16,7 +22,20 @@ val skiplist_bundle : ts -> (module Dstruct.Ordered_set.RQ)
 val skiplist_vcas : ts -> (module Dstruct.Ordered_set.RQ)
 val lazylist_bundle : ts -> (module Dstruct.Ordered_set.RQ)
 
+val bst_vcas_kv : ts -> (module Dstruct.Ordered_set.RQ)
+(** The key-value BST run as a set of unit bindings. *)
+
 val bst_ebrrq_lockfree : unit -> (module Dstruct.Ordered_set.RQ)
 (** Logical only: the DCSS labeling needs the timestamp's address. *)
 
 val all : (string * (ts -> (module Dstruct.Ordered_set.RQ))) list
+(** Every benchmarkable structure.  Constructors raise [Invalid_argument]
+    on combinations {!supports} rejects, so sweep drivers must filter. *)
+
+val supports : string -> ts -> bool
+(** Whether the named structure can be built over the given provider
+    (bst-ebrrq-lockfree exists only over an addressable logical clock). *)
+
+val preferred_key_range : string -> default:int -> int
+(** Key range for cross-structure sweeps: the default, except capped for
+    structures whose operations are linear in it (the lazy list). *)

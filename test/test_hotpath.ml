@@ -89,8 +89,7 @@ let prune_safety_stress () =
     List.init n_rq (fun _ ->
         Domain.spawn (fun () ->
             Sync.Slot.with_slot (fun _ ->
-                let ts = L.read () in
-                Rangequery.Rq_registry.enter reg ts;
+                let ts = Rangequery.Rq_registry.announce reg ~read:L.read in
                 let rec fold () =
                   let cur = Atomic.get min_announced in
                   if

@@ -89,9 +89,13 @@ let rq_cases =
          ~contains:(fun t k -> S.contains t k))
   in
   List.concat_map
-    (fun (_, make) -> [ mk (make `Logical); mk (make `Hardware) ])
+    (fun (name, make) ->
+      List.filter_map
+        (fun ts ->
+          if Workload.Targets.supports name ts then Some (mk (make ts))
+          else None)
+        Workload.Targets.all_ts)
     Workload.Targets.all
-  @ [ mk (Workload.Targets.bst_ebrrq_lockfree ()) ]
 
 let () =
   Alcotest.run "linearizability"

@@ -318,7 +318,10 @@ let registry_basics () =
   Alcotest.(check int) "empty min" 42
     (Rangequery.Rq_registry.min_active r ~default:42);
   Alcotest.(check int) "empty count" 0 (Rangequery.Rq_registry.active_count r);
-  Rangequery.Rq_registry.enter r 100;
+  let announced =
+    Rangequery.Rq_registry.announce r ~read:(fun () -> 100)
+  in
+  Alcotest.(check int) "announce returns the stamp" 100 announced;
   Alcotest.(check int) "active min" 100
     (Rangequery.Rq_registry.min_active r ~default:500);
   Alcotest.(check int) "count" 1 (Rangequery.Rq_registry.active_count r);
@@ -332,7 +335,9 @@ let registry_across_domains () =
     List.init 3 (fun i ->
         Domain.spawn (fun () ->
             Sync.Slot.with_slot (fun _ ->
-                Rangequery.Rq_registry.enter r ((i + 1) * 100);
+                ignore
+                  (Rangequery.Rq_registry.announce r ~read:(fun () ->
+                       (i + 1) * 100));
                 ignore (Atomic.fetch_and_add announced 1);
                 while not (Atomic.get release) do
                   Domain.cpu_relax ()
@@ -348,6 +353,35 @@ let registry_across_domains () =
   Atomic.set release true;
   List.iter Domain.join ds;
   Alcotest.(check int) "all gone" 0 (Rangequery.Rq_registry.active_count r)
+
+let registry_zero_active_early_exit () =
+  (* With no RQ announced, the pruning floor must come from one shared
+     load — no slot array traffic.  Asserted through the obs counters:
+     the early-exit counter moves, the slot-scan counter does not. *)
+  let prev = Hwts_obs.Config.enabled () in
+  Hwts_obs.Config.set_enabled true;
+  Fun.protect ~finally:(fun () -> Hwts_obs.Config.set_enabled prev)
+  @@ fun () ->
+  let r = Rangequery.Rq_registry.create () in
+  let early = Hwts_obs.Registry.counter "rangequery.rq.early_exits" in
+  let scans = Hwts_obs.Registry.counter "rangequery.rq.slot_scans" in
+  let e0 = Hwts_obs.Counter.sum early and s0 = Hwts_obs.Counter.sum scans in
+  Alcotest.(check int) "min_active is the caller's label" 7
+    (Rangequery.Rq_registry.min_active r ~default:7);
+  Alcotest.(check int) "min_active_cached is exact, not cached" 9
+    (Rangequery.Rq_registry.min_active_cached r ~default:9);
+  Alcotest.(check int) "both calls early-exited" (e0 + 2)
+    (Hwts_obs.Counter.sum early);
+  Alcotest.(check int) "no slot was scanned" s0 (Hwts_obs.Counter.sum scans);
+  (* One announced RQ flips it: the scan path runs and finds the stamp. *)
+  ignore (Rangequery.Rq_registry.announce r ~read:(fun () -> 5));
+  Alcotest.(check int) "scan finds the announcement" 5
+    (Rangequery.Rq_registry.min_active r ~default:7);
+  Alcotest.(check int) "scan counter moved" (s0 + 1)
+    (Hwts_obs.Counter.sum scans);
+  Alcotest.(check int) "early-exit counter did not" (e0 + 2)
+    (Hwts_obs.Counter.sum early);
+  Rangequery.Rq_registry.exit_rq r
 
 (* ---------- observability is inert ---------- *)
 
@@ -427,6 +461,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick registry_basics;
           Alcotest.test_case "across domains" `Quick registry_across_domains;
+          Alcotest.test_case "zero-active early exit" `Quick
+            registry_zero_active_early_exit;
         ] );
       ( "observability",
         [ Alcotest.test_case "obs is inert" `Quick obs_inert ] );

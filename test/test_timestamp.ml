@@ -88,6 +88,62 @@ let strict_concurrent_unique () =
   Alcotest.(check int) "strict advances unique" (4 * per_domain)
     (List.length (List.sort_uniq compare all))
 
+let strict_sharded_strictly_increasing () =
+  (* Frozen base clock: every strictness guarantee must come from the
+     wrapper's own bumping, none from the TSC moving. *)
+  let module Frozen = Hwts.Timestamp.Mock () in
+  Frozen.set 50;
+  Frozen.freeze ();
+  let module S = Hwts.Timestamp.Strict_sharded (Frozen) () in
+  Sync.Slot.with_slot @@ fun _ ->
+  let last = ref 0 in
+  for _ = 1 to 10_000 do
+    let l = S.advance () in
+    if l <= !last then Alcotest.fail "sharded label not strictly increasing";
+    last := l;
+    if S.read () < l then Alcotest.fail "read fell below a published label"
+  done
+
+let strict_sharded_across_domains () =
+  (* 8 domains race on [advance]; each checks its fresh label against the
+     global maximum of *completed* advances (an atomic-max register read
+     before, updated after).  A label seen in [seen] was published before
+     this advance began, so strict cross-domain monotonicity requires the
+     new label to exceed it; any <= is a violation.  Labels must also be
+     globally unique (the slot-id low bits). *)
+  let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+  let per_domain = 5_000 in
+  let seen = Atomic.make 0 in
+  let violations = Atomic.make 0 in
+  let results =
+    Util.spawn_workers 8 (fun _ ->
+        List.init per_domain (fun _ ->
+            let s = Atomic.get seen in
+            let l = S.advance () in
+            if l <= s then ignore (Atomic.fetch_and_add violations 1);
+            let rec fold () =
+              let cur = Atomic.get seen in
+              if l > cur && not (Atomic.compare_and_set seen cur l) then fold ()
+            in
+            fold ();
+            l))
+  in
+  Alcotest.(check int) "no cross-domain monotonicity violation" 0
+    (Atomic.get violations);
+  let all = List.concat results in
+  Alcotest.(check int) "sharded labels unique across 8 domains"
+    (8 * per_domain)
+    (List.length (List.sort_uniq compare all));
+  List.iter
+    (fun seq ->
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "per-domain strictly increasing" true
+        (increasing seq))
+    results
+
 let mock_controls () =
   let module M = Hwts.Timestamp.Mock () in
   Alcotest.(check int) "initial" 1 (M.read ());
@@ -151,6 +207,10 @@ let () =
             hardware_cross_domain_monotone;
           Alcotest.test_case "strict strictly increasing" `Quick
             strict_strictly_increasing;
+          Alcotest.test_case "strict-sharded strictly increasing" `Quick
+            strict_sharded_strictly_increasing;
+          Alcotest.test_case "strict-sharded across 8 domains" `Slow
+            strict_sharded_across_domains;
           Alcotest.test_case "strict concurrent unique" `Slow
             strict_concurrent_unique;
           Alcotest.test_case "mock controls" `Quick mock_controls;

@@ -212,7 +212,9 @@ let targets_all_work () =
           Alcotest.(check (list int)) (name ^ " rq") [ 5; 7 ]
             (S.range_query t ~lo:1 ~hi:10);
           Alcotest.(check bool) (name ^ " delete") true (S.delete t 5))
-        [ `Logical; `Hardware ])
+        (List.filter
+           (Workload.Targets.supports name)
+           Workload.Targets.all_ts))
     Workload.Targets.all;
   let (module LF : Dstruct.Ordered_set.RQ) = Workload.Targets.bst_ebrrq_lockfree () in
   let t = LF.create () in

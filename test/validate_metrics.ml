@@ -21,6 +21,75 @@ let required_histograms =
     "harness.latency.range";
   ]
 
+(* A bench/scaling.exe artifact is also JSON lines but carries sweep
+   points, not registry metrics; validate its own schema: a meta line, a
+   summary line, and points covering both providers at >= 2 domain
+   counts, each with the full measurement tuple. *)
+let validate_scaling path lines =
+  let points =
+    List.filter (fun l -> J.member "type" l = Some (J.Str "point")) lines
+  in
+  let has ty =
+    List.exists (fun l -> J.member "type" l = Some (J.Str ty)) lines
+  in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if not (has "meta") then err "no meta line";
+  if not (has "summary") then err "no summary line";
+  if not (has "shape") then err "no per-structure shape line";
+  let field_of l name = J.member name l in
+  List.iter
+    (fun p ->
+      let str name =
+        match field_of p name with Some (J.Str s) -> Some s | _ -> None
+      in
+      if str "structure" = None then err "point without structure";
+      if str "provider" = None then err "point without provider";
+      if Option.bind (field_of p "domains") J.to_int = None then
+        err "point without integer domains";
+      List.iter
+        (fun f ->
+          if Option.bind (field_of p f) J.to_float = None then
+            err "point without %s (structure %s)" f
+              (Option.value ~default:"?" (str "structure")))
+        [ "mops"; "words_per_op"; "per_domain_mops_cv" ])
+    points;
+  let distinct proj =
+    List.sort_uniq compare (List.filter_map proj points)
+  in
+  let providers =
+    distinct (fun p ->
+        match J.member "provider" p with Some (J.Str s) -> Some s | _ -> None)
+  in
+  let domain_counts =
+    distinct (fun p -> Option.bind (J.member "domains" p) J.to_int)
+  in
+  let structures =
+    distinct (fun p ->
+        match J.member "structure" p with Some (J.Str s) -> Some s | _ -> None)
+  in
+  if not (List.mem "logical" providers && List.mem "rdtscp-strict" providers)
+  then err "points must cover both providers (found: %s)"
+      (String.concat ", " providers);
+  if List.length domain_counts < 2 then
+    err "points must cover >= 2 domain counts (found %d)"
+      (List.length domain_counts);
+  if List.length structures < 4 then
+    err "points must cover >= 4 structures (found %d)"
+      (List.length structures);
+  if !errors = [] then begin
+    Printf.printf
+      "ok: scaling sweep in %s (%d points, %d structures, domains %s)\n" path
+      (List.length points) (List.length structures)
+      (String.concat "," (List.map string_of_int domain_counts));
+    exit 0
+  end
+  else begin
+    List.iter (Printf.eprintf "validate_metrics: scaling: %s\n")
+      (List.sort_uniq compare !errors);
+    exit 1
+  end
+
 let () =
   if Array.length Sys.argv < 2 then begin
     prerr_endline "usage: validate_metrics FILE";
@@ -34,6 +103,11 @@ let () =
   | Error e ->
     Printf.eprintf "%s: invalid JSON lines: %s\n" path e;
     exit 1
+  | Ok lines
+    when List.exists
+           (fun l -> J.member "name" l = Some (J.Str "bench.scaling"))
+           lines ->
+    validate_scaling path lines
   | Ok lines ->
     let find name =
       List.find_opt (fun l -> J.member "name" l = Some (J.Str name)) lines

@@ -2,7 +2,8 @@
 
 SMOKE_METRICS := /tmp/obs.json
 
-.PHONY: all build test fmt-check check bench-smoke bench-obs bench-hotpath \
+.PHONY: all build test fmt-check check check-smoke check-torture \
+  bench-smoke bench-obs bench-hotpath bench-hotpath-guard \
   bench-scaling bench-scaling-smoke clean
 
 all: build
@@ -18,7 +19,27 @@ test:
 fmt-check:
 	dune build @fmt
 
-check: build fmt-check test
+check: build fmt-check test check-smoke
+
+# Seeded fault-injection torture of every structure under both providers,
+# each recorded history verified by the snapshot oracle (~30s).  A
+# violation leaves a replayable check-*.trace artifact.
+check-smoke: build
+	dune exec bin/hwts_cli.exe -- check --rounds 4 --seed 0xC0FFEE
+
+# The deep version: more rounds, a second seed, and the hot-path guard
+# proving the fault-injection sites are free when disabled.
+check-torture: build
+	dune exec bin/hwts_cli.exe -- check --rounds 24 --seed 0xC0FFEE
+	dune exec bin/hwts_cli.exe -- check --rounds 24 --seed 0xBADF00D
+	$(MAKE) bench-hotpath-guard
+
+# Re-measure the optimized leg with fault injection disabled (the
+# default) and fail on any regression vs the checked-in artifact:
+# allocation per op is compared near-exactly, throughput with a
+# shared-machine tolerance.
+bench-hotpath-guard: build
+	dune exec bench/hotpath.exe -- -guard BENCH_hotpath.json
 
 # End-to-end smoke of the metrics pipeline: a short instrumented run must
 # produce a JSON-lines file containing the canonical metric set.

@@ -97,6 +97,85 @@ let leg_json l =
       ("elapsed", Hwts_obs.Json.Float l.elapsed);
     ]
 
+(* Guard mode: re-measure the optimized leg with fault injection left at
+   its default (disabled) and compare against the recorded artifact.  The
+   [Sync.Pause] sites threaded through the sync primitives and range-query
+   hot paths must be free when disabled; allocation per op is seeded and
+   fixed-op so it is compared near-exactly, while wall-clock throughput
+   gets a generous shared-machine tolerance. *)
+let run_guard ~path ~config ~warmup ~trials ~tol =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let lines =
+    match Hwts_obs.Json.parse_lines body with
+    | Ok l -> l
+    | Error e -> failwith (Printf.sprintf "guard: cannot parse %s: %s" path e)
+  in
+  let recorded =
+    List.filter_map
+      (fun j ->
+        match
+          ( Hwts_obs.Json.(member "type" j |> Option.map to_str),
+            Hwts_obs.Json.member "structure" j,
+            Hwts_obs.Json.member "optimized" j )
+        with
+        | Some (Some "comparison"), Some s, Some opt ->
+          let f field =
+            match Hwts_obs.Json.(member field opt |> Option.map to_float) with
+            | Some (Some v) -> v
+            | _ -> nan
+          in
+          Option.map
+            (fun name -> (name, f "mops", f "words_per_op"))
+            (Hwts_obs.Json.to_str s)
+        | _ -> None)
+      lines
+  in
+  if recorded = [] then failwith (Printf.sprintf "guard: no comparisons in %s" path);
+  Printf.printf "%-16s %10s %10s %12s %12s  %s\n" "structure" "ref-mops"
+    "now-mops" "ref-w/op" "now-w/op" "verdict";
+  let failures = ref 0 in
+  List.iter
+    (fun (name, ref_mops, ref_wpo) ->
+      match List.assoc_opt name Workload.Targets.all with
+      | None -> ()
+      | Some make ->
+        let config =
+          {
+            config with
+            Workload.Harness.key_range =
+              Workload.Targets.preferred_key_range name
+                ~default:config.Workload.Harness.key_range;
+          }
+        in
+        set_optimized ();
+        let legs =
+          List.init trials (fun _ ->
+              run_leg (make `Hardware) config ~warmup)
+        in
+        let now = summarize legs in
+        (* words/op is deterministic up to GC bookkeeping: 2% + 1 word of
+           slack; Mops/s absorbs machine drift via [tol]. *)
+        let wpo_ok = now.words_per_op <= (ref_wpo *. 1.02) +. 1.0 in
+        let mops_ok = now.mops >= ref_mops *. (1. -. tol) in
+        let ok = wpo_ok && mops_ok in
+        if not ok then incr failures;
+        Printf.printf "%-16s %10.3f %10.3f %12.1f %12.1f  %s\n%!" name ref_mops
+          now.mops ref_wpo now.words_per_op
+          (if ok then "ok"
+           else if not wpo_ok then "FAIL (allocation regression)"
+           else "FAIL (throughput regression)"))
+    recorded;
+  if !failures > 0 then begin
+    Printf.printf
+      "guard: %d structure(s) regressed vs %s with faults disabled\n" !failures
+      path;
+    exit 1
+  end
+  else Printf.printf "guard: no overhead vs %s with faults disabled\n" path
+
 let () =
   let threads = ref 1 in
   let ops = ref 200_000 in
@@ -107,6 +186,8 @@ let () =
   let only = ref "" in
   let mix = ref "10-10-80" in
   let trials = ref 3 in
+  let guard = ref "" in
+  let guard_tol = ref 0.25 in
   Arg.parse
     [
       ("-threads", Arg.Set_int threads, " worker domains (default 1)");
@@ -118,6 +199,13 @@ let () =
       ("-structure", Arg.Set_string only, " run only this structure");
       ("-mix", Arg.Set_string mix, " U-RQ-C mix label (default 10-10-80)");
       ("-trials", Arg.Set_int trials, " trials per leg, medians kept (default 3)");
+      ( "-guard",
+        Arg.Set_string guard,
+        " compare a fresh optimized leg (faults disabled) against FILE \
+         instead of rerunning the full before/after bench" );
+      ( "-guard-tol",
+        Arg.Set_float guard_tol,
+        " relative Mops/s tolerance for -guard (default 0.25)" );
     ]
     (fun _ -> ())
     "hotpath: before/after scratch-reuse + cached-pruning microbench";
@@ -134,6 +222,11 @@ let () =
       mix = Workload.Mix.of_label !mix;
     }
   in
+  if !guard <> "" then begin
+    run_guard ~path:!guard ~config ~warmup:!warmup ~trials:!trials
+      ~tol:!guard_tol;
+    exit 0
+  end;
   let structures =
     List.filter
       (fun (name, _) -> !only = "" || name = !only)

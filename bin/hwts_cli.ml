@@ -7,6 +7,7 @@
      run         run a real workload on a chosen structure/timestamp
      stress      concurrency smoke test of every range-query port
      stats       run a short workload and dump the metrics registry
+     check       seeded fault-injection torture verified by the snapshot oracle
 
    Observability: `run` and `stress` accept --metrics-out FILE (JSON lines,
    see Hwts_obs.Registry); HWTS_OBS=0 in the environment disables every
@@ -153,7 +154,7 @@ let check_supported name ts =
   end
 
 let run_real (name, make) hardware strict threads seconds mix_label key_range
-    zipf ops metrics_out =
+    zipf ops seed metrics_out =
   let ts = ts_of_flags ~hardware ~strict in
   if not (check_supported name ts) then 1
   else begin
@@ -166,6 +167,7 @@ let run_real (name, make) hardware strict threads seconds mix_label key_range
       mix = Workload.Mix.of_label mix_label;
       zipf_theta = zipf;
       fixed_ops = ops;
+      seed;
     }
   in
   let result = Workload.Harness.run (make ts) config in
@@ -219,7 +221,7 @@ let stats (name, make) hardware strict threads seconds mix_label key_range
     0
   end
 
-let stress metrics_out =
+let stress seed metrics_out =
   let ok = ref 0 in
   List.iter
     (fun (name, make) ->
@@ -234,7 +236,7 @@ let stress metrics_out =
             List.init 3 (fun i ->
                 Domain.spawn (fun () ->
                     Sync.Slot.with_slot (fun _ ->
-                        let rng = Dstruct.Prng.make ~seed:(i + 1) in
+                        let rng = Dstruct.Prng.make ~seed:(seed + i + 1) in
                         for _ = 1 to 5_000 do
                           let k = 1 + Dstruct.Prng.below rng 2_000 in
                           match Dstruct.Prng.below rng 4 with
@@ -260,6 +262,61 @@ let stress metrics_out =
     Hwts_obs.Registry.write_json_lines path;
     Printf.printf "(metrics -> %s)\n" path);
   0
+
+(* Torture driver: seeded randomized multi-domain rounds under fault
+   injection, every recorded history checked by the snapshot oracle.  With
+   no --structure/--provider it sweeps every structure under both the
+   logical and rdtscp-strict providers; the first violation stops the
+   sweep, prints the minimized counterexample, and leaves a replayable
+   trace artifact. *)
+let check structure provider seed rounds no_faults =
+  let structures =
+    match structure with
+    | Some (name, _) -> [ name ]
+    | None -> List.map fst Workload.Targets.all
+  in
+  let providers =
+    match provider with Some p -> [ p ] | None -> [ `Logical; `Hardware_strict ]
+  in
+  let failed = ref false in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun ts ->
+          if (not !failed) && Workload.Targets.supports name ts then begin
+            let cfg =
+              {
+                (Hwts_check.Torture.default_config ~structure:name ~provider:ts
+                   ~seed)
+                with
+                rounds;
+                faults = not no_faults;
+              }
+            in
+            let o = Hwts_check.Torture.run cfg in
+            match o.Hwts_check.Torture.failure with
+            | None ->
+              Printf.printf "%-20s %-13s ok (%d rounds, %d events, %d faults)\n%!"
+                name
+                (Workload.Targets.ts_name ts)
+                o.rounds_run o.events_total o.faults_injected
+            | Some f ->
+              failed := true;
+              let path = Hwts_check.Torture.trace_path cfg in
+              Hwts_check.Torture.write_trace ~path cfg f;
+              Printf.printf
+                "%-20s %-13s VIOLATION in round %d (round seed %#x, \
+                 reproduced=%b)\nminimized counterexample:\n%s\
+                 full history in %s\n%!"
+                name
+                (Workload.Targets.ts_name ts)
+                f.round f.round_seed f.reproduced
+                (Hwts_check.Oracle.explain ~initial:f.initial f.minimized)
+                path
+          end)
+        providers)
+    structures;
+  if !failed then 1 else 0
 
 (* command wiring *)
 
@@ -312,6 +369,13 @@ let seconds_opt = Arg.(value & opt float 1.0 & info [ "d"; "duration"; "seconds"
 let mix_opt = Arg.(value & opt string "10-10-80" & info [ "m"; "mix" ])
 let range_opt = Arg.(value & opt int 16_384 & info [ "k"; "key-range" ])
 
+let seed_opt =
+  Arg.(
+    value
+    & opt int 0xC0FFEE
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"PRNG seed for key streams (a fixed seed reproduces the run)")
+
 let metrics_out_opt =
   Arg.(
     value
@@ -334,7 +398,7 @@ let run_cmd =
     Term.(
       const run_real $ structure_pos () $ hardware_flag $ strict_flag
       $ threads_opt $ seconds_opt $ mix_opt $ range_opt $ zipf $ ops
-      $ metrics_out_opt)
+      $ seed_opt $ metrics_out_opt)
 
 let stats_cmd =
   let format =
@@ -359,7 +423,41 @@ let stats_cmd =
 let stress_cmd =
   Cmd.v
     (Cmd.info "stress" ~doc:"Concurrency smoke test of every port")
-    Term.(const stress $ metrics_out_opt)
+    Term.(const stress $ seed_opt $ metrics_out_opt)
+
+let check_cmd =
+  let structure =
+    Arg.(
+      value
+      & opt (some structure_conv) None
+      & info [ "structure" ] ~docv:"STRUCTURE"
+          ~doc:"Torture only $(docv) (default: every structure)")
+  in
+  let provider =
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("logical", `Logical); ("rdtscp-strict", `Hardware_strict) ]))
+          None
+      & info [ "provider" ] ~docv:"PROVIDER"
+          ~doc:"logical or rdtscp-strict (default: both)")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 12
+      & info [ "rounds" ] ~docv:"N" ~doc:"Seeded rounds per combination")
+  in
+  let no_faults =
+    Arg.(
+      value & flag
+      & info [ "no-faults" ] ~doc:"Disable fault injection (schedule torture only)")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Seeded fault-injection torture of the range-query ports, every \
+          recorded history verified by the snapshot oracle")
+    Term.(const check $ structure $ provider $ seed_opt $ rounds $ no_faults)
 
 let () =
   let doc = "hardware-timestamp range-query structures (IPPS'23 reproduction)" in
@@ -367,4 +465,7 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "hwts-cli" ~doc)
-          [ tsc_info_cmd; calibrate_cmd; figure_cmd; run_cmd; stats_cmd; stress_cmd ]))
+          [
+            tsc_info_cmd; calibrate_cmd; figure_cmd; run_cmd; stats_cmd;
+            stress_cmd; check_cmd;
+          ]))

@@ -1,0 +1,243 @@
+(* A small linearizability checker for integer-set histories.
+
+   Events carry real-time intervals stamped with a timestamp provider
+   (the fenced TSC, or the structure's own clock when histories come from
+   the recorder); the checker searches for a total order that (1)
+   respects real-time precedence (e1 before e2 iff e1 ended before e2
+   began), and (2) is a legal sequential set execution producing exactly
+   the observed results.
+
+   Range events carry the full observed result set and, optionally, the
+   timestamp label the structure claimed for the snapshot.  A labeled
+   range is required to linearize *at its label*: the event's effective
+   interval collapses to [label, label], which is the snapshot-at-
+   timestamp criterion — the query must see exactly the abstract set
+   contents at the instant it advertised.  A label outside the query's
+   real-time interval is rejected outright.
+
+   Wing–Gong style DFS with memoization.  Histories are limited to 62
+   events (bitmask) and keys to [0, 61] (set state is a bitmask too). *)
+
+type op = Insert of int | Delete of int | Contains of int | Range of int * int
+
+type result = Bool of bool | Keys of int list
+
+type event = {
+  start_t : int;
+  end_t : int;
+  op : op;
+  result : result;
+  label : int option;  (* Range only: the claimed snapshot timestamp *)
+}
+
+let max_events = 62
+let max_key = 61
+
+let ev ?label start_t end_t op result = { start_t; end_t; op; result; label }
+
+let mask_of_keys keys = List.fold_left (fun m k -> m lor (1 lsl k)) 0 keys
+
+let range_mask lo hi =
+  let lo = max lo 0 and hi = min hi max_key in
+  if hi < lo then 0 else ((1 lsl (hi - lo + 1)) - 1) lsl lo
+
+(* Whether a sequential set in [state] could return [result] for [op],
+   and the state afterwards. *)
+let step state op result =
+  match (op, result) with
+  | Insert k, Bool r ->
+    let bit = 1 lsl k in
+    if state land bit <> 0 then (r = false, state)
+    else (r = true, state lor bit)
+  | Delete k, Bool r ->
+    let bit = 1 lsl k in
+    if state land bit = 0 then (r = false, state)
+    else (r = true, state lxor bit)
+  | Contains k, Bool r -> (r = (state land (1 lsl k) <> 0), state)
+  | Range (lo, hi), Keys ks ->
+    (state land range_mask lo hi = mask_of_keys ks, state)
+  | (Insert _ | Delete _ | Contains _), Keys _ | Range _, Bool _ ->
+    (false, state)
+
+(* A label must name an instant the query actually spanned; anything else
+   is an unsatisfiable claim (or a malformed history) and the whole
+   history is rejected. *)
+let well_labeled e =
+  match (e.op, e.label) with
+  | Range _, Some l -> e.start_t <= l && l <= e.end_t
+  | Range _, None -> true
+  | _, Some _ -> false
+  | _, None -> true
+
+let effective e =
+  match (e.op, e.label) with
+  | Range _, Some l -> (l, l)
+  | _ -> (e.start_t, e.end_t)
+
+(* Timestamped events own an instant on the clock axis: a successful
+   update's label lies inside its recorded interval, a labeled range sits
+   exactly at its label.  Reads (contains, failed updates, unlabeled
+   ranges) never touch the clock — their recorded ticks bound their real
+   time but say nothing about where they fall in timestamp order. *)
+let is_timestamped e =
+  match (e.op, e.result) with
+  | (Insert _ | Delete _), Bool true -> true
+  | Range _, _ -> e.label <> None
+  | _ -> false
+
+(* Joint Wing–Gong DFS over the whole history; assumes [well_labeled].
+
+   Precedence is pairwise: two timestamped events compare by their
+   label-bracketing intervals (collapsed to [label, label] for labeled
+   ranges), while any pair involving a read compares by raw recorded
+   intervals (clock reads are monotone, so tick precedence implies
+   real-time precedence).  Pinning reads onto the clock axis would be
+   unsound: a read can linearize before an update whose label it never
+   interacted with, even when its ticks postdate that label. *)
+let check_dfs ?(initial = []) events =
+  let arr = Array.of_list events in
+  let n = Array.length arr in
+  assert (n <= max_events);
+  let pinned = Array.map effective arr in
+  let ts_flag = Array.map is_timestamped arr in
+  let prec j i =
+    if ts_flag.(j) && ts_flag.(i) then snd pinned.(j) < fst pinned.(i)
+    else arr.(j).end_t < arr.(i).start_t
+  in
+  let state0 = List.fold_left (fun s k -> s lor (1 lsl k)) 0 initial in
+  let full = if n = 0 then 0 else (1 lsl n) - 1 in
+  let memo = Hashtbl.create 4096 in
+  let rec dfs remaining state =
+    if remaining = 0 then true
+    else if Hashtbl.mem memo (remaining, state) then false
+    else begin
+      Hashtbl.add memo (remaining, state) ();
+      let unpreceded i =
+        let ok = ref true in
+        for j = 0 to n - 1 do
+          if !ok && j <> i && remaining land (1 lsl j) <> 0 && prec j i then
+            ok := false
+        done;
+        !ok
+      in
+      let rec try_candidates i =
+        if i >= n then false
+        else if
+          remaining land (1 lsl i) <> 0
+          && unpreceded i
+          &&
+          let matches, state' = step state arr.(i).op arr.(i).result in
+          matches && dfs (remaining lxor (1 lsl i)) state'
+        then true
+        else try_candidates (i + 1)
+      in
+      try_candidates 0
+    end
+  in
+  dfs full state0
+
+(* When every range is labeled, the criterion decomposes per key: a
+   labeled range is a batch of zero-width membership probes, one per
+   window key, all pinned at the label instant.  Point ops touch one key
+   each, so by linearizability's locality the joint history is
+   explainable iff every per-key projection is.  Checking 62 two-state
+   sub-histories sidesteps the joint DFS's exponential blowup on
+   heavily-overlapped histories (fault injection freezes the clock while
+   ops pile up at the same tick). *)
+let decomposable events =
+  List.for_all
+    (fun e ->
+      match (e.op, e.result, e.label) with
+      | (Insert k | Delete k | Contains k), Bool _, None ->
+        k >= 0 && k <= max_key
+      | Range (lo, hi), Keys ks, Some _ ->
+        List.for_all (fun k -> k >= lo && k <= hi && k >= 0 && k <= max_key) ks
+      | _ -> false)
+    events
+
+(* A labeled range projects onto key [k] as a single-key labeled range
+   (not a contains): it keeps the raw interval for real-time ordering
+   against reads AND the label for timestamp ordering against updates. *)
+let project k events =
+  List.filter_map
+    (fun e ->
+      match (e.op, e.label) with
+      | (Insert k' | Delete k' | Contains k'), _ ->
+        if k' = k then Some e else None
+      | Range (lo, hi), Some _ ->
+        if k >= lo && k <= hi then
+          let present =
+            match e.result with Keys ks -> List.mem k ks | Bool _ -> false
+          in
+          Some
+            {
+              e with
+              op = Range (k, k);
+              result = Keys (if present then [ k ] else []);
+            }
+        else None
+      | Range _, None -> assert false (* decomposable implies labeled *))
+    events
+
+let check_per_key ~initial events =
+  let state0 = List.fold_left (fun s k -> s lor (1 lsl k)) 0 initial in
+  let key_mask =
+    List.fold_left
+      (fun m e ->
+        match e.op with
+        | Insert k | Delete k | Contains k -> m lor (1 lsl k)
+        | Range (lo, hi) -> m lor range_mask lo hi)
+      0 events
+  in
+  let ok = ref true in
+  for k = 0 to max_key do
+    if !ok && key_mask land (1 lsl k) <> 0 then
+      match project k events with
+      | [] -> ()
+      | sub ->
+        let initial = if state0 land (1 lsl k) <> 0 then [ k ] else [] in
+        ok := check_dfs ~initial sub
+  done;
+  !ok
+
+let check ?(initial = []) events =
+  List.for_all well_labeled events
+  &&
+  if decomposable events then check_per_key ~initial events
+  else check_dfs ~initial events
+
+let spawn_workers n body =
+  let domains =
+    List.init n (fun i ->
+        Domain.spawn (fun () -> Sync.Slot.with_slot (fun _ -> body i)))
+  in
+  List.map Domain.join domains
+
+(* Record a multi-domain history against a structure with elemental ops. *)
+let record_history ~domains ~ops_per_domain ~key_space ~seed ~insert ~delete
+    ~contains =
+  assert (domains * ops_per_domain <= max_events);
+  assert (key_space <= max_events);
+  let histories =
+    spawn_workers domains (fun me ->
+        let rng = Dstruct.Prng.make ~seed:(seed + (me * 101)) in
+        List.init ops_per_domain (fun _ ->
+            let k = Dstruct.Prng.below rng key_space in
+            let op =
+              match Dstruct.Prng.below rng 3 with
+              | 0 -> Insert k
+              | 1 -> Delete k
+              | _ -> Contains k
+            in
+            let start_t = Tsc.rdtscp_lfence () in
+            let result =
+              match op with
+              | Insert k -> insert k
+              | Delete k -> delete k
+              | Contains k -> contains k
+              | Range _ -> assert false (* not generated here *)
+            in
+            let end_t = Tsc.rdtscp_lfence () in
+            { start_t; end_t; op; result = Bool result; label = None }))
+  in
+  List.concat histories

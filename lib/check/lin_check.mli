@@ -1,0 +1,54 @@
+(** Linearizability checker for integer-set histories.
+
+    The sequential specification is a set of small integers; events carry
+    real-time intervals, and range queries carry their full observed
+    result set plus (optionally) the snapshot timestamp the structure
+    claimed.  A labeled range must linearize at its label: its effective
+    interval collapses to [label, label], so {!check} decides the
+    snapshot-at-timestamp criterion, not just plain linearizability.
+
+    Capacity limits (both from the bitmask encodings): at most
+    {!max_events} events per history, keys in [0, {!max_key}]. *)
+
+type op = Insert of int | Delete of int | Contains of int | Range of int * int
+
+type result = Bool of bool | Keys of int list
+
+type event = {
+  start_t : int;
+  end_t : int;
+  op : op;
+  result : result;
+  label : int option;
+      (** [Range] only: the snapshot timestamp the structure claimed, in
+          the same clock that stamped [start_t]/[end_t].  [Some l] with
+          [l] outside [start_t, end_t] — or any label on a point
+          operation — makes the history invalid. *)
+}
+
+val max_events : int
+val max_key : int
+
+val ev : ?label:int -> int -> int -> op -> result -> event
+(** [ev start end_ op result] builds an event (test convenience). *)
+
+val check : ?initial:int list -> event list -> bool
+(** Whether some total order of the events (respecting real-time
+    precedence of their effective intervals) is a legal sequential set
+    execution from [initial] producing exactly the observed results.
+    Wing–Gong DFS with memoization; worst case exponential, fine at
+    {!max_events} scale. *)
+
+val record_history :
+  domains:int ->
+  ops_per_domain:int ->
+  key_space:int ->
+  seed:int ->
+  insert:(int -> bool) ->
+  delete:(int -> bool) ->
+  contains:(int -> bool) ->
+  event list
+(** Run a seeded elemental-op workload on [domains] spawned domains and
+    return the merged history, intervals stamped with the fenced TSC.
+    For range-query histories stamped with the structure's own clock,
+    use {!Recorder} instead. *)

@@ -1,0 +1,117 @@
+(* Offline snapshot oracle: merge a recorded history, decide whether it
+   is explainable as a sequential set execution (with every labeled range
+   query linearized at its claimed label), and on failure shrink the
+   history to a small counterexample a human can read. *)
+
+type verdict =
+  | Pass
+  | Violation of {
+      events : Lin_check.event list;
+      minimized : Lin_check.event list;
+    }
+
+let by_start e1 e2 = compare e1.Lin_check.start_t e2.Lin_check.start_t
+
+(* Shrink in two steps.  First find the minimal failing *prefix* in
+   completion order: its last event is the first observation inconsistent
+   with everything that completed before — the honest culprit.  Then
+   greedily drop any other single event whose removal keeps the prefix
+   failing, but never the culprit: unpinned delta-debugging can discard a
+   supporting update and manufacture a smaller failure with a different
+   cause, which reads as a misdiagnosis.  Quadratic in history size,
+   bounded by [Lin_check.max_events]. *)
+let minimize ?initial events =
+  let fails evs = not (Lin_check.check ?initial evs) in
+  if not (fails events) then events
+  else
+    let by_end e1 e2 = compare e1.Lin_check.end_t e2.Lin_check.end_t in
+    let failing_prefix evs =
+      let rec grow acc = function
+        | [] -> List.rev acc
+        | e :: rest ->
+          let acc = e :: acc in
+          if fails (List.rev acc) then List.rev acc else grow acc rest
+      in
+      grow [] (List.stable_sort by_end evs)
+    in
+    let prefix = failing_prefix events in
+    match List.rev prefix with
+    | [] -> []
+    | culprit :: _ ->
+      (* Only accept a removal that keeps the *same* event as the first
+         inconsistent observation: dropping e.g. a supporting insert
+         manufactures a fresh failure with an earlier culprit, which the
+         prefix recomputation detects and rejects. *)
+      let still_culprit cand =
+        match List.rev (failing_prefix cand) with
+        | c :: _ -> c == culprit
+        | [] -> false
+      in
+      let rec shrink evs =
+        let n = List.length evs in
+        let arr = Array.of_list evs in
+        let rec try_drop i =
+          if i >= n then evs
+          else if arr.(i) == culprit then try_drop (i + 1)
+          else
+            let cand = List.filteri (fun j _ -> j <> i) evs in
+            if fails cand && still_culprit cand then shrink cand
+            else try_drop (i + 1)
+        in
+        try_drop 0
+      in
+      shrink prefix
+
+let verify ?initial events =
+  let events = List.sort by_start events in
+  if Lin_check.check ?initial events then Pass
+  else Violation { events; minimized = minimize ?initial events }
+
+(* ---------- rendering ---------- *)
+
+let string_of_op = function
+  | Lin_check.Insert k -> Printf.sprintf "insert(%d)" k
+  | Lin_check.Delete k -> Printf.sprintf "delete(%d)" k
+  | Lin_check.Contains k -> Printf.sprintf "contains(%d)" k
+  | Lin_check.Range (lo, hi) -> Printf.sprintf "range(%d,%d)" lo hi
+
+let string_of_result = function
+  | Lin_check.Bool b -> string_of_bool b
+  | Lin_check.Keys ks ->
+    "{" ^ String.concat "," (List.map string_of_int ks) ^ "}"
+
+let pp_event base e =
+  let label =
+    match e.Lin_check.label with
+    | None -> ""
+    | Some l -> Printf.sprintf " @%d" (l - base)
+  in
+  Printf.sprintf "[%d..%d] %s -> %s%s"
+    (e.Lin_check.start_t - base)
+    (e.Lin_check.end_t - base)
+    (string_of_op e.Lin_check.op)
+    (string_of_result e.Lin_check.result)
+    label
+
+(* Ticks are rebased to the earliest invocation so traces show small
+   offsets instead of raw 50-bit TSC values. *)
+let explain ?(initial = []) events =
+  let events = List.sort by_start events in
+  let base =
+    List.fold_left
+      (fun b e -> min b e.Lin_check.start_t)
+      max_int events
+  in
+  let base = if base = max_int then 0 else base in
+  let buf = Buffer.create 256 in
+  if initial <> [] then
+    Buffer.add_string buf
+      ("initial: {"
+      ^ String.concat "," (List.map string_of_int (List.sort compare initial))
+      ^ "}\n");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (pp_event base e);
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Offline snapshot oracle over recorded histories.
+
+    [verify] decides whether a history is explainable as a sequential
+    integer-set execution in which every labeled range query takes effect
+    exactly at its claimed snapshot timestamp (the criterion {!Lin_check}
+    implements), and on failure ships a minimized counterexample. *)
+
+type verdict =
+  | Pass
+  | Violation of {
+      events : Lin_check.event list;  (** the full failing history *)
+      minimized : Lin_check.event list;
+          (** small failing sub-history whose last-completing event is
+              the first observation inconsistent with the rest *)
+    }
+
+val verify : ?initial:int list -> Lin_check.event list -> verdict
+(** [initial] is the prefilled abstract set contents. *)
+
+val minimize : ?initial:int list -> Lin_check.event list -> Lin_check.event list
+(** Minimal failing prefix (in completion order), then greedy
+    single-event shrinking with the prefix's final event pinned — the
+    first inconsistent observation always survives into the core.
+    Returns the input unchanged if it already passes. *)
+
+val explain : ?initial:int list -> Lin_check.event list -> string
+(** Human-readable trace, one event per line, ticks rebased to the
+    earliest invocation. *)

@@ -1,0 +1,33 @@
+(* Per-domain history recorder.
+
+   Each domain appends to its own log cell — no synchronization on the
+   recording path, so instrumentation perturbs the schedule as little as
+   possible.  Logs are merged after the worker domains have been joined
+   (the join is the only publication point the merge relies on).
+
+   Intervals are stamped with the clock handed to [create]: for recorded
+   structure histories that must be the structure's own timestamp
+   provider ([Workload.Targets.instance.now]), so the invocation/response
+   ticks and the labels claimed by range queries are values of one clock
+   and the oracle may compare them. *)
+
+type t = {
+  now : unit -> int;
+  logs : Lin_check.event list ref array;
+}
+
+let create ~now ~domains =
+  { now; logs = Array.init domains (fun _ -> ref []) }
+
+let run t ~dom op thunk =
+  let start_t = t.now () in
+  let result, label = thunk () in
+  let end_t = t.now () in
+  let cell = t.logs.(dom) in
+  cell := { Lin_check.start_t; end_t; op; result; label } :: !cell;
+  result
+
+let events t =
+  Array.fold_left (fun acc cell -> List.rev_append !cell acc) [] t.logs
+
+let total t = Array.fold_left (fun n cell -> n + List.length !cell) 0 t.logs

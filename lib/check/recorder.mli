@@ -1,0 +1,29 @@
+(** Per-domain history recorder for the snapshot oracle.
+
+    Recording is synchronization-free: each domain owns a log cell and
+    only the post-join merge reads them.  Stamp intervals with the
+    structure's own timestamp provider so range-query labels and event
+    intervals share one clock (see {!Workload.Targets.instance}). *)
+
+type t
+
+val create : now:(unit -> int) -> domains:int -> t
+(** [create ~now ~domains] prepares one log per worker domain; [now] is
+    read twice around every operation. *)
+
+val run :
+  t ->
+  dom:int ->
+  Lin_check.op ->
+  (unit -> Lin_check.result * int option) ->
+  Lin_check.result
+(** [run t ~dom op thunk] stamps the invocation tick, runs [thunk]
+    (which performs the operation and returns its observed result plus,
+    for range queries, the claimed snapshot label), stamps the response
+    tick, appends the event to domain [dom]'s log, and returns the
+    result.  Must only be called from the domain that owns [dom]. *)
+
+val events : t -> Lin_check.event list
+(** Merged history.  Call only after every recording domain was joined. *)
+
+val total : t -> int

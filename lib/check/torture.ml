@@ -1,0 +1,196 @@
+(* Seeded multi-domain torture driver: run a randomized elemental +
+   range-query workload against a structure under fault injection, record
+   the history with the structure's own clock, and hand it to the
+   snapshot oracle.  Everything is derived from one seed so a failing
+   round replays exactly (modulo true races — the replay outcome is
+   reported as the [reproduced] flag). *)
+
+type config = {
+  structure : string;
+  provider : Workload.Targets.ts;
+  seed : int;
+  rounds : int;
+  domains : int;
+  ops_per_domain : int;
+  key_space : int;  (* keys drawn from [1, key_space] *)
+  prefill : int;
+  faults : bool;
+  fault_period : int;
+}
+
+type failure = {
+  round : int;
+  round_seed : int;
+  initial : int list;
+  events : Lin_check.event list;
+  minimized : Lin_check.event list;
+  reproduced : bool;
+}
+
+type outcome = {
+  config : config;
+  rounds_run : int;
+  events_total : int;
+  faults_injected : int;
+  failure : failure option;
+}
+
+let default_config ~structure ~provider ~seed =
+  {
+    structure;
+    provider;
+    seed;
+    rounds = 12;
+    domains = 4;
+    ops_per_domain = 12;
+    key_space = 12;
+    prefill = 4;
+    faults = true;
+    fault_period = 4;
+  }
+
+(* splitmix-style avalanche, for deriving independent per-round and
+   per-domain seeds from the master seed *)
+let mix a b =
+  (* 63-bit truncations of the splitmix64 constants *)
+  let h = a lxor (b * 0x1E3779B97F4A7C15) in
+  let h = (h lxor (h lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let h = (h lxor (h lsr 27)) * 0x14D049BB133111EB in
+  (h lxor (h lsr 31)) land max_int
+
+let validate cfg =
+  if cfg.domains < 1 then invalid_arg "check: domains must be >= 1";
+  if cfg.domains * cfg.ops_per_domain > Lin_check.max_events then
+    invalid_arg
+      (Printf.sprintf "check: domains*ops_per_domain must be <= %d"
+         Lin_check.max_events);
+  if cfg.key_space < 1 || 2 * cfg.key_space > Lin_check.max_key then
+    invalid_arg
+      (Printf.sprintf "check: key_space must be in [1, %d]"
+         (Lin_check.max_key / 2));
+  if not (Workload.Targets.supports cfg.structure cfg.provider) then
+    invalid_arg
+      (Printf.sprintf "check: %s does not support the %s provider"
+         cfg.structure
+         (Workload.Targets.ts_name cfg.provider))
+
+let run_round cfg ~round_seed =
+  let inst = Workload.Targets.instance cfg.structure cfg.provider in
+  let (module S) = inst.Workload.Targets.structure in
+  let t = S.create () in
+  let prefill_rng = Dstruct.Prng.make ~seed:(mix round_seed 0) in
+  let initial =
+    List.filter
+      (fun k -> S.insert t k)
+      (List.init cfg.prefill (fun _ ->
+           1 + Dstruct.Prng.below prefill_rng cfg.key_space))
+  in
+  let recorder = Recorder.create ~now:inst.Workload.Targets.now ~domains:cfg.domains in
+  let worker me =
+    let rng = Dstruct.Prng.make ~seed:(mix round_seed (me + 1)) in
+    for _ = 1 to cfg.ops_per_domain do
+      let key () = 1 + Dstruct.Prng.below rng cfg.key_space in
+      (* weights: updates dominate so snapshots have races to catch *)
+      ignore
+        (match Dstruct.Prng.below rng 8 with
+        | 0 | 1 | 2 ->
+          let k = key () in
+          Recorder.run recorder ~dom:me (Lin_check.Insert k) (fun () ->
+              (Lin_check.Bool (S.insert t k), None))
+        | 3 | 4 ->
+          let k = key () in
+          Recorder.run recorder ~dom:me (Lin_check.Delete k) (fun () ->
+              (Lin_check.Bool (S.delete t k), None))
+        | 5 ->
+          let k = key () in
+          Recorder.run recorder ~dom:me (Lin_check.Contains k) (fun () ->
+              (Lin_check.Bool (S.contains t k), None))
+        | _ ->
+          let lo = key () in
+          let hi = lo + Dstruct.Prng.below rng cfg.key_space in
+          Recorder.run recorder ~dom:me (Lin_check.Range (lo, hi)) (fun () ->
+              let ts, keys = S.range_query_labeled t ~lo ~hi in
+              (Lin_check.Keys keys, Some ts)))
+    done
+  in
+  if cfg.faults then
+    Sync.Pause.enable ~period:cfg.fault_period ~seed:round_seed ();
+  Fun.protect
+    ~finally:(fun () -> if cfg.faults then Sync.Pause.disable ())
+    (fun () ->
+      let workers =
+        List.init cfg.domains (fun i ->
+            Domain.spawn (fun () -> Sync.Slot.with_slot (fun _ -> worker i)))
+      in
+      List.iter Domain.join workers);
+  (initial, Recorder.events recorder)
+
+let run ?(log = fun (_ : string) -> ()) cfg =
+  validate cfg;
+  let injected0 = Sync.Pause.injected () in
+  let events_total = ref 0 in
+  let rounds_run = ref 0 in
+  let failure = ref None in
+  (try
+     for round = 1 to cfg.rounds do
+       incr rounds_run;
+       let round_seed = mix cfg.seed round in
+       let initial, events = run_round cfg ~round_seed in
+       events_total := !events_total + List.length events;
+       match Oracle.verify ~initial events with
+       | Oracle.Pass ->
+         log
+           (Printf.sprintf "%s/%s round %d/%d ok (%d events)" cfg.structure
+              (Workload.Targets.ts_name cfg.provider)
+              round cfg.rounds (List.length events))
+       | Oracle.Violation { events; minimized } ->
+         (* replay the same round: a deterministic failure reproduces, a
+            racy one may not — either way the history above is real *)
+         let initial', events' = run_round cfg ~round_seed in
+         let reproduced =
+           match Oracle.verify ~initial:initial' events' with
+           | Oracle.Violation _ -> true
+           | Oracle.Pass -> false
+         in
+         failure :=
+           Some { round; round_seed; initial; events; minimized; reproduced };
+         raise_notrace Exit
+     done
+   with Exit -> ());
+  {
+    config = cfg;
+    rounds_run = !rounds_run;
+    events_total = !events_total;
+    faults_injected = Sync.Pause.injected () - injected0;
+    failure = !failure;
+  }
+
+(* ---------- trace artifacts ---------- *)
+
+let trace_header = "# hwts-check trace"
+
+let trace_path cfg =
+  Printf.sprintf "check-%s-%s-seed%d.trace" cfg.structure
+    (Workload.Targets.ts_name cfg.provider)
+    cfg.seed
+
+let write_trace ~path cfg f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n" trace_header;
+      Printf.fprintf oc
+        "structure=%s provider=%s seed=%d round=%d round_seed=%d \
+         domains=%d ops_per_domain=%d key_space=%d faults=%b \
+         fault_period=%d reproduced=%b\n"
+        cfg.structure
+        (Workload.Targets.ts_name cfg.provider)
+        cfg.seed f.round f.round_seed cfg.domains cfg.ops_per_domain
+        cfg.key_space cfg.faults cfg.fault_period f.reproduced;
+      Printf.fprintf oc "\nfull history (%d events):\n%s"
+        (List.length f.events)
+        (Oracle.explain ~initial:f.initial f.events);
+      Printf.fprintf oc "\nminimized counterexample (%d events):\n%s"
+        (List.length f.minimized)
+        (Oracle.explain ~initial:f.initial f.minimized))

@@ -33,4 +33,11 @@ module type RQ = sig
 
   val range_query : t -> lo:int -> hi:int -> int list
   (** Linearizable snapshot of the keys in [lo, hi], sorted ascending. *)
+
+  val range_query_labeled : t -> lo:int -> hi:int -> int * int list
+  (** [range_query] plus the timestamp label the structure claims for the
+      snapshot, in the structure's own provider clock (compare it only
+      against values read from that same provider).  The label is the
+      instant whose abstract set contents the result asserts to be — the
+      claim the snapshot oracle in [lib/check] mechanically validates. *)
 end

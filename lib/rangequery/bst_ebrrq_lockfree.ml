@@ -114,6 +114,16 @@ module Make (T : LOGICAL) = struct
     let key_cell = child r.parent r.par_dir in
     let sibling_cell = child r.parent (other r.par_dir) in
     let key_edge = Atomic.get key_cell in
+    (* Helping a delete's splice must first help its labels: once the leaf
+       is unreachable a snapshot can no longer find it, so an unlabeled
+       dtime (the winning deleter may be stalled between its flag and its
+       label) would make a leaf that is alive at the snapshot's timestamp
+       silently invisible. *)
+    (match key_edge.target with
+    | Leaf l when key_edge.flagged ->
+      label l.itime;
+      label l.dtime
+    | _ -> ());
     let promote_cell = if key_edge.flagged then sibling_cell else key_cell in
     let rec tag () =
       let e = Atomic.get promote_cell in
@@ -135,7 +145,15 @@ module Make (T : LOGICAL) = struct
   and insert_loop t key =
     assert (key < inf0);
     let r = seek t key in
-    if r.leaf_key = key then false
+    if r.leaf_key = key then begin
+      (* Returning on an observation means the observation must be
+         labeled first: the leaf's inserter may be stalled between its
+         link CAS and its label, and completing "already present" before
+         the label lands lets a later snapshot place this insert after
+         us. *)
+      (match r.leaf with Leaf l -> label l.itime | Internal _ -> ());
+      false
+    end
     else if r.par_edge.flagged || r.par_edge.tagged then begin
       ignore (cleanup r);
       insert_loop t key
@@ -180,7 +198,10 @@ module Make (T : LOGICAL) = struct
       then begin
         (match r.leaf with
         | Leaf l ->
-          (* The winning deleter labels the deletion time, then splices. *)
+          (* The winning deleter labels the deletion time, then splices;
+             the insert label is helped first so itime <= dtime even when
+             the original inserter is stalled before its own label. *)
+          label l.itime;
           label l.dtime;
           let done_ = if cleanup r then true else finish t key r.leaf in
           Reclaim.retire t.ebr l;
@@ -203,10 +224,17 @@ module Make (T : LOGICAL) = struct
   let contains t key =
     let rec down node =
       match node with
-      | Leaf l -> l.lkey = key
+      | Leaf l -> l
       | Internal n -> down (Atomic.get (child n (dir_of n key))).target
     in
-    down (Internal t.s)
+    let l = down (Internal t.s) in
+    if l.lkey = key then begin
+      (* Same helping rule as insert's already-present path: label the
+         observed leaf before reporting it present. *)
+      label l.itime;
+      true
+    end
+    else false
 
   let covers ts leaf =
     let it = itime_of leaf in
@@ -216,7 +244,7 @@ module Make (T : LOGICAL) = struct
   let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
     Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
 
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     Reclaim.with_op t.ebr (fun () ->
         let ts = T.snapshot () in
         let buf = Sync.Scratch.get buf_scratch in
@@ -234,7 +262,9 @@ module Make (T : LOGICAL) = struct
         in
         walk (Internal t.s);
         Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () l -> visit l);
-        List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf))
+        (ts, List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let to_list t =
     let rec walk acc node =

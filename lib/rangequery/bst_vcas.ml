@@ -205,7 +205,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   (* Range query: fix the snapshot time by advancing the timestamp (vCAS
      protocol: the RQ is the advancing operation), then traverse the
      versioned edges at that time. *)
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     (* announce a lower bound first so concurrent pruning stays safe; the
        protected exit keeps a raising traversal from pinning its slot (and
        with it every version chain) forever *)
@@ -214,7 +214,11 @@ module Make (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.snapshot () in
-        collect_keys ~read_edge:(fun c -> V.read_at c ts) ~lo ~hi (Internal t.s))
+        ( ts,
+          collect_keys ~read_edge:(fun c -> V.read_at c ts) ~lo ~hi
+            (Internal t.s) ))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let rec add_pin t ts =
     let old = Atomic.get t.pins in

@@ -226,13 +226,15 @@ module Make (T : Hwts.Timestamp.S) = struct
     in
     collect [] (Internal t.s)
 
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.snapshot () in
-        collect_range ~read_edge:(fun c -> V.read_at c ts) t ~lo ~hi)
+        (ts, collect_range ~read_edge:(fun c -> V.read_at c ts) t ~lo ~hi))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let to_alist t =
     collect_range ~read_edge:V.read t ~lo:min_int ~hi:(inf0 - 1)

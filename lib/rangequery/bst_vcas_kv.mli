@@ -30,6 +30,10 @@ module Make (T : Hwts.Timestamp.S) : sig
   val range_query : 'v t -> lo:int -> hi:int -> (int * 'v) list
   (** Linearizable snapshot of the bindings in [lo, hi], ascending. *)
 
+  val range_query_labeled : 'v t -> lo:int -> hi:int -> int * (int * 'v) list
+  (** [range_query] plus the timestamp label the snapshot claims, in the
+      provider's clock (see {!Dstruct.Ordered_set.RQ}). *)
+
   val to_alist : 'v t -> (int * 'v) list
   (** Quiescent use only. *)
 

@@ -19,10 +19,16 @@ module Make (T : Hwts.Timestamp.S) = struct
   let prepare t target =
     let head = Atomic.get t in
     assert (Atomic.get head.ts <> 0);
-    Atomic.set t (entry 0 target (Some head))
+    Atomic.set t (entry 0 target (Some head));
+    (* fault injection: pending entry published, label not yet assigned —
+       snapshot readers must wait, not guess *)
+    Sync.Pause.point ()
 
   let label t ts =
     assert (ts > 0);
+    (* fault injection: stretch the prepare->label gap from the labeling
+       side too *)
+    Sync.Pause.point ();
     let head = Atomic.get t in
     let was_pending = Atomic.compare_and_set head.ts 0 ts in
     assert was_pending

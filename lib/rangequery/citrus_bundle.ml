@@ -72,6 +72,24 @@ module Make (T : Hwts.Timestamp.S) = struct
   let prune_with t bundle ts =
     B.prune bundle (Rq_registry.min_active_cached t.registry ~default:ts)
 
+  (* Re-walk from the root under [prev.lock] and require the walk to end
+     at the same empty slot.  "Unmarked and still None" is not enough for
+     an insert: a successor relocation re-keys a position (the
+     replacement carries [succ.key] where [curr.key] stood), so a slot
+     chosen by an earlier unlocked traversal can be live and empty yet no
+     longer on [key]'s search path — the relocation's final
+     [succ_prev.left := succ_right] restores the very [None] the stale
+     inserter validated, and the attached node would be shadowed
+     (reachable by no search, so the key silently vanishes).  A fresh
+     walk sees the current routing, and any re-keying that lands between
+     this check and the raw link must lock one of the nodes the
+     relocation already holds — which includes every attach point it
+     moves. *)
+  let confirm t prev d key =
+    match find t.root key with
+    | p', d', None -> p' == prev && d' = d
+    | _, _, Some _ -> false
+
   let rec insert t key =
     assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
     let prev, d, found = traverse t key in
@@ -79,16 +97,24 @@ module Make (T : Hwts.Timestamp.S) = struct
     | Some _ -> false
     | None ->
       Sync.Spinlock.lock prev.lock;
-      let valid = (not prev.marked) && Atomic.get (child prev d) = None in
+      let valid =
+        (not prev.marked)
+        && Atomic.get (child prev d) = None
+        && confirm t prev d key
+      in
       if valid then begin
         let node = make_node key None None in
         let link = bchild prev d in
         B.prepare link (Some node);
-        Atomic.set (child prev d) (Some node);
+        (* timestamp before the raw link (the commit point elemental
+           traversals observe), and the fresh node's bundles labeled
+           before it is reachable so no neighbour can prepare on a
+           pending bundle *)
         let ts = T.advance () in
-        B.label link ts;
         B.label node.bleft ts;
         B.label node.bright ts;
+        Atomic.set (child prev d) (Some node);
+        B.label link ts;
         prune_with t link ts;
         Sync.Spinlock.unlock prev.lock;
         true
@@ -130,9 +156,11 @@ module Make (T : Hwts.Timestamp.S) = struct
   and splice_out t prev d curr repl =
     let link = bchild prev d in
     B.prepare link repl;
+    (* timestamp before the unlink: once a traversal can miss [curr],
+       every later snapshot timestamp covers the delete *)
+    let ts = T.advance () in
     Atomic.set (child prev d) repl;
     curr.marked <- true;
-    let ts = T.advance () in
     B.label link ts;
     prune_with t link ts;
     Sync.Spinlock.unlock curr.lock;
@@ -166,15 +194,17 @@ module Make (T : Hwts.Timestamp.S) = struct
       let link = bchild prev d in
       B.prepare link (Some replacement);
       if not direct then B.prepare succ_prev.bleft succ_right;
+      (* One timestamp for every entry — the whole relocation is a single
+         atomic step for snapshot traversals — taken before the raw swap
+         so observable effects never precede their label; the replacement
+         node's own bundles are labeled before it becomes reachable *)
+      let ts = T.advance () in
+      B.label replacement.bleft ts;
+      B.label replacement.bright ts;
       Atomic.set (child prev d) (Some replacement);
       curr.marked <- true;
       succ.marked <- true;
-      (* One timestamp for every entry: the whole relocation is a single
-         atomic step for snapshot traversals. *)
-      let ts = T.advance () in
       B.label link ts;
-      B.label replacement.bleft ts;
-      B.label replacement.bright ts;
       if not direct then B.label succ_prev.bleft ts;
       prune_with t link ts;
       if not direct then begin
@@ -197,7 +227,7 @@ module Make (T : Hwts.Timestamp.S) = struct
      with a second clock read so concurrent pruning stays safe.  In-order
      traversal fills the per-domain buffer ascending; the result list is
      snapshotted from it once. *)
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
@@ -215,7 +245,9 @@ module Make (T : Hwts.Timestamp.S) = struct
             if hi > n.key then walk (B.read_at n.bright ts)
         in
         walk (B.read_at t.root.bright ts);
-        Sync.Scratch.Int_buffer.to_list buf)
+        (ts, Sync.Scratch.Int_buffer.to_list buf))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let to_list t =
     let rec walk acc = function

@@ -70,6 +70,17 @@ module Make (T : Hwts.Timestamp.S) = struct
   let child_is n d c =
     match Atomic.get (child n d) with Some x -> x == c | None -> false
 
+  (* Fresh re-walk under [prev.lock]: a successor relocation re-keys a
+     position, so a slot from an earlier unlocked traversal can be
+     unmarked and empty yet off [key]'s current search path (the final
+     [succ_prev.left := succ_right] restores the observed [None]); an
+     attach there would be shadowed and the key lost.  See the matching
+     comment in citrus_bundle.ml for the full argument. *)
+  let confirm t prev d key =
+    match find t.root key with
+    | p', d', None -> p' == prev && d' = d
+    | _, _, Some _ -> false
+
   let rec insert t key =
     assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
     Reclaim.with_op t.ebr (fun () -> insert_locked t key)
@@ -80,7 +91,11 @@ module Make (T : Hwts.Timestamp.S) = struct
     | Some _ -> false
     | None ->
       Sync.Spinlock.lock prev.lock;
-      let valid = (not prev.marked) && Atomic.get (child prev d) = None in
+      let valid =
+        (not prev.marked)
+        && Atomic.get (child prev d) = None
+        && confirm t prev d key
+      in
       if valid then begin
         let node = make_node key None None in
         (* Atomic read-and-label: shared mode on the timestamp lock. *)
@@ -193,7 +208,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
     Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
 
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     Reclaim.with_op t.ebr (fun () ->
         (* Exclusive mode: the RQ's snapshot point cannot interleave with
            any update's read-and-label section. *)
@@ -218,7 +233,9 @@ module Make (T : Hwts.Timestamp.S) = struct
         (* Recently deleted nodes may already be unlinked: recover them
            from the limbo lists, as EBR-RQ does. *)
         Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () n -> visit n);
-        List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf))
+        (ts, List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let to_list t =
     let rec walk acc = function

@@ -63,6 +63,17 @@ module Make (T : Hwts.Timestamp.S) = struct
       (Rq_registry.min_active_cached t.registry
          ~default:(V.timestamp installed))
 
+  (* Fresh re-walk under [prev.lock]: a successor relocation re-keys a
+     position, so a slot from an earlier unlocked traversal can be
+     unmarked and empty yet off [key]'s current search path (the final
+     unlink restores the observed [None]); an attach there would be
+     shadowed and the key lost.  See the matching comment in
+     citrus_bundle.ml for the full argument. *)
+  let confirm t prev d key =
+    match find t.root key with
+    | p', d', None -> p' == prev && d' = d
+    | _, _, Some _ -> false
+
   let rec insert t key =
     assert (key > Dstruct.Ordered_set.min_key && key <= Dstruct.Ordered_set.max_key);
     let prev, d, found = traverse t key in
@@ -70,7 +81,11 @@ module Make (T : Hwts.Timestamp.S) = struct
     | Some _ -> false
     | None ->
       Sync.Spinlock.lock prev.lock;
-      let valid = (not prev.marked) && V.read (child prev d) = None in
+      let valid =
+        (not prev.marked)
+        && V.read (child prev d) = None
+        && confirm t prev d key
+      in
       if valid then begin
         write_pruned t (child prev d) (Some (make_node key None None));
         Sync.Spinlock.unlock prev.lock;
@@ -160,7 +175,7 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   (* vCAS range query: the RQ advances the timestamp to fix its snapshot.
      The relocation delete is two versioned writes, so de-duplicate. *)
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
@@ -178,7 +193,9 @@ module Make (T : Hwts.Timestamp.S) = struct
             if hi > n.key then walk (V.read_at n.right ts)
         in
         walk (V.read_at t.root.right ts);
-        List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf))
+        (ts, List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let to_list t =
     let rec walk acc = function

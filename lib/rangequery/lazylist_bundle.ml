@@ -84,10 +84,14 @@ module Make (T : Hwts.Timestamp.S) = struct
             let nb = B.make_pending curr in
             let node = make_node key curr nb in
             B.prepare p.b node;
-            Atomic.set p.next node;
+            (* timestamp before the raw link (the point-op commit), and
+               the new node's own bundle labeled before the node is
+               reachable: a neighbour that locks it right after linking
+               must never find a pending bundle to prepare on *)
             let ts = T.advance () in
-            B.label p.b ts;
             B.label nb ts;
+            Atomic.set p.next node;
+            B.label p.b ts;
             prune_with t p.b ts;
             true
           end
@@ -115,11 +119,13 @@ module Make (T : Hwts.Timestamp.S) = struct
           delete t key
         end
         else begin
-          Atomic.set c.marked true;
           let after = Atomic.get c.next in
           B.prepare p.b after;
-          Atomic.set p.next after;
+          (* timestamp first, then mark: once a contains can observe the
+             deletion, every later snapshot timestamp covers it *)
           let ts = T.advance () in
+          Atomic.set c.marked true;
+          Atomic.set p.next after;
           B.label p.b ts;
           prune_with t p.b ts;
           Sync.Spinlock.unlock c.lock;
@@ -157,7 +163,7 @@ module Make (T : Hwts.Timestamp.S) = struct
      predecessor — or one whose bundle carries no entry labeled <= [ts]
      yet (its insert label may still be pending) — falls back to the
      head, whose bundle covers all history. *)
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
@@ -189,7 +195,9 @@ module Make (T : Hwts.Timestamp.S) = struct
               end)
         in
         walk start;
-        Sync.Scratch.Int_buffer.to_list buf)
+        (ts, Sync.Scratch.Int_buffer.to_list buf))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let to_list t =
     let rec walk acc n =

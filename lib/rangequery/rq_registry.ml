@@ -53,8 +53,12 @@ let pending_ts = 1
    this RQ still needs. *)
 let announce t ~read =
   ignore (Atomic.fetch_and_add t.active 1);
+  (* fault injection: counted but not yet visible in any slot *)
+  Sync.Pause.point ();
   let slot = Sync.Slot.my_slot () in
   Atomic.set t.slots.(slot) pending_ts;
+  (* fault injection: pending-sentinel window before the stamp lands *)
+  Sync.Pause.point ();
   let rec grow () =
     let hw = Atomic.get t.hw_slot in
     if slot >= hw && not (Atomic.compare_and_set t.hw_slot hw (slot + 1)) then
@@ -89,6 +93,8 @@ let announce t ~read =
 
 let exit_rq t =
   Atomic.set t.slots.(Sync.Slot.my_slot ()) 0;
+  (* fault injection: slot retired but the count still holds scanners back *)
+  Sync.Pause.point ();
   ignore (Atomic.fetch_and_add t.active (-1))
 
 (* Zero announced RQs is the common case for update-heavy mixes: one load

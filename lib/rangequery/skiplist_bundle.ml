@@ -125,8 +125,12 @@ module Make (T : Hwts.Timestamp.S) = struct
       let ok = ref true in
       for level = 0 to top do
         let pred = preds.(level) and succ = succs.(level) in
+        (* a pred that is not fully linked yet has a pending level-0
+           bundle: preparing on it would collide with its inserter's
+           in-flight label, so treat it like a marked node and retry *)
         if
           Atomic.get pred.marked
+          || (not (Atomic.get pred.fully_linked))
           || (validate_succ && Atomic.get succ.marked)
           || Atomic.get pred.next.(level) != succ
         then ok := false
@@ -168,10 +172,14 @@ module Make (T : Hwts.Timestamp.S) = struct
               done;
               let link = preds.(0).b0 in
               B.prepare link (Some node);
+              (* the timestamp must exist before the node becomes raw-
+                 visible: a clock read that happens after any traversal
+                 can observe the insert then yields ts >= this label, so
+                 point ops and snapshots agree on the order *)
+              let ts = T.advance () in
               for level = 0 to top do
                 Atomic.set preds.(level).next.(level) node
               done;
-              let ts = T.advance () in
               B.label link ts;
               B.label node.b0 ts;
               prune_with t link ts;
@@ -201,10 +209,11 @@ module Make (T : Hwts.Timestamp.S) = struct
               Sync.Spinlock.unlock v.lock;
               None
             end
-            else begin
-              Atomic.set v.marked true;
+            else
+              (* the mark — the point-op commit — is deferred to the
+                 unlink step below, after the bundle timestamp exists;
+                 holding v.lock keeps competing deleters out meanwhile *)
               Some v
-            end
           end
           else None
       in
@@ -225,11 +234,15 @@ module Make (T : Hwts.Timestamp.S) = struct
                 else begin
                   let link = preds.(0).b0 in
                   B.prepare link (Some (Atomic.get v.next.(0)));
+                  (* timestamp first, then mark: a contains that observes
+                     the deletion can only do so after the label exists,
+                     so no snapshot taken later can predate the delete *)
+                  let ts = T.advance () in
+                  Atomic.set v.marked true;
                   for level = v.top_level downto 0 do
                     Atomic.set preds.(level).next.(level)
                       (Atomic.get v.next.(level))
                   done;
-                  let ts = T.advance () in
                   B.label link ts;
                   prune_with t link ts;
                   `Done
@@ -247,7 +260,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   (* Range query: locate a predecessor of [lo] through the raw levels, fall
      back to the head if that node postdates the snapshot, then walk the
      level-0 bundles at the snapshot time. *)
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
@@ -272,7 +285,9 @@ module Make (T : Hwts.Timestamp.S) = struct
             end
         in
         walk start;
-        Sync.Scratch.Int_buffer.to_list buf)
+        (ts, Sync.Scratch.Int_buffer.to_list buf))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let to_list t =
     let rec walk acc n =

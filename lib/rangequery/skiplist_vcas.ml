@@ -279,7 +279,7 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   (* vCAS range query: advance the clock, walk level 0 at the snapshot.
      The start node must have been *linked* at the snapshot time. *)
-  let range_query t ~lo ~hi =
+  let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
@@ -304,7 +304,9 @@ module Make (T : Hwts.Timestamp.S) = struct
           end
         in
         walk start;
-        Sync.Scratch.Int_buffer.to_list buf)
+        (ts, Sync.Scratch.Int_buffer.to_list buf))
+
+  let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
   let to_list t =
     let rec walk acc n =

@@ -50,6 +50,9 @@ module Make (T : Hwts.Timestamp.S) = struct
     in
     if Atomic.get t == expected && Atomic.compare_and_set t expected candidate
     then begin
+      (* fault injection: version installed but unlabeled — readers must
+         help (the helping protocol under test) *)
+      Sync.Pause.point ();
       init_ts candidate;
       Some candidate
     end

@@ -5,6 +5,9 @@ let make ?(min_spins = 8) ?(max_spins = 4096) () =
   { min_spins; max_spins; current = min_spins }
 
 let once t =
+  (* fault injection: contended paths (CAS retries, lock waits) are where
+     schedule perturbations bite *)
+  Pause.point ();
   if t.current >= t.max_spins then
     (* saturated: yield the processor — on oversubscribed machines the
        lock holder may need our core to make progress *)

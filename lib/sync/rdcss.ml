@@ -25,6 +25,9 @@ let complete d =
   let proposal =
     if Atomic.get d.control = d.expected_control then Succeeded else Failed
   in
+  (* fault injection: widen the window between proposing and fixing the
+     decision, so helpers race the installer *)
+  Pause.point ();
   ignore (Atomic.compare_and_set d.decision Undecided proposal);
   let final =
     match Atomic.get d.decision with
@@ -69,6 +72,8 @@ let rdcss ~control ~expected_control ~loc ~expected new_value =
     | Value _ ->
       if cur != expected then Loc_changed
       else if Atomic.compare_and_set loc cur (Desc d) then begin
+        (* fault injection: leave the descriptor visible before completing *)
+        Pause.point ();
         complete d;
         match Atomic.get d.decision with
         | Succeeded -> Success

@@ -19,7 +19,10 @@ let read_lock t =
       loop ()
     end
   in
-  loop ()
+  loop ();
+  (* fault injection: stretch the shared-mode section (EBR-RQ labels
+     updates inside it) *)
+  Pause.point ()
 
 let read_unlock t =
   let prev = Atomic.fetch_and_add t.state (-1) in
@@ -38,7 +41,10 @@ let write_lock t =
     end
   in
   loop ();
-  ignore (Atomic.fetch_and_add t.waiting_writers (-1))
+  ignore (Atomic.fetch_and_add t.waiting_writers (-1));
+  (* fault injection: stretch the exclusive section (an RQ's snapshot
+     point lives inside it) *)
+  Pause.point ()
 
 let write_unlock t =
   let swapped = Atomic.compare_and_set t.state (-1) 0 in

@@ -5,6 +5,9 @@ let make () = { seq = Padding.atomic 0; writer = Spinlock.make () }
 let write t f =
   Spinlock.lock t.writer;
   Atomic.incr t.seq;
+  (* fault injection: stretch the odd-sequence window readers must retry
+     across *)
+  Pause.point ();
   Fun.protect
     ~finally:(fun () ->
       Atomic.incr t.seq;
@@ -19,13 +22,15 @@ let read t f =
       Backoff.once backoff;
       attempt ()
     end
-    else
+    else begin
+      Pause.point ();
       let result = f () in
       if Atomic.get t.seq = s0 then result
       else begin
         Backoff.once backoff;
         attempt ()
       end
+    end
   in
   attempt ()
 

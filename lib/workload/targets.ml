@@ -14,78 +14,58 @@ let all_ts : ts list = [ `Logical; `Hardware; `Hardware_strict ]
    CAS on the common path.  The plain [`Hardware] series keeps raw
    [RDTSCP; LFENCE] stamps for comparison with the paper's figures. *)
 
-let bst_vcas (ts : ts) : (module Dstruct.Ordered_set.RQ) =
+let provider_of (ts : ts) : (module Hwts.Timestamp.S) =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
-    (module Rangequery.Bst_vcas.Make (L))
-  | `Hardware -> (module Rangequery.Bst_vcas.Make (Hwts.Timestamp.Hardware))
+    (module L)
+  | `Hardware -> (module Hwts.Timestamp.Hardware)
   | `Hardware_strict ->
     let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
-    (module Rangequery.Bst_vcas.Make (S))
+    (module S)
 
-let citrus_vcas (ts : ts) : (module Dstruct.Ordered_set.RQ) =
-  match ts with
-  | `Logical ->
-    let module L = Hwts.Timestamp.Logical () in
-    (module Rangequery.Citrus_vcas.Make (L))
-  | `Hardware -> (module Rangequery.Citrus_vcas.Make (Hwts.Timestamp.Hardware))
-  | `Hardware_strict ->
-    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
-    (module Rangequery.Citrus_vcas.Make (S))
+type instance = {
+  structure : (module Dstruct.Ordered_set.RQ);
+  now : unit -> int;
+  provider : string;
+}
 
-let citrus_bundle (ts : ts) : (module Dstruct.Ordered_set.RQ) =
-  match ts with
-  | `Logical ->
-    let module L = Hwts.Timestamp.Logical () in
-    (module Rangequery.Citrus_bundle.Make (L))
-  | `Hardware -> (module Rangequery.Citrus_bundle.Make (Hwts.Timestamp.Hardware))
-  | `Hardware_strict ->
-    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
-    (module Rangequery.Citrus_bundle.Make (S))
+(* The structure and [now] share one provider module, so timestamps read
+   through [now] are comparable with the labels the structure's range
+   queries claim — the invariant the history recorder in [lib/check]
+   relies on.  (For a generative logical clock, a second [Logical ()]
+   would be a different clock entirely.) *)
+let instance_of f (ts : ts) : instance =
+  let p = provider_of ts in
+  let module T = (val p) in
+  { structure = f p; now = T.read; provider = ts_name ts }
 
-let citrus_ebrrq (ts : ts) : (module Dstruct.Ordered_set.RQ) =
-  match ts with
-  | `Logical ->
-    let module L = Hwts.Timestamp.Logical () in
-    (module Rangequery.Citrus_ebrrq.Make (L))
-  | `Hardware -> (module Rangequery.Citrus_ebrrq.Make (Hwts.Timestamp.Hardware))
-  | `Hardware_strict ->
-    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
-    (module Rangequery.Citrus_ebrrq.Make (S))
+let bst_vcas_m (module T : Hwts.Timestamp.S) : (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Bst_vcas.Make (T))
 
-let skiplist_bundle (ts : ts) : (module Dstruct.Ordered_set.RQ) =
-  match ts with
-  | `Logical ->
-    let module L = Hwts.Timestamp.Logical () in
-    (module Rangequery.Skiplist_bundle.Make (L))
-  | `Hardware ->
-    (module Rangequery.Skiplist_bundle.Make (Hwts.Timestamp.Hardware))
-  | `Hardware_strict ->
-    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
-    (module Rangequery.Skiplist_bundle.Make (S))
+let citrus_vcas_m (module T : Hwts.Timestamp.S) :
+    (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Citrus_vcas.Make (T))
 
-let skiplist_vcas (ts : ts) : (module Dstruct.Ordered_set.RQ) =
-  match ts with
-  | `Logical ->
-    let module L = Hwts.Timestamp.Logical () in
-    (module Rangequery.Skiplist_vcas.Make (L))
-  | `Hardware ->
-    (module Rangequery.Skiplist_vcas.Make (Hwts.Timestamp.Hardware))
-  | `Hardware_strict ->
-    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
-    (module Rangequery.Skiplist_vcas.Make (S))
+let citrus_bundle_m (module T : Hwts.Timestamp.S) :
+    (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Citrus_bundle.Make (T))
 
-let lazylist_bundle (ts : ts) : (module Dstruct.Ordered_set.RQ) =
-  match ts with
-  | `Logical ->
-    let module L = Hwts.Timestamp.Logical () in
-    (module Rangequery.Lazylist_bundle.Make (L))
-  | `Hardware ->
-    (module Rangequery.Lazylist_bundle.Make (Hwts.Timestamp.Hardware))
-  | `Hardware_strict ->
-    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
-    (module Rangequery.Lazylist_bundle.Make (S))
+let citrus_ebrrq_m (module T : Hwts.Timestamp.S) :
+    (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Citrus_ebrrq.Make (T))
+
+let skiplist_bundle_m (module T : Hwts.Timestamp.S) :
+    (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Skiplist_bundle.Make (T))
+
+let skiplist_vcas_m (module T : Hwts.Timestamp.S) :
+    (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Skiplist_vcas.Make (T))
+
+let lazylist_bundle_m (module T : Hwts.Timestamp.S) :
+    (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Lazylist_bundle.Make (T))
 
 (* The KV map run as a set (unit values): exercises the leaf-replacement
    write path and value plumbing under the same workload as its set
@@ -102,45 +82,66 @@ module Kv_as_set (T : Hwts.Timestamp.S) = struct
   let delete t k = K.remove t k
   let contains t k = K.mem t k
   let range_query t ~lo ~hi = List.map fst (K.range_query t ~lo ~hi)
+
+  let range_query_labeled t ~lo ~hi =
+    let ts, kvs = K.range_query_labeled t ~lo ~hi in
+    (ts, List.map fst kvs)
+
   let to_list t = List.map fst (K.to_alist t)
   let size t = K.size t
 end
 
-let bst_vcas_kv (ts : ts) : (module Dstruct.Ordered_set.RQ) =
-  match ts with
-  | `Logical ->
-    let module L = Hwts.Timestamp.Logical () in
-    (module Kv_as_set (L))
-  | `Hardware -> (module Kv_as_set (Hwts.Timestamp.Hardware))
-  | `Hardware_strict ->
-    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
-    (module Kv_as_set (S))
-
-let bst_ebrrq_lockfree () : (module Dstruct.Ordered_set.RQ) =
-  let module L = Hwts.Timestamp.Logical () in
-  (module Rangequery.Bst_ebrrq_lockfree.Make (L))
+let bst_vcas_kv_m (module T : Hwts.Timestamp.S) :
+    (module Dstruct.Ordered_set.RQ) =
+  (module Kv_as_set (T))
 
 (* The lock-free EBR-RQ labels via DCSS against the timestamp word's
    address, so it is unwritable over an address-free provider (Section
    IV); requesting a hardware series for it is a caller bug. *)
-let bst_ebrrq_lockfree_ts (ts : ts) : (module Dstruct.Ordered_set.RQ) =
+let bst_ebrrq_lockfree_instance (ts : ts) : instance =
   match ts with
-  | `Logical -> bst_ebrrq_lockfree ()
+  | `Logical ->
+    let module L = Hwts.Timestamp.Logical () in
+    {
+      structure =
+        (module Rangequery.Bst_ebrrq_lockfree.Make (L) : Dstruct.Ordered_set
+                                                         .RQ);
+      now = L.read;
+      provider = ts_name `Logical;
+    }
   | `Hardware | `Hardware_strict ->
     invalid_arg "bst-ebrrq-lockfree requires a logical (addressable) clock"
 
-let all =
+let all_instances : (string * (ts -> instance)) list =
   [
-    ("bst-vcas", bst_vcas);
-    ("bst-vcas-kv", bst_vcas_kv);
-    ("bst-ebrrq-lockfree", bst_ebrrq_lockfree_ts);
-    ("citrus-vcas", citrus_vcas);
-    ("citrus-bundle", citrus_bundle);
-    ("citrus-ebrrq", citrus_ebrrq);
-    ("skiplist-bundle", skiplist_bundle);
-    ("skiplist-vcas", skiplist_vcas);
-    ("lazylist-bundle", lazylist_bundle);
+    ("bst-vcas", instance_of bst_vcas_m);
+    ("bst-vcas-kv", instance_of bst_vcas_kv_m);
+    ("bst-ebrrq-lockfree", bst_ebrrq_lockfree_instance);
+    ("citrus-vcas", instance_of citrus_vcas_m);
+    ("citrus-bundle", instance_of citrus_bundle_m);
+    ("citrus-ebrrq", instance_of citrus_ebrrq_m);
+    ("skiplist-bundle", instance_of skiplist_bundle_m);
+    ("skiplist-vcas", instance_of skiplist_vcas_m);
+    ("lazylist-bundle", instance_of lazylist_bundle_m);
   ]
+
+let instance name ts =
+  match List.assoc_opt name all_instances with
+  | Some f -> f ts
+  | None -> invalid_arg ("unknown structure: " ^ name)
+
+let bst_vcas ts = (instance_of bst_vcas_m ts).structure
+let citrus_vcas ts = (instance_of citrus_vcas_m ts).structure
+let citrus_bundle ts = (instance_of citrus_bundle_m ts).structure
+let citrus_ebrrq ts = (instance_of citrus_ebrrq_m ts).structure
+let skiplist_bundle ts = (instance_of skiplist_bundle_m ts).structure
+let skiplist_vcas ts = (instance_of skiplist_vcas_m ts).structure
+let lazylist_bundle ts = (instance_of lazylist_bundle_m ts).structure
+let bst_vcas_kv ts = (instance_of bst_vcas_kv_m ts).structure
+let bst_ebrrq_lockfree () = (bst_ebrrq_lockfree_instance `Logical).structure
+
+let all =
+  List.map (fun (name, f) -> (name, fun ts -> (f ts).structure)) all_instances
 
 let supports name (ts : ts) =
   match (name, ts) with

@@ -14,6 +14,23 @@ val ts_name : ts -> string
 
 val all_ts : ts list
 
+type instance = {
+  structure : (module Dstruct.Ordered_set.RQ);
+  now : unit -> int;  (** reads the same provider the structure labels with *)
+  provider : string;  (** {!ts_name} of the provider in use *)
+}
+(** A built structure together with a reader for its own timestamp
+    provider.  [now] and the labels returned by the structure's
+    [range_query_labeled] are values of one clock, so the two may be
+    compared — the invariant history-based checkers depend on. *)
+
+val instance : string -> ts -> instance
+(** [instance name ts] builds the named structure over the given provider.
+    Raises [Invalid_argument] on an unknown name or a combination
+    {!supports} rejects. *)
+
+val all_instances : (string * (ts -> instance)) list
+
 val bst_vcas : ts -> (module Dstruct.Ordered_set.RQ)
 val citrus_vcas : ts -> (module Dstruct.Ordered_set.RQ)
 val citrus_bundle : ts -> (module Dstruct.Ordered_set.RQ)

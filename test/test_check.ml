@@ -1,0 +1,253 @@
+(* Snapshot-oracle and fault-injection subsystem tests: the oracle must
+   reject hand-built bad histories (stale snapshot, torn snapshot, label
+   outside the query interval), accept labeled histories recorded from
+   real structures under fault injection, and the Pause engine must be
+   inert unless enabled. *)
+
+open Hwts_check
+
+let ev = Lin_check.ev
+
+let expect_violation what history =
+  match Oracle.verify history with
+  | Oracle.Violation _ -> ()
+  | Oracle.Pass -> Alcotest.failf "%s: accepted by the oracle" what
+
+let expect_pass ?initial what history =
+  match Oracle.verify ?initial history with
+  | Oracle.Pass -> ()
+  | Oracle.Violation { minimized; _ } ->
+    Alcotest.failf "%s: rejected; minimized counterexample:\n%s" what
+      (Oracle.explain minimized)
+
+(* ---------- hand-built bad histories ---------- *)
+
+let stale_snapshot () =
+  (* insert(3) completed strictly before the query began, nothing removes
+     3, yet the claimed snapshot omits it *)
+  expect_violation "stale snapshot"
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev ~label:7 5 9 (Range (1, 10)) (Keys []);
+    ]
+
+let torn_snapshot () =
+  (* the query sees the later insert but not the earlier one: no instant
+     of the abstract set ever held {5} alone *)
+  expect_violation "torn snapshot"
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev 2 3 (Insert 5) (Bool true);
+      ev ~label:7 6 9 (Range (1, 10)) (Keys [ 5 ]);
+    ]
+
+let label_outside_interval () =
+  (* the result set is fine, but the claimed snapshot instant lies after
+     the query returned — an impossible label *)
+  expect_violation "label outside interval"
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev ~label:20 5 9 (Range (1, 10)) (Keys [ 3 ]);
+    ]
+
+let label_pins_the_instant () =
+  (* delete(3) finishes before the claimed instant 15, so a query labeled
+     15 must not see 3 — although the same history without the label is
+     linearizable (the query may order before the delete) *)
+  let labeled =
+    [
+      ev 10 11 (Delete 3) (Bool true);
+      ev ~label:15 5 20 (Range (1, 10)) (Keys [ 3 ]);
+    ]
+  in
+  (match Oracle.verify ~initial:[ 3 ] labeled with
+  | Oracle.Violation _ -> ()
+  | Oracle.Pass -> Alcotest.fail "label=15 snapshot containing 3 accepted");
+  expect_pass ~initial:[ 3 ] "same history unlabeled"
+    [
+      ev 10 11 (Delete 3) (Bool true);
+      ev 5 20 (Range (1, 10)) (Keys [ 3 ]);
+    ]
+
+let labeled_history_accepted () =
+  expect_pass "consistent labeled history"
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev 2 12 (Insert 5) (Bool true);
+      ev ~label:7 5 9 (Range (1, 10)) (Keys [ 3; 5 ]);
+      ev 13 14 (Delete 3) (Bool true);
+      ev ~label:16 15 18 (Range (1, 10)) (Keys [ 5 ]);
+    ]
+
+let minimizer_shrinks () =
+  (* noise that stays consistent in every sub-history, so the minimal
+     counterexample can only be the stale pair *)
+  let noise =
+    [
+      ev 100 101 (Contains 9) (Bool false);
+      ev 102 103 (Insert 7) (Bool true);
+      ev 104 105 (Delete 8) (Bool false);
+    ]
+  in
+  let bad =
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev ~label:7 5 9 (Range (1, 10)) (Keys []);
+    ]
+    @ noise
+  in
+  match Oracle.verify bad with
+  | Oracle.Pass -> Alcotest.fail "bad history accepted"
+  | Oracle.Violation { minimized; events } ->
+    Alcotest.(check bool)
+      "minimized still fails" false
+      (Lin_check.check minimized);
+    Alcotest.(check bool)
+      "minimized is smaller" true
+      (List.length minimized < List.length events);
+    (* the noise ops are irrelevant: the core violation is 2 events *)
+    Alcotest.(check int) "minimal size" 2 (List.length minimized)
+
+(* ---------- the Pause engine ---------- *)
+
+let pause_inert_by_default () =
+  Alcotest.(check bool) "disabled" false (Sync.Pause.enabled ());
+  let before = Sync.Pause.injected () in
+  for _ = 1 to 1000 do
+    Sync.Pause.point ()
+  done;
+  Alcotest.(check int) "no injections" before (Sync.Pause.injected ())
+
+let pause_injects_when_enabled () =
+  Sync.Pause.enable ~period:2 ~seed:42 ();
+  let before = Sync.Pause.injected () in
+  for _ = 1 to 256 do
+    Sync.Pause.point ()
+  done;
+  Sync.Pause.disable ();
+  Alcotest.(check bool) "injected" true (Sync.Pause.injected () > before);
+  Alcotest.(check bool) "off again" false (Sync.Pause.enabled ())
+
+(* ---------- recorded histories under fault injection ---------- *)
+
+let torture structure provider () =
+  let cfg =
+    {
+      (Torture.default_config ~structure ~provider ~seed:0xC0FFEE) with
+      rounds = 4;
+    }
+  in
+  let o = Torture.run cfg in
+  (match o.Torture.failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "%s/%s: oracle violation in round %d (reproduced=%b)\n%s"
+      structure
+      (Workload.Targets.ts_name provider)
+      f.Torture.round f.Torture.reproduced
+      (Oracle.explain ~initial:f.Torture.initial f.Torture.minimized));
+  Alcotest.(check bool)
+    "fault schedule fired" true
+    (o.Torture.faults_injected > 0)
+
+let torture_cases =
+  (* one structure per technique family, under both the logical and the
+     strict-hardware provider (the lock-free EBR-RQ is logical-only) *)
+  let mk (structure, provider) =
+    Alcotest.test_case
+      (Printf.sprintf "%s/%s recorded history"
+         structure
+         (Workload.Targets.ts_name provider))
+      `Slow
+      (torture structure provider)
+  in
+  List.map mk
+    [
+      ("skiplist-bundle", `Logical);
+      ("skiplist-bundle", `Hardware_strict);
+      ("bst-vcas", `Logical);
+      ("bst-vcas", `Hardware_strict);
+      ("citrus-bundle", `Logical);
+      ("citrus-bundle", `Hardware_strict);
+      ("citrus-ebrrq", `Logical);
+      ("citrus-ebrrq", `Hardware_strict);
+      ("bst-ebrrq-lockfree", `Logical);
+    ]
+
+(* ---------- config validation and artifacts ---------- *)
+
+let config_rejects_oversize () =
+  let cfg = Torture.default_config ~structure:"bst-vcas" ~provider:`Logical ~seed:1 in
+  Alcotest.check_raises "too many events"
+    (Invalid_argument "check: domains*ops_per_domain must be <= 62")
+    (fun () ->
+      ignore (Torture.run { cfg with domains = 8; ops_per_domain = 8 }))
+
+let config_rejects_unsupported () =
+  let cfg =
+    Torture.default_config ~structure:"bst-ebrrq-lockfree"
+      ~provider:`Hardware_strict ~seed:1
+  in
+  (try
+     ignore (Torture.run cfg);
+     Alcotest.fail "unsupported provider accepted"
+   with Invalid_argument _ -> ())
+
+let trace_artifact () =
+  let cfg = Torture.default_config ~structure:"bst-vcas" ~provider:`Logical ~seed:7 in
+  let f =
+    {
+      Torture.round = 1;
+      round_seed = 7;
+      initial = [ 3 ];
+      events =
+        [
+          ev 0 1 (Insert 5) (Bool true);
+          ev ~label:7 5 9 (Range (1, 10)) (Keys []);
+        ];
+      minimized = [ ev ~label:7 5 9 (Range (1, 10)) (Keys []) ];
+      reproduced = true;
+    }
+  in
+  let path = Filename.temp_file "hwts" ".trace" in
+  Torture.write_trace ~path cfg f;
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "trace header" Torture.trace_header first;
+  Alcotest.(check string)
+    "conventional name" "check-bst-vcas-logical-seed7.trace"
+    (Torture.trace_path cfg)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "stale snapshot" `Quick stale_snapshot;
+          Alcotest.test_case "torn snapshot" `Quick torn_snapshot;
+          Alcotest.test_case "label outside interval" `Quick
+            label_outside_interval;
+          Alcotest.test_case "label pins the instant" `Quick
+            label_pins_the_instant;
+          Alcotest.test_case "labeled history accepted" `Quick
+            labeled_history_accepted;
+          Alcotest.test_case "minimizer shrinks" `Quick minimizer_shrinks;
+        ] );
+      ( "pause",
+        [
+          Alcotest.test_case "inert by default" `Quick pause_inert_by_default;
+          Alcotest.test_case "injects when enabled" `Quick
+            pause_injects_when_enabled;
+        ] );
+      ("torture", torture_cases);
+      ( "driver",
+        [
+          Alcotest.test_case "oversize config rejected" `Quick
+            config_rejects_oversize;
+          Alcotest.test_case "unsupported provider rejected" `Quick
+            config_rejects_unsupported;
+          Alcotest.test_case "trace artifact" `Quick trace_artifact;
+        ] );
+    ]

@@ -1,9 +1,9 @@
 (* Linearizability tests: checker self-tests on hand-built histories, then
    recorded multi-domain histories for every structure's elemental ops. *)
 
-open Lin_check
+open Hwts_check.Lin_check
 
-let ev s e op result = { start_t = s; end_t = e; op; result }
+let ev s e op result = ev s e op (Bool result)
 
 let checker_accepts_sequential () =
   let h =

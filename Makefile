@@ -4,7 +4,7 @@ SMOKE_METRICS := /tmp/obs.json
 
 .PHONY: all build test fmt-check check check-smoke check-torture \
   bench-smoke bench-obs bench-hotpath bench-hotpath-guard \
-  bench-scaling bench-scaling-smoke clean
+  bench-scaling bench-scaling-smoke bench-adaptive bench-adaptive-smoke clean
 
 all: build
 
@@ -21,9 +21,10 @@ fmt-check:
 
 check: build fmt-check test check-smoke
 
-# Seeded fault-injection torture of every structure under both providers,
-# each recorded history verified by the snapshot oracle (~30s).  A
-# violation leaves a replayable check-*.trace artifact.
+# Seeded fault-injection torture of every structure under the logical,
+# rdtscp-strict and adaptive providers (the adaptive rounds force-migrate
+# the clock mid-round), each recorded history verified by the snapshot
+# oracle (~30s).  A violation leaves a replayable check-*.trace artifact.
 check-smoke: build
 	dune exec bin/hwts_cli.exe -- check --rounds 4 --seed 0xC0FFEE
 
@@ -43,7 +44,7 @@ bench-hotpath-guard: build
 
 # End-to-end smoke of the metrics pipeline: a short instrumented run must
 # produce a JSON-lines file containing the canonical metric set.
-bench-smoke: build bench-scaling-smoke
+bench-smoke: build bench-scaling-smoke bench-adaptive-smoke
 	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 0.2 \
 	  --metrics-out $(SMOKE_METRICS)
 	dune exec test/validate_metrics.exe -- $(SMOKE_METRICS)
@@ -61,10 +62,17 @@ bench-hotpath: build
 	dune exec bench/hotpath.exe -- -trials 5 -out BENCH_hotpath.json
 
 # Refresh the checked-in domain-scaling artifact: every structure under
-# the logical and rdtscp-strict providers across $(HWTS_DOMAINS)
-# (default 1,2,4,8) worker domains.
+# the logical, rdtscp-strict and adaptive providers across
+# $(HWTS_DOMAINS) (default 1,2,4,8) worker domains.  The adaptive series
+# carries a per-structure adaptive_margin verdict (worst ratio vs the
+# better fixed provider at each point).
+# 100k-op legs and 5 trials: a 20k-op leg lasts ~40ms — a handful of
+# scheduler quanta on a single-vCPU box, so one preemption swings a leg
+# by 25%+ and median-of-3 cannot reject it; the adaptive_margin verdict
+# needs legs long enough to average over the quanta.
 bench-scaling: build
-	dune exec bench/scaling.exe -- -trials 3 -out BENCH_scaling.json
+	dune exec bench/scaling.exe -- -ops 100000 -warmup 10000 -trials 5 \
+	  -out BENCH_scaling.json
 	dune exec test/validate_metrics.exe -- BENCH_scaling.json
 
 # Fast CI-shaped pass over the same code path: two domain counts, few
@@ -73,6 +81,24 @@ bench-scaling-smoke: build
 	HWTS_DOMAINS=1,2 dune exec bench/scaling.exe -- -ops 2000 -warmup 500 \
 	  -trials 1 -out /tmp/scaling_smoke.json
 	dune exec test/validate_metrics.exe -- /tmp/scaling_smoke.json
+
+# The adaptive provider exercised end to end: an update-heavy scaling
+# sweep (contention is what makes it migrate) with the sweep's margin
+# verdicts, then the torture oracle over every structure with forced
+# mid-round migrations.
+bench-adaptive: build
+	dune exec bench/scaling.exe -- -mix 50-10-40 -ops 100000 \
+	  -warmup 10000 -trials 5 -out /tmp/adaptive_scaling.json
+	dune exec test/validate_metrics.exe -- /tmp/adaptive_scaling.json
+	dune exec bin/hwts_cli.exe -- check --provider adaptive --rounds 8
+
+# CI-shaped fast pass over the same paths.
+bench-adaptive-smoke: build
+	dune exec bin/hwts_cli.exe -- check --provider adaptive --rounds 2 \
+	  --seed 0xADA97
+	dune exec bin/hwts_cli.exe -- run bst-vcas --provider adaptive \
+	  --seconds 0.2 --threads 4 --metrics-out /tmp/adaptive_obs.json
+	dune exec test/validate_metrics.exe -- /tmp/adaptive_obs.json
 
 clean:
 	dune clean

@@ -103,7 +103,7 @@ let leg_json l =
    hot paths must be free when disabled; allocation per op is seeded and
    fixed-op so it is compared near-exactly, while wall-clock throughput
    gets a generous shared-machine tolerance. *)
-let run_guard ~path ~config ~warmup ~trials ~tol =
+let run_guard ~path ~ts ~config ~warmup ~trials ~tol =
   let ic = open_in path in
   let len = in_channel_length ic in
   let body = really_input_string ic len in
@@ -152,8 +152,7 @@ let run_guard ~path ~config ~warmup ~trials ~tol =
         in
         set_optimized ();
         let legs =
-          List.init trials (fun _ ->
-              run_leg (make `Hardware) config ~warmup)
+          List.init trials (fun _ -> run_leg (make ts) config ~warmup)
         in
         let now = summarize legs in
         (* words/op is deterministic up to GC bookkeeping: 2% + 1 word of
@@ -188,8 +187,13 @@ let () =
   let trials = ref 3 in
   let guard = ref "" in
   let guard_tol = ref 0.25 in
+  let provider = ref "rdtscp" in
   Arg.parse
     [
+      ( "-provider",
+        Arg.Set_string provider,
+        " timestamp provider: logical, rdtscp, sharded, strict or adaptive \
+         (default rdtscp)" );
       ("-threads", Arg.Set_int threads, " worker domains (default 1)");
       ("-ops", Arg.Set_int ops, " fixed ops per thread per leg (default 200k)");
       ("-warmup", Arg.Set_int warmup, " discarded warmup ops (default 50k)");
@@ -212,6 +216,15 @@ let () =
   (* Latency instrumentation off: the measured path should contain only
      the structures' own work. *)
   Hwts_obs.Config.set_enabled false;
+  let ts =
+    match Workload.Targets.ts_of_name !provider with
+    | Some ts -> ts
+    | None ->
+      Printf.eprintf
+        "unknown provider %S (logical, rdtscp, sharded, strict, adaptive)\n"
+        !provider;
+      exit 2
+  in
   let config =
     {
       Workload.Harness.default with
@@ -223,7 +236,7 @@ let () =
     }
   in
   if !guard <> "" then begin
-    run_guard ~path:!guard ~config ~warmup:!warmup ~trials:!trials
+    run_guard ~path:!guard ~ts ~config ~warmup:!warmup ~trials:!trials
       ~tol:!guard_tol;
     exit 0
   end;
@@ -248,6 +261,7 @@ let () =
          ("key_range", Hwts_obs.Json.Int !key_range);
          ("rq_len", Hwts_obs.Json.Int !rq_len);
          ("mix", Hwts_obs.Json.Str (Workload.Mix.label config.mix));
+         ("provider", Hwts_obs.Json.Str (Workload.Targets.ts_name ts));
          ("seed", Hwts_obs.Json.Int config.seed);
          ("refresh_period", Hwts_obs.Json.Int optimized_period);
          ("trials", Hwts_obs.Json.Int !trials);
@@ -256,7 +270,7 @@ let () =
     "base-mops" "opt-mops" "base-w/op" "opt-w/op" "w-red%" "mops-x";
   List.iter
     (fun (name, make) ->
-      if not (Workload.Targets.supports name `Hardware) then
+      if not (Workload.Targets.supports name ts) then
         Printf.printf "%-16s (skipped: logical-clock-only structure)\n%!" name
       else begin
       (* Per-structure key range: the O(n) list runs at a size it can
@@ -270,7 +284,7 @@ let () =
               ~default:config.Workload.Harness.key_range;
         }
       in
-      let make = make `Hardware in
+      let make = make ts in
       let base, opt =
         run_paired_trials make config ~warmup:!warmup ~trials:!trials
       in

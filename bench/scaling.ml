@@ -1,6 +1,7 @@
 (* Domain-scaling sweep: every range-query structure under the logical
-   (fetch-and-add) and the sharded strict TSC ("rdtscp-strict") provider,
-   at 1/2/4/8 worker domains (HWTS_DOMAINS / -domains to override).
+   (fetch-and-add), the sharded strict TSC ("rdtscp-strict") and the
+   adaptive provider, at 1/2/4/8 worker domains (HWTS_DOMAINS / -domains
+   to override).
 
    This is the Figure 1/2 experiment of the paper run as a regression
    artifact: the logical clock's single shared word is the point of
@@ -18,10 +19,17 @@
    or not — rather than asserted; the checked-in artifact states what
    this machine produced.
 
-   Pairing discipline (as in bench/hotpath.ml): each trial runs both
-   providers back to back at the same domain count, alternating which
-   goes first, and points keep component-wise medians, so machine drift
-   lands on both series equally. *)
+   The adaptive series is the PR's acceptance gauge: it should track the
+   winner of the other two at every point (within the tolerance the
+   "adaptive_margin" record states), because it *is* one of the other two
+   at any instant, plus sensing overhead and switch cost.  Each adaptive
+   point also records how often the provider migrated and at which labels
+   (chronological switch points from the final trial).
+
+   Pairing discipline (as in bench/hotpath.ml): each trial runs all
+   providers back to back at the same domain count, rotating which goes
+   first, and points keep component-wise medians, so machine drift lands
+   on every series equally. *)
 
 let default_out = "BENCH_scaling.json"
 
@@ -56,6 +64,13 @@ let median xs =
   Array.sort compare a;
   a.(Array.length a / 2)
 
+(* Scheduler preemption on a shared box only ever *slows* a leg, so the
+   max over paired trials is the noise-robust estimator when comparing
+   providers: a genuine systematic overhead slows every trial and still
+   shows up, while a single stolen quantum does not.  Reported points
+   keep medians; only the adaptive-margin gauge uses best-of. *)
+let best_mops legs = List.fold_left (fun m l -> Float.max m l.mops) 0. legs
+
 let summarize legs =
   {
     mops = median (List.map (fun l -> l.mops) legs);
@@ -66,36 +81,82 @@ let summarize legs =
     elapsed = median (List.map (fun l -> l.elapsed) legs);
   }
 
-(* Paired trials at one (structure, domain count): logical and strict run
-   back to back, order alternating by trial. *)
-let run_pair make config ~warmup ~trials =
-  let log_legs = ref [] and strict_legs = ref [] in
-  for i = 1 to trials do
-    let log () =
-      log_legs := run_leg (make `Logical) config ~warmup :: !log_legs
-    and strict () =
-      strict_legs :=
-        run_leg (make `Hardware_strict) config ~warmup :: !strict_legs
-    in
-    if i mod 2 = 1 then (log (); strict ()) else (strict (); log ())
+(* Paired trials at one (structure, domain count): the three providers
+   run back to back, the order rotating by trial.  Each adaptive leg gets
+   a *fresh* instance (its sensing state and switch log are per-instance);
+   the leg's migration count and, for the final leg, the chronological
+   switch points (direction, label at the fold) are kept alongside. *)
+let run_triple name make config ~warmup ~trials =
+  let log_legs = ref [] and strict_legs = ref [] and adapt_legs = ref [] in
+  let switch_counts = ref [] and last_switch_points = ref [] in
+  let log () = log_legs := run_leg (make `Logical) config ~warmup :: !log_legs
+  and strict () =
+    strict_legs := run_leg (make `Hardware_strict) config ~warmup :: !strict_legs
+  and adapt () =
+    let inst = Workload.Targets.instance name `Adaptive in
+    let leg = run_leg inst.Workload.Targets.structure config ~warmup in
+    (match inst.Workload.Targets.adaptive with
+    | Some ctl ->
+      switch_counts := ctl.Hwts.Timestamp.switch_count () :: !switch_counts;
+      last_switch_points := ctl.Hwts.Timestamp.switch_points ()
+    | None -> ());
+    adapt_legs := leg :: !adapt_legs
+  in
+  for i = 0 to trials - 1 do
+    match i mod 3 with
+    | 0 ->
+      log ();
+      strict ();
+      adapt ()
+    | 1 ->
+      strict ();
+      adapt ();
+      log ()
+    | _ ->
+      adapt ();
+      log ();
+      strict ()
   done;
-  (summarize !log_legs, summarize !strict_legs)
+  ( summarize !log_legs,
+    summarize !strict_legs,
+    summarize !adapt_legs,
+    (median !switch_counts, !last_switch_points),
+    (best_mops !log_legs, best_mops !strict_legs, best_mops !adapt_legs) )
 
-let point_json ~structure ~provider ~domains p =
+let point_json ?switches ?switch_points ~structure ~provider ~domains p =
   Hwts_obs.Json.Obj
-    [
-      ("name", Hwts_obs.Json.Str "bench.scaling");
-      ("type", Hwts_obs.Json.Str "point");
-      ("structure", Hwts_obs.Json.Str structure);
-      ("provider", Hwts_obs.Json.Str provider);
-      ("domains", Hwts_obs.Json.Int domains);
-      ("mops", Hwts_obs.Json.Float p.mops);
-      ("words_per_op", Hwts_obs.Json.Float p.words_per_op);
-      ("per_domain_mops_cv", Hwts_obs.Json.Float p.per_domain_cv);
-      ("per_domain_imbalance", Hwts_obs.Json.Float p.imbalance);
-      ("total_ops", Hwts_obs.Json.Int p.total_ops);
-      ("elapsed", Hwts_obs.Json.Float p.elapsed);
-    ]
+    ([
+       ("name", Hwts_obs.Json.Str "bench.scaling");
+       ("type", Hwts_obs.Json.Str "point");
+       ("structure", Hwts_obs.Json.Str structure);
+       ("provider", Hwts_obs.Json.Str provider);
+       ("domains", Hwts_obs.Json.Int domains);
+       ("mops", Hwts_obs.Json.Float p.mops);
+       ("words_per_op", Hwts_obs.Json.Float p.words_per_op);
+       ("per_domain_mops_cv", Hwts_obs.Json.Float p.per_domain_cv);
+       ("per_domain_imbalance", Hwts_obs.Json.Float p.imbalance);
+       ("total_ops", Hwts_obs.Json.Int p.total_ops);
+       ("elapsed", Hwts_obs.Json.Float p.elapsed);
+     ]
+    @ (match switches with
+      | None -> []
+      | Some n -> [ ("switches", Hwts_obs.Json.Int n) ])
+    @
+    match switch_points with
+    | None -> []
+    | Some pts ->
+      [
+        ( "switch_points",
+          Hwts_obs.Json.List
+            (List.map
+               (fun (dir, label) ->
+                 Hwts_obs.Json.Obj
+                   [
+                     ("dir", Hwts_obs.Json.Str dir);
+                     ("at", Hwts_obs.Json.Int label);
+                   ])
+               pts) );
+      ])
 
 let parse_domains s =
   match
@@ -142,7 +203,8 @@ let () =
         " paired trials per point, medians kept (default 3)" );
     ]
     (fun _ -> ())
-    "scaling: logical vs rdtscp-strict domain sweep (the Fig. 1/2 crossover)";
+    "scaling: logical vs rdtscp-strict vs adaptive domain sweep (the \
+     Fig. 1/2 crossover)";
   let domain_counts = parse_domains !domains_spec in
   Hwts_obs.Config.set_enabled false;
   let config domains =
@@ -182,8 +244,11 @@ let () =
          ("cores", Hwts_obs.Json.Int (Domain.recommended_domain_count ()));
          ( "providers",
            Hwts_obs.Json.List
-             [ Hwts_obs.Json.Str "logical"; Hwts_obs.Json.Str "rdtscp-strict" ]
-         );
+             [
+               Hwts_obs.Json.Str "logical";
+               Hwts_obs.Json.Str "rdtscp-strict";
+               Hwts_obs.Json.Str "adaptive";
+             ] );
        ]);
   Printf.printf "%-18s %-14s %8s %10s %10s %8s %8s\n" "structure" "provider"
     "domains" "mops" "w/op" "cv" "imbal";
@@ -204,26 +269,55 @@ let () =
         let series =
           List.map
             (fun d ->
-              let log, strict =
-                run_pair make (config d) ~warmup:!warmup ~trials:!trials
+              let log, strict, adapt, (switches, switch_points), bests =
+                run_triple name make (config d) ~warmup:!warmup ~trials:!trials
               in
               List.iter
                 (fun (provider, p) ->
                   Printf.printf "%-18s %-14s %8d %10.3f %10.1f %8.3f %8.2f\n%!"
                     name provider d p.mops p.words_per_op p.per_domain_cv
                     p.imbalance;
-                  emit (point_json ~structure:name ~provider ~domains:d p))
-                [ ("logical", log); ("rdtscp-strict", strict) ];
-              (d, log, strict))
+                  if provider = "adaptive" then
+                    emit
+                      (point_json ~structure:name ~provider ~domains:d
+                         ~switches ~switch_points p)
+                  else emit (point_json ~structure:name ~provider ~domains:d p))
+                [ ("logical", log); ("rdtscp-strict", strict);
+                  ("adaptive", adapt) ];
+              (d, log, strict, adapt, bests))
             domain_counts
         in
+        (* The acceptance gauge: at every point the adaptive series should
+           be within tolerance of whichever fixed provider won there.
+           Ratios come from each leg's best trial (see best_mops). *)
+        let worst_ratio =
+          List.fold_left
+            (fun acc (_, _, _, _, (bl, bs, ba)) ->
+              let best = Float.max bl bs in
+              if best <= 0. then acc else Float.min acc (ba /. best))
+            infinity series
+        in
+        let margin_ok = worst_ratio >= 0.9 in
+        Printf.printf
+          "%-18s adaptive margin: worst adaptive/best-of ratio %.3f (%s)\n%!"
+          name worst_ratio
+          (if margin_ok then "ok" else "BELOW 0.9");
+        emit
+          (Hwts_obs.Json.Obj
+             [
+               ("name", Hwts_obs.Json.Str "bench.scaling");
+               ("type", Hwts_obs.Json.Str "adaptive_margin");
+               ("structure", Hwts_obs.Json.Str name);
+               ("worst_ratio", Hwts_obs.Json.Float worst_ratio);
+               ("ok", Hwts_obs.Json.Bool margin_ok);
+             ]);
         (* The Fig. 1/2 shape: logical ahead at the smallest count, strict
            ahead at some larger one. *)
-        let d0, log0, strict0 = List.hd series in
+        let d0, log0, strict0, _, _ = List.hd series in
         let logical_wins_at_min = log0.mops >= strict0.mops in
         let crossover =
           List.find_map
-            (fun (d, log, strict) ->
+            (fun (d, log, strict, _, _) ->
               if d > d0 && strict.mops > log.mops then Some d else None)
             series
         in

@@ -140,8 +140,41 @@ let structure_conv =
   in
   Arg.conv (parse, fun ppf (s, _) -> Format.pp_print_string ppf s)
 
-let ts_of_flags ~hardware ~strict : Workload.Targets.ts =
-  if strict then `Hardware_strict else if hardware then `Hardware else `Logical
+let provider_conv : Workload.Targets.ts Arg.conv =
+  let parse s =
+    match Workload.Targets.ts_of_name s with
+    | Some ts -> Ok ts
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown provider %S (one of: logical, rdtscp, sharded, strict, \
+              adaptive)"
+             s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf ts -> Format.pp_print_string ppf (Workload.Targets.ts_name ts) )
+
+(* [--provider] is the one uniform spelling; the older [--rdtscp] and
+   [--strict] flags stay accepted so existing scripts keep working, but
+   [--strict] warns (it now maps to the sharded strict scheme, which is
+   what every bench has used since the multi-domain PR). *)
+let ts_of_flags ~provider ~hardware ~strict : Workload.Targets.ts =
+  match provider with
+  | Some ts ->
+    if hardware || strict then
+      Printf.eprintf "hwts-cli: --provider overrides --rdtscp/--strict\n%!";
+    ts
+  | None ->
+    if strict then begin
+      Printf.eprintf
+        "hwts-cli: warning: --strict is deprecated, use --provider sharded \
+         (or --provider strict for the shared-word CAS scheme)\n%!";
+      `Hardware_strict
+    end
+    else if hardware then `Hardware
+    else `Logical
 
 let check_supported name ts =
   if Workload.Targets.supports name ts then true
@@ -153,9 +186,9 @@ let check_supported name ts =
     false
   end
 
-let run_real (name, make) hardware strict threads seconds mix_label key_range
-    zipf ops seed metrics_out =
-  let ts = ts_of_flags ~hardware ~strict in
+let run_real (name, make) provider hardware strict threads seconds mix_label
+    key_range zipf ops seed metrics_out =
+  let ts = ts_of_flags ~provider ~hardware ~strict in
   if not (check_supported name ts) then 1
   else begin
   let config =
@@ -178,14 +211,15 @@ let run_real (name, make) hardware strict threads seconds mix_label key_range
     (match metrics_out with
     | None -> ()
     | Some path ->
-      Workload.Harness.write_metrics ~label:name result path;
+      Workload.Harness.write_metrics ~label:name
+        ~provider:(Workload.Targets.ts_name ts) result path;
       Printf.printf "(metrics -> %s)\n" path);
     0
   end
 
-let stats (name, make) hardware strict threads seconds mix_label key_range
-    format out =
-  let ts = ts_of_flags ~hardware ~strict in
+let stats (name, make) provider hardware strict threads seconds mix_label
+    key_range format out =
+  let ts = ts_of_flags ~provider ~hardware ~strict in
   if not (check_supported name ts) then 1
   else begin
   let config =
@@ -221,7 +255,13 @@ let stats (name, make) hardware strict threads seconds mix_label key_range
     0
   end
 
-let stress seed metrics_out =
+let stress provider seed metrics_out =
+  (* Backoff jitter draws from the seeded stream, so the whole smoke run
+     is a function of --seed. *)
+  Sync.Rand.set_seed seed;
+  let wanted : Workload.Targets.ts list =
+    match provider with Some ts -> [ ts ] | None -> Workload.Targets.all_ts
+  in
   let ok = ref 0 in
   List.iter
     (fun (name, make) ->
@@ -250,9 +290,7 @@ let stress seed metrics_out =
           incr ok;
           Printf.printf "  %-18s %-13s ok (size now %d)\n%!" name
             (Workload.Targets.ts_name ts) (S.size t))
-        (List.filter
-           (Workload.Targets.supports name)
-           Workload.Targets.all_ts))
+        (List.filter (Workload.Targets.supports name) wanted))
     Workload.Targets.all;
   Printf.printf "stress: %d combinations passed\n" !ok;
   (match metrics_out with
@@ -265,8 +303,8 @@ let stress seed metrics_out =
 
 (* Torture driver: seeded randomized multi-domain rounds under fault
    injection, every recorded history checked by the snapshot oracle.  With
-   no --structure/--provider it sweeps every structure under both the
-   logical and rdtscp-strict providers; the first violation stops the
+   no --structure/--provider it sweeps every structure under the logical,
+   rdtscp-strict and adaptive providers; the first violation stops the
    sweep, prints the minimized counterexample, and leaves a replayable
    trace artifact. *)
 let check structure provider seed rounds no_faults =
@@ -275,8 +313,10 @@ let check structure provider seed rounds no_faults =
     | Some (name, _) -> [ name ]
     | None -> List.map fst Workload.Targets.all
   in
-  let providers =
-    match provider with Some p -> [ p ] | None -> [ `Logical; `Hardware_strict ]
+  let providers : Workload.Targets.ts list =
+    match provider with
+    | Some p -> [ p ]
+    | None -> [ `Logical; `Hardware_strict; `Adaptive ]
   in
   let failed = ref false in
   List.iter
@@ -352,6 +392,18 @@ let structure_pos ?(default = false) () =
       & pos 0 (some structure_conv) None
       & info [] ~docv:"STRUCTURE" ~doc:"bst-vcas, citrus-vcas, ...")
 
+let provider_opt =
+  Arg.(
+    value
+    & opt (some provider_conv) None
+    & info [ "provider" ] ~docv:"PROVIDER"
+        ~doc:
+          "Timestamp provider: $(b,logical), $(b,rdtscp), $(b,sharded) \
+           (the sharded strict scheme, rdtscp-strict), $(b,strict) (the \
+           shared-word CAS tie-bump, rdtscp-strict-cas) or $(b,adaptive) \
+           (starts logical, migrates onto the TSC under contention).  \
+           Overrides the legacy $(b,--rdtscp)/$(b,--strict) flags.")
+
 let hardware_flag =
   Arg.(value & flag & info [ "rdtscp"; "hardware" ] ~doc:"Use the TSC provider")
 
@@ -361,8 +413,8 @@ let strict_flag =
     & flag
     & info [ "strict" ]
         ~doc:
-          "Use the sharded strictly-increasing TSC provider (rdtscp-strict); \
-           overrides $(b,--rdtscp)")
+          "Deprecated alias for $(b,--provider sharded); prints a warning \
+           and will be removed")
 
 let threads_opt = Arg.(value & opt int 2 & info [ "t"; "threads" ])
 let seconds_opt = Arg.(value & opt float 1.0 & info [ "d"; "duration"; "seconds" ])
@@ -396,9 +448,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a real workload on this machine")
     Term.(
-      const run_real $ structure_pos () $ hardware_flag $ strict_flag
-      $ threads_opt $ seconds_opt $ mix_opt $ range_opt $ zipf $ ops
-      $ seed_opt $ metrics_out_opt)
+      const run_real $ structure_pos () $ provider_opt $ hardware_flag
+      $ strict_flag $ threads_opt $ seconds_opt $ mix_opt $ range_opt $ zipf
+      $ ops $ seed_opt $ metrics_out_opt)
 
 let stats_cmd =
   let format =
@@ -416,14 +468,14 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Run a short workload and print every registered metric")
     Term.(
-      const stats $ structure_pos ~default:true () $ hardware_flag
-      $ strict_flag $ threads_opt $ seconds $ mix_opt $ range_opt $ format
-      $ out)
+      const stats $ structure_pos ~default:true () $ provider_opt
+      $ hardware_flag $ strict_flag $ threads_opt $ seconds $ mix_opt
+      $ range_opt $ format $ out)
 
 let stress_cmd =
   Cmd.v
     (Cmd.info "stress" ~doc:"Concurrency smoke test of every port")
-    Term.(const stress $ seed_opt $ metrics_out_opt)
+    Term.(const stress $ provider_opt $ seed_opt $ metrics_out_opt)
 
 let check_cmd =
   let structure =
@@ -436,11 +488,11 @@ let check_cmd =
   let provider =
     Arg.(
       value
-      & opt
-          (some (enum [ ("logical", `Logical); ("rdtscp-strict", `Hardware_strict) ]))
-          None
+      & opt (some provider_conv) None
       & info [ "provider" ] ~docv:"PROVIDER"
-          ~doc:"logical or rdtscp-strict (default: both)")
+          ~doc:
+            "Torture only $(docv): logical, rdtscp, sharded, strict or \
+             adaptive (default: logical, sharded and adaptive)")
   in
   let rounds =
     Arg.(

@@ -115,6 +115,9 @@ let run_round cfg ~round_seed =
   in
   if cfg.faults then
     Sync.Pause.enable ~period:cfg.fault_period ~seed:round_seed ();
+  (* Backoff jitter comes from the seeded Sync.Rand stream: reseeding per
+     round keeps the whole round a function of [round_seed]. *)
+  Sync.Rand.set_seed round_seed;
   Fun.protect
     ~finally:(fun () -> if cfg.faults then Sync.Pause.disable ())
     (fun () ->
@@ -122,6 +125,24 @@ let run_round cfg ~round_seed =
         List.init cfg.domains (fun i ->
             Domain.spawn (fun () -> Sync.Slot.with_slot (fun _ -> worker i)))
       in
+      (match inst.Workload.Targets.adaptive with
+      | None -> ()
+      | Some ctl ->
+        (* A few dozen ops per domain never trips the contention sensor on
+           its own, so for the adaptive provider the coordinator force-
+           migrates the clock back and forth while the workers run: the
+           recorded histories then span live logical->tsc and tsc->logical
+           folds, which is exactly where a label-monotonicity bug would
+           surface as an oracle violation. *)
+        for i = 1 to 24 do
+          ignore
+            (ctl.Hwts.Timestamp.force
+               (if i land 1 = 1 then `Tsc else `Logical));
+          let until = Tsc.rdtscp () + 20_000 in
+          while Tsc.rdtscp () < until do
+            Tsc.cpu_relax ()
+          done
+        done);
       List.iter Domain.join workers);
   (initial, Recorder.events recorder)
 

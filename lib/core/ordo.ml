@@ -72,6 +72,7 @@ module Timestamp () = struct
   let is_hardware = true
   let window = uncertainty ()
   let read = Tsc.rdtscp_lfence
+  let read_floor = Tsc.read_cached
 
   (* Wait out one uncertainty window so the returned value is globally
      ordered against every earlier [advance] on any core, even if clocks

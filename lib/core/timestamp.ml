@@ -2,6 +2,7 @@ module type S = sig
   val name : string
   val is_hardware : bool
   val read : unit -> int
+  val read_floor : unit -> int
   val advance : unit -> int
   val snapshot : unit -> int
 end
@@ -11,6 +12,7 @@ module Logical () = struct
   let is_hardware = false
   let raw = Sync.Padding.atomic 1
   let read () = Atomic.get raw
+  let read_floor = read
   let advance () = Atomic.fetch_and_add raw 1 + 1
 
   (* pre-increment value: labels assigned after this call read > s *)
@@ -21,6 +23,7 @@ module Hardware = struct
   let name = "rdtscp"
   let is_hardware = true
   let read = Tsc.rdtscp_lfence
+  let read_floor = Tsc.read_cached
   let advance = Tsc.rdtscp_lfence
   let snapshot = Tsc.rdtscp_lfence
 end
@@ -29,6 +32,7 @@ module Hardware_unfenced = struct
   let name = "rdtscp-nofence"
   let is_hardware = true
   let read = Tsc.rdtscp
+  let read_floor = Tsc.read_cached
   let advance = Tsc.rdtscp
   let snapshot = Tsc.rdtscp
 end
@@ -37,6 +41,7 @@ module Hardware_rdtsc = struct
   let name = "rdtsc"
   let is_hardware = true
   let read = Tsc.rdtsc_cpuid
+  let read_floor = Tsc.read_cached
   let advance = Tsc.rdtsc_cpuid
   let snapshot = Tsc.rdtsc_cpuid
 end
@@ -45,6 +50,7 @@ module Hardware_rdtsc_unfenced = struct
   let name = "rdtsc-nofence"
   let is_hardware = true
   let read = Tsc.rdtsc
+  let read_floor = Tsc.read_cached
   let advance = Tsc.rdtsc
   let snapshot = Tsc.rdtsc
 end
@@ -56,6 +62,7 @@ module Strict (T : S) () = struct
   let advances = Hwts_obs.Registry.counter "timestamp.strict.advances"
   let ties = Hwts_obs.Registry.counter "timestamp.strict.ties"
   let read () = max (T.read ()) (Atomic.get last)
+  let read_floor () = max (T.read_floor ()) (Atomic.get last)
 
   let advance () =
     Hwts_obs.Counter.incr advances;
@@ -119,6 +126,7 @@ module Strict_sharded (T : S) () = struct
   let last_mine : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
   let read () = max (T.read () lsl shard_bits) (Atomic.get last_pub)
+  let read_floor () = max (T.read_floor () lsl shard_bits) (Atomic.get last_pub)
 
   let advance () =
     Hwts_obs.Counter.incr advances;
@@ -159,6 +167,296 @@ module Strict_sharded (T : S) () = struct
   let snapshot = advance
 end
 
+type adaptive_mode = [ `Logical | `Tsc ]
+
+type adaptive_ctl = {
+  mode : unit -> adaptive_mode;
+  force : adaptive_mode -> bool;
+  switch_count : unit -> int;
+  switch_points : unit -> (string * int) list;
+}
+
+(* Knobs shared by every [Adaptive] instance; environment-initialized so
+   benches can be steered without recompiling, settable so tests and the
+   torture driver can provoke switches deterministically. *)
+module Adaptive_config = struct
+  let getenv_int name d =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> d
+
+  let getenv_float name d =
+    match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+    | Some f when f >= 0. -> f
+    | Some _ | None -> d
+
+  let epoch_word = Atomic.make (getenv_int "HWTS_ADAPT_EPOCH" 512)
+  let up_word = Atomic.make (getenv_float "HWTS_ADAPT_UP" 1.5)
+  let down_word = Atomic.make (getenv_float "HWTS_ADAPT_DOWN" 0.5)
+  let hyst_word = Atomic.make (getenv_int "HWTS_ADAPT_HYST" 2)
+  let epoch_ops () = Atomic.get epoch_word
+
+  let set_epoch_ops n =
+    if n < 1 then invalid_arg "Adaptive_config.set_epoch_ops: must be >= 1";
+    Atomic.set epoch_word n
+
+  let up_rate () = Atomic.get up_word
+  let set_up_rate r = Atomic.set up_word r
+  let down_rate () = Atomic.get down_word
+  let set_down_rate r = Atomic.set down_word r
+  let hysteresis () = Atomic.get hyst_word
+
+  let set_hysteresis n =
+    if n < 1 then invalid_arg "Adaptive_config.set_hysteresis: must be >= 1";
+    Atomic.set hyst_word n
+end
+
+(* The self-selecting provider of the Fig. 1 crossover: start on the
+   logical fetch-and-add (the low-contention winner), sense how many
+   *other* domains are advancing, and migrate the label space onto the
+   [Strict_sharded] TSC scheme when contention crosses the threshold —
+   falling back on quiesce, with hysteresis.
+
+   Label space.  Both modes issue labels from one totally ordered space:
+   logical labels are raw counter values; TSC labels are
+   [(tsc + base) lsl 8 lor slot] with [base] folded in at each up-switch
+   so the first TSC label clears every logical label already issued.
+   Mode changes are epoch-numbered ([state]: even = logical, odd = TSC;
+   monotone, so a stale read can never be confused with the current
+   epoch) and gated ([ready] trails [state] until the switcher has folded
+   the space), and every advance re-checks the epoch after producing a
+   label, discarding and retrying if a switch intervened.
+
+   Monotonicity across the seam does not rest on the discard alone: a
+   discarded label still bumped [counter] or published into [last_pub].
+   Instead, every label-issuing path clears *both* shared words — a
+   logical advance retries until it exceeds [last_pub], a TSC advance
+   steps past [max last_pub counter] — so any label issued after any
+   [read] observation is at least that observation, which is exactly the
+   bracketing the snapshot oracle checks ([read] itself is
+   [max counter last_pub]: it moves only on label issuance, like the
+   plain logical provider's).
+
+   Sensing.  The sample path writes only domain-local state (a DLS op
+   count); once every [Adaptive_config.epoch_ops] own advances a domain
+   publishes its delta into its own padded cell and sums the others'.
+   The foreign-advance rate (foreign advances per own advance) is the
+   contention signal: ~0 when alone, ~(k-1) with k equally active
+   domains.  The logical clock has no CAS-failure signal (a
+   fetch-and-add cannot fail), so the foreign rate *is* the measure of
+   how contended the shared counter line is. *)
+module Adaptive (T : S) () = struct
+  let shard_bits = 8 (* Sync.Slot.max_slots = 256 *)
+  let () = assert (1 lsl shard_bits >= Sync.Slot.max_slots)
+  let name = T.name ^ "-adaptive"
+  let is_hardware = false
+  let advances = Hwts_obs.Registry.counter "timestamp.adaptive.advances"
+  let switches = Hwts_obs.Registry.counter "timestamp.adaptive.switches"
+  let discards = Hwts_obs.Registry.counter "timestamp.adaptive.discards"
+  let senses = Hwts_obs.Registry.counter "timestamp.adaptive.senses"
+
+  (* Mode epoch: even = logical, odd = TSC; only ever incremented. *)
+  let state = Sync.Padding.atomic 0
+
+  (* Trails [state] until the switcher has folded the label space; an
+     advance that sees [ready < state] spins before operating. *)
+  let ready = Sync.Padding.atomic 0
+  let counter = Sync.Padding.atomic 1 (* logical labels; 0 = sentinel *)
+  let base = Sync.Padding.atomic 0 (* per-up-switch TSC offset *)
+  let last_pub = Sync.Padding.atomic 0 (* published TSC-label max *)
+  let last_mine : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+  (* Sensing: per-slot published advance totals (deltas accumulate, so a
+     reused slot keeps its history monotone) + domain-local sample state. *)
+  let cells = Sync.Padding.atomic_array Sync.Slot.max_slots 0
+
+  type sense = { mutable ops : int; mutable foreign : int; mutable quiet : int }
+
+  let sense_dls : sense Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { ops = 0; foreign = 0; quiet = 0 })
+
+  (* [force] pins the mode for tests/torture: sensing stops steering. *)
+  let autopilot = Atomic.make true
+  let switch_log : (string * int) list Atomic.t = Atomic.make []
+
+  let rec atomic_max a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+  let read () = max (Atomic.get counter) (Atomic.get last_pub)
+  let read_floor = read
+
+  let log_switch dir at =
+    Hwts_obs.Counter.incr switches;
+    let rec push () =
+      let old = Atomic.get switch_log in
+      if not (Atomic.compare_and_set switch_log old ((dir, at) :: old)) then
+        push ()
+    in
+    push ()
+
+  (* Switches are serialized by the [ready = e] precheck (an epoch still
+     folding cannot be switched again) and the single-winner CAS. *)
+  let switch_to (m : adaptive_mode) =
+    let e = Atomic.get state in
+    if Atomic.get ready <> e then false
+    else if (e land 1 = 1) = (m = `Tsc) then false (* already there *)
+    else if not (Atomic.compare_and_set state e (e + 1)) then false
+    else begin
+      (match m with
+      | `Tsc ->
+        (* Fold up: every TSC label must clear every logical label already
+           issued.  [counter] is read *after* the state CAS, so a straggler
+           whose fetch-and-add landed before this read is covered; one that
+           lands after will discard, and the per-advance floor check walls
+           off its residue. *)
+        let c = Atomic.get counter in
+        atomic_max last_pub c;
+        Atomic.set base (max 0 ((c asr shard_bits) + 1 - T.read ()));
+        log_switch "logical->tsc" c
+      | `Logical ->
+        (* Fold down: logical labels resume above every published TSC
+           label.  Straggler publishes that land after this read are
+           walled off by the logical paths' last_pub guard. *)
+        let p = Atomic.get last_pub in
+        atomic_max counter (p + 1);
+        log_switch "tsc->logical" p);
+      Atomic.set ready (e + 1);
+      true
+    end
+
+  let sense_tick () =
+    let s = Domain.DLS.get sense_dls in
+    s.ops <- s.ops + 1;
+    let period = Adaptive_config.epoch_ops () in
+    if s.ops mod period = 0 then begin
+      Hwts_obs.Counter.incr senses;
+      let slot = Sync.Slot.my_slot () in
+      ignore (Atomic.fetch_and_add cells.(slot) period);
+      let total = ref 0 in
+      for i = 0 to Sync.Slot.max_slots - 1 do
+        total := !total + Atomic.get cells.(i)
+      done;
+      let foreign = !total - s.ops in
+      let delta = foreign - s.foreign in
+      s.foreign <- foreign;
+      if Atomic.get autopilot then begin
+        let rate = float_of_int delta /. float_of_int period in
+        if Atomic.get state land 1 = 0 then begin
+          if rate >= Adaptive_config.up_rate () then ignore (switch_to `Tsc)
+        end
+        else if rate <= Adaptive_config.down_rate () then begin
+          s.quiet <- s.quiet + 1;
+          if s.quiet >= Adaptive_config.hysteresis () then begin
+            s.quiet <- 0;
+            ignore (switch_to `Logical)
+          end
+        end
+        else s.quiet <- 0
+      end
+    end
+
+  (* A logical label must clear [last_pub]: a down-switch folds the
+     counter past the published max, but a TSC straggler may publish
+     *after* that fold, so the guard re-checks per label.  Convergent:
+     each retry lifts [counter] to the offending [last_pub], which only
+     stragglers (bounded) can move again. *)
+  let rec logical_label () =
+    let l = Atomic.fetch_and_add counter 1 + 1 in
+    if l > Atomic.get last_pub then l
+    else begin
+      atomic_max counter (Atomic.get last_pub);
+      logical_label ()
+    end
+
+  (* Sharded TSC label with the up-switch base folded in; past the
+     domain-local high water, then past [max last_pub counter] — the
+     latter read defends against discarded logical stragglers inflating
+     [counter] above the folded point. *)
+  let tsc_label () =
+    let id = Sync.Slot.my_slot () in
+    let mine = Domain.DLS.get last_mine in
+    let hw = T.advance () + Atomic.get base in
+    let hw = if hw <= !mine then !mine + 1 else hw in
+    let floor = max (Atomic.get last_pub) (Atomic.get counter) in
+    let hw =
+      if (hw lsl shard_bits) lor id <= floor then (floor asr shard_bits) + 1
+      else hw
+    in
+    mine := hw;
+    let label = (hw lsl shard_bits) lor id in
+    let rec publish () =
+      let g = Atomic.get last_pub in
+      if label > g && not (Atomic.compare_and_set last_pub g label) then
+        publish ()
+    in
+    publish ();
+    label
+
+  let rec advance () =
+    let e = Atomic.get state in
+    if Atomic.get ready < e then begin
+      Tsc.cpu_relax ();
+      advance ()
+    end
+    else begin
+      let label = if e land 1 = 0 then logical_label () else tsc_label () in
+      if Atomic.get state = e then begin
+        Hwts_obs.Counter.incr advances;
+        sense_tick ();
+        label
+      end
+      else begin
+        (* A switch intervened: the label may not respect the new space's
+           fold, so discard it (its residue in counter/last_pub is walled
+           off by the per-label guards) and retry under the new epoch. *)
+        Hwts_obs.Counter.incr discards;
+        advance ()
+      end
+    end
+
+  let rec snapshot () =
+    let e = Atomic.get state in
+    if Atomic.get ready < e then begin
+      Tsc.cpu_relax ();
+      snapshot ()
+    end
+    else if e land 1 = 1 then begin
+      (* strictly increasing labels make the advance a safe snapshot *)
+      let label = tsc_label () in
+      if Atomic.get state = e then label
+      else begin
+        Hwts_obs.Counter.incr discards;
+        snapshot ()
+      end
+    end
+    else begin
+      (* pre-increment value: labels assigned after this call read > s —
+         but it must still clear [last_pub] (TSC straggler residue). *)
+      let s = Atomic.fetch_and_add counter 1 in
+      if s < Atomic.get last_pub then begin
+        atomic_max counter (Atomic.get last_pub);
+        snapshot ()
+      end
+      else if Atomic.get state = e then s
+      else begin
+        Hwts_obs.Counter.incr discards;
+        snapshot ()
+      end
+    end
+
+  let ctl =
+    {
+      mode = (fun () -> if Atomic.get state land 1 = 0 then `Logical else `Tsc);
+      force =
+        (fun m ->
+          Atomic.set autopilot false;
+          switch_to m);
+      switch_count = (fun () -> List.length (Atomic.get switch_log));
+      switch_points = (fun () -> List.rev (Atomic.get switch_log));
+    }
+end
+
 module Mock () = struct
   let name = "mock"
   let is_hardware = false
@@ -168,6 +466,7 @@ module Mock () = struct
   let freeze () = Atomic.set frozen true
   let thaw () = Atomic.set frozen false
   let read () = Atomic.get current
+  let read_floor = read
 
   let advance () =
     if Atomic.get frozen then Atomic.get current

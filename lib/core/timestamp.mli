@@ -30,6 +30,14 @@ module type S = sig
   val read : unit -> int
   (** Observe the current timestamp. *)
 
+  val read_floor : unit -> int
+  (** A staleness-bounded lower bound on {!read}, for call sites that
+      need a monotone floor rather than an ordered observation (registry
+      pruning thresholds, bundle creation stamps): hardware providers
+      serve it from the fence-amortized {!Tsc.read_cached} cache, shared-
+      word providers from a plain load.  Never a linearization point —
+      a stale-low floor only makes pruning more conservative. *)
+
   val advance : unit -> int
   (** Obtain a fresh labeling/linearization timestamp. *)
 
@@ -83,6 +91,56 @@ module Strict_sharded (T : S) () : S
     replacing [Strict]'s must-win CAS per advance.  Labels are the
     hardware stamp shifted left by 8, so they are ordered consistently
     with, but not numerically equal to, raw [T] stamps. *)
+
+type adaptive_mode = [ `Logical | `Tsc ]
+
+type adaptive_ctl = {
+  mode : unit -> adaptive_mode;  (** which side of the crossover is live *)
+  force : adaptive_mode -> bool;
+      (** pin the mode (disables sensing for this instance); [true] iff a
+          switch happened now *)
+  switch_count : unit -> int;
+  switch_points : unit -> (string * int) list;
+      (** chronological [(direction, fold-label)] pairs, direction
+          ["logical->tsc"] or ["tsc->logical"]; the fold label is the
+          last label value of the epoch being left behind *)
+}
+(** Introspection and steering handle exposed by every {!Adaptive}
+    instance; benches record switch points, tests and the torture driver
+    force migrations. *)
+
+(** Shared knobs of the adaptive policy, environment-initialized:
+    [HWTS_ADAPT_EPOCH] (own advances per sensing sample, default 512),
+    [HWTS_ADAPT_UP] (foreign-advance rate that triggers the logical->TSC
+    migration, default 1.5), [HWTS_ADAPT_DOWN] (rate at or below which an
+    epoch counts as quiet, default 0.5), [HWTS_ADAPT_HYST] (consecutive
+    quiet samples before falling back, default 2). *)
+module Adaptive_config : sig
+  val epoch_ops : unit -> int
+  val set_epoch_ops : int -> unit
+  val up_rate : unit -> float
+  val set_up_rate : float -> unit
+  val down_rate : unit -> float
+  val set_down_rate : float -> unit
+  val hysteresis : unit -> int
+  val set_hysteresis : int -> unit
+end
+
+module Adaptive (T : S) () : sig
+  include S
+
+  val ctl : adaptive_ctl
+end
+(** The self-selecting provider of the paper's Fig. 1 crossover: starts
+    on a logical fetch-and-add counter, senses per-epoch how many other
+    domains are advancing (per-domain padded cells; the sample path
+    writes only domain-local state), and migrates onto the
+    {!Strict_sharded} TSC scheme — labels [(tsc + base) lsl 8 lor slot],
+    with [base] folded in at the switch so the label space stays one
+    strictly monotone total order across the seam — when the
+    foreign-advance rate crosses [Adaptive_config.up_rate]; falls back
+    on quiesce after [Adaptive_config.hysteresis] quiet epochs.
+    Generative: one label space per instance. *)
 
 module Mock () : sig
   include S

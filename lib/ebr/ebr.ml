@@ -10,8 +10,16 @@ struct
     limbo : entry list Atomic.t array; (* owner-mutated, anyone-read *)
     epoch_frequency : int;
     op_count : int ref Domain.DLS.key;
+    advance_gate : int ref Domain.DLS.key;
     reclaimed : int Atomic.t;
   }
+
+  (* After a failed advance attempt (some slot still announces an older
+     epoch), hold off further attempts for ~8k cycles: the blocking op
+     must finish before one can succeed, so immediate retries are pure
+     256-slot scans.  Paced by the fence-amortized [Tsc.read_cached] —
+     a stale-low reading only lengthens the hold-off, never corrupts it. *)
+  let advance_holdoff_cycles = 8_192
 
   let epoch_advances = Hwts_obs.Registry.counter "ebr.epoch_advances"
   let retired_total = Hwts_obs.Registry.counter "ebr.retired"
@@ -25,6 +33,7 @@ struct
       limbo = Sync.Padding.atomic_array Sync.Slot.max_slots [];
       epoch_frequency;
       op_count = Domain.DLS.new_key (fun () -> ref 0);
+      advance_gate = Domain.DLS.new_key (fun () -> ref 0);
       reclaimed = Atomic.make 0;
     }
 
@@ -75,7 +84,10 @@ struct
     let count = Domain.DLS.get t.op_count in
     incr count;
     if !count mod t.epoch_frequency = 0 then begin
-      ignore (try_advance t);
+      let gate = Domain.DLS.get t.advance_gate in
+      let now = Tsc.read_cached () in
+      if now >= !gate && not (try_advance t) then
+        gate := now + advance_holdoff_cycles;
       trim t slot
     end;
     Atomic.set t.announce.(slot) (Atomic.get t.global)

@@ -209,7 +209,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     (* announce a lower bound first so concurrent pruning stays safe; the
        protected exit keeps a raising traversal from pinning its slot (and
        with it every version chain) forever *)
-    ignore (Rq_registry.announce t.registry ~read:T.read);
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
@@ -236,7 +236,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   let take_snapshot t =
     (* pin a conservative lower bound first, exactly like a range query
        announces, so a concurrent prune cannot outrun us *)
-    let guard = T.read () in
+    let guard = T.read_floor () in
     add_pin t guard;
     let ts = T.snapshot () in
     add_pin t ts;

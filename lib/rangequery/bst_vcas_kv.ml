@@ -227,7 +227,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     collect [] (Internal t.s)
 
   let range_query_labeled t ~lo ~hi =
-    ignore (Rq_registry.announce t.registry ~read:T.read);
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
@@ -257,7 +257,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       remove_pin t ts
 
   let take_snapshot t =
-    let guard = T.read () in
+    let guard = T.read_floor () in
     add_pin t guard;
     let ts = T.snapshot () in
     add_pin t ts;

@@ -13,7 +13,10 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   let entry ts target older = { ts = Atomic.make ts; target; older = Atomic.make older }
 
-  let make target = Atomic.make (entry (T.read ()) target None)
+  (* A creation stamp only needs to predate the moment the bundle becomes
+     reachable (its link label), so the fence-amortized floor serves: a
+     stale-low stamp is invisible to any sound snapshot. *)
+  let make target = Atomic.make (entry (T.read_floor ()) target None)
   let make_pending target = Atomic.make (entry 0 target None)
 
   let prepare t target =

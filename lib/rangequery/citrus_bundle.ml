@@ -228,7 +228,7 @@ module Make (T : Hwts.Timestamp.S) = struct
      traversal fills the per-domain buffer ascending; the result list is
      snapshotted from it once. *)
   let range_query_labeled t ~lo ~hi =
-    ignore (Rq_registry.announce t.registry ~read:T.read);
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

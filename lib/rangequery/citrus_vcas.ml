@@ -176,7 +176,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   (* vCAS range query: the RQ advances the timestamp to fix its snapshot.
      The relocation delete is two versioned writes, so de-duplicate. *)
   let range_query_labeled t ~lo ~hi =
-    ignore (Rq_registry.announce t.registry ~read:T.read);
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

@@ -164,7 +164,7 @@ module Make (T : Hwts.Timestamp.S) = struct
      yet (its insert label may still be pending) — falls back to the
      head, whose bundle covers all history. *)
   let range_query_labeled t ~lo ~hi =
-    ignore (Rq_registry.announce t.registry ~read:T.read);
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

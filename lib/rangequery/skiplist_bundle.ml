@@ -261,7 +261,7 @@ module Make (T : Hwts.Timestamp.S) = struct
      back to the head if that node postdates the snapshot, then walk the
      level-0 bundles at the snapshot time. *)
   let range_query_labeled t ~lo ~hi =
-    ignore (Rq_registry.announce t.registry ~read:T.read);
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

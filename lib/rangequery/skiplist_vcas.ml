@@ -280,7 +280,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   (* vCAS range query: advance the clock, walk level 0 at the snapshot.
      The start node must have been *linked* at the snapshot time. *)
   let range_query_labeled t ~lo ~hi =
-    ignore (Rq_registry.announce t.registry ~read:T.read);
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->

@@ -12,10 +12,16 @@ let once t =
     (* saturated: yield the processor — on oversubscribed machines the
        lock holder may need our core to make progress *)
     Unix.sleepf 1e-6
-  else
-    for _ = 1 to t.current do
+  else begin
+    (* Jittered spin in (current/2, current]: identical budgets make
+       symmetric losers retry in lockstep and collide again.  Drawn from
+       the seeded per-domain stream, so a fixed seed reproduces the same
+       contended interleavings run to run. *)
+    let spins = t.current - Rand.below ((t.current / 2) + 1) in
+    for _ = 1 to spins do
       Tsc.cpu_relax ()
-    done;
+    done
+  end;
   t.current <- min t.max_spins (t.current * 2)
 
 let reset t = t.current <- t.min_spins

@@ -7,10 +7,12 @@ val make : ?min_spins:int -> ?max_spins:int -> unit -> t
     [max_spins] (default 4096) the cap. *)
 
 val once : t -> unit
-(** Spin for the current budget (issuing CPU relax hints), then double it.
-    Once the budget saturates at [max_spins], each call yields the
-    processor briefly instead — essential on oversubscribed machines,
-    where the thread being waited on may need this core. *)
+(** Spin for a jittered count in (budget/2, budget] (issuing CPU relax
+    hints), then double the budget.  Jitter comes from the seeded
+    per-domain {!Rand} stream, so [--seed] runs replay the same contended
+    interleavings.  Once the budget saturates at [max_spins], each call
+    yields the processor briefly instead — essential on oversubscribed
+    machines, where the thread being waited on may need this core. *)
 
 val reset : t -> unit
 (** Return to the initial budget, e.g. after a successful acquisition. *)

@@ -1,0 +1,18 @@
+(** Seeded per-domain jitter streams for the synchronization primitives.
+
+    {!Backoff} draws its spin jitter here rather than from a global PRNG:
+    per-domain xorshift state keeps the draw allocation- and
+    contention-free, and seeding by (seed, {!Slot} id) makes jitter — and
+    therefore contended interleavings — reproducible under a fixed
+    [--seed].  Streams reseed lazily after every {!set_seed}, so each
+    seeded harness run or torture round starts from a known point. *)
+
+val set_seed : int -> unit
+(** Reseed every domain's stream (lazily, at its next draw).  Called by
+    the workload harness and torture driver with the run's seed. *)
+
+val next : unit -> int
+(** Next value of the calling domain's stream, in [\[0, max_int\]]. *)
+
+val below : int -> int
+(** [below n] is a value in [\[0, n)] ([0] when [n <= 1]). *)

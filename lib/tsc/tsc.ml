@@ -14,6 +14,40 @@ external num_cpus : unit -> int = "caml_hwts_num_cpus" [@@noalloc]
 let is_x86 = is_x86_stub ()
 let serializing_read = rdtscp_lfence
 
+(* Fence-amortized reads: many call sites (registry pruning floors, epoch
+   advancement pacing) only need a staleness-bounded *lower bound* on the
+   counter, not an ordered read.  Serving them from a per-domain cache
+   refreshed every [refresh_period] calls removes the RDTSCP from their
+   common path entirely.  The refresh itself uses bare RDTSCP — it waits
+   for preceding instructions, so a refreshed value is never ahead of any
+   ordered read that completed before the refresh on this domain, which
+   keeps the cache a true lower bound of [rdtscp_lfence]. *)
+let default_refresh_period =
+  match Option.bind (Sys.getenv_opt "HWTS_TSC_REFRESH") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> 64
+
+let refresh_word = Atomic.make default_refresh_period
+let refresh_period () = Atomic.get refresh_word
+
+let set_refresh_period n =
+  if n < 1 then invalid_arg "Tsc.set_refresh_period: period must be >= 1";
+  Atomic.set refresh_word n
+
+type cached = { mutable v : int; mutable left : int }
+
+let cached_key : cached Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { v = 0; left = 0 })
+
+let read_cached () =
+  let c = Domain.DLS.get cached_key in
+  if c.left <= 0 then begin
+    c.v <- rdtscp ();
+    c.left <- Atomic.get refresh_word
+  end;
+  c.left <- c.left - 1;
+  c.v
+
 (* Calibrate the TSC frequency against the monotonic clock.  A ~5 ms busy
    window gives better than 0.1% accuracy, plenty for reporting. *)
 let calibrate_cycles_per_ns () =

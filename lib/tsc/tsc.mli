@@ -33,6 +33,23 @@ val rdtsc_cpuid : unit -> int
 val serializing_read : unit -> int
 (** Alias for {!rdtscp_lfence}: the fastest safe reader per Section II-B. *)
 
+val read_cached : unit -> int
+(** Fence-amortized lower bound on the counter: a per-domain cached value,
+    refreshed from a bare [RDTSCP] once every {!refresh_period} calls.
+    Between refreshes the value is stale by at most the cycles elapsed
+    over [refresh_period - 1] calls; it never exceeds what a concurrent
+    {!rdtscp_lfence} would return.  For call sites that need a monotone
+    floor (pruning thresholds, advancement pacing), not an ordered read —
+    never a linearization point. *)
+
+val refresh_period : unit -> int
+(** Calls served per cached RDTSCP value (default 64, or
+    [HWTS_TSC_REFRESH] from the environment). *)
+
+val set_refresh_period : int -> unit
+(** Override the refresh period (>= 1); 1 refreshes on every call.
+    Takes effect at each domain's next refresh. *)
+
 val monotonic_ns : unit -> int
 (** [clock_gettime(CLOCK_MONOTONIC)] in nanoseconds. *)
 

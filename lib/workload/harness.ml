@@ -164,6 +164,9 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
   (!ops, per_class, Gc.minor_words () -. words0, Unix.gettimeofday () -. wt0)
 
 let run_prepared (Target ((module S), t)) config =
+  (* Backoff jitter draws from the seeded per-domain stream: reseeding
+     here makes contended interleavings a function of [config.seed]. *)
+  Sync.Rand.set_seed config.seed;
   let stop = Atomic.make false in
   let started = Atomic.make 0 in
   let t0 = ref 0. in
@@ -265,7 +268,7 @@ let ensure_canonical_metrics () =
     [ "rangequery.bundle.depth"; "ebr.limbo_len" ];
   ignore (Hwts_obs.Registry.watermark "rangequery.rq.active_hwm")
 
-let run_json ?label result =
+let run_json ?label ?provider result =
   let config = result.config in
   let open Hwts_obs.Json in
   let per_thread_f =
@@ -274,6 +277,7 @@ let run_json ?label result =
   Obj
     ([ ("name", Str "harness.run"); ("type", Str "run") ]
     @ (match label with None -> [] | Some l -> [ ("structure", Str l) ])
+    @ (match provider with None -> [] | Some p -> [ ("provider", Str p) ])
     @ [
         ("threads", Int config.threads);
         ("seconds", Float config.seconds);
@@ -300,12 +304,13 @@ let run_json ?label result =
         ("obs_enabled", Bool (Hwts_obs.Config.enabled ()));
       ])
 
-let write_metrics ?label result path =
+let write_metrics ?label ?provider result path =
   ensure_canonical_metrics ();
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (Hwts_obs.Json.to_string (run_json ?label result));
+      output_string oc
+        (Hwts_obs.Json.to_string (run_json ?label ?provider result));
       output_char oc '\n';
       output_string oc (Hwts_obs.Registry.to_json_lines ()))

@@ -1,18 +1,34 @@
-type ts = [ `Logical | `Hardware | `Hardware_strict ]
+type ts =
+  [ `Logical | `Hardware | `Hardware_strict | `Hardware_strict_cas | `Adaptive ]
 
 let ts_name = function
   | `Logical -> "logical"
   | `Hardware -> "rdtscp"
   | `Hardware_strict -> "rdtscp-strict"
+  | `Hardware_strict_cas -> "rdtscp-strict-cas"
+  | `Adaptive -> "adaptive"
 
-let all_ts : ts list = [ `Logical; `Hardware; `Hardware_strict ]
+let all_ts : ts list =
+  [ `Logical; `Hardware; `Hardware_strict; `Hardware_strict_cas; `Adaptive ]
+
+let ts_of_name = function
+  | "logical" -> Some `Logical
+  | "rdtscp" | "hardware" -> Some `Hardware
+  | "sharded" | "rdtscp-strict" -> Some `Hardware_strict
+  | "strict" | "rdtscp-strict-cas" -> Some `Hardware_strict_cas
+  | "adaptive" -> Some `Adaptive
+  | _ -> None
 
 (* [`Hardware_strict] is the sharded strict provider: raw TSC stamps are
    not strictly increasing across domains (the tie corner case of Section
    III-A), so techniques that need strictness get rdtscp wrapped in
    {!Hwts.Timestamp.Strict_sharded} — strict labels without a shared-word
-   CAS on the common path.  The plain [`Hardware] series keeps raw
-   [RDTSCP; LFENCE] stamps for comparison with the paper's figures. *)
+   CAS on the common path.  [`Hardware_strict_cas] is the original
+   shared-word tie-bump ({!Hwts.Timestamp.Strict}, the Jiffy scheme),
+   kept for comparison.  [`Adaptive] self-selects between the logical
+   counter and the sharded TSC scheme per the measured contention.  The
+   plain [`Hardware] series keeps raw [RDTSCP; LFENCE] stamps for
+   comparison with the paper's figures. *)
 
 let provider_of (ts : ts) : (module Hwts.Timestamp.S) =
   match ts with
@@ -23,11 +39,18 @@ let provider_of (ts : ts) : (module Hwts.Timestamp.S) =
   | `Hardware_strict ->
     let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
     (module S)
+  | `Hardware_strict_cas ->
+    let module S = Hwts.Timestamp.Strict (Hwts.Timestamp.Hardware) () in
+    (module S)
+  | `Adaptive ->
+    let module A = Hwts.Timestamp.Adaptive (Hwts.Timestamp.Hardware) () in
+    (module A)
 
 type instance = {
   structure : (module Dstruct.Ordered_set.RQ);
   now : unit -> int;
   provider : string;
+  adaptive : Hwts.Timestamp.adaptive_ctl option;
 }
 
 (* The structure and [now] share one provider module, so timestamps read
@@ -36,9 +59,22 @@ type instance = {
    relies on.  (For a generative logical clock, a second [Logical ()]
    would be a different clock entirely.) *)
 let instance_of f (ts : ts) : instance =
-  let p = provider_of ts in
-  let module T = (val p) in
-  { structure = f p; now = T.read; provider = ts_name ts }
+  match ts with
+  | `Adaptive ->
+    (* Built here rather than through [provider_of] so the instance keeps
+       the ctl handle: benches record switch points, torture forces
+       migrations mid-round. *)
+    let module A = Hwts.Timestamp.Adaptive (Hwts.Timestamp.Hardware) () in
+    {
+      structure = f (module A : Hwts.Timestamp.S);
+      now = A.read;
+      provider = ts_name ts;
+      adaptive = Some A.ctl;
+    }
+  | _ ->
+    let p = provider_of ts in
+    let module T = (val p) in
+    { structure = f p; now = T.read; provider = ts_name ts; adaptive = None }
 
 let bst_vcas_m (module T : Hwts.Timestamp.S) : (module Dstruct.Ordered_set.RQ) =
   (module Rangequery.Bst_vcas.Make (T))
@@ -108,8 +144,9 @@ let bst_ebrrq_lockfree_instance (ts : ts) : instance =
                                                          .RQ);
       now = L.read;
       provider = ts_name `Logical;
+      adaptive = None;
     }
-  | `Hardware | `Hardware_strict ->
+  | `Hardware | `Hardware_strict | `Hardware_strict_cas | `Adaptive ->
     invalid_arg "bst-ebrrq-lockfree requires a logical (addressable) clock"
 
 let all_instances : (string * (ts -> instance)) list =
@@ -145,7 +182,11 @@ let all =
 
 let supports name (ts : ts) =
   match (name, ts) with
-  | "bst-ebrrq-lockfree", (`Hardware | `Hardware_strict) -> false
+  | ( "bst-ebrrq-lockfree",
+      (`Hardware | `Hardware_strict | `Hardware_strict_cas | `Adaptive) ) ->
+    (* The DCSS labeling needs the timestamp word's *address*; the
+       adaptive provider has no stable one once migrated onto the TSC. *)
+    false
   | _ -> true
 
 (* Linked-list throughput is O(n) in the key range where the trees and

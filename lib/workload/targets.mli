@@ -7,17 +7,27 @@
     fresh {!Hwts.Timestamp.Strict_sharded} instance (per-structure shared
     defence word, as the strict systems deploy it). *)
 
-type ts = [ `Logical | `Hardware | `Hardware_strict ]
+type ts =
+  [ `Logical | `Hardware | `Hardware_strict | `Hardware_strict_cas | `Adaptive ]
 
 val ts_name : ts -> string
-(** ["logical"], ["rdtscp"], ["rdtscp-strict"]. *)
+(** ["logical"], ["rdtscp"], ["rdtscp-strict"], ["rdtscp-strict-cas"],
+    ["adaptive"]. *)
 
 val all_ts : ts list
+
+val ts_of_name : string -> ts option
+(** Parse a provider name as CLIs and benches spell it: ["logical"],
+    ["rdtscp"], ["sharded"] (= ["rdtscp-strict"]), ["strict"] (the
+    shared-word tie-bump, = ["rdtscp-strict-cas"]), ["adaptive"]. *)
 
 type instance = {
   structure : (module Dstruct.Ordered_set.RQ);
   now : unit -> int;  (** reads the same provider the structure labels with *)
   provider : string;  (** {!ts_name} of the provider in use *)
+  adaptive : Hwts.Timestamp.adaptive_ctl option;
+      (** the steering/introspection handle when the provider is
+          [`Adaptive]; [None] otherwise *)
 }
 (** A built structure together with a reader for its own timestamp
     provider.  [now] and the labels returned by the structure's

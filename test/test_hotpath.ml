@@ -142,6 +142,7 @@ module Trip_clock = struct
   let clock = Atomic.make 1
   let trip = ref false
   let read () = Atomic.fetch_and_add clock 1 + 1
+  let read_floor = read
   let advance = read
   let snapshot () = if !trip then raise Stdlib.Exit else read ()
 end

@@ -18,6 +18,48 @@ let padding_array () =
   Array.iteri (fun i a -> Alcotest.(check int) "slot" i (Atomic.get a)) arr;
   Alcotest.(check bool) "distinct cells" true (arr.(0) != arr.(1))
 
+let rand_seeded_deterministic () =
+  Sync.Rand.set_seed 0xFEED;
+  let a = List.init 64 (fun _ -> Sync.Rand.next ()) in
+  Sync.Rand.set_seed 0xFEED;
+  let b = List.init 64 (fun _ -> Sync.Rand.next ()) in
+  Alcotest.(check (list int)) "same seed replays the same stream" a b;
+  Sync.Rand.set_seed 0xBEEF;
+  let c = List.init 64 (fun _ -> Sync.Rand.next ()) in
+  Alcotest.(check bool) "different seed, different stream" true (a <> c);
+  List.iter
+    (fun n ->
+      for _ = 1 to 100 do
+        let v = Sync.Rand.below n in
+        if v < 0 || v >= n then
+          Alcotest.failf "below %d returned %d (out of range)" n v
+      done)
+    [ 2; 3; 10; 1_000 ];
+  Alcotest.(check int) "below 1 is 0" 0 (Sync.Rand.below 1);
+  (* restore the global default so later suites see the usual jitter *)
+  Sync.Rand.set_seed 0x5EED
+
+let rand_streams_differ_across_domains () =
+  (* Same reseed, two domains: each must get its own stream (slot-derived),
+     or the jitter becomes a shared contention point.  The barrier keeps
+     both alive at once so they hold distinct slots (a fast worker could
+     otherwise release its slot for the second to reuse). *)
+  Sync.Rand.set_seed 0xFEED;
+  let up = Atomic.make 0 in
+  let streams =
+    Util.spawn_workers 2 (fun _ ->
+        ignore (Atomic.fetch_and_add up 1);
+        while Atomic.get up < 2 do
+          Domain.cpu_relax ()
+        done;
+        List.init 32 (fun _ -> Sync.Rand.next ()))
+  in
+  (match streams with
+  | [ s1; s2 ] ->
+    Alcotest.(check bool) "per-domain streams differ" true (s1 <> s2)
+  | _ -> Alcotest.fail "expected 2 worker streams");
+  Sync.Rand.set_seed 0x5EED
+
 (* ---------- slots ---------- *)
 
 let slot_reuse () =
@@ -253,6 +295,10 @@ let () =
         [
           Alcotest.test_case "backoff" `Quick backoff_bounds;
           Alcotest.test_case "padding array" `Quick padding_array;
+          Alcotest.test_case "seeded rand deterministic" `Quick
+            rand_seeded_deterministic;
+          Alcotest.test_case "rand streams differ across domains" `Quick
+            rand_streams_differ_across_domains;
           Alcotest.test_case "slot reuse" `Quick slot_reuse;
           Alcotest.test_case "slot nesting" `Quick slot_nested;
         ] );

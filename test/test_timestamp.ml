@@ -144,6 +144,133 @@ let strict_sharded_across_domains () =
         (increasing seq))
     results
 
+let adaptive_starts_logical () =
+  let module A = Hwts.Timestamp.Adaptive (Hwts.Timestamp.Hardware) () in
+  Alcotest.(check bool) "not a hardware provider per se" false A.is_hardware;
+  Alcotest.(check bool) "starts in logical mode" true
+    (A.ctl.Hwts.Timestamp.mode () = `Logical);
+  let last = ref 0 in
+  for _ = 1 to 5_000 do
+    let l = A.advance () in
+    if l <= !last then Alcotest.fail "adaptive label not strictly increasing";
+    last := l;
+    if A.read () < l then Alcotest.fail "read fell below a published label"
+  done;
+  (* one quiet domain never trips the contention sensor *)
+  Alcotest.(check int) "no spontaneous switches" 0
+    (A.ctl.Hwts.Timestamp.switch_count ());
+  let s = A.snapshot () in
+  Alcotest.(check bool) "snapshot between labels" true
+    (s >= !last && A.advance () > s)
+
+let adaptive_forced_switch_monotone () =
+  (* Frozen hardware base: every TSC read returns the same value, so any
+     monotonicity across the logical->tsc and tsc->logical folds comes
+     from the provider's own label discipline, not from the clock moving
+     underneath the test. *)
+  let module M = Hwts.Timestamp.Mock () in
+  M.set 1_000;
+  M.freeze ();
+  let module A = Hwts.Timestamp.Adaptive (M) () in
+  let ctl = A.ctl in
+  let labels = ref [] in
+  let take n =
+    for _ = 1 to n do
+      labels := A.advance () :: !labels
+    done
+  in
+  take 100;
+  Alcotest.(check bool) "force up-switch accepted" true
+    (ctl.Hwts.Timestamp.force `Tsc);
+  Alcotest.(check bool) "now in tsc mode" true
+    (ctl.Hwts.Timestamp.mode () = `Tsc);
+  take 100;
+  Alcotest.(check bool) "force down-switch accepted" true
+    (ctl.Hwts.Timestamp.force `Logical);
+  take 100;
+  Alcotest.(check bool) "second up-switch accepted" true
+    (ctl.Hwts.Timestamp.force `Tsc);
+  take 100;
+  let seq = List.rev !labels in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    "labels strictly increase across every forced migration" true
+    (strictly_increasing seq);
+  Alcotest.(check int) "three migrations recorded" 3
+    (ctl.Hwts.Timestamp.switch_count ());
+  Alcotest.(check (list string)) "switch directions, chronological"
+    [ "logical->tsc"; "tsc->logical"; "logical->tsc" ]
+    (List.map fst (ctl.Hwts.Timestamp.switch_points ()));
+  (* forcing the mode it is already in is a no-op *)
+  Alcotest.(check bool) "redundant force rejected" false
+    (ctl.Hwts.Timestamp.force `Tsc)
+
+let adaptive_unique_across_domains () =
+  (* 8 domains race on [advance] while the coordinator-elected domain 0
+     force-migrates the provider back and forth: labels must stay globally
+     unique and must exceed any label that was completed (published in the
+     [seen] register) before the advance began — the same discipline the
+     sharded strict test demands, here across live mode folds. *)
+  let module A = Hwts.Timestamp.Adaptive (Hwts.Timestamp.Hardware) () in
+  let ctl = A.ctl in
+  let per_domain = 5_000 in
+  let seen = Atomic.make 0 in
+  let violations = Atomic.make 0 in
+  let results =
+    Util.spawn_workers 8 (fun me ->
+        List.init per_domain (fun i ->
+            if me = 0 && i mod 500 = 0 then
+              ignore
+                (ctl.Hwts.Timestamp.force
+                   (if i mod 1_000 = 0 then `Tsc else `Logical));
+            let s = Atomic.get seen in
+            let l = A.advance () in
+            if l <= s then ignore (Atomic.fetch_and_add violations 1);
+            let rec fold () =
+              let cur = Atomic.get seen in
+              if l > cur && not (Atomic.compare_and_set seen cur l) then fold ()
+            in
+            fold ();
+            l))
+  in
+  Alcotest.(check int) "no cross-domain monotonicity violation" 0
+    (Atomic.get violations);
+  let all = List.concat results in
+  Alcotest.(check int) "labels unique across 8 domains and mode folds"
+    (8 * per_domain)
+    (List.length (List.sort_uniq compare all));
+  Alcotest.(check bool) "migrations actually happened" true
+    (ctl.Hwts.Timestamp.switch_count () >= 2);
+  List.iter
+    (fun seq ->
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "per-domain strictly increasing" true
+        (increasing seq))
+    results
+
+let adaptive_config_knobs () =
+  let saved_epoch = Hwts.Timestamp.Adaptive_config.epoch_ops () in
+  let saved_hyst = Hwts.Timestamp.Adaptive_config.hysteresis () in
+  Fun.protect ~finally:(fun () ->
+      Hwts.Timestamp.Adaptive_config.set_epoch_ops saved_epoch;
+      Hwts.Timestamp.Adaptive_config.set_hysteresis saved_hyst)
+  @@ fun () ->
+  Hwts.Timestamp.Adaptive_config.set_epoch_ops 128;
+  Alcotest.(check int) "epoch_ops set" 128
+    (Hwts.Timestamp.Adaptive_config.epoch_ops ());
+  (match Hwts.Timestamp.Adaptive_config.set_epoch_ops 0 with
+  | () -> Alcotest.fail "epoch_ops 0 should be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Hwts.Timestamp.Adaptive_config.set_hysteresis 0 with
+  | () -> Alcotest.fail "hysteresis 0 should be rejected"
+  | exception Invalid_argument _ -> ())
+
 let mock_controls () =
   let module M = Hwts.Timestamp.Mock () in
   Alcotest.(check int) "initial" 1 (M.read ());
@@ -213,6 +340,14 @@ let () =
             strict_sharded_across_domains;
           Alcotest.test_case "strict concurrent unique" `Slow
             strict_concurrent_unique;
+          Alcotest.test_case "adaptive starts logical" `Quick
+            adaptive_starts_logical;
+          Alcotest.test_case "adaptive forced-switch monotone (frozen base)"
+            `Quick adaptive_forced_switch_monotone;
+          Alcotest.test_case "adaptive unique across 8 domains with migrations"
+            `Slow adaptive_unique_across_domains;
+          Alcotest.test_case "adaptive config knobs" `Quick
+            adaptive_config_knobs;
           Alcotest.test_case "mock controls" `Quick mock_controls;
           Alcotest.test_case "providers list" `Quick providers_list;
           Alcotest.test_case "labeling taxonomy" `Quick labeling_taxonomy;

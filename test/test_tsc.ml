@@ -37,6 +37,40 @@ let invariant_probe () =
       (Tsc.has_invariant_tsc ())
   else Alcotest.(check bool) "fallback mode" false (Tsc.has_invariant_tsc ())
 
+let read_cached_staleness_bound () =
+  let saved = Tsc.refresh_period () in
+  Fun.protect ~finally:(fun () -> Tsc.set_refresh_period saved) @@ fun () ->
+  Tsc.set_refresh_period 8;
+  (* The cached reading is a *lower bound* on the clock: never ahead of a
+     fenced read taken after it, and monotone within a domain. *)
+  let last = ref 0 in
+  for _ = 1 to 10_000 do
+    let c = Tsc.read_cached () in
+    let fenced = Tsc.rdtscp_lfence () in
+    if c > fenced then
+      Alcotest.failf "cached %d ahead of subsequent fenced read %d" c fenced;
+    if c < !last then Alcotest.fail "cached reading went backwards";
+    last := c
+  done;
+  (* Staleness is bounded by the refresh period: within 2 periods of calls
+     the cache must refresh to at least a fresh reading taken now. *)
+  let fresh = Tsc.rdtscp_lfence () in
+  let caught_up = ref false in
+  for _ = 1 to 2 * Tsc.refresh_period () do
+    if Tsc.read_cached () >= fresh then caught_up := true
+  done;
+  Alcotest.(check bool) "cache refreshed within the period bound" true
+    !caught_up;
+  (* knob validation *)
+  (match Tsc.set_refresh_period 0 with
+  | () -> Alcotest.fail "set_refresh_period 0 should be rejected"
+  | exception Invalid_argument _ -> ());
+  Tsc.set_refresh_period 1;
+  let a = Tsc.read_cached () in
+  let b = Tsc.rdtscp () in
+  let c = Tsc.read_cached () in
+  Alcotest.(check bool) "period 1 refreshes every call" true (a <= b && b <= c)
+
 let calibration () =
   let c = Tsc.cycles_per_ns () in
   Alcotest.(check bool) "plausible frequency" true (c > 0.3 && c < 10.);
@@ -78,6 +112,8 @@ let () =
           Alcotest.test_case "monotone readers" `Quick monotone;
           Alcotest.test_case "cpuid reader" `Quick cpuid_reader_monotone;
           Alcotest.test_case "invariant probe" `Quick invariant_probe;
+          Alcotest.test_case "read_cached staleness bound" `Quick
+            read_cached_staleness_bound;
           Alcotest.test_case "calibration" `Quick calibration;
           Alcotest.test_case "measured costs" `Quick measured_costs;
           Alcotest.test_case "wall clock agreement" `Quick wall_clock_agreement;

@@ -23,8 +23,10 @@ let required_histograms =
 
 (* A bench/scaling.exe artifact is also JSON lines but carries sweep
    points, not registry metrics; validate its own schema: a meta line, a
-   summary line, and points covering both providers at >= 2 domain
-   counts, each with the full measurement tuple. *)
+   summary line, and points covering the logical, rdtscp-strict and
+   adaptive providers at >= 2 domain counts, each with the full
+   measurement tuple; every swept structure must also carry its
+   adaptive_margin verdict line. *)
 let validate_scaling path lines =
   let points =
     List.filter (fun l -> J.member "type" l = Some (J.Str "point")) lines
@@ -68,9 +70,35 @@ let validate_scaling path lines =
     distinct (fun p ->
         match J.member "structure" p with Some (J.Str s) -> Some s | _ -> None)
   in
-  if not (List.mem "logical" providers && List.mem "rdtscp-strict" providers)
-  then err "points must cover both providers (found: %s)"
-      (String.concat ", " providers);
+  List.iter
+    (fun required ->
+      if not (List.mem required providers) then
+        err "points must cover the %s provider (found: %s)" required
+          (String.concat ", " providers))
+    [ "logical"; "rdtscp-strict"; "adaptive" ];
+  (* Every structure with an adaptive point owes a margin verdict, and
+     every adaptive point carries its migration count. *)
+  let margin_structures =
+    List.filter_map
+      (fun l ->
+        if J.member "type" l = Some (J.Str "adaptive_margin") then
+          match J.member "structure" l with
+          | Some (J.Str s) -> Some s
+          | _ -> None
+        else None)
+      lines
+  in
+  List.iter
+    (fun p ->
+      if J.member "provider" p = Some (J.Str "adaptive") then begin
+        (match J.member "structure" p with
+        | Some (J.Str s) when List.mem s margin_structures -> ()
+        | Some (J.Str s) -> err "no adaptive_margin line for %s" s
+        | _ -> ());
+        if Option.bind (J.member "switches" p) J.to_int = None then
+          err "adaptive point without integer switches"
+      end)
+    points;
   if List.length domain_counts < 2 then
     err "points must cover >= 2 domain counts (found %d)"
       (List.length domain_counts);

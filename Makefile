@@ -4,7 +4,8 @@ SMOKE_METRICS := /tmp/obs.json
 
 .PHONY: all build test fmt-check check check-smoke check-torture \
   bench-smoke bench-obs bench-hotpath bench-hotpath-guard \
-  bench-scaling bench-scaling-smoke bench-adaptive bench-adaptive-smoke clean
+  bench-scaling bench-scaling-smoke bench-adaptive bench-adaptive-smoke \
+  trace-smoke trend-guard bench-tailattr clean
 
 all: build
 
@@ -44,10 +45,37 @@ bench-hotpath-guard: build
 
 # End-to-end smoke of the metrics pipeline: a short instrumented run must
 # produce a JSON-lines file containing the canonical metric set.
-bench-smoke: build bench-scaling-smoke bench-adaptive-smoke
+bench-smoke: build bench-scaling-smoke bench-adaptive-smoke trace-smoke trend-guard
 	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 0.2 \
 	  --metrics-out $(SMOKE_METRICS)
 	dune exec test/validate_metrics.exe -- $(SMOKE_METRICS)
+
+# A traced run end to end: sampling on, Chrome trace + tail-attribution
+# lines written and schema-validated (the Chrome file is what Perfetto
+# loads; the attribution lines ride in the metrics file).
+trace-smoke: build
+	HWTS_TRACE=1 HWTS_TRACE_SAMPLE=4 dune exec bin/hwts_cli.exe -- \
+	  run bst-vcas --provider sharded --threads 2 --ops 20000 \
+	  --metrics-out /tmp/trace_metrics.json --trace-out /tmp/trace-chrome.json
+	dune exec test/validate_metrics.exe -- /tmp/trace_metrics.json
+	dune exec test/validate_metrics.exe -- /tmp/trace-chrome.json
+
+# The perf-trajectory gate's self-test: the checked-in scaling artifact
+# diffed against itself must pass, a copy with Mops/s scaled to 60% must
+# trip the regression verdict, and the JSON report must validate.
+trend-guard: build
+	dune exec bench/trendcheck.exe -- BENCH_scaling.json BENCH_scaling.json \
+	  -out /tmp/trend-report.json
+	dune exec test/validate_metrics.exe -- /tmp/trend-report.json
+	dune exec bench/trendcheck.exe -- -perturb 0.6 \
+	  -out /tmp/trend-perturbed.json BENCH_scaling.json
+	! dune exec bench/trendcheck.exe -- BENCH_scaling.json /tmp/trend-perturbed.json
+
+# Refresh the checked-in tail-attribution artifact: 3 structures x 2
+# providers, p50/p99/p999 dominant-phase bands per op class.
+bench-tailattr: build
+	dune exec bin/hwts_cli.exe -- trace-report -o BENCH_tailattr.json
+	dune exec test/validate_metrics.exe -- BENCH_tailattr.json
 
 # Refresh the checked-in observability benchmark artifact.
 bench-obs: build
@@ -81,6 +109,7 @@ bench-scaling-smoke: build
 	HWTS_DOMAINS=1,2 dune exec bench/scaling.exe -- -ops 2000 -warmup 500 \
 	  -trials 1 -out /tmp/scaling_smoke.json
 	dune exec test/validate_metrics.exe -- /tmp/scaling_smoke.json
+	dune exec test/validate_metrics.exe -- BENCH_scaling.json
 
 # The adaptive provider exercised end to end: an update-heavy scaling
 # sweep (contention is what makes it migrate) with the sweep's margin

@@ -1,0 +1,72 @@
+(* Standalone perf-trajectory gate (the bench-side twin of `hwts-cli
+   trend`): diff two BENCH_*.json artifacts by paired median Mops/s
+   ratios, exit 1 on a regression verdict.  Also provides -perturb, the
+   self-test fixture `make trend-guard` uses: a copy of an artifact with
+   every throughput figure scaled must trip the gate, the unscaled one
+   must not. *)
+
+let () =
+  let base = ref "" in
+  let cur = ref "" in
+  let margin = ref 0.25 in
+  let out = ref "" in
+  let perturb = ref nan in
+  let spec =
+    [
+      ( "-margin",
+        Arg.Set_float margin,
+        " noise margin on median ratios (default 0.25)" );
+      ("-out", Arg.Set_string out, " write the JSON-lines report (or the perturbed copy) here");
+      ( "-perturb",
+        Arg.Set_float perturb,
+        " FACTOR  write a copy of the (single) input with Mops/s scaled by \
+         FACTOR to -out, instead of diffing" );
+    ]
+  in
+  let positional = ref [] in
+  Arg.parse spec
+    (fun a -> positional := a :: !positional)
+    "trendcheck [-margin M] BASELINE CURRENT\n\
+     trendcheck -perturb FACTOR -out FILE BASELINE";
+  (match List.rev !positional with
+  | [ b ] when not (Float.is_nan !perturb) -> base := b
+  | [ b; c ] -> base := b; cur := c
+  | _ ->
+    prerr_endline "trendcheck: expected BASELINE CURRENT (or -perturb FACTOR -out FILE BASELINE)";
+    exit 2);
+  if not (Float.is_nan !perturb) then begin
+    if !out = "" then begin
+      prerr_endline "trendcheck: -perturb requires -out";
+      exit 2
+    end;
+    match
+      Hwts_trace.Trend.write_perturbed ~src:!base ~dst:!out ~factor:!perturb
+    with
+    | Ok () ->
+      Printf.printf "wrote %s (mops x %g)\n" !out !perturb;
+      exit 0
+    | Error e ->
+      Printf.eprintf "trendcheck: %s\n" e;
+      exit 2
+  end;
+  match Hwts_trace.Trend.compare_files ~base:!base ~cur:!cur ~margin:!margin with
+  | Error e ->
+    Printf.eprintf "trendcheck: %s\n" e;
+    exit 2
+  | Ok r ->
+    if r.Hwts_trace.Trend.series = [] then begin
+      Printf.eprintf "trendcheck: no comparable points between %s and %s\n"
+        !base !cur;
+      exit 2
+    end;
+    Hwts_trace.Trend.print_human r;
+    if !out <> "" then begin
+      let oc = open_out !out in
+      output_string oc (Hwts_trace.Trend.to_json_lines ~base:!base ~cur:!cur r);
+      close_out oc;
+      Printf.printf "(report -> %s)\n" !out
+    end;
+    exit
+      (match r.Hwts_trace.Trend.verdict with
+      | Hwts_trace.Trend.Regression -> 1
+      | Hwts_trace.Trend.Ok_ | Hwts_trace.Trend.Improvement -> 0)

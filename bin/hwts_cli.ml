@@ -187,7 +187,7 @@ let check_supported name ts =
   end
 
 let run_real (name, make) provider hardware strict threads seconds mix_label
-    key_range zipf ops seed metrics_out =
+    key_range zipf ops seed metrics_out trace_out =
   let ts = ts_of_flags ~provider ~hardware ~strict in
   if not (check_supported name ts) then 1
   else begin
@@ -203,6 +203,9 @@ let run_real (name, make) provider hardware strict threads seconds mix_label
       seed;
     }
   in
+  (* Asking for a trace capture implies turning tracing on, whatever the
+     environment said. *)
+  if trace_out <> None then Hwts_trace.Config.set_enabled true;
   let result = Workload.Harness.run (make ts) config in
   Printf.printf
     "%s(%s) threads=%d mix=%s range=%d: %.3f Mops/s (%d ops in %.2fs)\n" name
@@ -214,6 +217,13 @@ let run_real (name, make) provider hardware strict threads seconds mix_label
       Workload.Harness.write_metrics ~label:name
         ~provider:(Workload.Targets.ts_name ts) result path;
       Printf.printf "(metrics -> %s)\n" path);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      Hwts_trace.write_chrome path;
+      Printf.printf "(chrome trace -> %s; load in chrome://tracing or \
+                     ui.perfetto.dev)\n"
+        path);
     0
   end
 
@@ -358,6 +368,112 @@ let check structure provider seed rounds no_faults =
     structures;
   if !failed then 1 else 0
 
+(* Perf-trajectory gate: diff two bench artifacts, exit 1 on regression
+   so CI can gate on it mechanically. *)
+let trend base cur margin out =
+  match Hwts_trace.Trend.compare_files ~base ~cur ~margin with
+  | Error e ->
+    Printf.eprintf "hwts-cli trend: %s\n" e;
+    2
+  | Ok r ->
+    if r.Hwts_trace.Trend.series = [] then begin
+      Printf.eprintf "hwts-cli trend: no comparable points between %s and %s\n"
+        base cur;
+      2
+    end
+    else begin
+      Hwts_trace.Trend.print_human r;
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Hwts_trace.Trend.to_json_lines ~base ~cur r);
+        close_out oc;
+        Printf.printf "(report -> %s)\n" path);
+      match r.Hwts_trace.Trend.verdict with
+      | Hwts_trace.Trend.Regression -> 1
+      | Hwts_trace.Trend.Ok_ | Hwts_trace.Trend.Improvement -> 0
+    end
+
+(* Tail-attribution sweep: run the traced harness for a small grid of
+   structures x providers and collect which phase dominates each latency
+   band into one JSON-lines artifact. *)
+let trace_report structures providers threads ops key_range out =
+  let parse_list ~what ~parse s =
+    List.map
+      (fun tok ->
+        match parse (String.trim tok) with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "unknown %s %S" what tok))
+      (String.split_on_char ',' s)
+  in
+  match
+    ( parse_list ~what:"structure"
+        ~parse:(fun s ->
+          Option.map (fun m -> (s, m)) (List.assoc_opt s Workload.Targets.all))
+        structures,
+      parse_list ~what:"provider" ~parse:Workload.Targets.ts_of_name providers )
+  with
+  | exception Failure msg ->
+    Printf.eprintf "hwts-cli trace-report: %s\n" msg;
+    2
+  | structures, providers ->
+    Hwts_trace.Config.set_enabled true;
+    let buf = Buffer.create 4096 in
+    let emit j = Buffer.add_string buf (Hwts_obs.Json.to_string j ^ "\n") in
+    emit
+      (Hwts_obs.Json.Obj
+         [
+           ("name", Hwts_obs.Json.Str "trace.report");
+           ("type", Hwts_obs.Json.Str "meta");
+           ("threads", Hwts_obs.Json.Int threads);
+           ("ops_per_thread", Hwts_obs.Json.Int ops);
+           ("key_range", Hwts_obs.Json.Int key_range);
+           ("sample_period", Hwts_obs.Json.Int (Hwts_trace.Config.sample_period ()));
+           ("ring_capacity", Hwts_obs.Json.Int Hwts_trace.Config.capacity);
+         ]);
+    List.iter
+      (fun (sname, make) ->
+        List.iter
+          (fun ts ->
+            if Workload.Targets.supports sname ts then begin
+              Hwts_trace.reset ();
+              let config =
+                {
+                  Workload.Harness.default with
+                  threads;
+                  fixed_ops = Some ops;
+                  key_range =
+                    Workload.Targets.preferred_key_range sname
+                      ~default:key_range;
+                }
+              in
+              let result = Workload.Harness.run (make ts) config in
+              let pname = Workload.Targets.ts_name ts in
+              Printf.printf "%-16s %-14s %8.3f Mops/s" sname pname
+                result.Workload.Harness.mops;
+              List.iter
+                (fun a ->
+                  List.iter
+                    (fun b ->
+                      if b.Hwts_trace.band_label = "p99" then
+                        Printf.printf "  p99(%s)=%s %.0f%%"
+                          a.Hwts_trace.attr_class b.Hwts_trace.band_dominant
+                          (100. *. b.Hwts_trace.band_dominant_share))
+                    a.Hwts_trace.attr_bands)
+                (Hwts_trace.tail_attribution ());
+              print_newline ();
+              Buffer.add_string buf
+                (Hwts_trace.to_json_lines ~structure:sname ~provider:pname ())
+            end)
+          providers)
+      structures;
+    let oc = open_out out in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "(tail attribution -> %s)\n" out;
+    0
+
 (* command wiring *)
 
 let tsc_info_cmd =
@@ -445,12 +561,22 @@ let run_cmd =
            ~doc:"Run exactly $(docv) ops per thread (deterministic) instead \
                  of a fixed duration")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable phase tracing for the run and write a Chrome \
+             trace_event JSON capture to $(docv) (load in \
+             chrome://tracing or Perfetto)")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a real workload on this machine")
     Term.(
       const run_real $ structure_pos () $ provider_opt $ hardware_flag
       $ strict_flag $ threads_opt $ seconds_opt $ mix_opt $ range_opt $ zipf
-      $ ops $ seed_opt $ metrics_out_opt)
+      $ ops $ seed_opt $ metrics_out_opt $ trace_out)
 
 let stats_cmd =
   let format =
@@ -511,6 +637,68 @@ let check_cmd =
           recorded history verified by the snapshot oracle")
     Term.(const check $ structure $ provider $ seed_opt $ rounds $ no_faults)
 
+let trend_cmd =
+  let base =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE")
+  in
+  let cur =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CURRENT")
+  in
+  let margin =
+    Arg.(
+      value & opt float 0.25
+      & info [ "margin" ] ~docv:"FRACTION"
+          ~doc:
+            "Noise margin: a series regresses when its median \
+             current/baseline Mops/s ratio falls below 1 - $(docv)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Also write the report as JSON lines")
+  in
+  Cmd.v
+    (Cmd.info "trend"
+       ~doc:
+         "Diff two BENCH_*.json artifacts (paired median Mops/s ratios); \
+          exits 1 on a regression verdict, 2 when nothing is comparable")
+    Term.(const trend $ base $ cur $ margin $ out)
+
+let trace_report_cmd =
+  let structures =
+    Arg.(
+      value
+      & opt string "bst-vcas,citrus-vcas,skiplist-bundle"
+      & info [ "structures" ] ~docv:"LIST" ~doc:"Comma-separated structures")
+  in
+  let providers =
+    Arg.(
+      value
+      & opt string "logical,sharded"
+      & info [ "providers" ] ~docv:"LIST" ~doc:"Comma-separated providers")
+  in
+  let threads = Arg.(value & opt int 2 & info [ "t"; "threads" ]) in
+  let ops =
+    Arg.(
+      value & opt int 50_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Fixed ops per thread per combination")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_tailattr.json"
+      & info [ "o"; "out" ] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Run the traced harness over a structure x provider grid and \
+          write the per-class tail-latency attribution")
+    Term.(
+      const trace_report $ structures $ providers $ threads $ ops $ range_opt
+      $ out)
+
 let () =
   let doc = "hardware-timestamp range-query structures (IPPS'23 reproduction)" in
   exit
@@ -519,5 +707,5 @@ let () =
           (Cmd.info "hwts-cli" ~doc)
           [
             tsc_info_cmd; calibrate_cmd; figure_cmd; run_cmd; stats_cmd;
-            stress_cmd; check_cmd;
+            stress_cmd; check_cmd; trend_cmd; trace_report_cmd;
           ]))

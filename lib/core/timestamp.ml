@@ -288,6 +288,11 @@ module Adaptive (T : S) () = struct
 
   let log_switch dir at =
     Hwts_obs.Counter.incr switches;
+    (* Mark the migration in the phase trace too: an adaptive decision
+       is exactly the kind of event a Perfetto capture should pin to a
+       timeline (aux 1 = logical->tsc, 2 = tsc->logical). *)
+    Hwts_trace.instant ~aux:(if dir = "logical->tsc" then 1 else 2)
+      Hwts_trace.Switch;
     let rec push () =
       let old = Atomic.get switch_log in
       if not (Atomic.compare_and_set switch_log old ((dir, at) :: old)) then
@@ -455,6 +460,30 @@ module Adaptive (T : S) () = struct
       switch_count = (fun () -> List.length (Atomic.get switch_log));
       switch_points = (fun () -> List.rev (Atomic.get switch_log));
     }
+end
+
+(* Label-acquisition tracing: every [advance]/[snapshot] — the
+   linearization/labeling points the paper's phase analysis cares
+   about — is bracketed in an [Acquire] span.  [read]/[read_floor] are
+   left bare: they are observation, not acquisition, and some sit on
+   paths hot enough that even the disabled branch would be rude. *)
+module Traced (T : S) = struct
+  let name = T.name
+  let is_hardware = T.is_hardware
+  let read = T.read
+  let read_floor = T.read_floor
+
+  let advance () =
+    Hwts_trace.Span.enter Hwts_trace.Acquire;
+    let v = T.advance () in
+    Hwts_trace.Span.exit Hwts_trace.Acquire;
+    v
+
+  let snapshot () =
+    Hwts_trace.Span.enter Hwts_trace.Acquire;
+    let v = T.snapshot () in
+    Hwts_trace.Span.exit Hwts_trace.Acquire;
+    v
 end
 
 module Mock () = struct

@@ -142,6 +142,13 @@ end
     on quiesce after [Adaptive_config.hysteresis] quiet epochs.
     Generative: one label space per instance. *)
 
+module Traced (T : S) : S
+(** [T] with every [advance]/[snapshot] bracketed in an
+    {!Hwts_trace.Acquire} span (one branch each when tracing is off or
+    the current op unsampled).  [read]/[read_floor] pass through
+    untouched.  Applied by [Workload.Targets] so every provider's label
+    acquisition shows up in phase traces. *)
+
 module Mock () : sig
   include S
 

@@ -84,11 +84,17 @@ struct
     let count = Domain.DLS.get t.op_count in
     incr count;
     if !count mod t.epoch_frequency = 0 then begin
+      (* The amortized block is where EBR spends real time; span it so
+         phase traces can tell reclamation from the announce stores. *)
+      Hwts_trace.Span.enter Hwts_trace.Ebr;
       let gate = Domain.DLS.get t.advance_gate in
       let now = Tsc.read_cached () in
       if now >= !gate && not (try_advance t) then
         gate := now + advance_holdoff_cycles;
-      trim t slot
+      Hwts_trace.Span.exit Hwts_trace.Ebr;
+      Hwts_trace.Span.enter Hwts_trace.Reclaim;
+      trim t slot;
+      Hwts_trace.Span.exit Hwts_trace.Reclaim
     end;
     Atomic.set t.announce.(slot) (Atomic.get t.global)
 

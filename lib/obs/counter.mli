@@ -16,6 +16,15 @@ val incr : t -> unit
 val add : t -> int -> unit
 (** Add [n] (no-op when [n = 0]). *)
 
+val enter : t -> bool
+(** Increment the gauge iff the kill switch is on; returns whether it
+    counted.  Pair with {!exit} for depth gauges bracketing a section. *)
+
+val exit : t -> entered:bool -> unit
+(** Undo a matching {!enter}.  Replays [entered] rather than re-reading
+    the kill switch, so a mid-section [Config.set_enabled] flip leaves
+    the gauge balanced instead of driving it negative. *)
+
 val sum : t -> int
 (** Total across all shards.  Linearizes only against quiescent writers;
     concurrent increments may or may not be included. *)

@@ -108,7 +108,10 @@ module Make (T : LOGICAL) = struct
         let d = dir_of n key in
         descend ancestor anc_dir successor n d (Atomic.get (child n d))
     in
-    descend t.r L (Internal t.s) t.s L (Atomic.get t.s.left)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = descend t.r L (Internal t.s) t.s L (Atomic.get t.s.left) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let cleanup r =
     let key_cell = child r.parent r.par_dir in
@@ -227,7 +230,9 @@ module Make (T : LOGICAL) = struct
       | Leaf l -> l
       | Internal n -> down (Atomic.get (child n (dir_of n key))).target
     in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
     let l = down (Internal t.s) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
     if l.lkey = key then begin
       (* Same helping rule as insert's already-present path: label the
          observed leaf before reporting it present. *)
@@ -260,7 +265,9 @@ module Make (T : LOGICAL) = struct
             if lo < n.ikey then walk (Atomic.get n.left).target;
             if hi >= n.ikey then walk (Atomic.get n.right).target
         in
+        Hwts_trace.Span.enter Hwts_trace.Traverse;
         walk (Internal t.s);
+        Hwts_trace.Span.exit Hwts_trace.Traverse;
         Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () l -> visit l);
         (ts, List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)))
 

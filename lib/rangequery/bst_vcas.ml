@@ -88,7 +88,10 @@ module Make (T : Hwts.Timestamp.S) = struct
         let d = dir_of n key in
         descend ancestor anc_dir successor n d (V.head (child n d))
     in
-    descend t.r L (Internal t.s) t.s L (V.head t.s.left)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = descend t.r L (Internal t.s) t.s L (V.head t.s.left) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let cleanup r =
     let key_cell = child r.parent r.par_dir in
@@ -179,7 +182,10 @@ module Make (T : Hwts.Timestamp.S) = struct
       | Leaf k -> k = key
       | Internal n -> down (V.read (child n (dir_of n key))).target
     in
-    down (Internal t.s)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = down (Internal t.s) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   (* In-order collection into the per-domain buffer: left subtree, leaf,
      right subtree, so the buffer ends up sorted ascending and is
@@ -199,7 +205,9 @@ module Make (T : Hwts.Timestamp.S) = struct
         if lo < n.ikey then collect (read_edge n.left).target;
         if hi >= n.ikey then collect (read_edge n.right).target
     in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
     collect root;
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
     Sync.Scratch.Int_buffer.to_list buf
 
   (* Range query: fix the snapshot time by advancing the timestamp (vCAS

@@ -97,7 +97,10 @@ module Make (T : Hwts.Timestamp.S) = struct
         let d = dir_of n key in
         descend ancestor anc_dir successor n d (V.head (child n d))
     in
-    descend t.r L (Internal t.s) t.s L (V.head t.s.left)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = descend t.r L (Internal t.s) t.s L (V.head t.s.left) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let cleanup r =
     let key_cell = child r.parent r.par_dir in
@@ -207,7 +210,10 @@ module Make (T : Hwts.Timestamp.S) = struct
       | Leaf (k, v) -> if k = key then v else None
       | Internal n -> down (V.read (child n (dir_of n key))).target
     in
-    down (Internal t.s)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = down (Internal t.s) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let mem t key = find t key <> None
 
@@ -224,7 +230,10 @@ module Make (T : Hwts.Timestamp.S) = struct
         in
         if lo < n.ikey then collect acc (read_edge n.left).target else acc
     in
-    collect [] (Internal t.s)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = collect [] (Internal t.s) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read_floor);

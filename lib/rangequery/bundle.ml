@@ -43,6 +43,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     if ts <> 0 then ts
     else begin
       Hwts_obs.Counter.incr label_waits;
+      Hwts_trace.Span.enter Hwts_trace.Wait;
       let backoff = Sync.Backoff.make ~min_spins:1 () in
       let rec spin () =
         let ts = Atomic.get e.ts in
@@ -52,7 +53,9 @@ module Make (T : Hwts.Timestamp.S) = struct
         end
         else ts
       in
-      spin ()
+      let ts = spin () in
+      Hwts_trace.Span.exit Hwts_trace.Wait;
+      ts
     end
 
   (* [hops] counts entries visited; recorded as the chain depth a snapshot

@@ -58,7 +58,10 @@ module Make (T : Hwts.Timestamp.S) = struct
           let d' = dir_of n key in
           walk n d' (Atomic.get (child n d'))
     in
-    walk root R (Atomic.get root.right)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk root R (Atomic.get root.right) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
 
@@ -244,7 +247,9 @@ module Make (T : Hwts.Timestamp.S) = struct
               Sync.Scratch.Int_buffer.push buf n.key;
             if hi > n.key then walk (B.read_at n.bright ts)
         in
+        Hwts_trace.Span.enter Hwts_trace.Traverse;
         walk (B.read_at t.root.bright ts);
+        Hwts_trace.Span.exit Hwts_trace.Traverse;
         (ts, Sync.Scratch.Int_buffer.to_list buf))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)

@@ -58,7 +58,10 @@ module Make (T : Hwts.Timestamp.S) = struct
           let d' = dir_of n key in
           walk n d' (Atomic.get (child n d'))
     in
-    walk root R (Atomic.get root.right)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk root R (Atomic.get root.right) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
 
@@ -221,6 +224,7 @@ module Make (T : Hwts.Timestamp.S) = struct
           if n.key >= lo && n.key <= hi && covers ts n then
             Sync.Scratch.Int_buffer.push buf n.key
         in
+        Hwts_trace.Span.enter Hwts_trace.Traverse;
         Rcu.with_read t.rcu_dom (fun () ->
             let rec walk = function
               | None -> ()
@@ -230,6 +234,7 @@ module Make (T : Hwts.Timestamp.S) = struct
                 if hi > n.key then walk (Atomic.get n.right)
             in
             walk (Atomic.get t.root.right));
+        Hwts_trace.Span.exit Hwts_trace.Traverse;
         (* Recently deleted nodes may already be unlinked: recover them
            from the limbo lists, as EBR-RQ does. *)
         Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () n -> visit n);

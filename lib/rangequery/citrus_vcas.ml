@@ -44,7 +44,10 @@ module Make (T : Hwts.Timestamp.S) = struct
           let d' = dir_of n key in
           walk n d' (V.read (child n d'))
     in
-    walk root R (V.read root.right)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk root R (V.read root.right) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
 
@@ -192,7 +195,9 @@ module Make (T : Hwts.Timestamp.S) = struct
               Sync.Scratch.Int_buffer.push buf n.key;
             if hi > n.key then walk (V.read_at n.right ts)
         in
+        Hwts_trace.Span.enter Hwts_trace.Traverse;
         walk (V.read_at t.root.right ts);
+        Hwts_trace.Span.exit Hwts_trace.Traverse;
         (ts, List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)

@@ -52,7 +52,10 @@ module Make (T : Hwts.Timestamp.S) = struct
         | Node c when c.key < key -> walk curr
         | _ -> (pred, curr))
     in
-    walk t.head
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk t.head in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let validate pred curr =
     match pred with
@@ -144,7 +147,12 @@ module Make (T : Hwts.Timestamp.S) = struct
         if c.key < key then walk (Atomic.get c.next)
         else c.key = key && not (Atomic.get c.marked)
     in
-    match t.head with Nil -> false | Node h -> walk (Atomic.get h.next)
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r =
+      match t.head with Nil -> false | Node h -> walk (Atomic.get h.next)
+    in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
     Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
@@ -194,7 +202,9 @@ module Make (T : Hwts.Timestamp.S) = struct
                 walk succ
               end)
         in
+        Hwts_trace.Span.enter Hwts_trace.Traverse;
         walk start;
+        Hwts_trace.Span.exit Hwts_trace.Traverse;
         (ts, Sync.Scratch.Int_buffer.to_list buf))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)

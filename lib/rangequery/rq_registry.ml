@@ -52,6 +52,9 @@ let pending_ts = 1
    scanner used as its floor, so the floor it computed cannot cut history
    this RQ still needs. *)
 let announce t ~read =
+  (* Announcement + snapshot-stamp acquisition is the RQ-side label
+     acquisition phase; span it as such. *)
+  Hwts_trace.Span.enter Hwts_trace.Acquire;
   ignore (Atomic.fetch_and_add t.active 1);
   (* fault injection: counted but not yet visible in any slot *)
   Sync.Pause.point ();
@@ -72,6 +75,7 @@ let announce t ~read =
          every floor at 1 forever *)
       Atomic.set t.slots.(slot) 0;
       ignore (Atomic.fetch_and_add t.active (-1));
+      Hwts_trace.Span.exit Hwts_trace.Acquire;
       raise e
   in
   assert (ts > 0);
@@ -89,6 +93,7 @@ let announce t ~read =
   lower ();
   if Hwts_obs.Config.enabled () then
     Hwts_obs.Watermark.observe hwm (Atomic.get t.active);
+  Hwts_trace.Span.exit Hwts_trace.Acquire;
   ts
 
 let exit_rq t =

@@ -73,6 +73,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       s
 
   let find t key preds succs =
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
     let lfound = ref (-1) in
     let pred = ref t.head in
     for level = max_level downto 0 do
@@ -85,6 +86,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       preds.(level) <- !pred;
       succs.(level) <- !curr
     done;
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
     !lfound
 
   let contains t key =
@@ -284,7 +286,9 @@ module Make (T : Hwts.Timestamp.S) = struct
               walk m
             end
         in
+        Hwts_trace.Span.enter Hwts_trace.Traverse;
         walk start;
+        Hwts_trace.Span.exit Hwts_trace.Traverse;
         (ts, Sync.Scratch.Int_buffer.to_list buf))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)

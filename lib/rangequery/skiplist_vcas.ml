@@ -139,7 +139,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     end
 
   (* Returns whether succs.(0) holds [key]. *)
-  let rec find t key ({ preds; succs; wit0; wup; _ } as sc) =
+  let rec find_loop t key ({ preds; succs; wit0; wup; _ } as sc) =
     match
       let pred = ref t.head in
       for level = max_level downto 1 do
@@ -149,7 +149,15 @@ module Make (T : Hwts.Timestamp.S) = struct
       succs.(0).key = key
     with
     | result -> result
-    | exception Retry -> find t key sc
+    | exception Retry -> find_loop t key sc
+
+  (* Span at the non-recursive wrapper so a [Retry] restart extends the
+     one traversal span instead of leaking nested ones. *)
+  let find t key sc =
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = find_loop t key sc in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let prune_with t cell label =
     V.prune cell (Rq_registry.min_active_cached t.registry ~default:label)
@@ -241,6 +249,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     end
 
   let contains t key =
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
     let pred = ref t.head in
     (* descend the raw index levels *)
     for level = max_level downto 1 do
@@ -275,6 +284,7 @@ module Make (T : Hwts.Timestamp.S) = struct
           continue_ := false
         end
     done;
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
     !found
 
   (* vCAS range query: advance the clock, walk level 0 at the snapshot.
@@ -303,7 +313,9 @@ module Make (T : Hwts.Timestamp.S) = struct
             walk s.target
           end
         in
+        Hwts_trace.Span.enter Hwts_trace.Traverse;
         walk start;
+        Hwts_trace.Span.exit Hwts_trace.Traverse;
         (ts, Sync.Scratch.Int_buffer.to_list buf))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)

@@ -1,0 +1,5 @@
+(* Library interface module: the span API at the top level (callers
+   write [Hwts_trace.Span.enter]), the trend gate as a submodule. *)
+
+include Trace
+module Trend = Trend

@@ -1,0 +1,255 @@
+(* Perf-trajectory gate: diff two BENCH_*.json artifacts.
+
+   Both files are JSON lines.  Comparable points are extracted from the
+   shapes the benches emit — bench.scaling "point" lines, bench.hotpath
+   "comparison" lines, harness.run summaries — keyed by
+   (structure/provider, domains) so the diff pairs like with like.
+   Ratios are current/baseline Mops/s; the verdict is taken on
+   per-series medians with a noise margin, so one noisy point cannot
+   flip the gate on a shared machine. *)
+
+module J = Hwts_obs.Json
+
+type point = { series : string; subkey : int; mops : float; words_per_op : float }
+
+let str l name = Option.bind (J.member name l) J.to_str
+let num l name = Option.bind (J.member name l) J.to_float
+
+let point_of_line l =
+  match (str l "name", str l "type") with
+  | Some "bench.scaling", Some "point" -> (
+    match (str l "structure", str l "provider", num l "mops") with
+    | Some s, Some p, Some m ->
+      Some
+        {
+          series = s ^ "/" ^ p;
+          subkey = Option.value ~default:0 (Option.bind (J.member "domains" l) J.to_int);
+          mops = m;
+          words_per_op = Option.value ~default:0. (num l "words_per_op");
+        }
+    | _ -> None)
+  | Some "bench.hotpath", Some "comparison" -> (
+    match (str l "structure", J.member "optimized" l) with
+    | Some s, Some opt ->
+      Option.map
+        (fun m ->
+          {
+            series = s ^ "/hotpath";
+            subkey = 0;
+            mops = m;
+            words_per_op =
+              Option.value ~default:0.
+                (Option.bind (J.member "words_per_op" opt) J.to_float);
+          })
+        (Option.bind (J.member "mops" opt) J.to_float)
+    | _ -> None)
+  | Some "harness.run", _ ->
+    Option.map
+      (fun m ->
+        {
+          series =
+            Option.value ~default:"run" (str l "structure")
+            ^ "/"
+            ^ Option.value ~default:"?" (str l "provider");
+          subkey = Option.value ~default:0 (Option.bind (J.member "threads" l) J.to_int);
+          mops = m;
+          words_per_op = Option.value ~default:0. (num l "words_per_op");
+        })
+      (num l "mops")
+  | _ -> None
+
+let points_of_lines lines = List.filter_map point_of_line lines
+
+type series_diff = {
+  sd_series : string;
+  sd_points : int;
+  sd_median_ratio : float;
+  sd_min_ratio : float;
+  sd_max_ratio : float;
+  sd_words_ratio : float;  (** median cur/base words-per-op; informational *)
+}
+
+type verdict = Ok_ | Regression | Improvement
+
+type report = {
+  margin : float;
+  series : series_diff list;
+  overall_median : float;
+  verdict : verdict;
+  unmatched : int;  (** points present in only one artifact *)
+}
+
+let verdict_name = function
+  | Ok_ -> "ok"
+  | Regression -> "regression"
+  | Improvement -> "improvement"
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> 0.
+  | sorted ->
+    let n = List.length sorted in
+    let a = Array.of_list sorted in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let compare_lines ~base ~cur ~margin =
+  let bp = points_of_lines base and cp = points_of_lines cur in
+  let pairs, unmatched =
+    List.fold_left
+      (fun (pairs, missing) (c : point) ->
+        match
+          List.find_opt
+            (fun (b : point) -> b.series = c.series && b.subkey = c.subkey)
+            bp
+        with
+        | Some b when b.mops > 0. -> ((c.series, b, c) :: pairs, missing)
+        | _ -> (pairs, missing + 1))
+      ([], 0) cp
+  in
+  let names = List.sort_uniq compare (List.map (fun (s, _, _) -> s) pairs) in
+  let series =
+    List.map
+      (fun name ->
+        let here =
+          List.filter_map
+            (fun (s, b, c) -> if s = name then Some (b, c) else None)
+            pairs
+        in
+        let ratios = List.map (fun (b, c) -> c.mops /. b.mops) here in
+        let wr =
+          List.filter_map
+            (fun (b, c) ->
+              if b.words_per_op > 0. then Some (c.words_per_op /. b.words_per_op)
+              else None)
+            here
+        in
+        {
+          sd_series = name;
+          sd_points = List.length here;
+          sd_median_ratio = median ratios;
+          sd_min_ratio = List.fold_left Float.min infinity ratios;
+          sd_max_ratio = List.fold_left Float.max 0. ratios;
+          sd_words_ratio = (if wr = [] then 1. else median wr);
+        })
+      names
+  in
+  let overall = median (List.map (fun s -> s.sd_median_ratio) series) in
+  let verdict =
+    if series = [] then Ok_
+    else if List.exists (fun s -> s.sd_median_ratio < 1. -. margin) series then
+      Regression
+    else if overall > 1. +. margin then Improvement
+    else Ok_
+  in
+  { margin; series; overall_median = overall; verdict; unmatched }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if String.trim content = "" then Error (path ^ ": empty artifact")
+  else
+    match J.parse_lines content with
+    | Ok lines -> Ok lines
+    | Error e -> Error (path ^ ": " ^ e)
+
+let compare_files ~base ~cur ~margin =
+  match (parse_file base, parse_file cur) with
+  | Ok b, Ok c -> Ok (compare_lines ~base:b ~cur:c ~margin)
+  | Error e, _ | _, Error e -> Error e
+
+let to_json_lines ?base ?cur r =
+  let opt name v = match v with None -> [] | Some s -> [ (name, J.Str s) ] in
+  let meta =
+    J.Obj
+      ([ ("name", J.Str "trend.check"); ("type", J.Str "meta") ]
+      @ opt "base" base @ opt "cur" cur
+      @ [ ("margin", J.Float r.margin); ("unmatched", J.Int r.unmatched) ])
+  in
+  let series =
+    List.map
+      (fun s ->
+        J.Obj
+          [
+            ("name", J.Str "trend.check");
+            ("type", J.Str "series");
+            ("series", J.Str s.sd_series);
+            ("points", J.Int s.sd_points);
+            ("median_ratio", J.Float s.sd_median_ratio);
+            ("min_ratio", J.Float s.sd_min_ratio);
+            ("max_ratio", J.Float s.sd_max_ratio);
+            ("words_per_op_ratio", J.Float s.sd_words_ratio);
+          ])
+      r.series
+  in
+  let verdict =
+    J.Obj
+      [
+        ("name", J.Str "trend.check");
+        ("type", J.Str "verdict");
+        ("verdict", J.Str (verdict_name r.verdict));
+        ("overall_median", J.Float r.overall_median);
+        ("series_compared", J.Int (List.length r.series));
+      ]
+  in
+  String.concat ""
+    (List.map (fun l -> J.to_string l ^ "\n") ((meta :: series) @ [ verdict ]))
+
+let print_human r =
+  Printf.printf "%-40s %6s %8s %8s %8s\n" "series" "points" "median" "min" "max";
+  List.iter
+    (fun s ->
+      Printf.printf "%-40s %6d %8.3f %8.3f %8.3f%s\n" s.sd_series s.sd_points
+        s.sd_median_ratio s.sd_min_ratio s.sd_max_ratio
+        (if s.sd_median_ratio < 1. -. r.margin then "  << REGRESSION" else ""))
+    r.series;
+  Printf.printf "verdict: %s (overall median %.3f, margin %.2f, %d series, %d unmatched points)\n"
+    (verdict_name r.verdict) r.overall_median r.margin (List.length r.series)
+    r.unmatched
+
+(* Write a copy of [src] with every Mops/s figure scaled by [factor]:
+   the self-test fixture for the gate (a perturbed artifact must trip
+   it; factor 1.0 must not). *)
+let write_perturbed ~src ~dst ~factor =
+  match parse_file src with
+  | Error e -> Error e
+  | Ok lines ->
+    let scale = function
+      | J.Float f -> J.Float (f *. factor)
+      | J.Int i -> J.Float (float_of_int i *. factor)
+      | v -> v
+    in
+    let rewrite l =
+      match l with
+      | J.Obj fields ->
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "mops" then (k, scale v)
+               else if k = "optimized" || k = "baseline" then
+                 match v with
+                 | J.Obj inner ->
+                   ( k,
+                     J.Obj
+                       (List.map
+                          (fun (k', v') ->
+                            if k' = "mops" then (k', scale v') else (k', v'))
+                          inner) )
+                 | _ -> (k, v)
+               else (k, v))
+             fields)
+      | v -> v
+    in
+    let oc = open_out dst in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun l ->
+            output_string oc (J.to_string (rewrite l));
+            output_char oc '\n')
+          lines);
+    Ok ()

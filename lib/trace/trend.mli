@@ -1,0 +1,54 @@
+(** Perf-trajectory gate: mechanical diff of two bench artifacts.
+
+    Extracts (series, point) Mops/s pairs from the JSON-lines shapes the
+    benches emit ([bench.scaling] points, [bench.hotpath] comparisons,
+    [harness.run] summaries), pairs them by series and sub-key, and
+    renders a verdict on per-series median ratios with a noise margin —
+    a regression gate future PRs can run instead of eyeballing. *)
+
+type point = {
+  series : string;  (** e.g. ["bst-vcas/adaptive"] *)
+  subkey : int;  (** domain/thread count; 0 when not applicable *)
+  mops : float;
+  words_per_op : float;
+}
+
+val points_of_lines : Hwts_obs.Json.t list -> point list
+
+type series_diff = {
+  sd_series : string;
+  sd_points : int;
+  sd_median_ratio : float;  (** current / baseline Mops/s *)
+  sd_min_ratio : float;
+  sd_max_ratio : float;
+  sd_words_ratio : float;
+}
+
+type verdict = Ok_ | Regression | Improvement
+
+type report = {
+  margin : float;
+  series : series_diff list;
+  overall_median : float;
+  verdict : verdict;
+  unmatched : int;
+}
+
+val verdict_name : verdict -> string
+
+val compare_lines :
+  base:Hwts_obs.Json.t list -> cur:Hwts_obs.Json.t list -> margin:float -> report
+(** [Regression] iff any series' median ratio falls below [1 - margin];
+    [Improvement] iff the overall median exceeds [1 + margin]. *)
+
+val compare_files : base:string -> cur:string -> margin:float -> (report, string) result
+(** Reads both JSON-lines files; [Error] on unreadable/empty input. *)
+
+val to_json_lines : ?base:string -> ?cur:string -> report -> string
+(** One [trend.check] meta line, one line per series, one verdict line. *)
+
+val print_human : report -> unit
+
+val write_perturbed : src:string -> dst:string -> factor:float -> (unit, string) result
+(** Copy [src] with every Mops/s scaled by [factor] — the gate's
+    self-test fixture. *)

@@ -141,7 +141,46 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
       Hwts_obs.Histogram.record hist_range (Tsc.rdtscp () - c0));
     incr ops
   in
-  let step = if Hwts_obs.Config.enabled () then step_timed else step_plain in
+  (* Traced steps additionally bracket each op in an [Hwts_trace.Op]
+     span (class code = per-class index + 1; 0 is "none"), so the phase
+     spans the structures record get an op to attribute to. *)
+  let step_traced () =
+    (match Mix.pick_with config.mix rng ~key with
+    | Mix.Insert k ->
+      per_class.(0) <- per_class.(0) + 1;
+      Hwts_trace.Op.begin_ 1;
+      let c0 = Tsc.rdtscp () in
+      ignore (S.insert t k);
+      Hwts_obs.Histogram.record hist_insert (Tsc.rdtscp () - c0);
+      Hwts_trace.Op.end_ ()
+    | Mix.Delete k ->
+      per_class.(1) <- per_class.(1) + 1;
+      Hwts_trace.Op.begin_ 2;
+      let c0 = Tsc.rdtscp () in
+      ignore (S.delete t k);
+      Hwts_obs.Histogram.record hist_delete (Tsc.rdtscp () - c0);
+      Hwts_trace.Op.end_ ()
+    | Mix.Contains k ->
+      per_class.(2) <- per_class.(2) + 1;
+      Hwts_trace.Op.begin_ 3;
+      let c0 = Tsc.rdtscp () in
+      ignore (S.contains t k);
+      Hwts_obs.Histogram.record hist_contains (Tsc.rdtscp () - c0);
+      Hwts_trace.Op.end_ ()
+    | Mix.Range lo ->
+      per_class.(3) <- per_class.(3) + 1;
+      Hwts_trace.Op.begin_ 4;
+      let c0 = Tsc.rdtscp () in
+      ignore (S.range_query t ~lo ~hi:(lo + config.rq_len - 1));
+      Hwts_obs.Histogram.record hist_range (Tsc.rdtscp () - c0);
+      Hwts_trace.Op.end_ ());
+    incr ops
+  in
+  let step =
+    if Hwts_trace.Config.enabled () then step_traced
+    else if Hwts_obs.Config.enabled () then step_timed
+    else step_plain
+  in
   (* [Gc.minor_words] reads this domain's own young pointer, so the delta
      is the worker's allocation, not the whole program's. *)
   let words0 = Gc.minor_words () in
@@ -313,4 +352,10 @@ let write_metrics ?label ?provider result path =
       output_string oc
         (Hwts_obs.Json.to_string (run_json ?label ?provider result));
       output_char oc '\n';
-      output_string oc (Hwts_obs.Registry.to_json_lines ()))
+      output_string oc (Hwts_obs.Registry.to_json_lines ());
+      (* Traced runs also carry their tail attribution and stall scan,
+         so one artifact answers both "how fast" and "where did the
+         tail go". *)
+      if Hwts_trace.Config.enabled () then
+        output_string oc
+          (Hwts_trace.to_json_lines ?structure:label ?provider ()))

@@ -30,20 +30,30 @@ let ts_of_name = function
    plain [`Hardware] series keeps raw [RDTSCP; LFENCE] stamps for
    comparison with the paper's figures. *)
 
+(* Every provider handed to a structure goes through
+   {!Hwts.Timestamp.Traced}, so label acquisition shows up as an
+   [Acquire] phase in traces for all five series (one dead branch per
+   advance when tracing is off). *)
 let provider_of (ts : ts) : (module Hwts.Timestamp.S) =
   match ts with
   | `Logical ->
-    let module L = Hwts.Timestamp.Logical () in
+    let module L0 = Hwts.Timestamp.Logical () in
+    let module L = Hwts.Timestamp.Traced (L0) in
     (module L)
-  | `Hardware -> (module Hwts.Timestamp.Hardware)
+  | `Hardware ->
+    let module H = Hwts.Timestamp.Traced (Hwts.Timestamp.Hardware) in
+    (module H)
   | `Hardware_strict ->
-    let module S = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    let module S0 = Hwts.Timestamp.Strict_sharded (Hwts.Timestamp.Hardware) () in
+    let module S = Hwts.Timestamp.Traced (S0) in
     (module S)
   | `Hardware_strict_cas ->
-    let module S = Hwts.Timestamp.Strict (Hwts.Timestamp.Hardware) () in
+    let module S0 = Hwts.Timestamp.Strict (Hwts.Timestamp.Hardware) () in
+    let module S = Hwts.Timestamp.Traced (S0) in
     (module S)
   | `Adaptive ->
-    let module A = Hwts.Timestamp.Adaptive (Hwts.Timestamp.Hardware) () in
+    let module A0 = Hwts.Timestamp.Adaptive (Hwts.Timestamp.Hardware) () in
+    let module A = Hwts.Timestamp.Traced (A0) in
     (module A)
 
 type instance = {
@@ -65,8 +75,9 @@ let instance_of f (ts : ts) : instance =
        the ctl handle: benches record switch points, torture forces
        migrations mid-round. *)
     let module A = Hwts.Timestamp.Adaptive (Hwts.Timestamp.Hardware) () in
+    let module AT = Hwts.Timestamp.Traced (A) in
     {
-      structure = f (module A : Hwts.Timestamp.S);
+      structure = f (module AT : Hwts.Timestamp.S);
       now = A.read;
       provider = ts_name ts;
       adaptive = Some A.ctl;
@@ -138,10 +149,17 @@ let bst_ebrrq_lockfree_instance (ts : ts) : instance =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
+    (* The Traced wrapper hides [raw], which the DCSS labeling needs, so
+       re-export it alongside the traced operations. *)
+    let module LT = struct
+      include Hwts.Timestamp.Traced (L)
+
+      let raw = L.raw
+    end in
     {
       structure =
-        (module Rangequery.Bst_ebrrq_lockfree.Make (L) : Dstruct.Ordered_set
-                                                         .RQ);
+        (module Rangequery.Bst_ebrrq_lockfree.Make (LT) : Dstruct.Ordered_set
+                                                          .RQ);
       now = L.read;
       provider = ts_name `Logical;
       adaptive = None;

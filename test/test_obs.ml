@@ -32,6 +32,28 @@ let counter_kill_switch () =
   with_enabled true (fun () -> Hwts_obs.Counter.incr c);
   Alcotest.(check int) "enabled counts" 1 (Hwts_obs.Counter.sum c)
 
+(* The mid-run drift case: a depth gauge bracketed around a section must
+   come back to zero no matter when [set_enabled] flips.  [exit] replays
+   [enter]'s decision instead of re-reading the switch — with plain
+   incr/add the first flip below would leave the gauge at +1 and the
+   second would drive it to -1. *)
+let counter_bracket_drift () =
+  let c = Hwts_obs.Counter.create "test.bracket" in
+  with_enabled true (fun () ->
+      let entered = Hwts_obs.Counter.enter c in
+      Alcotest.(check bool) "entered under enabled" true entered;
+      Hwts_obs.Config.set_enabled false;
+      Hwts_obs.Counter.exit c ~entered);
+  Alcotest.(check int) "no drift when disabled mid-section" 0
+    (Hwts_obs.Counter.sum c);
+  with_enabled false (fun () ->
+      let entered = Hwts_obs.Counter.enter c in
+      Alcotest.(check bool) "declined under disabled" false entered;
+      Hwts_obs.Config.set_enabled true;
+      Hwts_obs.Counter.exit c ~entered);
+  Alcotest.(check int) "no drift when enabled mid-section" 0
+    (Hwts_obs.Counter.sum c)
+
 (* ---------- histograms ---------- *)
 
 let histogram_bucket_boundaries () =
@@ -191,6 +213,7 @@ let () =
         [
           Alcotest.test_case "sharded sum" `Quick counter_sharded_sum;
           Alcotest.test_case "kill switch" `Quick counter_kill_switch;
+          Alcotest.test_case "bracket drift" `Quick counter_bracket_drift;
         ] );
       ( "histogram",
         [

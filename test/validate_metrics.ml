@@ -118,6 +118,138 @@ let validate_scaling path lines =
     exit 1
   end
 
+(* A Chrome trace_event artifact (hwts-cli run --trace-out) is a single
+   JSON object, not lines: validate the envelope and that every event
+   carries the fields Perfetto needs to place it. *)
+let validate_chrome path doc =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (match J.member "traceEvents" doc with
+  | Some (J.List evs) ->
+    if evs = [] then err "traceEvents is empty";
+    List.iter
+      (fun ev ->
+        if Option.bind (J.member "name" ev) J.to_str = None then
+          err "event without name";
+        (match Option.bind (J.member "ph" ev) J.to_str with
+        | Some ("X" | "B" | "i") -> ()
+        | Some ph -> err "unknown event ph %S" ph
+        | None -> err "event without ph");
+        if Option.bind (J.member "ts" ev) J.to_float = None then
+          err "event without numeric ts";
+        List.iter
+          (fun f ->
+            if Option.bind (J.member f ev) J.to_int = None then
+              err "event without integer %s" f)
+          [ "pid"; "tid" ])
+      evs;
+    if !errors = [] then begin
+      Printf.printf "ok: chrome trace with %d events in %s\n"
+        (List.length evs) path;
+      exit 0
+    end
+  | _ -> err "no traceEvents list");
+  List.iter (Printf.eprintf "validate_metrics: chrome: %s\n")
+    (List.sort_uniq compare !errors);
+  exit 1
+
+let trace_phase_names =
+  [ "acquire"; "traverse"; "cas_retry"; "ebr"; "reclaim"; "wait"; "other" ]
+
+(* A tail-attribution artifact (hwts-cli trace-report): a trace.report
+   meta line plus trace.tailattr band lines covering the promised grid
+   of >= 3 structures x 2 providers with the three rank bands. *)
+let validate_tailattr path lines =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let attrs =
+    List.filter (fun l -> J.member "name" l = Some (J.Str "trace.tailattr")) lines
+  in
+  if attrs = [] then err "no trace.tailattr lines";
+  let str l name = Option.bind (J.member name l) J.to_str in
+  List.iter
+    (fun a ->
+      (match str a "band" with
+      | Some ("p50" | "p99" | "p999") -> ()
+      | Some b -> err "unknown band %S" b
+      | None -> err "tailattr line without band");
+      (match str a "dominant" with
+      | Some d when List.mem d trace_phase_names -> ()
+      | Some d -> err "dominant %S is not a known phase" d
+      | None -> err "tailattr line without dominant");
+      (match Option.bind (J.member "dominant_share" a) J.to_float with
+      | Some s when s >= 0. && s <= 1. -> ()
+      | Some s -> err "dominant_share %g out of [0,1]" s
+      | None -> err "tailattr line without dominant_share");
+      if Option.bind (J.member "mean_cycles" a) J.to_float = None then
+        err "tailattr line without mean_cycles";
+      if Option.bind (J.member "ops" a) J.to_int = None then
+        err "tailattr line without ops")
+    attrs;
+  let distinct field =
+    List.sort_uniq compare (List.filter_map (fun a -> str a field) attrs)
+  in
+  let structures = distinct "structure" and providers = distinct "provider" in
+  if List.length structures < 3 then
+    err "tailattr must cover >= 3 structures (found %d)"
+      (List.length structures);
+  if List.length providers < 2 then
+    err "tailattr must cover >= 2 providers (found %d)" (List.length providers);
+  if !errors = [] then begin
+    Printf.printf
+      "ok: tail attribution in %s (%d band lines, %d structures x %d providers)\n"
+      path (List.length attrs) (List.length structures) (List.length providers);
+    exit 0
+  end
+  else begin
+    List.iter (Printf.eprintf "validate_metrics: tailattr: %s\n")
+      (List.sort_uniq compare !errors);
+    exit 1
+  end
+
+(* A trend gate report (hwts-cli trend / bench/trendcheck -out): one meta
+   line, per-series ratio lines, exactly one verdict line. *)
+let validate_trend path lines =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let of_type t =
+    List.filter (fun l -> J.member "type" l = Some (J.Str t)) lines
+  in
+  (match of_type "meta" with
+  | [ m ] ->
+    if Option.bind (J.member "margin" m) J.to_float = None then
+      err "meta line without margin"
+  | ms -> err "expected exactly one meta line, found %d" (List.length ms));
+  let series = of_type "series" in
+  if series = [] then err "no series lines";
+  List.iter
+    (fun s ->
+      if Option.bind (J.member "series" s) J.to_str = None then
+        err "series line without series name";
+      List.iter
+        (fun f ->
+          if Option.bind (J.member f s) J.to_float = None then
+            err "series line without %s" f)
+        [ "median_ratio"; "min_ratio"; "max_ratio" ])
+    series;
+  (match of_type "verdict" with
+  | [ v ] -> (
+    match Option.bind (J.member "verdict" v) J.to_str with
+    | Some ("ok" | "regression" | "improvement") -> ()
+    | Some x -> err "unknown verdict %S" x
+    | None -> err "verdict line without verdict")
+  | vs -> err "expected exactly one verdict line, found %d" (List.length vs));
+  if !errors = [] then begin
+    Printf.printf "ok: trend report in %s (%d series)\n" path
+      (List.length series);
+    exit 0
+  end
+  else begin
+    List.iter (Printf.eprintf "validate_metrics: trend: %s\n")
+      (List.sort_uniq compare !errors);
+    exit 1
+  end
+
 let () =
   if Array.length Sys.argv < 2 then begin
     prerr_endline "usage: validate_metrics FILE";
@@ -127,6 +259,13 @@ let () =
   let ic = open_in_bin path in
   let content = really_input_string ic (in_channel_length ic) in
   close_in ic;
+  (* An empty artifact is always a failure, never vacuously valid — the
+     bench-scaling-smoke gate relies on this to reject a truncated
+     BENCH_scaling.json. *)
+  if String.trim content = "" then begin
+    Printf.eprintf "%s: empty artifact\n" path;
+    exit 1
+  end;
   (* Torture trace artifacts (lib/check recorder histories) live next to
      metrics files but are human-readable event logs, not registry JSON;
      recognize and skip them rather than failing the parse. *)
@@ -142,11 +281,23 @@ let () =
   | Error e ->
     Printf.eprintf "%s: invalid JSON lines: %s\n" path e;
     exit 1
+  | Ok [ doc ] when J.member "traceEvents" doc <> None ->
+    validate_chrome path doc
   | Ok lines
     when List.exists
            (fun l -> J.member "name" l = Some (J.Str "bench.scaling"))
            lines ->
     validate_scaling path lines
+  | Ok lines
+    when List.exists
+           (fun l -> J.member "name" l = Some (J.Str "trend.check"))
+           lines ->
+    validate_trend path lines
+  | Ok lines
+    when List.exists
+           (fun l -> J.member "name" l = Some (J.Str "trace.report"))
+           lines ->
+    validate_tailattr path lines
   | Ok lines ->
     let find name =
       List.find_opt (fun l -> J.member "name" l = Some (J.Str name)) lines

@@ -5,7 +5,7 @@ SMOKE_METRICS := /tmp/obs.json
 .PHONY: all build test fmt-check check check-smoke check-torture \
   bench-smoke bench-obs bench-hotpath bench-hotpath-guard \
   bench-scaling bench-scaling-smoke bench-adaptive bench-adaptive-smoke \
-  trace-smoke trend-guard bench-tailattr clean
+  bench-provider-zoo trace-smoke trend-guard bench-tailattr clean
 
 all: build
 
@@ -39,16 +39,36 @@ check-torture: build
 # Re-measure the optimized leg with fault injection disabled (the
 # default) and fail on any regression vs the checked-in artifact:
 # allocation per op is compared near-exactly, throughput with a
-# shared-machine tolerance.
+# shared-machine tolerance.  The second leg re-runs the guard under the
+# logical provider: the provider-zoo code rides in every binary, and the
+# near-exact words/op bound proves it costs the pre-existing providers
+# nothing (the reference throughput was recorded under rdtscp, so the
+# Mops/s tolerance is loosened for that leg — the allocation bound is
+# the assertion).
 bench-hotpath-guard: build
 	dune exec bench/hotpath.exe -- -guard BENCH_hotpath.json
+	dune exec bench/hotpath.exe -- -guard BENCH_hotpath.json \
+	  -provider logical -guard-tol 0.5
 
 # End-to-end smoke of the metrics pipeline: a short instrumented run must
 # produce a JSON-lines file containing the canonical metric set.
-bench-smoke: build bench-scaling-smoke bench-adaptive-smoke trace-smoke trend-guard
+bench-smoke: build bench-scaling-smoke bench-adaptive-smoke \
+  bench-provider-zoo trace-smoke trend-guard
 	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 0.2 \
 	  --metrics-out $(SMOKE_METRICS)
 	dune exec test/validate_metrics.exe -- $(SMOKE_METRICS)
+
+# Every zoo provider run end to end through the harness: one short
+# instrumented run per provider, each metrics file schema-validated.
+# Catches a provider that labels correctly in unit tests but wedges or
+# starves under the real multi-domain workload.
+bench-provider-zoo: build
+	for p in logical delayed multislot tl2 rdtscp-strict adaptive; do \
+	  dune exec bin/hwts_cli.exe -- run bst-vcas --provider $$p \
+	    --threads 2 --seconds 0.1 --metrics-out /tmp/zoo_$$p.json \
+	    || exit 1; \
+	  dune exec test/validate_metrics.exe -- /tmp/zoo_$$p.json || exit 1; \
+	done
 
 # A traced run end to end: sampling on, Chrome trace + tail-attribution
 # lines written and schema-validated (the Chrome file is what Perfetto
@@ -62,7 +82,10 @@ trace-smoke: build
 
 # The perf-trajectory gate's self-test: the checked-in scaling artifact
 # diffed against itself must pass, a copy with Mops/s scaled to 60% must
-# trip the regression verdict, and the JSON report must validate.
+# trip the regression verdict, and the JSON report must validate.  The
+# single-series perturbation then slows only one zoo provider's series:
+# the gate must still trip, proving a regression confined to one
+# provider cannot hide behind the healthy rest of the zoo.
 trend-guard: build
 	dune exec bench/trendcheck.exe -- BENCH_scaling.json BENCH_scaling.json \
 	  -out /tmp/trend-report.json
@@ -70,9 +93,14 @@ trend-guard: build
 	dune exec bench/trendcheck.exe -- -perturb 0.6 \
 	  -out /tmp/trend-perturbed.json BENCH_scaling.json
 	! dune exec bench/trendcheck.exe -- BENCH_scaling.json /tmp/trend-perturbed.json
+	dune exec bench/trendcheck.exe -- -perturb 0.6 \
+	  -perturb-series bst-vcas/tl2 \
+	  -out /tmp/trend-perturbed-series.json BENCH_scaling.json
+	! dune exec bench/trendcheck.exe -- BENCH_scaling.json \
+	  /tmp/trend-perturbed-series.json
 
-# Refresh the checked-in tail-attribution artifact: 3 structures x 2
-# providers, p50/p99/p999 dominant-phase bands per op class.
+# Refresh the checked-in tail-attribution artifact: 3 structures x the
+# 6-provider zoo, p50/p99/p999 dominant-phase bands per op class.
 bench-tailattr: build
 	dune exec bin/hwts_cli.exe -- trace-report -o BENCH_tailattr.json
 	dune exec test/validate_metrics.exe -- BENCH_tailattr.json

@@ -192,8 +192,8 @@ let () =
     [
       ( "-provider",
         Arg.Set_string provider,
-        " timestamp provider: logical, rdtscp, sharded, strict or adaptive \
-         (default rdtscp)" );
+        " timestamp provider (default rdtscp); any registry name:\n"
+        ^ Workload.Targets.provider_help () );
       ("-threads", Arg.Set_int threads, " worker domains (default 1)");
       ("-ops", Arg.Set_int ops, " fixed ops per thread per leg (default 200k)");
       ("-warmup", Arg.Set_int warmup, " discarded warmup ops (default 50k)");
@@ -220,9 +220,9 @@ let () =
     match Workload.Targets.ts_of_name !provider with
     | Some ts -> ts
     | None ->
-      Printf.eprintf
-        "unknown provider %S (logical, rdtscp, sharded, strict, adaptive)\n"
-        !provider;
+      Printf.eprintf "unknown provider %S; known providers:\n%s"
+        !provider
+        (Workload.Targets.provider_help ());
       exit 2
   in
   let config =

@@ -1,7 +1,8 @@
-(* Domain-scaling sweep: every range-query structure under the logical
-   (fetch-and-add), the sharded strict TSC ("rdtscp-strict") and the
-   adaptive provider, at 1/2/4/8 worker domains (HWTS_DOMAINS / -domains
-   to override).
+(* Domain-scaling sweep: every range-query structure under the full
+   provider zoo — logical (fetch-and-add), the flock/verlib logical-clock
+   optimizations (delayed-increment, multislot sum, TL2 epochs), the
+   sharded strict TSC ("rdtscp-strict") and the adaptive provider — at
+   1/2/4/8 worker domains (HWTS_DOMAINS / -domains to override).
 
    This is the Figure 1/2 experiment of the paper run as a regression
    artifact: the logical clock's single shared word is the point of
@@ -81,47 +82,47 @@ let summarize legs =
     elapsed = median (List.map (fun l -> l.elapsed) legs);
   }
 
-(* Paired trials at one (structure, domain count): the three providers
-   run back to back, the order rotating by trial.  Each adaptive leg gets
-   a *fresh* instance (its sensing state and switch log are per-instance);
-   the leg's migration count and, for the final leg, the chronological
-   switch points (direction, label at the fold) are kept alongside. *)
-let run_triple name make config ~warmup ~trials =
-  let log_legs = ref [] and strict_legs = ref [] and adapt_legs = ref [] in
+(* The swept provider zoo: the paper's two poles (logical FAA, sharded
+   strict TSC), the three flock/verlib logical-clock optimizations, and
+   the adaptive provider that self-selects among all of them. *)
+let zoo : Workload.Targets.ts list =
+  [ `Logical; `Delayed; `Multislot; `Tl2; `Hardware_strict; `Adaptive ]
+
+let zoo_names = List.map Workload.Targets.ts_name zoo
+
+(* Paired trials at one (structure, domain count): all zoo providers run
+   back to back, the starting provider rotating by trial so no series
+   systematically inherits a warm cache or a stolen quantum.  Each
+   adaptive leg gets a *fresh* instance (its sensing state and switch log
+   are per-instance); the leg's migration count and, for the final leg,
+   the chronological switch points (direction, label at the fold) are
+   kept alongside. *)
+let run_zoo name make config ~warmup ~trials =
+  let n = List.length zoo in
+  let providers = Array.of_list zoo in
+  let legs = Array.make n [] in
   let switch_counts = ref [] and last_switch_points = ref [] in
-  let log () = log_legs := run_leg (make `Logical) config ~warmup :: !log_legs
-  and strict () =
-    strict_legs := run_leg (make `Hardware_strict) config ~warmup :: !strict_legs
-  and adapt () =
-    let inst = Workload.Targets.instance name `Adaptive in
-    let leg = run_leg inst.Workload.Targets.structure config ~warmup in
-    (match inst.Workload.Targets.adaptive with
-    | Some ctl ->
-      switch_counts := ctl.Hwts.Timestamp.switch_count () :: !switch_counts;
-      last_switch_points := ctl.Hwts.Timestamp.switch_points ()
-    | None -> ());
-    adapt_legs := leg :: !adapt_legs
+  let run_one idx =
+    match providers.(idx) with
+    | `Adaptive ->
+      let inst = Workload.Targets.instance name `Adaptive in
+      let leg = run_leg inst.Workload.Targets.structure config ~warmup in
+      (match inst.Workload.Targets.adaptive with
+      | Some ctl ->
+        switch_counts := ctl.Hwts.Timestamp.switch_count () :: !switch_counts;
+        last_switch_points := ctl.Hwts.Timestamp.switch_points ()
+      | None -> ());
+      legs.(idx) <- leg :: legs.(idx)
+    | ts -> legs.(idx) <- run_leg (make ts) config ~warmup :: legs.(idx)
   in
-  for i = 0 to trials - 1 do
-    match i mod 3 with
-    | 0 ->
-      log ();
-      strict ();
-      adapt ()
-    | 1 ->
-      strict ();
-      adapt ();
-      log ()
-    | _ ->
-      adapt ();
-      log ();
-      strict ()
+  for t = 0 to trials - 1 do
+    for i = 0 to n - 1 do
+      run_one ((t + i) mod n)
+    done
   done;
-  ( summarize !log_legs,
-    summarize !strict_legs,
-    summarize !adapt_legs,
+  ( Array.to_list (Array.map summarize legs),
     (median !switch_counts, !last_switch_points),
-    (best_mops !log_legs, best_mops !strict_legs, best_mops !adapt_legs) )
+    Array.to_list (Array.map best_mops legs) )
 
 let point_json ?switches ?switch_points ~structure ~provider ~domains p =
   Hwts_obs.Json.Obj
@@ -203,8 +204,8 @@ let () =
         " paired trials per point, medians kept (default 3)" );
     ]
     (fun _ -> ())
-    "scaling: logical vs rdtscp-strict vs adaptive domain sweep (the \
-     Fig. 1/2 crossover)";
+    "scaling: provider-zoo domain sweep (the Fig. 1/2 crossover plus the \
+     flock/verlib logical-clock schemes)";
   let domain_counts = parse_domains !domains_spec in
   Hwts_obs.Config.set_enabled false;
   let config domains =
@@ -244,11 +245,7 @@ let () =
          ("cores", Hwts_obs.Json.Int (Domain.recommended_domain_count ()));
          ( "providers",
            Hwts_obs.Json.List
-             [
-               Hwts_obs.Json.Str "logical";
-               Hwts_obs.Json.Str "rdtscp-strict";
-               Hwts_obs.Json.Str "adaptive";
-             ] );
+             (List.map (fun n -> Hwts_obs.Json.Str n) zoo_names) );
        ]);
   Printf.printf "%-18s %-14s %8s %10s %10s %8s %8s\n" "structure" "provider"
     "domains" "mops" "w/op" "cv" "imbal";
@@ -266,11 +263,20 @@ let () =
           domain_counts
       end
       else begin
+        let index_of x l =
+          let rec go i = function
+            | [] -> invalid_arg "index_of"
+            | y :: t -> if x = y then i else go (i + 1) t
+          in
+          go 0 l
+        in
+        let li = index_of "logical" zoo_names
+        and si = index_of "rdtscp-strict" zoo_names in
         let series =
           List.map
             (fun d ->
-              let log, strict, adapt, (switches, switch_points), bests =
-                run_triple name make (config d) ~warmup:!warmup ~trials:!trials
+              let points, (switches, switch_points), bests =
+                run_zoo name make (config d) ~warmup:!warmup ~trials:!trials
               in
               List.iter
                 (fun (provider, p) ->
@@ -282,19 +288,22 @@ let () =
                       (point_json ~structure:name ~provider ~domains:d
                          ~switches ~switch_points p)
                   else emit (point_json ~structure:name ~provider ~domains:d p))
-                [ ("logical", log); ("rdtscp-strict", strict);
-                  ("adaptive", adapt) ];
-              (d, log, strict, adapt, bests))
+                (List.combine zoo_names points);
+              (d, points, bests))
             domain_counts
         in
         (* The acceptance gauge: at every point the adaptive series should
            be within tolerance of whichever fixed provider won there.
-           Ratios come from each leg's best trial (see best_mops). *)
+           Ratios come from each leg's best trial (see best_mops); the
+           adaptive provider is the last zoo entry. *)
         let worst_ratio =
           List.fold_left
-            (fun acc (_, _, _, _, (bl, bs, ba)) ->
-              let best = Float.max bl bs in
-              if best <= 0. then acc else Float.min acc (ba /. best))
+            (fun acc (_, _, bests) ->
+              match List.rev bests with
+              | ba :: fixed_rev ->
+                let best = List.fold_left Float.max 0. fixed_rev in
+                if best <= 0. then acc else Float.min acc (ba /. best)
+              | [] -> acc)
             infinity series
         in
         let margin_ok = worst_ratio >= 0.9 in
@@ -312,14 +321,28 @@ let () =
                ("ok", Hwts_obs.Json.Bool margin_ok);
              ]);
         (* The Fig. 1/2 shape: logical ahead at the smallest count, strict
-           ahead at some larger one. *)
-        let d0, log0, strict0, _, _ = List.hd series in
+           ahead at some larger one.  Alongside, the single-threaded-gap
+           gauge of the zoo: which fixed provider wins at the smallest
+           domain count, and whether any zoo scheme matches the logical
+           baseline there (the gap the flock optimizations exist to
+           close). *)
+        let d0, points0, _ = List.hd series in
+        let log0 = List.nth points0 li and strict0 = List.nth points0 si in
         let logical_wins_at_min = log0.mops >= strict0.mops in
         let crossover =
           List.find_map
-            (fun (d, log, strict, _, _) ->
-              if d > d0 && strict.mops > log.mops then Some d else None)
+            (fun (d, points, _) ->
+              if d > d0 && (List.nth points si).mops > (List.nth points li).mops
+              then Some d
+              else None)
             series
+        in
+        let zoo_best_at_min, zoo_best_name =
+          List.fold_left2
+            (fun (bm, bn) p pname ->
+              if pname <> "adaptive" && p.mops > bm then (p.mops, pname)
+              else (bm, bn))
+            (0., "") points0 zoo_names
         in
         let shape_found = logical_wins_at_min && crossover <> None in
         if shape_found then crossover_structures := name :: !crossover_structures;
@@ -336,6 +359,9 @@ let () =
                  | Some d -> Hwts_obs.Json.Int d
                  | None -> Hwts_obs.Json.Null );
                ("shape_found", Hwts_obs.Json.Bool shape_found);
+               ("zoo_best_at_min", Hwts_obs.Json.Str zoo_best_name);
+               ( "zoo_closes_gap_at_min",
+                 Hwts_obs.Json.Bool (zoo_best_at_min >= log0.mops) );
              ])
       end)
     structures;

@@ -11,6 +11,7 @@ let () =
   let margin = ref 0.25 in
   let out = ref "" in
   let perturb = ref nan in
+  let perturb_series = ref "" in
   let spec =
     [
       ( "-margin",
@@ -21,6 +22,10 @@ let () =
         Arg.Set_float perturb,
         " FACTOR  write a copy of the (single) input with Mops/s scaled by \
          FACTOR to -out, instead of diffing" );
+      ( "-perturb-series",
+        Arg.Set_string perturb_series,
+        " SERIES  with -perturb: scale only the named series (e.g. \
+         bst-vcas/tl2); errors if the series has no points" );
     ]
   in
   let positional = ref [] in
@@ -39,11 +44,14 @@ let () =
       prerr_endline "trendcheck: -perturb requires -out";
       exit 2
     end;
+    let only = if !perturb_series = "" then None else Some !perturb_series in
     match
-      Hwts_trace.Trend.write_perturbed ~src:!base ~dst:!out ~factor:!perturb
+      Hwts_trace.Trend.write_perturbed ?only ~src:!base ~dst:!out
+        ~factor:!perturb ()
     with
     | Ok () ->
-      Printf.printf "wrote %s (mops x %g)\n" !out !perturb;
+      Printf.printf "wrote %s (mops x %g%s)\n" !out !perturb
+        (if !perturb_series = "" then "" else ", series " ^ !perturb_series);
       exit 0
     | Error e ->
       Printf.eprintf "trendcheck: %s\n" e;

@@ -147,10 +147,8 @@ let provider_conv : Workload.Targets.ts Arg.conv =
     | None ->
       Error
         (`Msg
-          (Printf.sprintf
-             "unknown provider %S (one of: logical, rdtscp, sharded, strict, \
-              adaptive)"
-             s))
+          (Printf.sprintf "unknown provider %S; known providers:\n%s" s
+             (Workload.Targets.provider_help ())))
   in
   Arg.conv
     ( parse,
@@ -314,10 +312,10 @@ let stress provider seed metrics_out =
 (* Torture driver: seeded randomized multi-domain rounds under fault
    injection, every recorded history checked by the snapshot oracle.  With
    no --structure/--provider it sweeps every structure under the logical,
-   rdtscp-strict and adaptive providers; the first violation stops the
-   sweep, prints the minimized counterexample, and leaves a replayable
-   trace artifact. *)
-let check structure provider seed rounds no_faults =
+   zoo (delayed/multislot/tl2), rdtscp-strict and adaptive providers; the
+   first violation stops the sweep, prints the minimized counterexample,
+   and leaves a replayable trace artifact. *)
+let check structure provider seed rounds no_faults fixture_out =
   let structures =
     match structure with
     | Some (name, _) -> [ name ]
@@ -326,8 +324,44 @@ let check structure provider seed rounds no_faults =
   let providers : Workload.Targets.ts list =
     match provider with
     | Some p -> [ p ]
-    | None -> [ `Logical; `Hardware_strict; `Adaptive ]
+    | None ->
+      [ `Logical; `Delayed; `Multislot; `Tl2; `Hardware_strict; `Adaptive ]
   in
+  match (fixture_out, structures, providers) with
+  | Some path, [ name ], [ ts ] -> (
+    (* record one seeded round as a replayable fixture: the round must
+       pass the oracle before it is worth checking in *)
+    let cfg =
+      {
+        (Hwts_check.Torture.default_config ~structure:name ~provider:ts ~seed)
+        with
+        rounds = 1;
+        faults = not no_faults;
+      }
+    in
+    let initial, events = Hwts_check.Torture.run_round cfg ~round_seed:seed in
+    let order = Hwts_check.Torture.order_of cfg in
+    match Hwts_check.Oracle.verify ~initial ~order events with
+    | Hwts_check.Oracle.Violation _ ->
+      Printf.eprintf
+        "hwts-cli check: seed %#x fails the oracle on %s/%s; not writing a \
+         fixture\n"
+        seed name
+        (Workload.Targets.ts_name ts);
+      1
+    | Hwts_check.Oracle.Pass ->
+      Hwts_check.Torture.write_fixture ~path cfg ~round_seed:seed ~initial
+        ~events;
+      Printf.printf "%-20s %-13s fixture (%d events) -> %s\n" name
+        (Workload.Targets.ts_name ts)
+        (List.length events) path;
+      0)
+  | Some _, _, _ ->
+    prerr_endline
+      "hwts-cli check: --fixture-out needs exactly one structure and one \
+       provider";
+    2
+  | None, _, _ ->
   let failed = ref false in
   List.iter
     (fun name ->
@@ -509,16 +543,17 @@ let structure_pos ?(default = false) () =
       & info [] ~docv:"STRUCTURE" ~doc:"bst-vcas, citrus-vcas, ...")
 
 let provider_opt =
+  (* doc derives from the one registry in Workload.Targets, so help text
+     can never drift from what ts_of_name accepts *)
+  let doc =
+    "Timestamp provider.  Known providers (aliases in parentheses):\n"
+    ^ Workload.Targets.provider_help ()
+    ^ "\nOverrides the legacy $(b,--rdtscp)/$(b,--strict) flags."
+  in
   Arg.(
     value
     & opt (some provider_conv) None
-    & info [ "provider" ] ~docv:"PROVIDER"
-        ~doc:
-          "Timestamp provider: $(b,logical), $(b,rdtscp), $(b,sharded) \
-           (the sharded strict scheme, rdtscp-strict), $(b,strict) (the \
-           shared-word CAS tie-bump, rdtscp-strict-cas) or $(b,adaptive) \
-           (starts logical, migrates onto the TSC under contention).  \
-           Overrides the legacy $(b,--rdtscp)/$(b,--strict) flags.")
+    & info [ "provider" ] ~docv:"PROVIDER" ~doc)
 
 let hardware_flag =
   Arg.(value & flag & info [ "rdtscp"; "hardware" ] ~doc:"Use the TSC provider")
@@ -617,8 +652,8 @@ let check_cmd =
       & opt (some provider_conv) None
       & info [ "provider" ] ~docv:"PROVIDER"
           ~doc:
-            "Torture only $(docv): logical, rdtscp, sharded, strict or \
-             adaptive (default: logical, sharded and adaptive)")
+            "Torture only $(docv) (any registry provider; default: the \
+             zoo — logical, delayed, multislot, tl2, sharded and adaptive)")
   in
   let rounds =
     Arg.(
@@ -630,12 +665,24 @@ let check_cmd =
       value & flag
       & info [ "no-faults" ] ~doc:"Disable fault injection (schedule torture only)")
   in
+  let fixture_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fixture-out" ] ~docv:"FILE"
+          ~doc:
+            "Record one passing seeded round (for a single \
+             structure/provider pair) as a replayable fixture instead of \
+             running the torture")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Seeded fault-injection torture of the range-query ports, every \
           recorded history verified by the snapshot oracle")
-    Term.(const check $ structure $ provider $ seed_opt $ rounds $ no_faults)
+    Term.(
+      const check $ structure $ provider $ seed_opt $ rounds $ no_faults
+      $ fixture_out)
 
 let trend_cmd =
   let base =
@@ -673,9 +720,11 @@ let trace_report_cmd =
       & info [ "structures" ] ~docv:"LIST" ~doc:"Comma-separated structures")
   in
   let providers =
+    (* the full zoo, so the tail-attribution artifact shows where every
+       provider's acquire cost lands *)
     Arg.(
       value
-      & opt string "logical,sharded"
+      & opt string "logical,delayed,multislot,tl2,rdtscp-strict,adaptive"
       & info [ "providers" ] ~docv:"LIST" ~doc:"Comma-separated providers")
   in
   let threads = Arg.(value & opt int 2 & info [ "t"; "threads" ]) in

@@ -61,10 +61,13 @@ let step state op result =
 
 (* A label must name an instant the query actually spanned; anything else
    is an unsatisfiable claim (or a malformed history) and the whole
-   history is rejected. *)
-let well_labeled e =
+   history is rejected.  Comparison goes through the provider's
+   [Labeling.label_order]: TL2-style stamps tie across a whole epoch, so
+   a label can sit numerically below the start tick by id bits alone. *)
+let well_labeled ~order e =
+  let cmp = order.Hwts.Labeling.compare_labels in
   match (e.op, e.label) with
-  | Range _, Some l -> e.start_t <= l && l <= e.end_t
+  | Range _, Some l -> cmp e.start_t l <= 0 && cmp l e.end_t <= 0
   | Range _, None -> true
   | _, Some _ -> false
   | _, None -> true
@@ -94,14 +97,15 @@ let is_timestamped e =
    real-time precedence).  Pinning reads onto the clock axis would be
    unsound: a read can linearize before an update whose label it never
    interacted with, even when its ticks postdate that label. *)
-let check_dfs ?(initial = []) events =
+let check_dfs ?(initial = []) ?(order = Hwts.Labeling.raw_order) events =
   let arr = Array.of_list events in
   let n = Array.length arr in
   assert (n <= max_events);
   let pinned = Array.map effective arr in
   let ts_flag = Array.map is_timestamped arr in
+  let cmp = order.Hwts.Labeling.compare_labels in
   let prec j i =
-    if ts_flag.(j) && ts_flag.(i) then snd pinned.(j) < fst pinned.(i)
+    if ts_flag.(j) && ts_flag.(i) then cmp (snd pinned.(j)) (fst pinned.(i)) < 0
     else arr.(j).end_t < arr.(i).start_t
   in
   let state0 = List.fold_left (fun s k -> s lor (1 lsl k)) 0 initial in
@@ -179,7 +183,7 @@ let project k events =
       | Range _, None -> assert false (* decomposable implies labeled *))
     events
 
-let check_per_key ~initial events =
+let check_per_key ~initial ~order events =
   let state0 = List.fold_left (fun s k -> s lor (1 lsl k)) 0 initial in
   let key_mask =
     List.fold_left
@@ -196,15 +200,15 @@ let check_per_key ~initial events =
       | [] -> ()
       | sub ->
         let initial = if state0 land (1 lsl k) <> 0 then [ k ] else [] in
-        ok := check_dfs ~initial sub
+        ok := check_dfs ~initial ~order sub
   done;
   !ok
 
-let check ?(initial = []) events =
-  List.for_all well_labeled events
+let check ?(initial = []) ?(order = Hwts.Labeling.raw_order) events =
+  List.for_all (well_labeled ~order) events
   &&
-  if decomposable events then check_per_key ~initial events
-  else check_dfs ~initial events
+  if decomposable events then check_per_key ~initial ~order events
+  else check_dfs ~initial ~order events
 
 let spawn_workers n body =
   let domains =

@@ -32,12 +32,17 @@ val max_key : int
 val ev : ?label:int -> int -> int -> op -> result -> event
 (** [ev start end_ op result] builds an event (test convenience). *)
 
-val check : ?initial:int list -> event list -> bool
+val check :
+  ?initial:int list -> ?order:Hwts.Labeling.label_order -> event list -> bool
 (** Whether some total order of the events (respecting real-time
     precedence of their effective intervals) is a legal sequential set
     execution from [initial] producing exactly the observed results.
     Wing–Gong DFS with memoization; worst case exponential, fine at
-    {!max_events} scale. *)
+    {!max_events} scale.  [order] (default {!Hwts.Labeling.raw_order})
+    is the provider's label comparator: it decides both label-in-interval
+    validity and precedence between timestamped events, so histories
+    stamped by a TL2-style clock pass
+    [~order:(Hwts.Labeling.order_of_provider "tl2")]. *)
 
 val record_history :
   domains:int ->

@@ -20,8 +20,8 @@ let by_start e1 e2 = compare e1.Lin_check.start_t e2.Lin_check.start_t
    supporting update and manufacture a smaller failure with a different
    cause, which reads as a misdiagnosis.  Quadratic in history size,
    bounded by [Lin_check.max_events]. *)
-let minimize ?initial events =
-  let fails evs = not (Lin_check.check ?initial evs) in
+let minimize ?initial ?order events =
+  let fails evs = not (Lin_check.check ?initial ?order evs) in
   if not (fails events) then events
   else
     let by_end e1 e2 = compare e1.Lin_check.end_t e2.Lin_check.end_t in
@@ -62,10 +62,10 @@ let minimize ?initial events =
       in
       shrink prefix
 
-let verify ?initial events =
+let verify ?initial ?order events =
   let events = List.sort by_start events in
-  if Lin_check.check ?initial events then Pass
-  else Violation { events; minimized = minimize ?initial events }
+  if Lin_check.check ?initial ?order events then Pass
+  else Violation { events; minimized = minimize ?initial ?order events }
 
 (* ---------- rendering ---------- *)
 

@@ -14,10 +14,19 @@ type verdict =
               the first observation inconsistent with the rest *)
     }
 
-val verify : ?initial:int list -> Lin_check.event list -> verdict
-(** [initial] is the prefilled abstract set contents. *)
+val verify :
+  ?initial:int list ->
+  ?order:Hwts.Labeling.label_order ->
+  Lin_check.event list ->
+  verdict
+(** [initial] is the prefilled abstract set contents; [order] the
+    provider's label comparator (see {!Lin_check.check}). *)
 
-val minimize : ?initial:int list -> Lin_check.event list -> Lin_check.event list
+val minimize :
+  ?initial:int list ->
+  ?order:Hwts.Labeling.label_order ->
+  Lin_check.event list ->
+  Lin_check.event list
 (** Minimal failing prefix (in completion order), then greedy
     single-event shrinking with the prefix's final event pinned — the
     first inconsistent observation always survives into the core.

@@ -130,14 +130,17 @@ let run_round cfg ~round_seed =
       | Some ctl ->
         (* A few dozen ops per domain never trips the contention sensor on
            its own, so for the adaptive provider the coordinator force-
-           migrates the clock back and forth while the workers run: the
-           recorded histories then span live logical->tsc and tsc->logical
-           folds, which is exactly where a label-monotonicity bug would
-           surface as an oracle violation. *)
-        for i = 1 to 24 do
-          ignore
-            (ctl.Hwts.Timestamp.force
-               (if i land 1 = 1 then `Tsc else `Logical));
+           migrates the clock around the whole zoo while the workers run:
+           the recorded histories then span live folds across every mode
+           pair the ladder can produce (each rung to the next, plus the
+           full-drop tsc->logical seam), which is exactly where a
+           label-monotonicity bug would surface as an oracle violation. *)
+        let tour =
+          [| `Logical; `Delayed; `Multislot; `Tl2; `Tsc; `Logical; `Tsc;
+             `Delayed; `Tl2; `Multislot |]
+        in
+        for i = 0 to 23 do
+          ignore (ctl.Hwts.Timestamp.force tour.(i mod Array.length tour));
           let until = Tsc.rdtscp () + 20_000 in
           while Tsc.rdtscp () < until do
             Tsc.cpu_relax ()
@@ -146,8 +149,12 @@ let run_round cfg ~round_seed =
       List.iter Domain.join workers);
   (initial, Recorder.events recorder)
 
+let order_of cfg =
+  Hwts.Labeling.order_of_provider (Workload.Targets.ts_name cfg.provider)
+
 let run ?(log = fun (_ : string) -> ()) cfg =
   validate cfg;
+  let order = order_of cfg in
   let injected0 = Sync.Pause.injected () in
   let events_total = ref 0 in
   let rounds_run = ref 0 in
@@ -158,7 +165,7 @@ let run ?(log = fun (_ : string) -> ()) cfg =
        let round_seed = mix cfg.seed round in
        let initial, events = run_round cfg ~round_seed in
        events_total := !events_total + List.length events;
-       match Oracle.verify ~initial events with
+       match Oracle.verify ~initial ~order events with
        | Oracle.Pass ->
          log
            (Printf.sprintf "%s/%s round %d/%d ok (%d events)" cfg.structure
@@ -169,7 +176,7 @@ let run ?(log = fun (_ : string) -> ()) cfg =
             racy one may not — either way the history above is real *)
          let initial', events' = run_round cfg ~round_seed in
          let reproduced =
-           match Oracle.verify ~initial:initial' events' with
+           match Oracle.verify ~initial:initial' ~order events' with
            | Oracle.Violation _ -> true
            | Oracle.Pass -> false
          in
@@ -215,3 +222,89 @@ let write_trace ~path cfg f =
       Printf.fprintf oc "\nminimized counterexample (%d events):\n%s"
         (List.length f.minimized)
         (Oracle.explain ~initial:f.initial f.minimized))
+
+(* ---------- replayable fixtures ----------
+
+   A fixture is a checked-in trace artifact recording one *passing*
+   seeded round: the config line carries everything [run_round] needs
+   (including [prefill], which failure traces omit — their replay goes
+   through [run]), and the history below it documents what the round
+   looked like when it was recorded.  [read_fixture] parses the config
+   back, so a regression test can re-run the exact round and re-verify
+   it with the oracle — the whole workload, fault schedule and provider
+   tour being functions of [round_seed]. *)
+
+let write_fixture ~path cfg ~round_seed ~initial ~events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n" trace_header;
+      Printf.fprintf oc
+        "fixture=true structure=%s provider=%s seed=%d round_seed=%d \
+         domains=%d ops_per_domain=%d key_space=%d prefill=%d faults=%b \
+         fault_period=%d\n"
+        cfg.structure
+        (Workload.Targets.ts_name cfg.provider)
+        cfg.seed round_seed cfg.domains cfg.ops_per_domain cfg.key_space
+        cfg.prefill cfg.faults cfg.fault_period;
+      Printf.fprintf oc "\nrecorded history (%d events, oracle: pass):\n%s"
+        (List.length events)
+        (Oracle.explain ~initial events))
+
+let read_fixture path =
+  let parse_line line =
+    let kv = Hashtbl.create 16 in
+    List.iter
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+          Hashtbl.replace kv
+            (String.sub tok 0 i)
+            (String.sub tok (i + 1) (String.length tok - i - 1))
+        | None -> ())
+      (String.split_on_char ' ' line);
+    let str k = Hashtbl.find_opt kv k in
+    let int k = Option.bind (str k) int_of_string_opt in
+    let bool k = Option.bind (str k) bool_of_string_opt in
+    match
+      ( str "structure",
+        Option.bind (str "provider") Workload.Targets.ts_of_name,
+        int "seed", int "round_seed", int "domains", int "ops_per_domain",
+        int "key_space", int "prefill", bool "faults", int "fault_period" )
+    with
+    | ( Some structure, Some provider, Some seed, Some round_seed,
+        Some domains, Some ops_per_domain, Some key_space, Some prefill,
+        Some faults, Some fault_period ) ->
+      Ok
+        ( {
+            structure; provider; seed;
+            rounds = 1;
+            domains; ops_per_domain; key_space; prefill; faults; fault_period;
+          },
+          round_seed )
+    | _ -> Error (path ^ ": incomplete fixture config line")
+  in
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (* sequence the reads explicitly: tuple components evaluate
+           right-to-left, which would swap the two lines *)
+        match
+          let header = input_line ic in
+          let config_line = input_line ic in
+          (header, config_line)
+        with
+        | exception End_of_file -> Error (path ^ ": truncated fixture")
+        | header, config_line ->
+          if header <> trace_header then
+            Error (path ^ ": not a check trace artifact")
+          else if
+            not
+              (String.length config_line >= 12
+              && String.sub config_line 0 12 = "fixture=true")
+          then Error (path ^ ": not a fixture (failure traces replay via run)")
+          else parse_line config_line)

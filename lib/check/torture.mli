@@ -48,6 +48,16 @@ val run : ?log:(string -> unit) -> config -> outcome
     [Invalid_argument] for configs exceeding checker capacity or naming
     an unsupported structure/provider pair. *)
 
+val run_round : config -> round_seed:int -> int list * Lin_check.event list
+(** One seeded round: build the structure, prefill, run the recorded
+    workload (with the adaptive provider's forced zoo tour when the
+    provider is adaptive), return the initial state and merged history.
+    Exposed so fixtures can be generated and replayed round-by-round. *)
+
+val order_of : config -> Hwts.Labeling.label_order
+(** The label comparator the oracle must use for this config's provider
+    ({!Hwts.Labeling.order_of_provider}). *)
+
 val trace_header : string
 (** First line of every trace artifact (lets tooling recognize them). *)
 
@@ -55,3 +65,19 @@ val trace_path : config -> string
 (** Conventional artifact name: [check-<structure>-<provider>-seed<N>.trace]. *)
 
 val write_trace : path:string -> config -> failure -> unit
+
+val write_fixture :
+  path:string ->
+  config ->
+  round_seed:int ->
+  initial:int list ->
+  events:Lin_check.event list ->
+  unit
+(** Write a *passing* round as a replayable fixture: same header as
+    failure traces, but the config line carries [fixture=true] and every
+    field {!run_round} needs (failure traces omit [prefill]). *)
+
+val read_fixture : string -> (config * int, string) result
+(** Parse a fixture back into the config and round seed to replay
+    ([config.rounds] is 1).  [Error] on failure traces and non-trace
+    files. *)

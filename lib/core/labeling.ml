@@ -55,6 +55,30 @@ let expected_benefit p =
   | _, Helped_lock_free, `Lock_free -> `High
   | _, (Helped_lock_free | Fine_structural_lock), _ -> `Moderate
 
+(* ---------- label-order comparators ---------- *)
+
+type label_order = { order_name : string; compare_labels : int -> int -> int }
+
+let raw_order = { order_name = "raw"; compare_labels = Int.compare }
+
+let epoch_order ~bits =
+  {
+    order_name = Printf.sprintf "epoch>>%d" bits;
+    compare_labels = (fun x y -> Int.compare (x asr bits) (y asr bits));
+  }
+
+let order_of_provider name =
+  let prefixed p =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  (* TL2-style stamps carry the issuing domain's slot id in the low 8
+     bits purely for uniqueness: two labels from the same epoch are a
+     tie, not an order.  Every other provider's labels (including the
+     adaptive zoo's, which elides TL2 ids exactly so its mixed space
+     stays raw-comparable) order by plain integer comparison, with ties
+     expressed as equality. *)
+  if name = "tl2" || prefixed "tl2-" then epoch_order ~bits:8 else raw_order
+
 let pp_granularity ppf = function
   | Coarse_global_lock -> Format.pp_print_string ppf "coarse(global-lock)"
   | Fine_structural_lock -> Format.pp_print_string ppf "fine(structural-lock)"

@@ -42,5 +42,31 @@ val expected_benefit : profile -> [ `High | `Moderate | `Low | `None ]
 (** The paper's qualitative prediction, used by benches to annotate
     output and by tests as an executable summary of Section IV. *)
 
+type label_order = {
+  order_name : string;
+  compare_labels : int -> int -> int;
+      (** total preorder on a provider's label/observation space; a zero
+          result means "tie" — concurrent, not ordered *)
+}
+(** How two values from one provider's clock compare for precedence.
+    The snapshot oracle orders timestamped events with this instead of
+    raw integer comparison, because some providers decorate labels with
+    bits that carry identity, not order. *)
+
+val raw_order : label_order
+(** Plain integer comparison: logical, delayed, multislot, hardware, the
+    sharded-strict wrappers, and the adaptive zoo (whose label space is
+    engineered to stay raw-comparable across mode switches). *)
+
+val epoch_order : bits:int -> label_order
+(** Compare [x asr bits]: values sharing the high bits tie.  With
+    [~bits:8] this is the TL2 comparator — the low byte is the issuing
+    domain's slot id, uniqueness decoration only. *)
+
+val order_of_provider : string -> label_order
+(** The comparator for a provider name as registered in
+    [Workload.Targets] (["tl2"] and [tl2-]-prefixed names get
+    {!epoch_order}; everything else {!raw_order}). *)
+
 val pp_profile : Format.formatter -> profile -> unit
 val pp_granularity : Format.formatter -> granularity -> unit

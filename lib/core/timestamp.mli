@@ -92,18 +92,76 @@ module Strict_sharded (T : S) () : S
     hardware stamp shifted left by 8, so they are ordered consistently
     with, but not numerically equal to, raw [T] stamps. *)
 
-type adaptive_mode = [ `Logical | `Tsc ]
+(** Shared knobs of the logical-clock zoo, environment-initialized:
+    [HWTS_DELAY] (initial delayed-increment spin, default 1),
+    [HWTS_DELAY_MAX] (adaptation cap, default 256), [HWTS_SLOTS]
+    (multislot slot count k, default 4, clamped to [1,64]),
+    [HWTS_MS_DELAY] (multislot pre-FAA spin, default 64).  Setters reject
+    values < 1 (and slot counts > 64) with [Invalid_argument]; they steer
+    only instances created after the call. *)
+module Zoo_config : sig
+  val delay_init : unit -> int
+  val set_delay_init : int -> unit
+  val delay_max : unit -> int
+  val set_delay_max : int -> unit
+  val ms_slots : unit -> int
+  val set_ms_slots : int -> unit
+  val ms_delay : unit -> int
+  val set_ms_delay : int -> unit
+end
+
+module Delayed () : S
+(** Delayed-increment logical clock (flock's [timestamp_read]): [advance]
+    loads the shared stamp, spins a per-domain tuned delay, and increments
+    (CAS) only if nobody else moved it meanwhile — racers of one window
+    share the label, so under contention the line takes one write per
+    window instead of one per advance.  The delay halves on a CAS win and
+    doubles (capped at {!Zoo_config.delay_max}) when the stamp moved
+    underfoot.  Labels tie across domains exactly like hardware-stamp
+    ties, and are strict per domain.  Generative: one counter per
+    instance. *)
+
+module Multislot () : S
+(** Summed multi-slot logical clock (flock's [timestamp_multiple]): k
+    cache-line-padded slots ({!Zoo_config.ms_slots}), the stamp is their
+    sum, and each domain fetch-and-adds only its own slot — write
+    contention drops by 1/k while every increment still moves the global
+    stamp.  Reads sum the slots with a bounded double-collect (two equal
+    consecutive passes prove an instantaneous value; single sequential
+    passes are still valid monotone bounds because slots never decrease).
+    [advance] applies the delayed-increment discipline on top
+    ({!Zoo_config.ms_delay}).  Generative. *)
+
+module Tl2 () : S
+(** TL2-style stamp (verlib): one shared word holding
+    [(epoch lsl 8) lor last-writer-slot].  A domain whose previous label
+    came from an older epoch reuses the current one with {e no shared
+    write at all} — its slot id in the low bits keeps the label unique —
+    and only a domain that already labeled in the current epoch bumps it
+    (one CAS, losers adopt the winner's).  [snapshot] closes the current
+    epoch and returns its top, so later labels order strictly above.
+    Labels are raw-int comparable; across domains within one epoch the
+    low bits order by slot id — an arbitrary but fixed tie-break
+    ({!Labeling.order_of_provider}).  Generative. *)
+
+type adaptive_mode = [ `Logical | `Delayed | `Multislot | `Tl2 | `Tsc ]
 
 type adaptive_ctl = {
-  mode : unit -> adaptive_mode;  (** which side of the crossover is live *)
+  mode : unit -> adaptive_mode;  (** which rung of the ladder is live *)
   force : adaptive_mode -> bool;
       (** pin the mode (disables sensing for this instance); [true] iff a
           switch happened now *)
   switch_count : unit -> int;
   switch_points : unit -> (string * int) list;
       (** chronological [(direction, fold-label)] pairs, direction
-          ["logical->tsc"] or ["tsc->logical"]; the fold label is the
-          last label value of the epoch being left behind *)
+          ["<from>-><to>"] over mode names
+          logical/delayed/multislot/tl2/tsc (e.g. ["logical->tsc"]); the
+          fold label is the last label value of the epoch being left
+          behind *)
+  acquire_cost : unit -> (string * int) list;
+      (** measured cycles-per-advance EWMA per mode name, for modes that
+          have been sampled; the regret signal the escalation policy
+          consults *)
 }
 (** Introspection and steering handle exposed by every {!Adaptive}
     instance; benches record switch points, tests and the torture driver
@@ -111,15 +169,23 @@ type adaptive_ctl = {
 
 (** Shared knobs of the adaptive policy, environment-initialized:
     [HWTS_ADAPT_EPOCH] (own advances per sensing sample, default 512),
-    [HWTS_ADAPT_UP] (foreign-advance rate that triggers the logical->TSC
-    migration, default 1.5), [HWTS_ADAPT_DOWN] (rate at or below which an
-    epoch counts as quiet, default 0.5), [HWTS_ADAPT_HYST] (consecutive
-    quiet samples before falling back, default 2). *)
+    [HWTS_ADAPT_UP] (foreign-advance rate above which the plain logical
+    counter is abandoned for delayed increment, default 1.5),
+    [HWTS_ADAPT_MS_UP] (rate above which delayed increment gives way to
+    multislot, default 3.0), [HWTS_ADAPT_TSC_UP] (rate above which TL2
+    gives way to the TSC scheme, default 6.0; TL2 occupies the band
+    between), [HWTS_ADAPT_DOWN] (rate at or below which an epoch counts
+    as fully quiet, default 0.5), [HWTS_ADAPT_HYST] (consecutive
+    lower-band samples before de-escalating, default 2). *)
 module Adaptive_config : sig
   val epoch_ops : unit -> int
   val set_epoch_ops : int -> unit
   val up_rate : unit -> float
   val set_up_rate : float -> unit
+  val ms_up_rate : unit -> float
+  val set_ms_up_rate : float -> unit
+  val tsc_up_rate : unit -> float
+  val set_tsc_up_rate : float -> unit
   val down_rate : unit -> float
   val set_down_rate : float -> unit
   val hysteresis : unit -> int
@@ -131,16 +197,22 @@ module Adaptive (T : S) () : sig
 
   val ctl : adaptive_ctl
 end
-(** The self-selecting provider of the paper's Fig. 1 crossover: starts
-    on a logical fetch-and-add counter, senses per-epoch how many other
-    domains are advancing (per-domain padded cells; the sample path
-    writes only domain-local state), and migrates onto the
-    {!Strict_sharded} TSC scheme — labels [(tsc + base) lsl 8 lor slot],
-    with [base] folded in at the switch so the label space stays one
-    strictly monotone total order across the seam — when the
-    foreign-advance rate crosses [Adaptive_config.up_rate]; falls back
-    on quiesce after [Adaptive_config.hysteresis] quiet epochs.
-    Generative: one label space per instance. *)
+(** The self-selecting provider, generalized from the paper's Fig. 1
+    crossover to the whole zoo: starts on a logical fetch-and-add
+    counter, senses per-epoch how many other domains are advancing
+    (per-domain padded cells; the sample path writes only domain-local
+    state) plus what advances cost in cycles, and climbs a contention
+    ladder — logical, delayed increment, multislot, TL2, finally the
+    {!Strict_sharded} TSC scheme — escalating when the foreign-advance
+    rate crosses the [Adaptive_config] band thresholds (unless the
+    target's measured acquire cost vetoes it) and de-escalating only
+    after [Adaptive_config.hysteresis] consecutive lower-band epochs.
+    All five modes label one strictly monotone total order: each switch
+    folds the incoming mode's space past the maximum over every mode's
+    word, and every label path guards per-label against the others'
+    residue.  Switch instants carry [1 + mode index] of the chosen
+    provider in the trace aux word.  Generative: one label space per
+    instance. *)
 
 module Traced (T : S) : S
 (** [T] with every [advance]/[snapshot] bracketed in an

@@ -25,3 +25,11 @@ let once t =
   t.current <- min t.max_spins (t.current * 2)
 
 let reset t = t.current <- t.min_spins
+
+(* A bare relax loop, no jitter, no fault-injection point: the tuned
+   delays of the delayed-increment timestamp schemes must cost what they
+   say they cost, or the delay adaptation would be tuning the injector. *)
+let spin n =
+  for _ = 1 to n do
+    Tsc.cpu_relax ()
+  done

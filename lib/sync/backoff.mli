@@ -16,3 +16,9 @@ val once : t -> unit
 
 val reset : t -> unit
 (** Return to the initial budget, e.g. after a successful acquisition. *)
+
+val spin : int -> unit
+(** Issue exactly [n] CPU relax hints: a plain calibratable delay loop
+    with no jitter and no fault-injection point, for the tuned waits of
+    the delayed-increment timestamp schemes ({!Hwts.Timestamp.Delayed},
+    [Multislot]) where the wait length itself is the knob being tuned. *)

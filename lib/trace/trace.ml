@@ -536,8 +536,15 @@ let to_chrome_json () =
   let t0 = List.fold_left (fun acc e -> min acc e.stamp) max_int evs in
   let cyc_per_us = Tsc.cycles_per_ns () *. 1000. in
   let us stamp = float_of_int (stamp - t0) /. cyc_per_us in
+  (* the adaptive provider stamps switch instants with 1 + index of the
+     mode it migrated to, so the export names the chosen provider *)
+  let switch_targets = [| "logical"; "delayed"; "multislot"; "tl2"; "tsc" |] in
   let name e =
-    if e.phase = Op then "op:" ^ class_names.(e.cls) else phase_name e.phase
+    if e.phase = Op then "op:" ^ class_names.(e.cls)
+    else if
+      e.phase = Switch && e.aux >= 1 && e.aux <= Array.length switch_targets
+    then "switch:" ^ switch_targets.(e.aux - 1)
+    else phase_name e.phase
   in
   let out = ref [] in
   for slot = 0 to Sync.Slot.max_slots - 1 do

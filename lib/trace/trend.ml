@@ -210,46 +210,69 @@ let print_human r =
     (verdict_name r.verdict) r.overall_median r.margin (List.length r.series)
     r.unmatched
 
-(* Write a copy of [src] with every Mops/s figure scaled by [factor]:
-   the self-test fixture for the gate (a perturbed artifact must trip
-   it; factor 1.0 must not). *)
-let write_perturbed ~src ~dst ~factor =
+(* Write a copy of [src] with Mops/s figures scaled by [factor]: the
+   self-test fixture for the gate (a perturbed artifact must trip it;
+   factor 1.0 must not).  [only] restricts the scaling to one series
+   (e.g. "bst-vcas/tl2"), so the gate can also be proven sensitive to a
+   single provider regressing while the rest of the zoo holds. *)
+let write_perturbed ?only ~src ~dst ~factor () =
   match parse_file src with
   | Error e -> Error e
   | Ok lines ->
+    let touched = ref 0 in
+    let selected l =
+      match only with
+      | None -> true
+      | Some s -> (
+        match point_of_line l with
+        | Some p -> p.series = s
+        | None -> false)
+    in
     let scale = function
       | J.Float f -> J.Float (f *. factor)
       | J.Int i -> J.Float (float_of_int i *. factor)
       | v -> v
     in
     let rewrite l =
-      match l with
-      | J.Obj fields ->
-        J.Obj
-          (List.map
-             (fun (k, v) ->
-               if k = "mops" then (k, scale v)
-               else if k = "optimized" || k = "baseline" then
-                 match v with
-                 | J.Obj inner ->
-                   ( k,
-                     J.Obj
-                       (List.map
-                          (fun (k', v') ->
-                            if k' = "mops" then (k', scale v') else (k', v'))
-                          inner) )
-                 | _ -> (k, v)
-               else (k, v))
-             fields)
-      | v -> v
+      if not (selected l) then l
+      else begin
+        incr touched;
+        match l with
+        | J.Obj fields ->
+          J.Obj
+            (List.map
+               (fun (k, v) ->
+                 if k = "mops" then (k, scale v)
+                 else if k = "optimized" || k = "baseline" then
+                   match v with
+                   | J.Obj inner ->
+                     ( k,
+                       J.Obj
+                         (List.map
+                            (fun (k', v') ->
+                              if k' = "mops" then (k', scale v') else (k', v'))
+                            inner) )
+                   | _ -> (k, v)
+                 else (k, v))
+               fields)
+        | v -> v
+      end
     in
-    let oc = open_out dst in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        List.iter
-          (fun l ->
-            output_string oc (J.to_string (rewrite l));
-            output_char oc '\n')
-          lines);
-    Ok ()
+    let rewritten = List.map rewrite lines in
+    if !touched = 0 then
+      Error
+        (match only with
+        | Some s -> src ^ ": no points in series " ^ s
+        | None -> src ^ ": no scalable lines")
+    else begin
+      let oc = open_out dst in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun l ->
+              output_string oc (J.to_string l);
+              output_char oc '\n')
+            rewritten);
+      Ok ()
+    end

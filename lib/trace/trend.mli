@@ -49,6 +49,11 @@ val to_json_lines : ?base:string -> ?cur:string -> report -> string
 
 val print_human : report -> unit
 
-val write_perturbed : src:string -> dst:string -> factor:float -> (unit, string) result
+val write_perturbed :
+  ?only:string -> src:string -> dst:string -> factor:float -> unit ->
+  (unit, string) result
 (** Copy [src] with every Mops/s scaled by [factor] — the gate's
-    self-test fixture. *)
+    self-test fixture.  [only] limits the scaling to the named series
+    (e.g. ["bst-vcas/tl2"]); [Error] if that series has no points in
+    [src], so a misspelled series cannot silently produce an unperturbed
+    fixture that "passes" the sensitivity check. *)

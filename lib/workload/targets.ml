@@ -1,23 +1,121 @@
 type ts =
-  [ `Logical | `Hardware | `Hardware_strict | `Hardware_strict_cas | `Adaptive ]
+  [ `Logical
+  | `Delayed
+  | `Multislot
+  | `Tl2
+  | `Hardware
+  | `Hardware_strict
+  | `Hardware_strict_cas
+  | `Adaptive ]
 
-let ts_name = function
-  | `Logical -> "logical"
-  | `Hardware -> "rdtscp"
-  | `Hardware_strict -> "rdtscp-strict"
-  | `Hardware_strict_cas -> "rdtscp-strict-cas"
-  | `Adaptive -> "adaptive"
+(* The one provider registry.  Names, aliases, CLI help text, structure
+   compatibility ([addressable]) and tie semantics all derive from this
+   table — the drift-prone per-subcommand string matches are gone. *)
+type info = {
+  key : ts;
+  name : string;  (* canonical, as artifacts/series spell it *)
+  aliases : string list;
+  doc : string;  (* one line for --provider help *)
+  addressable : bool;
+      (* exposes a stable timestamp-word address (DCSS labeling) *)
+  ties : bool;  (* concurrent labels may compare equal/tied in rank *)
+}
 
-let all_ts : ts list =
-  [ `Logical; `Hardware; `Hardware_strict; `Hardware_strict_cas; `Adaptive ]
+let registry : info list =
+  [
+    {
+      key = `Logical;
+      name = "logical";
+      aliases = [];
+      doc = "shared fetch-and-add counter (the paper's software baseline)";
+      addressable = true;
+      ties = false;
+    };
+    {
+      key = `Delayed;
+      name = "delayed";
+      aliases = [ "delayed-increment" ];
+      doc =
+        "delayed-increment counter (flock): racers of one tuned spin \
+         window share a label";
+      addressable = false;
+      ties = true;
+    };
+    {
+      key = `Multislot;
+      name = "multislot";
+      aliases = [ "slots" ];
+      doc =
+        "summed multi-slot counter (flock): each domain FAAs its own \
+         padded slot, stamp = sum";
+      addressable = false;
+      ties = true;
+    };
+    {
+      key = `Tl2;
+      name = "tl2";
+      aliases = [];
+      doc =
+        "TL2-style epoch stamp (verlib): slot id in the low bits, epochs \
+         reused without shared writes";
+      addressable = false;
+      ties = true;
+    };
+    {
+      key = `Hardware;
+      name = "rdtscp";
+      aliases = [ "hardware" ];
+      doc = "raw RDTSCP;LFENCE stamps (ties possible, Section III-A)";
+      addressable = false;
+      ties = true;
+    };
+    {
+      key = `Hardware_strict;
+      name = "rdtscp-strict";
+      aliases = [ "sharded" ];
+      doc = "strict sharded TSC: slot id in the low bits, no common-path CAS";
+      addressable = false;
+      ties = false;
+    };
+    {
+      key = `Hardware_strict_cas;
+      name = "rdtscp-strict-cas";
+      aliases = [ "strict" ];
+      doc = "strict TSC via shared-word tie-bump CAS (the Jiffy scheme)";
+      addressable = false;
+      ties = false;
+    };
+    {
+      key = `Adaptive;
+      name = "adaptive";
+      aliases = [];
+      doc =
+        "contention-laddered zoo: logical -> delayed -> multislot -> tl2 \
+         -> strict TSC, self-selecting";
+      addressable = false;
+      ties = true;
+    };
+  ]
 
-let ts_of_name = function
-  | "logical" -> Some `Logical
-  | "rdtscp" | "hardware" -> Some `Hardware
-  | "sharded" | "rdtscp-strict" -> Some `Hardware_strict
-  | "strict" | "rdtscp-strict-cas" -> Some `Hardware_strict_cas
-  | "adaptive" -> Some `Adaptive
-  | _ -> None
+let info_of (ts : ts) = List.find (fun i -> i.key = ts) registry
+let ts_name ts = (info_of ts).name
+let all_ts : ts list = List.map (fun i -> i.key) registry
+
+let ts_of_name n =
+  List.find_map
+    (fun i -> if i.name = n || List.mem n i.aliases then Some i.key else None)
+    registry
+
+let provider_help () =
+  String.concat "\n"
+    (List.map
+       (fun i ->
+         let aliases =
+           if i.aliases = [] then ""
+           else " (alias " ^ String.concat ", " i.aliases ^ ")"
+         in
+         Printf.sprintf "  %-18s %s%s" i.name i.doc aliases)
+       registry)
 
 (* [`Hardware_strict] is the sharded strict provider: raw TSC stamps are
    not strictly increasing across domains (the tie corner case of Section
@@ -25,10 +123,11 @@ let ts_of_name = function
    {!Hwts.Timestamp.Strict_sharded} — strict labels without a shared-word
    CAS on the common path.  [`Hardware_strict_cas] is the original
    shared-word tie-bump ({!Hwts.Timestamp.Strict}, the Jiffy scheme),
-   kept for comparison.  [`Adaptive] self-selects between the logical
-   counter and the sharded TSC scheme per the measured contention.  The
-   plain [`Hardware] series keeps raw [RDTSCP; LFENCE] stamps for
-   comparison with the paper's figures. *)
+   kept for comparison.  [`Delayed], [`Multislot] and [`Tl2] are the
+   flock/verlib logical-clock optimizations; [`Adaptive] self-selects
+   across the whole zoo per the measured contention.  The plain
+   [`Hardware] series keeps raw [RDTSCP; LFENCE] stamps for comparison
+   with the paper's figures. *)
 
 (* Every provider handed to a structure goes through
    {!Hwts.Timestamp.Traced}, so label acquisition shows up as an
@@ -40,6 +139,18 @@ let provider_of (ts : ts) : (module Hwts.Timestamp.S) =
     let module L0 = Hwts.Timestamp.Logical () in
     let module L = Hwts.Timestamp.Traced (L0) in
     (module L)
+  | `Delayed ->
+    let module D0 = Hwts.Timestamp.Delayed () in
+    let module D = Hwts.Timestamp.Traced (D0) in
+    (module D)
+  | `Multislot ->
+    let module M0 = Hwts.Timestamp.Multislot () in
+    let module M = Hwts.Timestamp.Traced (M0) in
+    (module M)
+  | `Tl2 ->
+    let module T0 = Hwts.Timestamp.Tl2 () in
+    let module T = Hwts.Timestamp.Traced (T0) in
+    (module T)
   | `Hardware ->
     let module H = Hwts.Timestamp.Traced (Hwts.Timestamp.Hardware) in
     (module H)
@@ -164,8 +275,7 @@ let bst_ebrrq_lockfree_instance (ts : ts) : instance =
       provider = ts_name `Logical;
       adaptive = None;
     }
-  | `Hardware | `Hardware_strict | `Hardware_strict_cas | `Adaptive ->
-    invalid_arg "bst-ebrrq-lockfree requires a logical (addressable) clock"
+  | _ -> invalid_arg "bst-ebrrq-lockfree requires a logical (addressable) clock"
 
 let all_instances : (string * (ts -> instance)) list =
   [
@@ -198,14 +308,12 @@ let bst_ebrrq_lockfree () = (bst_ebrrq_lockfree_instance `Logical).structure
 let all =
   List.map (fun (name, f) -> (name, fun ts -> (f ts).structure)) all_instances
 
+(* The DCSS labeling needs the timestamp word's *address*; only
+   registry entries marked [addressable] expose one (the adaptive
+   provider has no stable word once migrated onto the TSC, the zoo
+   schemes hide theirs behind sums/epochs). *)
 let supports name (ts : ts) =
-  match (name, ts) with
-  | ( "bst-ebrrq-lockfree",
-      (`Hardware | `Hardware_strict | `Hardware_strict_cas | `Adaptive) ) ->
-    (* The DCSS labeling needs the timestamp word's *address*; the
-       adaptive provider has no stable one once migrated onto the TSC. *)
-    false
-  | _ -> true
+  name <> "bst-ebrrq-lockfree" || (info_of ts).addressable
 
 (* Linked-list throughput is O(n) in the key range where the trees and
    skiplists are O(log n); sweeping every structure over one shared range

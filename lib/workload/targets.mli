@@ -8,18 +8,48 @@
     defence word, as the strict systems deploy it). *)
 
 type ts =
-  [ `Logical | `Hardware | `Hardware_strict | `Hardware_strict_cas | `Adaptive ]
+  [ `Logical
+  | `Delayed
+  | `Multislot
+  | `Tl2
+  | `Hardware
+  | `Hardware_strict
+  | `Hardware_strict_cas
+  | `Adaptive ]
+
+type info = {
+  key : ts;
+  name : string;  (** canonical name, as artifacts/series spell it *)
+  aliases : string list;  (** accepted by {!ts_of_name} *)
+  doc : string;  (** one line for [--provider] help *)
+  addressable : bool;
+      (** exposes a stable timestamp-word address (DCSS labeling) *)
+  ties : bool;
+      (** concurrent labels may compare equal/tied in rank (hardware
+          same-cycle stamps, delayed/multislot window-sharers, TL2
+          same-epoch labels) *)
+}
+(** One registry row.  Every name-keyed surface — {!ts_name},
+    {!ts_of_name}, {!provider_help}, {!supports} — derives from
+    {!registry}, so adding a provider is one table entry. *)
+
+val registry : info list
 
 val ts_name : ts -> string
-(** ["logical"], ["rdtscp"], ["rdtscp-strict"], ["rdtscp-strict-cas"],
-    ["adaptive"]. *)
+(** ["logical"], ["delayed"], ["multislot"], ["tl2"], ["rdtscp"],
+    ["rdtscp-strict"], ["rdtscp-strict-cas"], ["adaptive"]. *)
 
 val all_ts : ts list
 
 val ts_of_name : string -> ts option
-(** Parse a provider name as CLIs and benches spell it: ["logical"],
-    ["rdtscp"], ["sharded"] (= ["rdtscp-strict"]), ["strict"] (the
-    shared-word tie-bump, = ["rdtscp-strict-cas"]), ["adaptive"]. *)
+(** Parse a provider name as CLIs and benches spell it: any canonical
+    {!registry} name or alias (["hardware"] = ["rdtscp"], ["sharded"] =
+    ["rdtscp-strict"], ["strict"] = ["rdtscp-strict-cas"], ["slots"] =
+    ["multislot"]). *)
+
+val provider_help : unit -> string
+(** Multi-line [--provider] help text listing every registry entry with
+    its aliases and one-line semantics. *)
 
 type instance = {
   structure : (module Dstruct.Ordered_set.RQ);

@@ -167,12 +167,51 @@ let torture_cases =
       ("skiplist-bundle", `Hardware_strict);
       ("bst-vcas", `Logical);
       ("bst-vcas", `Hardware_strict);
+      ("bst-vcas", `Delayed);
+      ("bst-vcas", `Multislot);
+      ("bst-vcas", `Tl2);
       ("citrus-bundle", `Logical);
       ("citrus-bundle", `Hardware_strict);
+      ("citrus-bundle", `Tl2);
       ("citrus-ebrrq", `Logical);
       ("citrus-ebrrq", `Hardware_strict);
       ("bst-ebrrq-lockfree", `Logical);
     ]
+
+(* ---------- checked-in fixtures ----------
+
+   One replayable fixture per new provider family: the config line
+   carries the full seeded round, so the replay re-runs the exact
+   workload/fault schedule against today's implementation and the oracle
+   re-verifies it with the provider's own label comparator — a
+   regression trap for label-discipline changes in the zoo. *)
+
+let fixture_files =
+  [
+    "fixtures/check-bst-vcas-delayed-seed61893.trace";
+    "fixtures/check-bst-vcas-multislot-seed61893.trace";
+    "fixtures/check-bst-vcas-tl2-seed61893.trace";
+  ]
+
+let replay_fixture path () =
+  match Torture.read_fixture path with
+  | Error e -> Alcotest.failf "unreadable fixture: %s" e
+  | Ok (cfg, round_seed) ->
+    let initial, events = Torture.run_round cfg ~round_seed in
+    Alcotest.(check bool) "replay produced a history" true (events <> []);
+    (match
+       Oracle.verify ~initial ~order:(Torture.order_of cfg) events
+     with
+    | Oracle.Pass -> ()
+    | Oracle.Violation { minimized; _ } ->
+      Alcotest.failf "fixture replay fails the oracle:\n%s"
+        (Oracle.explain ~initial minimized))
+
+let fixture_cases =
+  List.map
+    (fun path ->
+      Alcotest.test_case (Filename.basename path) `Slow (replay_fixture path))
+    fixture_files
 
 (* ---------- config validation and artifacts ---------- *)
 
@@ -242,6 +281,7 @@ let () =
             pause_injects_when_enabled;
         ] );
       ("torture", torture_cases);
+      ("fixtures", fixture_cases);
       ( "driver",
         [
           Alcotest.test_case "oversize config rejected" `Quick

@@ -221,6 +221,56 @@ let targets_all_work () =
   ignore (LF.insert t 9);
   Alcotest.(check (list int)) "lock-free ebr-rq rq" [ 9 ] (LF.range_query t ~lo:1 ~hi:10)
 
+let provider_registry () =
+  let open Workload.Targets in
+  Alcotest.(check (list string)) "canonical names, ladder order"
+    [
+      "logical"; "delayed"; "multislot"; "tl2"; "rdtscp"; "rdtscp-strict";
+      "rdtscp-strict-cas"; "adaptive";
+    ]
+    (List.map (fun i -> i.name) registry);
+  (* every name-keyed surface round-trips through the registry *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) ("ts_of_name " ^ i.name) true
+        (ts_of_name i.name = Some i.key);
+      Alcotest.(check string) ("ts_name of " ^ i.name) i.name (ts_name i.key);
+      List.iter
+        (fun a ->
+          Alcotest.(check bool) ("alias " ^ a) true (ts_of_name a = Some i.key))
+        i.aliases;
+      let help = provider_help () in
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) (i.name ^ " in --provider help") true
+        (contains help i.name))
+    registry;
+  Alcotest.(check (option reject)) "unknown name rejected" None
+    (ts_of_name "nope");
+  (* only the addressable logical clock can label the DCSS structure *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        ("bst-ebrrq-lockfree over " ^ i.name)
+        i.addressable
+        (supports "bst-ebrrq-lockfree" i.key);
+      Alcotest.(check bool) ("bst-vcas over " ^ i.name) true
+        (supports "bst-vcas" i.key))
+    registry;
+  (* instance wires the reader to the same clock the structure labels
+     with, for every provider in the zoo *)
+  List.iter
+    (fun i ->
+      let inst = instance "bst-vcas" i.key in
+      Alcotest.(check string) "instance provider name" i.name inst.provider;
+      Alcotest.(check bool) "reader usable" true (inst.now () >= 0))
+    registry
+
 let () =
   Alcotest.run "workload"
     [
@@ -253,5 +303,6 @@ let () =
           Alcotest.test_case "runs" `Slow harness_runs;
           Alcotest.test_case "trials" `Slow harness_trials;
           Alcotest.test_case "targets all work" `Quick targets_all_work;
+          Alcotest.test_case "provider registry" `Quick provider_registry;
         ] );
     ]

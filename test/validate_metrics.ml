@@ -23,10 +23,10 @@ let required_histograms =
 
 (* A bench/scaling.exe artifact is also JSON lines but carries sweep
    points, not registry metrics; validate its own schema: a meta line, a
-   summary line, and points covering the logical, rdtscp-strict and
-   adaptive providers at >= 2 domain counts, each with the full
-   measurement tuple; every swept structure must also carry its
-   adaptive_margin verdict line. *)
+   summary line, and points covering the whole provider zoo — logical,
+   delayed, multislot, tl2, rdtscp-strict and adaptive — at >= 2 domain
+   counts, each with the full measurement tuple; every swept structure
+   must also carry its adaptive_margin verdict line. *)
 let validate_scaling path lines =
   let points =
     List.filter (fun l -> J.member "type" l = Some (J.Str "point")) lines
@@ -75,7 +75,7 @@ let validate_scaling path lines =
       if not (List.mem required providers) then
         err "points must cover the %s provider (found: %s)" required
           (String.concat ", " providers))
-    [ "logical"; "rdtscp-strict"; "adaptive" ];
+    [ "logical"; "delayed"; "multislot"; "tl2"; "rdtscp-strict"; "adaptive" ];
   (* Every structure with an adaptive point owes a margin verdict, and
      every adaptive point carries its migration count. *)
   let margin_structures =
@@ -193,8 +193,12 @@ let validate_tailattr path lines =
   if List.length structures < 3 then
     err "tailattr must cover >= 3 structures (found %d)"
       (List.length structures);
-  if List.length providers < 2 then
-    err "tailattr must cover >= 2 providers (found %d)" (List.length providers);
+  List.iter
+    (fun required ->
+      if not (List.mem required providers) then
+        err "tailattr must cover the %s provider (found: %s)" required
+          (String.concat ", " providers))
+    [ "logical"; "delayed"; "multislot"; "tl2"; "rdtscp-strict"; "adaptive" ];
   if !errors = [] then begin
     Printf.printf
       "ok: tail attribution in %s (%d band lines, %d structures x %d providers)\n"

@@ -5,7 +5,8 @@ SMOKE_METRICS := /tmp/obs.json
 .PHONY: all build test fmt-check check check-smoke check-torture \
   bench-smoke bench-obs bench-hotpath bench-hotpath-guard \
   bench-scaling bench-scaling-smoke bench-adaptive bench-adaptive-smoke \
-  bench-provider-zoo trace-smoke trend-guard bench-tailattr clean
+  bench-provider-zoo trace-smoke trend-guard bench-tailattr \
+  bench-serve bench-serve-smoke clean
 
 all: build
 
@@ -53,7 +54,7 @@ bench-hotpath-guard: build
 # End-to-end smoke of the metrics pipeline: a short instrumented run must
 # produce a JSON-lines file containing the canonical metric set.
 bench-smoke: build bench-scaling-smoke bench-adaptive-smoke \
-  bench-provider-zoo trace-smoke trend-guard
+  bench-provider-zoo trace-smoke trend-guard bench-serve-smoke
 	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 0.2 \
 	  --metrics-out $(SMOKE_METRICS)
 	dune exec test/validate_metrics.exe -- $(SMOKE_METRICS)
@@ -104,6 +105,26 @@ trend-guard: build
 bench-tailattr: build
 	dune exec bin/hwts_cli.exe -- trace-report -o BENCH_tailattr.json
 	dune exec test/validate_metrics.exe -- BENCH_tailattr.json
+
+# Refresh the checked-in serving artifact: the sharded server stood up
+# in-process per point, swept over connections x pipeline depth x the
+# coalesce switch.  The summary line gates the headline: at pipeline
+# depth >= 4 the coalesced arm must acquire strictly fewer snapshots
+# per range op (per-RQ is exactly 1 by construction) at comparable
+# throughput.
+bench-serve: build
+	dune exec bench/serve_bench.exe -- -out BENCH_serve.json
+	dune exec test/validate_metrics.exe -- BENCH_serve.json
+
+# CI-shaped fast pass: a reduced sweep in /tmp plus an end-to-end
+# subprocess round trip of the deployed binary (server + load generator
+# over loopback), then schema-validation of both metrics artifacts and
+# the checked-in sweep.
+bench-serve-smoke: build
+	dune exec bench/serve_bench.exe -- -connections 2 -pipelines 1,4 \
+	  -ops 600 -trials 1 -out /tmp/serve_smoke.json
+	dune exec test/validate_metrics.exe -- /tmp/serve_smoke.json
+	dune exec test/validate_metrics.exe -- BENCH_serve.json
 
 # Refresh the checked-in observability benchmark artifact.
 bench-obs: build

@@ -1,0 +1,294 @@
+(* Serving sweep: the snapshot-sharing batcher's A/B experiment.
+
+   Each point stands up the sharded server in-process (fresh shard
+   domains, one shared provider) and drives it over loopback TCP with
+   the pipelined client, sweeping connections x pipeline depth x the
+   coalesce switch.  Pipeline depth is the load-bearing axis: at depth 1
+   a shard's queue rarely holds more than one range per drain and the
+   batcher has nothing to merge, while at depth >= 4 several ranges pile
+   up per drain and one snapshot acquisition covers them all.  The
+   per-point acquisition accounting (serve.rq.snapshots over
+   serve.rq.ops) is the paper's amortization ratio lifted to service
+   scale; the coalesce=false arm acquires once per subrange by
+   construction, so its ratio is exactly 1.
+
+   Pairing discipline (as in bench/scaling.ml): both arms run back to
+   back per trial with the starting arm rotating, points keep medians,
+   and the throughput gate uses each arm's best trial — on a shared box
+   preemption only ever slows a leg, so best-of is the noise-robust
+   comparator while a real systematic cost still shows up. *)
+
+let default_out = "BENCH_serve.json"
+
+type leg = {
+  mops : float;
+  ops_sent : int;
+  elapsed : float;
+  rq_ops : int;
+  snapshots : int;
+  acq_per_range : float;
+  batch_mean : float;
+  p50_range_ns : float;
+  p99_range_ns : float;
+}
+
+let c_snapshots = Hwts_obs.Registry.counter "serve.rq.snapshots"
+let c_rq_ops = Hwts_obs.Registry.counter "serve.rq.ops"
+let h_rq_batch = Hwts_obs.Registry.histogram "serve.rq.batch"
+let h_client_range = Hwts_obs.Registry.histogram "serve.client.latency.range"
+
+let run_leg ~structure ~provider ~shards ~key_space ~coalesce ~connections
+    ~pipeline ~ops ~rq_len ~mix ~theta =
+  Gc.compact ();
+  Hwts_obs.Registry.reset_all ();
+  let router =
+    Serve.Shards.create ~structure ~provider ~shards ~key_space ~coalesce
+  in
+  let server = Serve.Server.start ~port:0 router in
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Serve.Server.stop server)
+      (fun () ->
+        Serve.Client.run
+          {
+            Serve.Client.host = "127.0.0.1";
+            port = Serve.Server.port server;
+            connections;
+            pipeline;
+            ops;
+            key_space;
+            mix;
+            rq_len;
+            theta;
+            batch = 1;
+            seed = 7;
+          })
+  in
+  if r.Serve.Client.errors > 0 then begin
+    Printf.eprintf "serve_bench: %d error responses in a leg\n"
+      r.Serve.Client.errors;
+    exit 1
+  end;
+  let snapshots = Hwts_obs.Counter.sum c_snapshots in
+  let rq_ops = Hwts_obs.Counter.sum c_rq_ops in
+  {
+    mops =
+      float_of_int r.Serve.Client.ops_sent /. r.Serve.Client.elapsed /. 1e6;
+    ops_sent = r.Serve.Client.ops_sent;
+    elapsed = r.Serve.Client.elapsed;
+    rq_ops;
+    snapshots;
+    acq_per_range =
+      (if rq_ops = 0 then 1.
+       else float_of_int snapshots /. float_of_int rq_ops);
+    batch_mean = Hwts_obs.Histogram.mean h_rq_batch;
+    p50_range_ns = Hwts_obs.Histogram.percentile h_client_range 50.;
+    p99_range_ns = Hwts_obs.Histogram.percentile h_client_range 99.;
+  }
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let summarize legs =
+  {
+    mops = median (List.map (fun l -> l.mops) legs);
+    ops_sent = (List.hd legs).ops_sent;
+    elapsed = median (List.map (fun l -> l.elapsed) legs);
+    rq_ops = median (List.map (fun l -> l.rq_ops) legs);
+    snapshots = median (List.map (fun l -> l.snapshots) legs);
+    acq_per_range = median (List.map (fun l -> l.acq_per_range) legs);
+    batch_mean = median (List.map (fun l -> l.batch_mean) legs);
+    p50_range_ns = median (List.map (fun l -> l.p50_range_ns) legs);
+    p99_range_ns = median (List.map (fun l -> l.p99_range_ns) legs);
+  }
+
+let best_mops legs = List.fold_left (fun m l -> Float.max m l.mops) 0. legs
+
+let point_json ~structure ~provider ~connections ~pipeline ~coalesce p =
+  Hwts_obs.Json.Obj
+    [
+      ("name", Hwts_obs.Json.Str "bench.serve");
+      ("type", Hwts_obs.Json.Str "point");
+      ("structure", Hwts_obs.Json.Str structure);
+      ("provider", Hwts_obs.Json.Str provider);
+      ("connections", Hwts_obs.Json.Int connections);
+      ("pipeline", Hwts_obs.Json.Int pipeline);
+      ("coalesce", Hwts_obs.Json.Bool coalesce);
+      ("mops", Hwts_obs.Json.Float p.mops);
+      ("ops", Hwts_obs.Json.Int p.ops_sent);
+      ("elapsed", Hwts_obs.Json.Float p.elapsed);
+      ("rq_ops", Hwts_obs.Json.Int p.rq_ops);
+      ("rq_snapshots", Hwts_obs.Json.Int p.snapshots);
+      ("acquires_per_range", Hwts_obs.Json.Float p.acq_per_range);
+      ("rq_batch_mean", Hwts_obs.Json.Float p.batch_mean);
+      ("p50_range_ns", Hwts_obs.Json.Float p.p50_range_ns);
+      ("p99_range_ns", Hwts_obs.Json.Float p.p99_range_ns);
+    ]
+
+let parse_ints what s =
+  match
+    List.filter_map
+      (fun tok ->
+        match int_of_string_opt (String.trim tok) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+      (String.split_on_char ',' s)
+  with
+  | [] -> failwith ("no valid " ^ what ^ " in " ^ s)
+  | ns -> List.sort_uniq compare ns
+
+let () =
+  let conns_spec = ref "1,2,4" in
+  let pipelines_spec = ref "1,4,16" in
+  let structure = ref "bst-vcas" in
+  let provider_name = ref "logical" in
+  let shards = ref 2 in
+  let key_space = ref 4_096 in
+  let ops = ref 3_000 in
+  let rq_len = ref 64 in
+  let mix = ref "10-30-60" in
+  let theta = ref 0.9 in
+  let trials = ref 2 in
+  let out = ref default_out in
+  Arg.parse
+    [
+      ( "-connections",
+        Arg.Set_string conns_spec,
+        " comma-separated connection counts (default 1,2,4)" );
+      ( "-pipelines",
+        Arg.Set_string pipelines_spec,
+        " comma-separated pipeline depths (default 1,4,16)" );
+      ("-structure", Arg.Set_string structure, " structure (default bst-vcas)");
+      ( "-provider",
+        Arg.Set_string provider_name,
+        " shared timestamp provider (default logical)" );
+      ("-shards", Arg.Set_int shards, " shard domains (default 2)");
+      ("-key-space", Arg.Set_int key_space, " served key space (default 4096)");
+      ("-ops", Arg.Set_int ops, " ops per connection per leg (default 3000)");
+      ("-rq-len", Arg.Set_int rq_len, " range-query span (default 64)");
+      ("-mix", Arg.Set_string mix, " U-RQ-C mix label (default 10-30-60)");
+      ( "-theta",
+        Arg.Set_float theta,
+        " Zipfian skew, 0 = uniform (default 0.9, scrambled)" );
+      ( "-trials",
+        Arg.Set_int trials,
+        " paired trials per point, medians kept (default 2)" );
+      ("-out", Arg.Set_string out, " output file (default BENCH_serve.json)");
+    ]
+    (fun _ -> ())
+    "serve_bench: connections x pipeline x coalesce sweep of the sharded \
+     range-query server (one snapshot acquisition per drained batch vs one \
+     per range)";
+  let provider =
+    match Workload.Targets.ts_of_name !provider_name with
+    | Some ts -> ts
+    | None ->
+      Printf.eprintf "serve_bench: unknown provider %s\n%s" !provider_name
+        (Workload.Targets.provider_help ());
+      exit 2
+  in
+  let connections = parse_ints "connection counts" !conns_spec in
+  let pipelines = parse_ints "pipeline depths" !pipelines_spec in
+  let mix_t = Workload.Mix.of_label !mix in
+  Hwts_obs.Config.set_enabled true;
+  let oc = open_out !out in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  let emit json =
+    output_string oc (Hwts_obs.Json.to_string json);
+    output_char oc '\n'
+  in
+  emit
+    (Hwts_obs.Json.Obj
+       [
+         ("name", Hwts_obs.Json.Str "bench.serve");
+         ("type", Hwts_obs.Json.Str "meta");
+         ("structure", Hwts_obs.Json.Str !structure);
+         ("provider", Hwts_obs.Json.Str !provider_name);
+         ("shards", Hwts_obs.Json.Int !shards);
+         ("key_space", Hwts_obs.Json.Int !key_space);
+         ("ops_per_connection", Hwts_obs.Json.Int !ops);
+         ("rq_len", Hwts_obs.Json.Int !rq_len);
+         ("mix", Hwts_obs.Json.Str !mix);
+         ("theta", Hwts_obs.Json.Float !theta);
+         ("trials", Hwts_obs.Json.Int !trials);
+         ( "connections",
+           Hwts_obs.Json.List
+             (List.map (fun c -> Hwts_obs.Json.Int c) connections) );
+         ( "pipelines",
+           Hwts_obs.Json.List
+             (List.map (fun d -> Hwts_obs.Json.Int d) pipelines) );
+         ("cores", Hwts_obs.Json.Int (Domain.recommended_domain_count ()));
+       ]);
+  Printf.printf "%-6s %-9s %-9s %10s %14s %12s\n" "conns" "pipeline" "coalesce"
+    "mops" "acq/range" "batch mean";
+  (* gate accumulators over depth >= 4 pairs *)
+  let acq_lower_everywhere = ref true in
+  let worst_tp_ratio = ref infinity in
+  let gated_points = ref 0 in
+  List.iter
+    (fun conns ->
+      List.iter
+        (fun pipeline ->
+          let arms = [| []; [] |] in
+          (* index 0 = coalesced, 1 = per-RQ *)
+          let run_arm idx =
+            let leg =
+              run_leg ~structure:!structure ~provider ~shards:!shards
+                ~key_space:!key_space ~coalesce:(idx = 0) ~connections:conns
+                ~pipeline ~ops:!ops ~rq_len:!rq_len ~mix:mix_t ~theta:!theta
+            in
+            arms.(idx) <- leg :: arms.(idx)
+          in
+          for t = 0 to !trials - 1 do
+            if t mod 2 = 0 then begin
+              run_arm 0;
+              run_arm 1
+            end
+            else begin
+              run_arm 1;
+              run_arm 0
+            end
+          done;
+          Array.iteri
+            (fun idx legs ->
+              let coalesce = idx = 0 in
+              let p = summarize legs in
+              Printf.printf "%-6d %-9d %-9b %10.3f %14.3f %12.2f\n%!" conns
+                pipeline coalesce p.mops p.acq_per_range p.batch_mean;
+              emit
+                (point_json ~structure:!structure ~provider:!provider_name
+                   ~connections:conns ~pipeline ~coalesce p))
+            arms;
+          if pipeline >= 4 then begin
+            incr gated_points;
+            let pc = summarize arms.(0) and pr = summarize arms.(1) in
+            if pc.acq_per_range >= pr.acq_per_range then
+              acq_lower_everywhere := false;
+            let bc = best_mops arms.(0) and br = best_mops arms.(1) in
+            if br > 0. then
+              worst_tp_ratio := Float.min !worst_tp_ratio (bc /. br)
+          end)
+        pipelines)
+    connections;
+  let tp_ok = !worst_tp_ratio >= 0.9 in
+  Printf.printf
+    "gate (pipeline >= 4, %d points): acquires/range strictly lower %b, worst \
+     coalesced/per-RQ throughput ratio %.3f (%s)\n"
+    !gated_points !acq_lower_everywhere !worst_tp_ratio
+    (if tp_ok then "ok" else "BELOW 0.9");
+  emit
+    (Hwts_obs.Json.Obj
+       [
+         ("name", Hwts_obs.Json.Str "bench.serve");
+         ("type", Hwts_obs.Json.Str "summary");
+         ("gated_points", Hwts_obs.Json.Int !gated_points);
+         ( "acquires_strictly_lower",
+           Hwts_obs.Json.Bool !acq_lower_everywhere );
+         ("worst_throughput_ratio", Hwts_obs.Json.Float !worst_tp_ratio);
+         ("throughput_ok", Hwts_obs.Json.Bool tp_ok);
+         ( "coalesce_wins",
+           Hwts_obs.Json.Bool (!acq_lower_everywhere && tp_ok) );
+       ]);
+  Printf.printf "wrote %s\n" !out

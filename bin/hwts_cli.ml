@@ -684,6 +684,104 @@ let check_cmd =
       const check $ structure $ provider $ seed_opt $ rounds $ no_faults
       $ fixture_out)
 
+(* Load generator for a running hwts-serve: pipelined connections over
+   the binary wire protocol, seeded mixed traffic, optional Zipfian
+   skew.  Client-observed latency lands in serve.client.latency.* and
+   goes out via --metrics-out. *)
+let serve_load host port connections pipeline ops key_space mix_label rq_len
+    theta batch seed metrics_out =
+  let cfg =
+    {
+      Serve.Client.host;
+      port;
+      connections;
+      pipeline;
+      ops;
+      key_space;
+      mix = Workload.Mix.of_label mix_label;
+      rq_len;
+      theta;
+      batch;
+      seed;
+    }
+  in
+  match Serve.Client.run cfg with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "serve-load: %s:%d: %s\n" host port (Unix.error_message e);
+    1
+  | r ->
+    Printf.printf
+      "serve-load %s:%d conns=%d depth=%d mix=%s theta=%.2f: %d ops in %.2fs \
+       (%.3f Mops/s), %d responses, %d errors\n"
+      host port connections pipeline mix_label theta r.Serve.Client.ops_sent
+      r.elapsed
+      (float_of_int r.ops_sent /. r.elapsed /. 1e6)
+      r.responses r.errors;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      Hwts_obs.Registry.write_json_lines path;
+      Printf.printf "(metrics -> %s)\n" path);
+    if r.errors > 0 then 1 else 0
+
+let serve_load_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR")
+  in
+  let port =
+    Arg.(
+      value & opt int 7621
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"hwts-serve port")
+  in
+  let connections =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "connections" ] ~docv:"N" ~doc:"Concurrent connections")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 8
+      & info [ "pipeline" ] ~docv:"DEPTH"
+          ~doc:
+            "Outstanding requests per connection; depth >= 4 is where \
+             snapshot coalescing starts to bite")
+  in
+  let ops =
+    Arg.(
+      value & opt int 10_000
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per connection")
+  in
+  let key_space =
+    Arg.(
+      value & opt int 16_384
+      & info [ "k"; "key-space" ] ~docv:"N"
+          ~doc:"Must match the server's --key-space")
+  in
+  let rq_len =
+    Arg.(
+      value & opt int 64
+      & info [ "rq-len" ] ~docv:"N" ~doc:"Span of each range query")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:"Zipfian key skew (scrambled across shards); 0 = uniform")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Group $(docv) ops into one wire Batch frame")
+  in
+  Cmd.v
+    (Cmd.info "serve-load"
+       ~doc:"Drive a running hwts-serve with pipelined mixed traffic")
+    Term.(
+      const serve_load $ host $ port $ connections $ pipeline $ ops
+      $ key_space $ mix_opt $ rq_len $ theta $ batch $ seed_opt
+      $ metrics_out_opt)
+
 let trend_cmd =
   let base =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE")
@@ -756,5 +854,6 @@ let () =
           (Cmd.info "hwts-cli" ~doc)
           [
             tsc_info_cmd; calibrate_cmd; figure_cmd; run_cmd; stats_cmd;
-            stress_cmd; check_cmd; trend_cmd; trace_report_cmd;
+            stress_cmd; check_cmd; serve_load_cmd; trend_cmd;
+            trace_report_cmd;
           ]))

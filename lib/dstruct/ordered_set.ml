@@ -40,4 +40,16 @@ module type RQ = sig
       against values read from that same provider).  The label is the
       instant whose abstract set contents the result asserts to be — the
       claim the snapshot oracle in [lib/check] mechanically validates. *)
+
+  val range_queries_labeled : t -> (int * int) array -> int * int list array
+  (** Execute every [(lo, hi)] range of the batch under a {e single}
+      snapshot acquisition: one label covers all results, and result [i]
+      is the linearizable snapshot of [ranges.(i)] at that label (sorted
+      ascending, exactly as {!range_query} would return it).  The
+      acquisition cost — the timestamp advance, and for the lock- and
+      EBR-based techniques the snapshot critical section — is paid once
+      per batch instead of once per range, which is the paper's
+      amortization kernel lifted to a batch API; the serving layer's RQ
+      coalescing is built on it.  An empty batch still acquires (callers
+      should not submit one). *)
 end

@@ -249,29 +249,39 @@ module Make (T : LOGICAL) = struct
   let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
     Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
 
+  let collect_at t ts ~lo ~hi =
+    let buf = Sync.Scratch.get buf_scratch in
+    Sync.Scratch.Int_buffer.clear buf;
+    let visit l =
+      if l.lkey >= lo && l.lkey <= hi && l.lkey < inf0 && covers ts l then
+        Sync.Scratch.Int_buffer.push buf l.lkey
+    in
+    let rec walk node =
+      match node with
+      | Leaf l -> visit l
+      | Internal n ->
+        if lo < n.ikey then walk (Atomic.get n.left).target;
+        if hi >= n.ikey then walk (Atomic.get n.right).target
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    walk (Internal t.s);
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () l -> visit l);
+    List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)
+
   let range_query_labeled t ~lo ~hi =
     Reclaim.with_op t.ebr (fun () ->
         let ts = T.snapshot () in
-        let buf = Sync.Scratch.get buf_scratch in
-        Sync.Scratch.Int_buffer.clear buf;
-        let visit l =
-          if l.lkey >= lo && l.lkey <= hi && l.lkey < inf0 && covers ts l then
-            Sync.Scratch.Int_buffer.push buf l.lkey
-        in
-        let rec walk node =
-          match node with
-          | Leaf l -> visit l
-          | Internal n ->
-            if lo < n.ikey then walk (Atomic.get n.left).target;
-            if hi >= n.ikey then walk (Atomic.get n.right).target
-        in
-        Hwts_trace.Span.enter Hwts_trace.Traverse;
-        walk (Internal t.s);
-        Hwts_trace.Span.exit Hwts_trace.Traverse;
-        Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () l -> visit l);
-        (ts, List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)))
+        (ts, collect_at t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
+
+  (* Batched ranges under one snapshot advance; the shared EBR op-section
+     also pins every limbo node once for the whole batch. *)
+  let range_queries_labeled t ranges =
+    Reclaim.with_op t.ebr (fun () ->
+        let ts = T.snapshot () in
+        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
 
   let to_list t =
     let rec walk acc node =

@@ -228,6 +228,22 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
+  (* Batched ranges: one announce + one [T.snapshot] labels the whole
+     batch; every range is then a read-only [read_at] traversal of the
+     same cut.  Acquisition cost per range drops by the batch size. *)
+  let range_queries_labeled t ranges =
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.snapshot () in
+        ( ts,
+          Array.map
+            (fun (lo, hi) ->
+              collect_keys ~read_edge:(fun c -> V.read_at c ts) ~lo ~hi
+                (Internal t.s))
+            ranges ))
+
   let rec add_pin t ts =
     let old = Atomic.get t.pins in
     if not (Atomic.compare_and_set t.pins old (ts :: old)) then add_pin t ts

@@ -245,6 +245,20 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
+  (* Batched ranges under one snapshot acquisition; the serving layer's
+     RQ coalescing is built on this. *)
+  let range_queries_labeled t ranges =
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.snapshot () in
+        ( ts,
+          Array.map
+            (fun (lo, hi) ->
+              collect_range ~read_edge:(fun c -> V.read_at c ts) t ~lo ~hi)
+            ranges ))
+
   let to_alist t =
     collect_range ~read_edge:V.read t ~lo:min_int ~hi:(inf0 - 1)
 

@@ -34,6 +34,11 @@ module Make (T : Hwts.Timestamp.S) : sig
   (** [range_query] plus the timestamp label the snapshot claims, in the
       provider's clock (see {!Dstruct.Ordered_set.RQ}). *)
 
+  val range_queries_labeled : 'v t -> (int * int) array -> int * (int * 'v) list array
+  (** Every [(lo, hi)] range of the batch under a single snapshot
+      acquisition: one label covers all results (see
+      {!Dstruct.Ordered_set.RQ.range_queries_labeled}). *)
+
   val to_alist : 'v t -> (int * 'v) list
   (** Quiescent use only. *)
 

@@ -230,29 +230,42 @@ module Make (T : Hwts.Timestamp.S) = struct
      with a second clock read so concurrent pruning stays safe.  In-order
      traversal fills the per-domain buffer ascending; the result list is
      snapshotted from it once. *)
+  let collect_at t ts ~lo ~hi =
+    let buf = Sync.Scratch.get buf_scratch in
+    Sync.Scratch.Int_buffer.clear buf;
+    let rec walk node_opt =
+      match node_opt with
+      | None -> ()
+      | Some n ->
+        if lo < n.key then walk (B.read_at n.bleft ts);
+        if n.key >= lo && n.key <= hi then
+          Sync.Scratch.Int_buffer.push buf n.key;
+        if hi > n.key then walk (B.read_at n.bright ts)
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    walk (B.read_at t.root.bright ts);
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    Sync.Scratch.Int_buffer.to_list buf
+
   let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.read () in
-        let buf = Sync.Scratch.get buf_scratch in
-        Sync.Scratch.Int_buffer.clear buf;
-        let rec walk node_opt =
-          match node_opt with
-          | None -> ()
-          | Some n ->
-            if lo < n.key then walk (B.read_at n.bleft ts);
-            if n.key >= lo && n.key <= hi then
-              Sync.Scratch.Int_buffer.push buf n.key;
-            if hi > n.key then walk (B.read_at n.bright ts)
-        in
-        Hwts_trace.Span.enter Hwts_trace.Traverse;
-        walk (B.read_at t.root.bright ts);
-        Hwts_trace.Span.exit Hwts_trace.Traverse;
-        (ts, Sync.Scratch.Int_buffer.to_list buf))
+        (ts, collect_at t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
+
+  (* Batched ranges under one snapshot read (bundles dereference at a
+     fixed [ts], so every range of the batch shares the same cut). *)
+  let range_queries_labeled t ranges =
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.read () in
+        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
 
   let to_list t =
     let rec walk acc = function

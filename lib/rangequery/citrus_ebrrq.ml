@@ -211,6 +211,29 @@ module Make (T : Hwts.Timestamp.S) = struct
   let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
     Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
 
+  let collect_at t ts ~lo ~hi =
+    let buf = Sync.Scratch.get buf_scratch in
+    Sync.Scratch.Int_buffer.clear buf;
+    let visit n =
+      if n.key >= lo && n.key <= hi && covers ts n then
+        Sync.Scratch.Int_buffer.push buf n.key
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    Rcu.with_read t.rcu_dom (fun () ->
+        let rec walk = function
+          | None -> ()
+          | Some n ->
+            if lo < n.key then walk (Atomic.get n.left);
+            if n.key > Dstruct.Ordered_set.min_key then visit n;
+            if hi > n.key then walk (Atomic.get n.right)
+        in
+        walk (Atomic.get t.root.right));
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    (* Recently deleted nodes may already be unlinked: recover them
+       from the limbo lists, as EBR-RQ does. *)
+    Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () n -> visit n);
+    List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)
+
   let range_query_labeled t ~lo ~hi =
     Reclaim.with_op t.ebr (fun () ->
         (* Exclusive mode: the RQ's snapshot point cannot interleave with
@@ -218,29 +241,19 @@ module Make (T : Hwts.Timestamp.S) = struct
         let ts =
           Sync.Rwlock.with_write t.ts_lock (fun () -> T.snapshot ())
         in
-        let buf = Sync.Scratch.get buf_scratch in
-        Sync.Scratch.Int_buffer.clear buf;
-        let visit n =
-          if n.key >= lo && n.key <= hi && covers ts n then
-            Sync.Scratch.Int_buffer.push buf n.key
-        in
-        Hwts_trace.Span.enter Hwts_trace.Traverse;
-        Rcu.with_read t.rcu_dom (fun () ->
-            let rec walk = function
-              | None -> ()
-              | Some n ->
-                if lo < n.key then walk (Atomic.get n.left);
-                if n.key > Dstruct.Ordered_set.min_key then visit n;
-                if hi > n.key then walk (Atomic.get n.right)
-            in
-            walk (Atomic.get t.root.right));
-        Hwts_trace.Span.exit Hwts_trace.Traverse;
-        (* Recently deleted nodes may already be unlinked: recover them
-           from the limbo lists, as EBR-RQ does. *)
-        Reclaim.fold_limbo t.ebr ~init:() ~f:(fun () n -> visit n);
-        (ts, List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)))
+        (ts, collect_at t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
+
+  (* Batched ranges: the exclusive write-locked snapshot section — the
+     expensive part of this technique — runs once for the whole batch;
+     each range then traverses read-side only. *)
+  let range_queries_labeled t ranges =
+    Reclaim.with_op t.ebr (fun () ->
+        let ts =
+          Sync.Rwlock.with_write t.ts_lock (fun () -> T.snapshot ())
+        in
+        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
 
   let to_list t =
     let rec walk acc = function

@@ -178,29 +178,42 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   (* vCAS range query: the RQ advances the timestamp to fix its snapshot.
      The relocation delete is two versioned writes, so de-duplicate. *)
+  let collect_at t ts ~lo ~hi =
+    let buf = Sync.Scratch.get buf_scratch in
+    Sync.Scratch.Int_buffer.clear buf;
+    let rec walk node_opt =
+      match node_opt with
+      | None -> ()
+      | Some n ->
+        if lo < n.key then walk (V.read_at n.left ts);
+        if n.key >= lo && n.key <= hi then
+          Sync.Scratch.Int_buffer.push buf n.key;
+        if hi > n.key then walk (V.read_at n.right ts)
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    walk (V.read_at t.root.right ts);
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)
+
   let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.snapshot () in
-        let buf = Sync.Scratch.get buf_scratch in
-        Sync.Scratch.Int_buffer.clear buf;
-        let rec walk node_opt =
-          match node_opt with
-          | None -> ()
-          | Some n ->
-            if lo < n.key then walk (V.read_at n.left ts);
-            if n.key >= lo && n.key <= hi then
-              Sync.Scratch.Int_buffer.push buf n.key;
-            if hi > n.key then walk (V.read_at n.right ts)
-        in
-        Hwts_trace.Span.enter Hwts_trace.Traverse;
-        walk (V.read_at t.root.right ts);
-        Hwts_trace.Span.exit Hwts_trace.Traverse;
-        (ts, List.sort_uniq compare (Sync.Scratch.Int_buffer.to_list buf)))
+        (ts, collect_at t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
+
+  (* Batched ranges under one snapshot acquisition (see
+     {!Dstruct.Ordered_set.RQ}): each range re-walks the same cut. *)
+  let range_queries_labeled t ranges =
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.snapshot () in
+        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
 
   let to_list t =
     let rec walk acc = function

@@ -158,56 +158,71 @@ module Make (T : Hwts.Timestamp.S) = struct
     Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
 
   (* Raw-walk to a predecessor of [lo] (the same cheap next-pointer chase
-     [contains] does), take the snapshot time, and only then switch to
-     bundle reads for the [lo, hi] window.  The previous implementation
-     walked the *entire* list through bundle dereferences — roughly 3x
-     the cost per node and O(list length) of them per query.
+     [contains] does), then switch to bundle reads at [ts] for the
+     [lo, hi] window — rather than walking the *entire* list through
+     bundle dereferences (roughly 3x the cost per node and O(list
+     length) of them per query).
 
-     Soundness of the entry point: [pred] was raw-reachable (hence
-     inserted) before [ts] was read, and checking [marked] *after*
-     reading [ts] rules out deletion before [ts], so [pred] was in the
-     list at the snapshot time; since [pred.key < lo], every snapshot
-     member in [lo, hi] lies on its bundled successor chain.  A marked
-     predecessor — or one whose bundle carries no entry labeled <= [ts]
-     yet (its insert label may still be pending) — falls back to the
-     head, whose bundle covers all history. *)
+     Soundness of the entry point: an unmarked [pred] whose bundle holds
+     an entry labeled <= [ts] was in the list at the snapshot time;
+     since [pred.key < lo], every snapshot member in [lo, hi] lies on
+     its bundled successor chain.  A marked predecessor — or one whose
+     bundle carries no entry labeled <= [ts] (it postdates the snapshot,
+     or its insert label is still pending) — falls back to the head,
+     whose bundle covers all history.  This also makes the seek safe to
+     run after the clock read, which the batched variant relies on. *)
+  let collect_at t ts ~lo ~hi =
+    let pred, _ = search t lo in
+    let start =
+      match pred with
+      | Nil -> t.head
+      | Node p ->
+        if Atomic.get p.marked then t.head
+        else (
+          match B.read_at_opt p.b ts with
+          | Some _ -> pred
+          | None -> t.head)
+    in
+    let buf = Sync.Scratch.get buf_scratch in
+    Sync.Scratch.Int_buffer.clear buf;
+    let rec walk n =
+      match n with
+      | Nil -> ()
+      | Node r -> (
+        match B.read_at r.b ts with
+        | Nil -> ()
+        | Node m as succ ->
+          if m.key <= hi then begin
+            if m.key >= lo then Sync.Scratch.Int_buffer.push buf m.key;
+            walk succ
+          end)
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    walk start;
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    Sync.Scratch.Int_buffer.to_list buf
+
   let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
-        let pred, _ = search t lo in
         let ts = T.read () in
-        let start =
-          match pred with
-          | Nil -> t.head
-          | Node p ->
-            if Atomic.get p.marked then t.head
-            else (
-              match B.read_at_opt p.b ts with
-              | Some _ -> pred
-              | None -> t.head)
-        in
-        let buf = Sync.Scratch.get buf_scratch in
-        Sync.Scratch.Int_buffer.clear buf;
-        let rec walk n =
-          match n with
-          | Nil -> ()
-          | Node r -> (
-            match B.read_at r.b ts with
-            | Nil -> ()
-            | Node m as succ ->
-              if m.key <= hi then begin
-                if m.key >= lo then Sync.Scratch.Int_buffer.push buf m.key;
-                walk succ
-              end)
-        in
-        Hwts_trace.Span.enter Hwts_trace.Traverse;
-        walk start;
-        Hwts_trace.Span.exit Hwts_trace.Traverse;
-        (ts, Sync.Scratch.Int_buffer.to_list buf))
+        (ts, collect_at t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
+
+  (* Batched ranges under one clock read.  Each range re-runs its own raw
+     seek *after* [ts] is taken — safe, because a predecessor that
+     postdates the snapshot fails the [read_at_opt] probe and falls back
+     to the head, whose bundle covers all history. *)
+  let range_queries_labeled t ranges =
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.read () in
+        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
 
   let to_list t =
     let rec walk acc n =

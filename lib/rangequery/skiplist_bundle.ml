@@ -262,36 +262,49 @@ module Make (T : Hwts.Timestamp.S) = struct
   (* Range query: locate a predecessor of [lo] through the raw levels, fall
      back to the head if that node postdates the snapshot, then walk the
      level-0 bundles at the snapshot time. *)
+  let collect_at t ts ~lo ~hi =
+    let sc = get_scratch t in
+    ignore (find t lo sc.preds sc.succs);
+    let start =
+      match B.read_at_opt sc.preds.(0).b0 ts with
+      | Some _ -> sc.preds.(0)
+      | None -> t.head (* the predecessor did not exist at [ts] *)
+    in
+    let buf = sc.buf in
+    Sync.Scratch.Int_buffer.clear buf;
+    let rec walk n =
+      match B.read_at n.b0 ts with
+      | None -> ()
+      | Some m ->
+        if m.key <= hi then begin
+          if m.key >= lo then Sync.Scratch.Int_buffer.push buf m.key;
+          walk m
+        end
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    walk start;
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    Sync.Scratch.Int_buffer.to_list buf
+
   let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.read () in
-        let sc = get_scratch t in
-        ignore (find t lo sc.preds sc.succs);
-        let start =
-          match B.read_at_opt sc.preds.(0).b0 ts with
-          | Some _ -> sc.preds.(0)
-          | None -> t.head (* the predecessor did not exist at [ts] *)
-        in
-        let buf = sc.buf in
-        Sync.Scratch.Int_buffer.clear buf;
-        let rec walk n =
-          match B.read_at n.b0 ts with
-          | None -> ()
-          | Some m ->
-            if m.key <= hi then begin
-              if m.key >= lo then Sync.Scratch.Int_buffer.push buf m.key;
-              walk m
-            end
-        in
-        Hwts_trace.Span.enter Hwts_trace.Traverse;
-        walk start;
-        Hwts_trace.Span.exit Hwts_trace.Traverse;
-        (ts, Sync.Scratch.Int_buffer.to_list buf))
+        (ts, collect_at t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
+
+  (* Batched ranges under one snapshot read, shared by every bundle
+     dereference of the batch. *)
+  let range_queries_labeled t ranges =
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.read () in
+        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
 
   let to_list t =
     let rec walk acc n =

@@ -289,36 +289,49 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   (* vCAS range query: advance the clock, walk level 0 at the snapshot.
      The start node must have been *linked* at the snapshot time. *)
+  let collect_at t ts ~lo ~hi =
+    let sc = get_scratch t in
+    ignore (find t lo sc);
+    let pred = sc.preds.(0) in
+    let linked = Atomic.get pred.linked_at in
+    let start = if linked > 0 && linked <= ts then pred else t.head in
+    let buf = sc.buf in
+    Sync.Scratch.Int_buffer.clear buf;
+    let rec walk node =
+      if node == t.tail || node.key > hi then ()
+      else begin
+        let s = V.read_at (next0 node) ts in
+        if
+          node.key >= lo && (not s.marked)
+          && node.key > Dstruct.Ordered_set.min_key
+        then Sync.Scratch.Int_buffer.push buf node.key;
+        walk s.target
+      end
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    walk start;
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    Sync.Scratch.Int_buffer.to_list buf
+
   let range_query_labeled t ~lo ~hi =
     ignore (Rq_registry.announce t.registry ~read:T.read_floor);
     Fun.protect
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.snapshot () in
-        let sc = get_scratch t in
-        ignore (find t lo sc);
-        let pred = sc.preds.(0) in
-        let linked = Atomic.get pred.linked_at in
-        let start = if linked > 0 && linked <= ts then pred else t.head in
-        let buf = sc.buf in
-        Sync.Scratch.Int_buffer.clear buf;
-        let rec walk node =
-          if node == t.tail || node.key > hi then ()
-          else begin
-            let s = V.read_at (next0 node) ts in
-            if
-              node.key >= lo && (not s.marked)
-              && node.key > Dstruct.Ordered_set.min_key
-            then Sync.Scratch.Int_buffer.push buf node.key;
-            walk s.target
-          end
-        in
-        Hwts_trace.Span.enter Hwts_trace.Traverse;
-        walk start;
-        Hwts_trace.Span.exit Hwts_trace.Traverse;
-        (ts, Sync.Scratch.Int_buffer.to_list buf))
+        (ts, collect_at t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
+
+  (* Batched ranges under one snapshot acquisition: each range re-seeks
+     its own start but reads level 0 at the shared [ts]. *)
+  let range_queries_labeled t ranges =
+    ignore (Rq_registry.announce t.registry ~read:T.read_floor);
+    Fun.protect
+      ~finally:(fun () -> Rq_registry.exit_rq t.registry)
+      (fun () ->
+        let ts = T.snapshot () in
+        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
 
   let to_list t =
     let rec walk acc n =

@@ -1,0 +1,45 @@
+(** Pipelined load-generator client for [hwts-serve].
+
+    Opens [connections] sockets, each driven by one thread that keeps up
+    to [pipeline] requests outstanding — responses are matched back in
+    FIFO order (the server's ordering contract).  Depth is the lever the
+    serving experiment sweeps: at depth 1 a shard drains one range per
+    wakeup and coalescing has nothing to merge; at depth >= 4 the queue
+    holds several ranges per drain and one snapshot acquisition covers
+    them all.
+
+    The op stream is seeded and per-connection deterministic: a
+    {!Workload.Mix} over keys drawn uniformly or Zipfian ([theta] > 0,
+    scrambled so the hot ranks spread across shard partitions).
+    Client-observed latency lands in [serve.client.latency.<class>]
+    histograms (nanoseconds) in the process-global obs registry. *)
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  pipeline : int;  (** max outstanding requests per connection, >= 1 *)
+  ops : int;  (** operations per connection *)
+  key_space : int;
+  mix : Workload.Mix.t;
+  rq_len : int;  (** span of each range query *)
+  theta : float;  (** 0 = uniform keys; > 0 = scrambled Zipfian *)
+  batch : int;  (** > 1 groups that many ops into one Batch frame *)
+  seed : int;
+}
+
+val default : config
+(** localhost:7621, 4 connections, pipeline 8, 10_000 ops each,
+    key space 16384, mix 20-10-70, rq_len 64, uniform keys, no
+    batching, seed 1. *)
+
+type result = {
+  ops_sent : int;  (** individual operations (batch members counted) *)
+  responses : int;  (** frames received *)
+  errors : int;  (** [Err] responses *)
+  elapsed : float;  (** wall seconds, connect to last response *)
+}
+
+val run : config -> result
+(** Drive the configured load; returns once every connection has sent
+    its ops, received every response and closed. *)

@@ -1,0 +1,214 @@
+let m_conns = Hwts_obs.Registry.counter "serve.connections"
+let m_requests = Hwts_obs.Registry.counter "serve.requests"
+let m_malformed = Hwts_obs.Registry.counter "serve.malformed"
+
+(* A pipelined connection: the reader decodes frames and routes them,
+   pushing one pending cell per request onto [out]; shard workers fill
+   the cells; the writer flushes fulfilled cells strictly in FIFO order.
+   One mutex/condition pair covers both the queue and cell fulfillment —
+   contention is per-connection, not global. *)
+type conn = {
+  fd : Unix.file_descr;
+  m : Mutex.t;
+  c : Condition.t;
+  out : Wire.response option ref Queue.t;
+  mutable eof : bool; (* reader finished (EOF, error or malformed) *)
+  mutable reader : Thread.t option;
+  mutable writer : Thread.t option;
+}
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  shards : Shards.t;
+  conns : conn list ref;
+  conns_m : Mutex.t;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  stop_m : Mutex.t;
+  mutable stopped : bool;
+}
+
+let write_all fd buf =
+  let b = Buffer.to_bytes buf in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let reader_loop t conn =
+  let buf = Bytes.create 65536 in
+  let dec = Wire.decoder () in
+  let running = ref true in
+  while !running do
+    let n = try Unix.read conn.fd buf 0 (Bytes.length buf) with _ -> 0 in
+    if n = 0 then running := false
+    else begin
+      Wire.feed dec buf 0 n;
+      try
+        let more = ref true in
+        while !more do
+          match Wire.next_request dec with
+          | None -> more := false
+          | Some req ->
+            Hwts_obs.Counter.incr m_requests;
+            let cell = ref None in
+            Mutex.lock conn.m;
+            Queue.push cell conn.out;
+            Mutex.unlock conn.m;
+            Shards.submit t.shards req (fun r ->
+                Mutex.lock conn.m;
+                cell := Some r;
+                Condition.broadcast conn.c;
+                Mutex.unlock conn.m)
+        done
+      with Wire.Malformed msg ->
+        (* answer the offense in-order, then stop reading: the writer
+           flushes everything (including the error) before closing *)
+        Hwts_obs.Counter.incr m_malformed;
+        let cell = ref (Some (Wire.Err msg)) in
+        Mutex.lock conn.m;
+        Queue.push cell conn.out;
+        Mutex.unlock conn.m;
+        running := false
+    end
+  done;
+  Mutex.lock conn.m;
+  conn.eof <- true;
+  Condition.broadcast conn.c;
+  Mutex.unlock conn.m
+
+let writer_loop conn =
+  let out = Buffer.create 4096 in
+  let running = ref true in
+  while !running do
+    Mutex.lock conn.m;
+    (* wait until the FIFO head is fulfilled (order is the contract) or
+       the stream is over *)
+    let rec await () =
+      match Queue.peek_opt conn.out with
+      | Some { contents = Some _ } -> `Write
+      | Some { contents = None } ->
+        Condition.wait conn.c conn.m;
+        await ()
+      | None ->
+        if conn.eof then `Done
+        else begin
+          Condition.wait conn.c conn.m;
+          await ()
+        end
+    in
+    match await () with
+    | `Done ->
+      Mutex.unlock conn.m;
+      running := false
+    | `Write ->
+      let r =
+        match !(Queue.pop conn.out) with Some r -> r | None -> assert false
+      in
+      Mutex.unlock conn.m;
+      Buffer.clear out;
+      Wire.encode_response out r;
+      (try write_all conn.fd out
+       with _ ->
+         (* client went away: keep draining cells so shard completions
+            have somewhere to land, but write nothing further *)
+         ())
+  done;
+  (try Unix.close conn.fd with _ -> ())
+
+let accept_loop t =
+  let running = ref true in
+  while !running do
+    match Unix.accept t.listen_fd with
+    | exception _ -> running := false (* listener closed by stop *)
+    | fd, _ ->
+      if Atomic.get t.stopping then (try Unix.close fd with _ -> ())
+      else begin
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+        Hwts_obs.Counter.incr m_conns;
+        let conn =
+          {
+            fd;
+            m = Mutex.create ();
+            c = Condition.create ();
+            out = Queue.create ();
+            eof = false;
+            reader = None;
+            writer = None;
+          }
+        in
+        conn.reader <- Some (Thread.create (fun () -> reader_loop t conn) ());
+        conn.writer <- Some (Thread.create (fun () -> writer_loop conn) ());
+        Mutex.lock t.conns_m;
+        t.conns := conn :: !(t.conns);
+        Mutex.unlock t.conns_m
+      end
+  done
+
+let start ?(host = "127.0.0.1") ~port shards =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind fd addr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  Unix.listen fd 128;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      listen_fd = fd;
+      port;
+      shards;
+      conns = ref [];
+      conns_m = Mutex.create ();
+      stopping = Atomic.make false;
+      accept_thread = None;
+      stop_m = Mutex.create ();
+      stopped = false;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.port
+let router t = t.shards
+
+let stop t =
+  Mutex.lock t.stop_m;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_m;
+  if first then begin
+    Atomic.set t.stopping true;
+    (* 1. no new connections: shutdown wakes a thread parked in
+       [accept] (closing the fd alone does not, on Linux); close only
+       after the accept thread is gone *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    (* 2. unblock every reader: shutdown (not close) reliably wakes a
+       thread parked in [read]; writers then flush all in-flight
+       responses and close the fds themselves *)
+    Mutex.lock t.conns_m;
+    let conns = !(t.conns) in
+    Mutex.unlock t.conns_m;
+    List.iter
+      (fun conn ->
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+      conns;
+    List.iter
+      (fun conn ->
+        (match conn.reader with Some th -> Thread.join th | None -> ());
+        match conn.writer with Some th -> Thread.join th | None -> ())
+      conns;
+    (* 3. all responses are out, so the shard queues are empty: drain
+       formally and join the worker domains *)
+    Shards.stop t.shards
+  end

@@ -1,0 +1,29 @@
+(** TCP front end for the sharded range-query engine.
+
+    One accept thread; per connection a reader thread (decode, route) and
+    a writer thread (responses in request order, so clients may pipeline
+    arbitrarily deep).  All request execution happens on the shard worker
+    domains — connection threads only move bytes — which is what lets a
+    deep pipeline pile many range queries into one shard drain, the
+    precondition for snapshot coalescing to pay off.
+
+    {!stop} is the graceful path wired to SIGINT in [hwts-serve]: stop
+    accepting, shut down the read side of every connection, let writers
+    flush every in-flight response, join connection threads, then drain
+    and join the shard workers.  No accepted request is dropped. *)
+
+type t
+
+val start : ?host:string -> port:int -> Shards.t -> t
+(** Bind and listen ([host] defaults to ["127.0.0.1"]; [port] 0 picks a
+    free port), then serve in background threads.  The [Shards.t] is
+    owned by the server from here on: {!stop} stops it. *)
+
+val port : t -> int
+(** The bound port (useful with [port:0]). *)
+
+val router : t -> Shards.t
+
+val stop : t -> unit
+(** Graceful shutdown as described above.  Blocks until every connection
+    is flushed and every worker domain joined.  Idempotent. *)

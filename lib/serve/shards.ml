@@ -1,0 +1,298 @@
+(* Per-op-class service metrics.  Latency is wall (monotonic ns) from
+   routing to completion, so it includes queueing — the number a client
+   of the service experiences, not just structure time. *)
+let m_snapshots = Hwts_obs.Registry.counter "serve.rq.snapshots"
+let m_rq_ops = Hwts_obs.Registry.counter "serve.rq.ops"
+let m_rq_batch = Hwts_obs.Registry.histogram "serve.rq.batch"
+let m_point_ops = Hwts_obs.Registry.counter "serve.point.ops"
+let h_get = Hwts_obs.Registry.histogram "serve.latency.get"
+let h_insert = Hwts_obs.Registry.histogram "serve.latency.insert"
+let h_delete = Hwts_obs.Registry.histogram "serve.latency.delete"
+let h_range = Hwts_obs.Registry.histogram "serve.latency.range"
+let h_batch = Hwts_obs.Registry.histogram "serve.latency.batch"
+let h_ping = Hwts_obs.Registry.histogram "serve.latency.ping"
+
+type task =
+  | Point of [ `Get | `Insert | `Delete ] * int * (Wire.response -> unit)
+  | Sub of int * int * (int -> int list -> unit)
+      (* one shard-local subrange; completion gets (label, keys) *)
+
+type shard = {
+  m : Mutex.t;
+  c : Condition.t;
+  q : task Queue.t;
+  mutable stop : bool;
+}
+
+type t = {
+  shards : shard array;
+  span : int;
+  key_space : int;
+  coalesce : bool;
+  structure_name : string;
+  provider : string;
+  now : unit -> int;
+  stopped : Mutex.t * bool ref;
+  domains : unit Domain.t array;
+}
+
+(* Drain-everything batcher: run the drained tasks' point ops in arrival
+   order (per-shard FIFO is part of the service contract), gather the
+   drained subranges, and execute them under ONE snapshot acquisition
+   when coalescing is on — the serving-layer form of the paper's
+   many-ranges-per-timestamp kernel.  With coalescing off each subrange
+   acquires for itself, which is the A arm of the experiment. *)
+let process (type a) (module S : Dstruct.Ordered_set.RQ with type t = a)
+    (st : a) ~coalesce (batch : task Queue.t) =
+  let subs = ref [] and n_subs = ref 0 in
+  Queue.iter
+    (fun task ->
+      match task with
+      | Point (kind, key, k) ->
+        Hwts_obs.Counter.incr m_point_ops;
+        let r =
+          match kind with
+          | `Get -> S.contains st key
+          | `Insert -> S.insert st key
+          | `Delete -> S.delete st key
+        in
+        k (Wire.Bool r)
+      | Sub (lo, hi, k) ->
+        incr n_subs;
+        subs := (lo, hi, k) :: !subs)
+    batch;
+  Queue.clear batch;
+  match !subs with
+  | [] -> ()
+  | subs ->
+    let subs = Array.of_list (List.rev subs) in
+    let n = Array.length subs in
+    Hwts_obs.Counter.add m_rq_ops n;
+    Hwts_obs.Histogram.record m_rq_batch n;
+    if coalesce then begin
+      Hwts_obs.Counter.incr m_snapshots;
+      let ranges = Array.map (fun (lo, hi, _) -> (lo, hi)) subs in
+      let label, results = S.range_queries_labeled st ranges in
+      Array.iteri (fun i (_, _, k) -> k label results.(i)) subs
+    end
+    else
+      Array.iter
+        (fun (lo, hi, k) ->
+          Hwts_obs.Counter.incr m_snapshots;
+          let label, keys = S.range_query_labeled st ~lo ~hi in
+          k label keys)
+        subs
+
+let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a)
+    (st : a) ~coalesce sh =
+  let batch = Queue.create () in
+  let rec loop () =
+    Mutex.lock sh.m;
+    while Queue.is_empty sh.q && not sh.stop do
+      Condition.wait sh.c sh.m
+    done;
+    (* exit only once a lock-held check sees stop AND an empty queue, so
+       every task enqueued before the stop flag is drained first *)
+    let finished = sh.stop && Queue.is_empty sh.q in
+    Queue.transfer sh.q batch;
+    Mutex.unlock sh.m;
+    process (module S) st ~coalesce batch;
+    if not finished then loop ()
+  in
+  loop ()
+
+let create ~structure ~provider ~shards ~key_space ~coalesce =
+  if shards <= 0 then invalid_arg "Shards.create: shards must be positive";
+  if key_space <= 0 then
+    invalid_arg "Shards.create: key_space must be positive";
+  (* ONE instance call = one provider module; [shards] creates on it
+     share the clock (see the .mli). *)
+  let inst = Workload.Targets.instance structure provider in
+  let (module S) = inst.Workload.Targets.structure in
+  let span = (key_space + shards - 1) / shards in
+  let mk_shard () =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      q = Queue.create ();
+      stop = false;
+    }
+  in
+  let shard_arr = Array.init shards (fun _ -> mk_shard ()) in
+  let domains =
+    Array.map
+      (fun sh ->
+        let st = S.create () in
+        Domain.spawn (fun () ->
+            Sync.Slot.with_slot (fun _ -> worker (module S) st ~coalesce sh)))
+      shard_arr
+  in
+  {
+    shards = shard_arr;
+    span;
+    key_space;
+    coalesce;
+    structure_name = structure;
+    provider = inst.Workload.Targets.provider;
+    now = inst.Workload.Targets.now;
+    stopped = (Mutex.create (), ref false);
+    domains;
+  }
+
+let structure_name t = t.structure_name
+let provider t = t.provider
+let shard_count t = Array.length t.shards
+let key_space t = t.key_space
+let coalesce t = t.coalesce
+let now t = t.now ()
+
+let enqueue t i task =
+  let sh = t.shards.(i) in
+  Mutex.lock sh.m;
+  if sh.stop then begin
+    Mutex.unlock sh.m;
+    false
+  end
+  else begin
+    Queue.push task sh.q;
+    Condition.signal sh.c;
+    Mutex.unlock sh.m;
+    true
+  end
+
+let shard_of_key t key = (key - 1) / t.span
+
+let class_hist = function
+  | Wire.Get _ -> h_get
+  | Wire.Insert _ -> h_insert
+  | Wire.Delete _ -> h_delete
+  | Wire.Range _ -> h_range
+  | Wire.Batch _ -> h_batch
+  | Wire.Ping -> h_ping
+
+let rejected = Wire.Err "server stopping"
+
+(* Fan a clamped [lo, hi] out to its owning shards; completion fires on
+   the last part, with the maximal part label and the parts concatenated
+   in shard order (shards partition the key space ascending, and each
+   part is sorted, so the concatenation is the sorted union). *)
+let submit_range t lo hi k =
+  let lo = max lo 1 and hi = min hi t.key_space in
+  if lo > hi then k (Wire.Keys (t.now (), [||]))
+  else begin
+    let s0 = shard_of_key t lo and s1 = shard_of_key t hi in
+    if s0 = s1 then begin
+      let fin label keys = k (Wire.Keys (label, Array.of_list keys)) in
+      if not (enqueue t s0 (Sub (lo, hi, fin))) then k rejected
+    end
+    else begin
+      let n = s1 - s0 + 1 in
+      let parts = Array.make n [] in
+      let labels = Array.make n 0 in
+      let remaining = Atomic.make n in
+      let finish_one idx label keys =
+        parts.(idx) <- keys;
+        labels.(idx) <- label;
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          let label = Array.fold_left max min_int labels in
+          let keys =
+            Array.of_list (List.concat (Array.to_list parts))
+          in
+          k (Wire.Keys (label, keys))
+        end
+      in
+      let aborted = ref false in
+      for s = s0 to s1 do
+        if not !aborted then begin
+          let slo = max lo ((s * t.span) + 1) in
+          let shi = min hi ((s + 1) * t.span) in
+          if not (enqueue t s (Sub (slo, shi, finish_one (s - s0)))) then begin
+            (* account for every shard not submitted, then fail the
+               whole range exactly once through the normal completion *)
+            aborted := true;
+            let missing = s1 - s + 1 in
+            if Atomic.fetch_and_add remaining (-missing) = missing then
+              k rejected
+            else () (* in-flight parts complete the count; response is
+                       a partial Keys — acceptable only because stop
+                       happens after connections are drained *)
+          end
+        end
+      done
+    end
+  end
+
+let rec route t req k =
+  let h = class_hist req in
+  let t0 = Tsc.monotonic_ns () in
+  let k r =
+    Hwts_obs.Histogram.record h (Tsc.monotonic_ns () - t0);
+    k r
+  in
+  match req with
+  | Wire.Ping -> k Wire.Pong
+  | Wire.Get key | Wire.Insert key | Wire.Delete key
+    when key < 1 || key > t.key_space -> (
+    match req with
+    | Wire.Get _ -> k (Wire.Bool false)
+    | _ -> k (Wire.Err (Printf.sprintf "key %d out of [1, %d]" key t.key_space))
+    )
+  | Wire.Get key ->
+    if not (enqueue t (shard_of_key t key) (Point (`Get, key, k))) then
+      k rejected
+  | Wire.Insert key ->
+    if not (enqueue t (shard_of_key t key) (Point (`Insert, key, k))) then
+      k rejected
+  | Wire.Delete key ->
+    if not (enqueue t (shard_of_key t key) (Point (`Delete, key, k))) then
+      k rejected
+  | Wire.Range (lo, hi) -> submit_range t lo hi k
+  | Wire.Batch reqs ->
+    let n = Array.length reqs in
+    if n = 0 then k (Wire.Rbatch [||])
+    else begin
+      let responses = Array.make n Wire.Pong in
+      let remaining = Atomic.make n in
+      Array.iteri
+        (fun i sub ->
+          route t sub (fun r ->
+              responses.(i) <- r;
+              if Atomic.fetch_and_add remaining (-1) = 1 then
+                k (Wire.Rbatch responses)))
+        reqs
+    end
+
+let submit = route
+
+let exec t req =
+  let m = Mutex.create () and c = Condition.create () in
+  let slot = ref None in
+  submit t req (fun r ->
+      Mutex.lock m;
+      slot := Some r;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while !slot = None do
+    Condition.wait c m
+  done;
+  let r = Option.get !slot in
+  Mutex.unlock m;
+  r
+
+let stop t =
+  let sm, stopped = t.stopped in
+  Mutex.lock sm;
+  let first = not !stopped in
+  stopped := true;
+  Mutex.unlock sm;
+  if first then begin
+    Array.iter
+      (fun sh ->
+        Mutex.lock sh.m;
+        sh.stop <- true;
+        Condition.broadcast sh.c;
+        Mutex.unlock sh.m)
+      t.shards;
+    Array.iter Domain.join t.domains
+  end

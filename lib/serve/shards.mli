@@ -1,0 +1,57 @@
+(** Sharded execution engine: one structure instance per shard, all built
+    over a {e single} timestamp provider.
+
+    Provider sharing is the load-bearing invariant.  Functor generativity
+    in {!Workload.Targets} is per [instance] call, not per [create]: one
+    call yields one provider module, and the [shards] structure instances
+    created from it label against that one clock.  Labels from different
+    shards are therefore mutually comparable — the Strict_sharded-style
+    slot-id discipline extends across the whole fleet, so a cross-shard
+    range response can report one (maximal) label its parts agree under.
+
+    Keys live in [1, key_space], partitioned contiguously: shard [i] owns
+    [[i*span + 1, (i+1)*span]].  Each shard runs one worker domain that
+    drains its queue in arrival order; point operations keep per-shard
+    FIFO semantics, and all range sub-queries drained together execute —
+    when coalescing is on — under a single snapshot acquisition via
+    [range_queries_labeled].  That is the paper's amortization kernel at
+    service scale: the batcher pays one timestamp advance (and, for the
+    lock-based techniques, one snapshot critical section) for every range
+    in the drain. *)
+
+type t
+
+val create :
+  structure:string ->
+  provider:Workload.Targets.ts ->
+  shards:int ->
+  key_space:int ->
+  coalesce:bool ->
+  t
+(** Builds [shards] instances of the named structure over one shared
+    provider and spawns one worker domain per shard.  Raises
+    [Invalid_argument] on an unknown structure, an unsupported
+    structure/provider combination, or non-positive [shards]/[key_space]. *)
+
+val structure_name : t -> string
+val provider : t -> string
+val shard_count : t -> int
+val key_space : t -> int
+val coalesce : t -> bool
+
+val now : t -> int
+(** A read of the fleet's shared clock (labels are comparable with it). *)
+
+val submit : t -> Wire.request -> (Wire.response -> unit) -> unit
+(** Route a request.  The completion runs on a worker domain (or inline
+    for [Ping], out-of-range keys and empty batches) exactly once.
+    Cross-shard ranges fan out to every owning shard and complete when
+    the last part does, with the maximal part label.  After {!stop},
+    completes with [Err]. *)
+
+val exec : t -> Wire.request -> Wire.response
+(** Blocking {!submit}, for tests and simple clients. *)
+
+val stop : t -> unit
+(** Drain: workers finish every queued task, then exit; joins all worker
+    domains.  Idempotent. *)

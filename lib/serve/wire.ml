@@ -1,0 +1,223 @@
+type request =
+  | Get of int
+  | Insert of int
+  | Delete of int
+  | Range of int * int
+  | Batch of request array
+  | Ping
+
+type response =
+  | Bool of bool
+  | Keys of int * int array
+  | Rbatch of response array
+  | Pong
+  | Err of string
+
+let max_payload = 1 lsl 24
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* opcodes: requests in the low range, responses with the high bit set *)
+let op_get = 0x01
+let op_insert = 0x02
+let op_delete = 0x03
+let op_range = 0x04
+let op_batch = 0x05
+let op_ping = 0x06
+let op_bool = 0x81
+let op_keys = 0x84
+let op_rbatch = 0x85
+let op_pong = 0x86
+let op_err = 0x87
+
+(* --- encoding ------------------------------------------------------- *)
+
+let put_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let rec put_request_body b ~nested = function
+  | Get k ->
+    Buffer.add_char b (Char.chr op_get);
+    put_i64 b k
+  | Insert k ->
+    Buffer.add_char b (Char.chr op_insert);
+    put_i64 b k
+  | Delete k ->
+    Buffer.add_char b (Char.chr op_delete);
+    put_i64 b k
+  | Range (lo, hi) ->
+    Buffer.add_char b (Char.chr op_range);
+    put_i64 b lo;
+    put_i64 b hi
+  | Batch reqs ->
+    if nested then invalid_arg "Wire.encode_request: nested batch";
+    Buffer.add_char b (Char.chr op_batch);
+    put_u32 b (Array.length reqs);
+    Array.iter (put_request_body b ~nested:true) reqs
+  | Ping -> Buffer.add_char b (Char.chr op_ping)
+
+let rec put_response_body b ~nested = function
+  | Bool v ->
+    Buffer.add_char b (Char.chr op_bool);
+    Buffer.add_char b (if v then '\001' else '\000')
+  | Keys (label, keys) ->
+    Buffer.add_char b (Char.chr op_keys);
+    put_i64 b label;
+    put_u32 b (Array.length keys);
+    Array.iter (put_i64 b) keys
+  | Rbatch rs ->
+    if nested then invalid_arg "Wire.encode_response: nested batch";
+    Buffer.add_char b (Char.chr op_rbatch);
+    put_u32 b (Array.length rs);
+    Array.iter (put_response_body b ~nested:true) rs
+  | Pong -> Buffer.add_char b (Char.chr op_pong)
+  | Err msg ->
+    Buffer.add_char b (Char.chr op_err);
+    Buffer.add_string b msg
+
+let frame encode b v =
+  let body = Buffer.create 32 in
+  encode body ~nested:false v;
+  let n = Buffer.length body in
+  if n > max_payload then invalid_arg "Wire: frame exceeds max_payload";
+  put_u32 b n;
+  Buffer.add_buffer b body
+
+let encode_request b r = frame put_request_body b r
+let encode_response b r = frame put_response_body b r
+
+(* --- incremental decoder -------------------------------------------- *)
+
+type decoder = { mutable buf : Bytes.t; mutable start : int; mutable len : int }
+
+let decoder () = { buf = Bytes.create 4096; start = 0; len = 0 }
+let buffered d = d.len
+
+let feed d src off len =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Wire.feed";
+  (* compact, then grow if the tail still does not fit *)
+  if d.start + d.len + len > Bytes.length d.buf then begin
+    if d.start > 0 then begin
+      Bytes.blit d.buf d.start d.buf 0 d.len;
+      d.start <- 0
+    end;
+    if d.len + len > Bytes.length d.buf then begin
+      let cap = ref (Bytes.length d.buf * 2) in
+      while d.len + len > !cap do
+        cap := !cap * 2
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit d.buf 0 bigger 0 d.len;
+      d.buf <- bigger
+    end
+  end;
+  Bytes.blit src off d.buf (d.start + d.len) len;
+  d.len <- d.len + len
+
+(* cursor over one frame's payload *)
+type cursor = { bytes : Bytes.t; stop : int; mutable pos : int }
+
+let need c n what =
+  if c.pos + n > c.stop then malformed "truncated %s" what
+
+let get_u8 c what =
+  need c 1 what;
+  let v = Char.code (Bytes.get c.bytes c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c what =
+  need c 4 what;
+  let v =
+    (Char.code (Bytes.get c.bytes c.pos) lsl 24)
+    lor (Char.code (Bytes.get c.bytes (c.pos + 1)) lsl 16)
+    lor (Char.code (Bytes.get c.bytes (c.pos + 2)) lsl 8)
+    lor Char.code (Bytes.get c.bytes (c.pos + 3))
+  in
+  c.pos <- c.pos + 4;
+  v
+
+let get_i64 c what =
+  need c 8 what;
+  let v = Int64.to_int (Bytes.get_int64_be c.bytes c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let rec read_request c ~nested =
+  match get_u8 c "opcode" with
+  | op when op = op_get -> Get (get_i64 c "get key")
+  | op when op = op_insert -> Insert (get_i64 c "insert key")
+  | op when op = op_delete -> Delete (get_i64 c "delete key")
+  | op when op = op_range ->
+    let lo = get_i64 c "range lo" in
+    let hi = get_i64 c "range hi" in
+    Range (lo, hi)
+  | op when op = op_batch ->
+    if nested then malformed "nested batch";
+    let n = get_u32 c "batch count" in
+    (* each sub-request is at least one opcode byte *)
+    if n > c.stop - c.pos then malformed "batch count %d exceeds payload" n;
+    Batch (Array.init n (fun _ -> read_request c ~nested:true))
+  | op when op = op_ping -> Ping
+  | op -> malformed "unknown request opcode 0x%02x" op
+
+let rec read_response c ~nested =
+  match get_u8 c "opcode" with
+  | op when op = op_bool -> (
+    match get_u8 c "bool value" with
+    | 0 -> Bool false
+    | 1 -> Bool true
+    | v -> malformed "bad bool byte 0x%02x" v)
+  | op when op = op_keys ->
+    let label = get_i64 c "keys label" in
+    let n = get_u32 c "keys count" in
+    if n * 8 > c.stop - c.pos then malformed "keys count %d exceeds payload" n;
+    Keys (label, Array.init n (fun _ -> get_i64 c "key"))
+  | op when op = op_rbatch ->
+    if nested then malformed "nested batch response";
+    let n = get_u32 c "rbatch count" in
+    if n > c.stop - c.pos then malformed "rbatch count %d exceeds payload" n;
+    Rbatch (Array.init n (fun _ -> read_response c ~nested:true))
+  | op when op = op_pong -> Pong
+  | op when op = op_err ->
+    let n = c.stop - c.pos in
+    let msg = Bytes.sub_string c.bytes c.pos n in
+    c.pos <- c.stop;
+    Err msg
+  | op -> malformed "unknown response opcode 0x%02x" op
+
+let next_frame d read =
+  if d.len < 4 then None
+  else begin
+    let b = d.buf and s = d.start in
+    let n =
+      (Char.code (Bytes.get b s) lsl 24)
+      lor (Char.code (Bytes.get b (s + 1)) lsl 16)
+      lor (Char.code (Bytes.get b (s + 2)) lsl 8)
+      lor Char.code (Bytes.get b (s + 3))
+    in
+    if n = 0 then malformed "zero-length frame";
+    if n > max_payload then malformed "frame length %d exceeds max_payload" n;
+    if d.len < 4 + n then None
+    else begin
+      let c = { bytes = b; stop = s + 4 + n; pos = s + 4 } in
+      let v = read c ~nested:false in
+      if c.pos <> c.stop then
+        malformed "%d trailing bytes after frame body" (c.stop - c.pos);
+      d.start <- d.start + 4 + n;
+      d.len <- d.len - 4 - n;
+      if d.len = 0 then d.start <- 0;
+      Some v
+    end
+  end
+
+let next_request d = next_frame d read_request
+let next_response d = next_frame d read_response

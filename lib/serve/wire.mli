@@ -1,0 +1,59 @@
+(** Binary wire protocol for [hwts-serve].
+
+    Every frame is a 4-byte big-endian length prefix followed by that many
+    payload bytes; the payload's first byte is the opcode.  Integers are
+    8-byte big-endian two's complement (OCaml [int] range), counts are
+    4-byte big-endian.  A [Batch] carries a count and the concatenated
+    payloads of its sub-requests — batches do not nest, and the response
+    to a batch is an [Rbatch] of the sub-responses in submission order.
+
+    The codec is strict: a length prefix of zero or above {!max_payload},
+    an unknown opcode, a truncated payload, trailing bytes after a
+    well-formed body, or a nested batch all raise {!Malformed}.  A frame
+    whose prefix has not fully arrived simply waits — the decoder is
+    incremental, so pipelined frames can be fed in arbitrary chunks. *)
+
+type request =
+  | Get of int
+  | Insert of int
+  | Delete of int
+  | Range of int * int  (** [lo, hi], inclusive *)
+  | Batch of request array  (** no nested batches *)
+  | Ping
+
+type response =
+  | Bool of bool  (** Get/Insert/Delete result *)
+  | Keys of int * int array
+      (** snapshot label (in the server structure's clock), then the keys *)
+  | Rbatch of response array
+  | Pong
+  | Err of string
+
+val max_payload : int
+(** Upper bound on a frame's payload size (16 MiB). *)
+
+exception Malformed of string
+
+val encode_request : Buffer.t -> request -> unit
+(** Append one framed request.  Raises [Invalid_argument] on a nested
+    batch or an oversized frame. *)
+
+val encode_response : Buffer.t -> response -> unit
+
+(** Incremental decoder: feed raw bytes, pull complete frames. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> Bytes.t -> int -> int -> unit
+(** [feed d buf off len] appends [len] bytes starting at [off]. *)
+
+val buffered : decoder -> int
+(** Bytes fed but not yet consumed by a decoded frame. *)
+
+val next_request : decoder -> request option
+(** The next complete request frame, or [None] if more bytes are needed.
+    Raises {!Malformed} on protocol violations. *)
+
+val next_response : decoder -> response option

@@ -28,6 +28,29 @@ let point_of_line l =
           words_per_op = Option.value ~default:0. (num l "words_per_op");
         }
     | _ -> None)
+  | Some "bench.serve", Some "point" -> (
+    match (str l "structure", str l "provider", num l "mops") with
+    | Some s, Some p, Some m ->
+      let arm =
+        match J.member "coalesce" l with
+        | Some (J.Bool true) -> "serve-coalesce"
+        | _ -> "serve-perrq"
+      in
+      let conns =
+        Option.value ~default:0
+          (Option.bind (J.member "connections" l) J.to_int)
+      in
+      let pipeline =
+        Option.value ~default:0 (Option.bind (J.member "pipeline" l) J.to_int)
+      in
+      Some
+        {
+          series = s ^ "/" ^ p ^ "/" ^ arm;
+          subkey = (conns * 1000) + pipeline;
+          mops = m;
+          words_per_op = 0.;
+        }
+    | _ -> None)
   | Some "bench.hotpath", Some "comparison" -> (
     match (str l "structure", J.member "optimized" l) with
     | Some s, Some opt ->

@@ -245,6 +245,10 @@ module Kv_as_set (T : Hwts.Timestamp.S) = struct
     let ts, kvs = K.range_query_labeled t ~lo ~hi in
     (ts, List.map fst kvs)
 
+  let range_queries_labeled t ranges =
+    let ts, kvss = K.range_queries_labeled t ranges in
+    (ts, Array.map (List.map fst) kvss)
+
   let to_list t = List.map fst (K.to_alist t)
   let size t = K.size t
 end

@@ -1,4 +1,26 @@
-type t = { n : int; theta : float; cdf : float array }
+type t = {
+  n : int;
+  theta : float;
+  cdf : float array;
+  scramble : (int * int * int) option; (* mult (odd), add, pow2 mask *)
+}
+
+(* Rank->key bijection for scrambled mode: an affine permutation
+   [x -> (x * mult + add) land mask] over the next power of two >= n,
+   cycle-walked back into [0, n).  Multiplicative constants are derived
+   from the seed via two odd mixing primes so different seeds give
+   different permutations; oddness of [mult] makes the map invertible
+   modulo a power of two, and cycle-walking a bijection on [0, p) stays
+   a bijection on the subdomain [0, n). *)
+let make_scramble ~n seed =
+  let p = ref 1 in
+  while !p < n do
+    p := !p lsl 1
+  done;
+  let mask = !p - 1 in
+  let mult = ((seed + 1) * 0x9E3779B1) lor 1 in
+  let add = ((seed + 1) * 0x85EBCA6B) land mask in
+  (mult, add, mask)
 
 let make ~n ~theta =
   if n <= 0 || theta < 0. then invalid_arg "Zipf.make";
@@ -12,10 +34,23 @@ let make ~n ~theta =
   for i = 0 to n - 1 do
     cdf.(i) <- cdf.(i) /. total
   done;
-  { n; theta; cdf }
+  { n; theta; cdf; scramble = None }
+
+let scrambled ~seed t = { t with scramble = Some (make_scramble ~n:t.n seed) }
 
 let n t = t.n
 let theta t = t.theta
+
+let key_of_rank t rank =
+  if rank < 1 || rank > t.n then invalid_arg "Zipf.key_of_rank";
+  match t.scramble with
+  | None -> rank
+  | Some (mult, add, mask) ->
+    let rec walk x =
+      let x = ((x * mult) + add) land mask in
+      if x < t.n then x else walk x
+    in
+    1 + walk (rank - 1)
 
 let sample t rng =
   let u = Dstruct.Prng.float rng in
@@ -25,4 +60,4 @@ let sample t rng =
     let mid = (!lo + !hi) / 2 in
     if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
   done;
-  !lo + 1
+  key_of_rank t (!lo + 1)

@@ -16,5 +16,19 @@ val make : n:int -> theta:float -> t
 val n : t -> int
 val theta : t -> float
 
+val scrambled : seed:int -> t -> t
+(** Compose the sampler with a seeded rank-to-key bijection on [1, n].
+    Unscrambled, rank k {e is} key k, so the hottest keys are the
+    smallest — adjacent, and all landing in the first shard of any
+    contiguous partition.  Scrambling spreads the hot ranks across the
+    key space (deterministically per seed) while preserving the exact
+    Zipfian popularity distribution, which is what serving benchmarks
+    need from skewed traffic. *)
+
+val key_of_rank : t -> int -> int
+(** The key the (1-based) popularity rank maps to: the identity without
+    {!scrambled}, the bijection with it.  Exposed for tests. *)
+
 val sample : t -> Dstruct.Prng.t -> int
-(** A key in [1, n], by binary search over the CDF. *)
+(** A key in [1, n]: a Zipfian rank by binary search over the CDF,
+    mapped through {!key_of_rank}. *)

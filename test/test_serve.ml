@@ -1,0 +1,371 @@
+(* Loopback end-to-end tests for the serving stack: spawn the sharded
+   server in-process, drive it over a real TCP socket with the wire
+   codec, and verify responses against a sequential oracle.
+
+   Oracle exactness relies on phasing: all writes are sent and their
+   responses read before any range/get is sent, so every read observes
+   exactly the model set (per-shard FIFO makes the write phase itself
+   sequentially exact per key).  The matrix covers both coalesce arms
+   over two providers (logical and adaptive), per the serving
+   experiment's A/B switch.
+
+   A subprocess test exercises the deployed binary: parse the listening
+   port, drive mixed ops, SIGINT, and require exit 0 with the metrics
+   registry flushed to --metrics-out. *)
+
+module Wire = Serve.Wire
+module ISet = Set.Make (Int)
+
+let c_snapshots = Hwts_obs.Registry.counter "serve.rq.snapshots"
+let c_rq_ops = Hwts_obs.Registry.counter "serve.rq.ops"
+
+(* ---------- a tiny blocking client ---------- *)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  fd
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let send fd req =
+  let b = Buffer.create 64 in
+  Wire.encode_request b req;
+  write_all fd (Buffer.to_bytes b)
+
+type client = { fd : Unix.file_descr; dec : Wire.decoder; rbuf : Bytes.t }
+
+let client port = { fd = connect port; dec = Wire.decoder (); rbuf = Bytes.create 65536 }
+
+(* next response, or None on orderly EOF *)
+let recv cl =
+  let rec go () =
+    match Wire.next_response cl.dec with
+    | Some r -> Some r
+    | None ->
+      let n = Unix.read cl.fd cl.rbuf 0 (Bytes.length cl.rbuf) in
+      if n = 0 then None
+      else begin
+        Wire.feed cl.dec cl.rbuf 0 n;
+        go ()
+      end
+  in
+  go ()
+
+let recv_exn cl =
+  match recv cl with
+  | Some r -> r
+  | None -> Alcotest.fail "unexpected EOF from server"
+
+let with_server ~provider ~coalesce ?(structure = "bst-vcas") ?(shards = 3)
+    ?(key_space = 512) f =
+  let router =
+    Serve.Shards.create ~structure ~provider ~shards ~key_space ~coalesce
+  in
+  let server = Serve.Server.start ~port:0 router in
+  Fun.protect
+    ~finally:(fun () -> Serve.Server.stop server)
+    (fun () -> f (Serve.Server.port server))
+
+(* ---------- sequential oracle over a phased mixed load ---------- *)
+
+let expect_bool what expected = function
+  | Wire.Bool b -> Alcotest.(check bool) what expected b
+  | r ->
+    Alcotest.failf "%s: expected Bool, got %s" what
+      (match r with
+      | Wire.Err m -> "Err " ^ m
+      | Wire.Keys _ -> "Keys"
+      | Wire.Rbatch _ -> "Rbatch"
+      | Wire.Pong -> "Pong"
+      | Wire.Bool _ -> assert false)
+
+let expect_keys what expected = function
+  | Wire.Keys (_, keys) ->
+    Alcotest.(check (array int)) what expected keys
+  | Wire.Err m -> Alcotest.failf "%s: Err %s" what m
+  | _ -> Alcotest.failf "%s: expected Keys" what
+
+let model_range model ~key_space lo hi =
+  let lo = max lo 1 and hi = min hi key_space in
+  ISet.elements model
+  |> List.filter (fun k -> k >= lo && k <= hi)
+  |> Array.of_list
+
+let oracle_run ~provider ~coalesce () =
+  let key_space = 512 in
+  with_server ~provider ~coalesce ~shards:3 ~key_space (fun port ->
+      let cl = client port in
+      let rng = Dstruct.Prng.make ~seed:42 in
+      let model = ref ISet.empty in
+      (* phase 1: pipelined writes; expectations recorded in submission
+         order, responses read back FIFO *)
+      let expected = Queue.create () in
+      for _ = 1 to 800 do
+        let key = 1 + Dstruct.Prng.below rng key_space in
+        if Dstruct.Prng.below rng 3 = 0 then begin
+          send cl.fd (Wire.Delete key);
+          Queue.push (ISet.mem key !model) expected;
+          model := ISet.remove key !model
+        end
+        else begin
+          send cl.fd (Wire.Insert key);
+          Queue.push (not (ISet.mem key !model)) expected;
+          model := ISet.add key !model
+        end
+      done;
+      Queue.iter
+        (fun want -> expect_bool "write result" want (recv_exn cl))
+        expected;
+      (* phase 2: gets and ranges against the settled model, pipelined *)
+      let checks = Queue.create () in
+      for _ = 1 to 60 do
+        let key = 1 + Dstruct.Prng.below rng key_space in
+        send cl.fd (Wire.Get key);
+        Queue.push (`Bool (ISet.mem key !model)) checks
+      done;
+      for _ = 1 to 60 do
+        let lo = 1 + Dstruct.Prng.below rng key_space in
+        let hi = lo + Dstruct.Prng.below rng 256 in
+        send cl.fd (Wire.Range (lo, hi));
+        Queue.push (`Keys (model_range !model ~key_space lo hi)) checks
+      done;
+      (* edge spans: the full key space (crosses every shard), clamping
+         below 1 and above key_space, and an empty range *)
+      List.iter
+        (fun (lo, hi) ->
+          send cl.fd (Wire.Range (lo, hi));
+          Queue.push (`Keys (model_range !model ~key_space lo hi)) checks)
+        [ (1, key_space); (-50, key_space + 50); (40, 39); (key_space, key_space) ];
+      Queue.iter
+        (fun want ->
+          match want with
+          | `Bool b -> expect_bool "get" b (recv_exn cl)
+          | `Keys keys -> expect_keys "range" keys (recv_exn cl))
+        checks;
+      (* a mixed batch frame: members answered in order inside Rbatch;
+         fresh_key stays outside the queried span so the member range is
+         deterministic *)
+      let fresh = 1 in
+      send cl.fd (Wire.Delete fresh);
+      ignore (recv_exn cl);
+      model := ISet.remove fresh !model;
+      send cl.fd
+        (Wire.Batch
+           [|
+             Wire.Insert fresh;
+             Wire.Get fresh;
+             Wire.Range (100, 140);
+             Wire.Ping;
+             Wire.Delete fresh;
+           |]);
+      (match recv_exn cl with
+      | Wire.Rbatch rs ->
+        Alcotest.(check int) "batch arity" 5 (Array.length rs);
+        expect_bool "batch insert" true rs.(0);
+        expect_bool "batch get" true rs.(1);
+        expect_keys "batch range"
+          (model_range !model ~key_space 100 140)
+          rs.(2);
+        (match rs.(3) with
+        | Wire.Pong -> ()
+        | _ -> Alcotest.fail "batch ping: expected Pong");
+        expect_bool "batch delete" true rs.(4)
+      | _ -> Alcotest.fail "expected Rbatch");
+      Unix.close cl.fd)
+
+(* the acquisition-accounting invariant: per-RQ mode acquires exactly
+   once per subrange; coalesced mode never more, usually fewer *)
+let oracle ~provider ~coalesce () =
+  Hwts_obs.Counter.reset c_snapshots;
+  Hwts_obs.Counter.reset c_rq_ops;
+  oracle_run ~provider ~coalesce ();
+  let snapshots = Hwts_obs.Counter.sum c_snapshots in
+  let rq_ops = Hwts_obs.Counter.sum c_rq_ops in
+  Alcotest.(check bool) "ranges exercised" true (rq_ops > 0);
+  if coalesce then
+    Alcotest.(check bool)
+      (Printf.sprintf "snapshots (%d) <= rq ops (%d)" snapshots rq_ops)
+      true (snapshots <= rq_ops)
+  else Alcotest.(check int) "one acquisition per subrange" rq_ops snapshots
+
+(* ---------- protocol errors over the socket ---------- *)
+
+let error_frames () =
+  with_server ~provider:`Logical ~coalesce:true ~key_space:128 (fun port ->
+      let cl = client port in
+      send cl.fd (Wire.Get 129);
+      expect_bool "get out of range is absent" false (recv_exn cl);
+      send cl.fd (Wire.Insert 0);
+      (match recv_exn cl with
+      | Wire.Err _ -> ()
+      | _ -> Alcotest.fail "insert 0: expected Err");
+      send cl.fd (Wire.Delete 1_000_000);
+      (match recv_exn cl with
+      | Wire.Err _ -> ()
+      | _ -> Alcotest.fail "delete out of range: expected Err");
+      send cl.fd Wire.Ping;
+      (match recv_exn cl with
+      | Wire.Pong -> ()
+      | _ -> Alcotest.fail "expected Pong");
+      Unix.close cl.fd)
+
+let malformed_frame_closes () =
+  with_server ~provider:`Logical ~coalesce:true ~key_space:128 (fun port ->
+      let cl = client port in
+      (* a healthy request, then garbage: the server must answer both in
+         order — the second with Err — then close *)
+      send cl.fd (Wire.Insert 5);
+      write_all cl.fd (Bytes.of_string "\x00\x00\x00\x01\x7f");
+      expect_bool "pre-garbage insert" true (recv_exn cl);
+      (match recv_exn cl with
+      | Wire.Err _ -> ()
+      | _ -> Alcotest.fail "expected Err for malformed frame");
+      Alcotest.(check bool) "connection closed" true (recv cl = None);
+      Unix.close cl.fd)
+
+(* ---------- stop drains in-flight work ---------- *)
+
+let stop_drains_inflight () =
+  let router =
+    Serve.Shards.create ~structure:"bst-vcas" ~provider:`Logical ~shards:2
+      ~key_space:256 ~coalesce:true
+  in
+  let server = Serve.Server.start ~port:0 router in
+  let cl = client (Serve.Server.port server) in
+  let n = 200 in
+  for i = 1 to n do
+    send cl.fd (Wire.Insert (1 + (i mod 256)))
+  done;
+  (* give the reader a beat to pull everything off the socket, then stop
+     without having read a single response: stop must flush all of them *)
+  Unix.sleepf 0.3;
+  Serve.Server.stop server;
+  let got = ref 0 in
+  let eof = ref false in
+  while not !eof do
+    match recv cl with Some _ -> incr got | None -> eof := true
+  done;
+  Alcotest.(check int) "every in-flight response flushed" n !got;
+  Unix.close cl.fd
+
+(* ---------- the deployed binary: SIGINT drains, flushes, exits 0 ----- *)
+
+(* under `dune runtest` the cwd is _build/default/test; under
+   `dune exec test/test_serve.exe` it is the project root *)
+let serve_exe =
+  List.find_opt Sys.file_exists
+    [ "../bin/hwts_serve.exe"; "_build/default/bin/hwts_serve.exe" ]
+
+let contains ~needle haystack =
+  let n = String.length needle and l = String.length haystack in
+  let rec scan i = i + n <= l && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let subprocess_sigint () =
+  match serve_exe with
+  | None -> Alcotest.skip ()
+  | Some serve_exe ->
+    let metrics = Filename.temp_file "hwts_serve_metrics" ".json" in
+    let out_r, out_w = Unix.pipe () in
+    let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+    (* the env knob is the A arm switch: run the binary with coalescing
+       forced off and require it to honor it *)
+    let env =
+      Array.append (Unix.environment ()) [| "HWTS_SERVE_COALESCE=0" |]
+    in
+    let pid =
+      Unix.create_process_env serve_exe
+        [|
+          serve_exe;
+          "--port";
+          "0";
+          "--shards";
+          "2";
+          "--key-space";
+          "256";
+          "--max-seconds";
+          "30";
+          "--metrics-out";
+          metrics;
+        |]
+        env dev_null out_w Unix.stderr
+    in
+    Unix.close out_w;
+    Unix.close dev_null;
+    let banner_ic = Unix.in_channel_of_descr out_r in
+    let line1 = input_line banner_ic in
+    Alcotest.(check bool)
+      "banner reports coalesce off" true
+      (contains ~needle:"coalesce=false" line1);
+    let port =
+      Scanf.sscanf line1 "hwts-serve: listening on %[^:]:%d" (fun _ p -> p)
+    in
+    (* drive mixed ops end to end *)
+    let cl = client port in
+    for i = 1 to 50 do
+      send cl.fd (Wire.Insert i)
+    done;
+    for _ = 1 to 50 do
+      ignore (recv_exn cl)
+    done;
+    send cl.fd (Wire.Range (1, 256));
+    (match recv_exn cl with
+    | Wire.Keys (_, keys) ->
+      Alcotest.(check int) "range over inserted keys" 50 (Array.length keys)
+    | _ -> Alcotest.fail "expected Keys");
+    Unix.close cl.fd;
+    (* graceful shutdown *)
+    Unix.kill pid Sys.sigint;
+    let _, status = Unix.waitpid [] pid in
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED c -> Alcotest.failf "server exited %d" c
+    | _ -> Alcotest.fail "server killed by signal");
+    (* metrics flushed on the way out *)
+    let contents =
+      let mic = open_in metrics in
+      let n = in_channel_length mic in
+      let s = really_input_string mic n in
+      close_in mic;
+      s
+    in
+    close_in banner_ic;
+    Sys.remove metrics;
+    Alcotest.(check bool)
+      "metrics mention serve.requests" true
+      (contains ~needle:"serve.requests" contents)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "logical, coalesced" `Quick
+            (oracle ~provider:`Logical ~coalesce:true);
+          Alcotest.test_case "logical, per-RQ" `Quick
+            (oracle ~provider:`Logical ~coalesce:false);
+          Alcotest.test_case "adaptive, coalesced" `Quick
+            (oracle ~provider:`Adaptive ~coalesce:true);
+          Alcotest.test_case "adaptive, per-RQ" `Quick
+            (oracle ~provider:`Adaptive ~coalesce:false);
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "error frames" `Quick error_frames;
+          Alcotest.test_case "malformed closes after Err" `Quick
+            malformed_frame_closes;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "stop drains in-flight" `Quick stop_drains_inflight;
+          Alcotest.test_case "SIGINT: drain, flush, exit 0" `Quick
+            subprocess_sigint;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+(* Unit tests for the hwts-serve wire codec: round-trips for every frame
+   type, strict rejection of malformed frames (truncation, oversized or
+   zero length, unknown opcodes, nested batches, trailing bytes), and
+   incremental decoding of pipelined multi-frame buffers fed in
+   arbitrary chunks. *)
+
+module Wire = Serve.Wire
+
+(* ---------- testables ---------- *)
+
+let rec request_eq (a : Wire.request) (b : Wire.request) =
+  match (a, b) with
+  | Wire.Get x, Wire.Get y
+  | Wire.Insert x, Wire.Insert y
+  | Wire.Delete x, Wire.Delete y ->
+    x = y
+  | Wire.Range (alo, ahi), Wire.Range (blo, bhi) -> alo = blo && ahi = bhi
+  | Wire.Batch xs, Wire.Batch ys ->
+    Array.length xs = Array.length ys && Array.for_all2 request_eq xs ys
+  | Wire.Ping, Wire.Ping -> true
+  | _ -> false
+
+let rec pp_request ppf = function
+  | Wire.Get k -> Format.fprintf ppf "Get %d" k
+  | Wire.Insert k -> Format.fprintf ppf "Insert %d" k
+  | Wire.Delete k -> Format.fprintf ppf "Delete %d" k
+  | Wire.Range (lo, hi) -> Format.fprintf ppf "Range (%d, %d)" lo hi
+  | Wire.Batch rs ->
+    Format.fprintf ppf "Batch [|";
+    Array.iter (fun r -> Format.fprintf ppf " %a;" pp_request r) rs;
+    Format.fprintf ppf " |]"
+  | Wire.Ping -> Format.fprintf ppf "Ping"
+
+let request = Alcotest.testable pp_request request_eq
+
+let rec response_eq (a : Wire.response) (b : Wire.response) =
+  match (a, b) with
+  | Wire.Bool x, Wire.Bool y -> x = y
+  | Wire.Keys (la, ka), Wire.Keys (lb, kb) -> la = lb && ka = kb
+  | Wire.Rbatch xs, Wire.Rbatch ys ->
+    Array.length xs = Array.length ys && Array.for_all2 response_eq xs ys
+  | Wire.Pong, Wire.Pong -> true
+  | Wire.Err x, Wire.Err y -> x = y
+  | _ -> false
+
+let rec pp_response ppf = function
+  | Wire.Bool b -> Format.fprintf ppf "Bool %b" b
+  | Wire.Keys (label, keys) ->
+    Format.fprintf ppf "Keys (%d, [|" label;
+    Array.iter (fun k -> Format.fprintf ppf " %d;" k) keys;
+    Format.fprintf ppf " |])"
+  | Wire.Rbatch rs ->
+    Format.fprintf ppf "Rbatch [|";
+    Array.iter (fun r -> Format.fprintf ppf " %a;" pp_response r) rs;
+    Format.fprintf ppf " |]"
+  | Wire.Pong -> Format.fprintf ppf "Pong"
+  | Wire.Err m -> Format.fprintf ppf "Err %S" m
+
+let response = Alcotest.testable pp_response response_eq
+
+(* ---------- helpers ---------- *)
+
+let encode_req r =
+  let b = Buffer.create 64 in
+  Wire.encode_request b r;
+  Buffer.to_bytes b
+
+let encode_resp r =
+  let b = Buffer.create 64 in
+  Wire.encode_response b r;
+  Buffer.to_bytes b
+
+let feed_all d bytes = Wire.feed d bytes 0 (Bytes.length bytes)
+
+let decode_one_req bytes =
+  let d = Wire.decoder () in
+  feed_all d bytes;
+  match Wire.next_request d with
+  | Some r ->
+    Alcotest.(check int) "no leftover bytes" 0 (Wire.buffered d);
+    r
+  | None -> Alcotest.fail "expected a complete request frame"
+
+let decode_one_resp bytes =
+  let d = Wire.decoder () in
+  feed_all d bytes;
+  match Wire.next_response d with
+  | Some r ->
+    Alcotest.(check int) "no leftover bytes" 0 (Wire.buffered d);
+    r
+  | None -> Alcotest.fail "expected a complete response frame"
+
+let check_malformed name f =
+  match f () with
+  | exception Wire.Malformed _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Wire.Malformed")
+
+(* a raw frame from hand-built payload bytes, for malformed cases the
+   encoder refuses to produce *)
+let raw_frame payload =
+  let n = String.length payload in
+  let b = Buffer.create (4 + n) in
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_string b payload;
+  Buffer.to_bytes b
+
+let i64_be v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int v);
+  Bytes.to_string b
+
+(* ---------- round trips ---------- *)
+
+let request_round_trip () =
+  let cases =
+    [
+      Wire.Get 1;
+      Wire.Get 0;
+      Wire.Get (-17);
+      Wire.Get max_int;
+      Wire.Get min_int;
+      Wire.Insert 42;
+      Wire.Delete 99_999_999;
+      Wire.Range (3, 900);
+      Wire.Range (min_int, max_int);
+      Wire.Ping;
+      Wire.Batch [||];
+      Wire.Batch
+        [|
+          Wire.Get 5;
+          Wire.Insert 6;
+          Wire.Delete 7;
+          Wire.Range (1, 2);
+          Wire.Ping;
+        |];
+    ]
+  in
+  List.iter
+    (fun r -> Alcotest.check request "round trip" r (decode_one_req (encode_req r)))
+    cases
+
+let response_round_trip () =
+  let cases =
+    [
+      Wire.Bool true;
+      Wire.Bool false;
+      Wire.Keys (0, [||]);
+      Wire.Keys (77, [| 1; 2; 3 |]);
+      Wire.Keys (max_int, Array.init 100 (fun i -> i * i));
+      Wire.Keys (-3, [| min_int; max_int |]);
+      Wire.Pong;
+      Wire.Err "";
+      Wire.Err "out of range";
+      Wire.Rbatch [||];
+      Wire.Rbatch
+        [| Wire.Bool true; Wire.Keys (9, [| 4; 5 |]); Wire.Pong; Wire.Err "x" |];
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.check response "round trip" r (decode_one_resp (encode_resp r)))
+    cases
+
+(* ---------- pipelining / incremental feed ---------- *)
+
+let pipelined_chunked_feed () =
+  let reqs =
+    [
+      Wire.Get 11;
+      Wire.Batch [| Wire.Insert 1; Wire.Range (2, 60) |];
+      Wire.Range (100, 200);
+      Wire.Ping;
+      Wire.Delete 12;
+    ]
+  in
+  let all = Buffer.create 256 in
+  List.iter (Wire.encode_request all) reqs;
+  let bytes = Buffer.to_bytes all in
+  (* feed in every chunk size from a dribble to one big write; the
+     decoded stream must always match *)
+  List.iter
+    (fun chunk ->
+      let d = Wire.decoder () in
+      let decoded = ref [] in
+      let pos = ref 0 in
+      while !pos < Bytes.length bytes do
+        let n = min chunk (Bytes.length bytes - !pos) in
+        Wire.feed d bytes !pos n;
+        pos := !pos + n;
+        let more = ref true in
+        while !more do
+          match Wire.next_request d with
+          | Some r -> decoded := r :: !decoded
+          | None -> more := false
+        done
+      done;
+      Alcotest.(check (list request))
+        (Printf.sprintf "chunk size %d" chunk)
+        reqs
+        (List.rev !decoded);
+      Alcotest.(check int) "drained" 0 (Wire.buffered d))
+    [ 1; 3; 7; 64; Bytes.length bytes ]
+
+let incomplete_frame_waits () =
+  let d = Wire.decoder () in
+  let bytes = encode_req (Wire.Range (1, 2)) in
+  (* a partial prefix, then a partial payload: decoder must wait, not
+     reject *)
+  Wire.feed d bytes 0 2;
+  Alcotest.(check (option request)) "prefix incomplete" None (Wire.next_request d);
+  Wire.feed d bytes 2 10;
+  Alcotest.(check (option request)) "payload incomplete" None (Wire.next_request d);
+  Wire.feed d bytes 12 (Bytes.length bytes - 12);
+  Alcotest.check (Alcotest.option request) "complete" (Some (Wire.Range (1, 2)))
+    (Wire.next_request d)
+
+(* ---------- strict rejection ---------- *)
+
+let rejects_zero_length () =
+  check_malformed "zero-length" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame "");
+      Wire.next_request d)
+
+let rejects_oversized_length () =
+  check_malformed "oversized" (fun () ->
+      let d = Wire.decoder () in
+      (* prefix alone claims max_payload + 1: must be rejected before
+         any payload arrives *)
+      let n = Wire.max_payload + 1 in
+      let b = Bytes.create 4 in
+      Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+      Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+      Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+      Bytes.set b 3 (Char.chr (n land 0xff));
+      feed_all d b;
+      Wire.next_request d)
+
+let rejects_truncated_body () =
+  (* frame length says 5, Get needs opcode + 8 key bytes *)
+  check_malformed "truncated get" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame "\x01ABCD");
+      Wire.next_request d);
+  (* range missing its hi field *)
+  check_malformed "truncated range" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame ("\x04" ^ i64_be 1));
+      Wire.next_request d);
+  (* batch announcing more members than bytes remain *)
+  check_malformed "batch count exceeds payload" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame "\x05\x00\x00\x00\x09\x06");
+      Wire.next_request d);
+  (* keys response missing key bytes *)
+  check_malformed "truncated keys" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame ("\x84" ^ i64_be 7 ^ "\x00\x00\x00\x02"));
+      Wire.next_response d)
+
+let rejects_trailing_bytes () =
+  check_malformed "trailing bytes" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame ("\x06" ^ "junk"));
+      Wire.next_request d)
+
+let rejects_unknown_opcode () =
+  check_malformed "unknown request opcode" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame "\x7f");
+      Wire.next_request d);
+  check_malformed "unknown response opcode" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame "\x01");
+      (* 0x01 is a request opcode, not a response one *)
+      Wire.next_response d)
+
+let rejects_bad_bool () =
+  check_malformed "bad bool byte" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame "\x81\x02");
+      Wire.next_response d)
+
+let rejects_nested_batch () =
+  (* decoder side: a batch whose member is itself a batch opcode *)
+  check_malformed "nested batch" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d
+        (raw_frame "\x05\x00\x00\x00\x01\x05\x00\x00\x00\x01\x06");
+      Wire.next_request d);
+  (* encoder side refuses to produce one *)
+  match encode_req (Wire.Batch [| Wire.Batch [| Wire.Ping |] |]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encoder accepted a nested batch"
+
+let malformed_leaves_offender_described () =
+  let d = Wire.decoder () in
+  feed_all d (raw_frame "\x7f");
+  match Wire.next_request d with
+  | exception Wire.Malformed msg ->
+    Alcotest.(check bool)
+      "message mentions the opcode" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Malformed"
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "round-trip",
+        [
+          Alcotest.test_case "requests" `Quick request_round_trip;
+          Alcotest.test_case "responses" `Quick response_round_trip;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "pipelined chunked feed" `Quick
+            pipelined_chunked_feed;
+          Alcotest.test_case "incomplete frame waits" `Quick
+            incomplete_frame_waits;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "zero length" `Quick rejects_zero_length;
+          Alcotest.test_case "oversized length" `Quick rejects_oversized_length;
+          Alcotest.test_case "truncated body" `Quick rejects_truncated_body;
+          Alcotest.test_case "trailing bytes" `Quick rejects_trailing_bytes;
+          Alcotest.test_case "unknown opcode" `Quick rejects_unknown_opcode;
+          Alcotest.test_case "bad bool byte" `Quick rejects_bad_bool;
+          Alcotest.test_case "nested batch" `Quick rejects_nested_batch;
+          Alcotest.test_case "malformed message" `Quick
+            malformed_leaves_offender_described;
+        ] );
+    ]

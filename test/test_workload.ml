@@ -86,6 +86,56 @@ let zipf_theta_zero_uniform () =
       then Alcotest.failf "theta=0 not uniform at key %d (%d)" k c)
     counts
 
+(* The scramble is a bijection on [1, n]: same popularity masses, just
+   relocated.  Check permutation-ness exactly and the distribution shape
+   statistically (the hottest *scrambled* key must carry rank 1's mass,
+   wherever it landed). *)
+let zipf_scramble_permutation () =
+  List.iter
+    (fun n ->
+      let z = Workload.Zipf.scrambled ~seed:42 (Workload.Zipf.make ~n ~theta:0.99) in
+      let seen = Array.make (n + 1) false in
+      for r = 1 to n do
+        let k = Workload.Zipf.key_of_rank z r in
+        if k < 1 || k > n then Alcotest.failf "n=%d rank %d -> %d" n r k;
+        if seen.(k) then Alcotest.failf "n=%d key %d hit twice" n k;
+        seen.(k) <- true
+      done)
+    [ 1; 2; 7; 64; 1_000 ];
+  (* deterministic per seed; different seeds give different layouts *)
+  let perm seed =
+    let z = Workload.Zipf.scrambled ~seed (Workload.Zipf.make ~n:512 ~theta:0.99) in
+    List.init 512 (fun i -> Workload.Zipf.key_of_rank z (i + 1))
+  in
+  Alcotest.(check bool) "seeded reproducible" true (perm 7 = perm 7);
+  Alcotest.(check bool) "seeds differ" true (perm 7 <> perm 8);
+  (* identity without scrambling *)
+  let id = Workload.Zipf.make ~n:64 ~theta:0.5 in
+  for r = 1 to 64 do
+    Alcotest.(check int) "identity" r (Workload.Zipf.key_of_rank id r)
+  done
+
+let zipf_scramble_shape () =
+  let n = 1_000 and draws = 50_000 in
+  let z = Workload.Zipf.scrambled ~seed:9 (Workload.Zipf.make ~n ~theta:0.99) in
+  let rng = Util.rng 31 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to draws do
+    let k = Workload.Zipf.sample z rng in
+    if k < 1 || k > n then Alcotest.failf "out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  let share k = float_of_int counts.(k) /. float_of_int draws in
+  let hot1 = Workload.Zipf.key_of_rank z 1 in
+  let hot2 = Workload.Zipf.key_of_rank z 2 in
+  Alcotest.(check bool) "head mass follows the bijection" true (share hot1 > 0.05);
+  Alcotest.(check bool) "rank 2 about half of rank 1" true
+    (share hot2 > share hot1 *. 0.3 && share hot2 < share hot1 *. 0.8);
+  (* the two hottest keys must not both sit in the first 1/8th of the key
+     space (the unscrambled layout puts the entire head there) *)
+  Alcotest.(check bool) "head keys spread out" true
+    (hot1 > n / 8 || hot2 > n / 8)
+
 let harness_zipf_runs () =
   let config =
     {
@@ -287,6 +337,9 @@ let () =
           Alcotest.test_case "cdf and range" `Quick zipf_cdf_and_range;
           Alcotest.test_case "skew" `Quick zipf_skew;
           Alcotest.test_case "theta=0 uniform" `Quick zipf_theta_zero_uniform;
+          Alcotest.test_case "scramble permutation" `Quick
+            zipf_scramble_permutation;
+          Alcotest.test_case "scramble shape" `Quick zipf_scramble_shape;
           Alcotest.test_case "harness runs" `Slow harness_zipf_runs;
         ] );
       ( "stats",

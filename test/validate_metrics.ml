@@ -118,6 +118,104 @@ let validate_scaling path lines =
     exit 1
   end
 
+(* A bench/serve_bench.exe artifact: a meta line, a summary line with
+   the coalesce gate, and per-point lines covering both coalesce arms.
+   The acceptance shape of the serving experiment: wherever pipeline
+   depth reaches 4, the coalesced arm must acquire strictly fewer
+   snapshots per range op than the per-RQ arm (whose ratio is 1 by
+   construction) without giving up throughput beyond a noise floor. *)
+let validate_serve path lines =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let has ty =
+    List.exists (fun l -> J.member "type" l = Some (J.Str ty)) lines
+  in
+  if not (has "meta") then err "no meta line";
+  if not (has "summary") then err "no summary line";
+  let points =
+    List.filter (fun l -> J.member "type" l = Some (J.Str "point")) lines
+  in
+  if points = [] then err "no point lines";
+  let pt_int p f = Option.bind (J.member f p) J.to_int in
+  let pt_float p f = Option.bind (J.member f p) J.to_float in
+  let pt_bool p f =
+    match J.member f p with Some (J.Bool b) -> Some b | _ -> None
+  in
+  List.iter
+    (fun p ->
+      (match J.member "structure" p with
+      | Some (J.Str _) -> ()
+      | _ -> err "point without structure");
+      (match J.member "provider" p with
+      | Some (J.Str _) -> ()
+      | _ -> err "point without provider");
+      List.iter
+        (fun f ->
+          if pt_int p f = None then err "point without integer %s" f)
+        [ "connections"; "pipeline"; "rq_ops"; "rq_snapshots" ];
+      List.iter
+        (fun f ->
+          if pt_float p f = None then err "point without %s" f)
+        [ "mops"; "acquires_per_range" ];
+      if pt_bool p "coalesce" = None then err "point without coalesce bool")
+    points;
+  let arm coalesce =
+    List.filter (fun p -> pt_bool p "coalesce" = Some coalesce) points
+  in
+  let on = arm true and off = arm false in
+  if on = [] then err "no coalesce=true points";
+  if off = [] then err "no coalesce=false points";
+  (* pair the arms by (connections, pipeline) and apply the gate at
+     depth >= 4 *)
+  let deep_pairs =
+    List.filter_map
+      (fun pc ->
+        match (pt_int pc "connections", pt_int pc "pipeline") with
+        | Some c, Some d when d >= 4 ->
+          List.find_opt
+            (fun pr ->
+              pt_int pr "connections" = Some c
+              && pt_int pr "pipeline" = Some d)
+            off
+          |> Option.map (fun pr -> (c, d, pc, pr))
+        | _ -> None)
+      on
+  in
+  if deep_pairs = [] then
+    err "no paired coalesce arms at pipeline depth >= 4";
+  List.iter
+    (fun (c, d, pc, pr) ->
+      match
+        ( pt_float pc "acquires_per_range",
+          pt_float pr "acquires_per_range",
+          pt_float pc "mops",
+          pt_float pr "mops" )
+      with
+      | Some ac, Some ar, Some mc, Some mr ->
+        if ac >= ar then
+          err
+            "conns=%d depth=%d: coalesced acquires/range %.3f not strictly \
+             below per-RQ %.3f"
+            c d ac ar;
+        if mr > 0. && mc /. mr < 0.75 then
+          err
+            "conns=%d depth=%d: coalesced throughput %.3f below 0.75x per-RQ \
+             %.3f"
+            c d mc mr
+      | _ -> ())
+    deep_pairs;
+  if !errors = [] then begin
+    Printf.printf
+      "ok: serve sweep in %s (%d points, %d gated pairs at depth >= 4)\n" path
+      (List.length points) (List.length deep_pairs);
+    exit 0
+  end
+  else begin
+    List.iter (Printf.eprintf "validate_metrics: serve: %s\n")
+      (List.sort_uniq compare !errors);
+    exit 1
+  end
+
 (* A Chrome trace_event artifact (hwts-cli run --trace-out) is a single
    JSON object, not lines: validate the envelope and that every event
    carries the fields Perfetto needs to place it. *)
@@ -292,6 +390,11 @@ let () =
            (fun l -> J.member "name" l = Some (J.Str "bench.scaling"))
            lines ->
     validate_scaling path lines
+  | Ok lines
+    when List.exists
+           (fun l -> J.member "name" l = Some (J.Str "bench.serve"))
+           lines ->
+    validate_serve path lines
   | Ok lines
     when List.exists
            (fun l -> J.member "name" l = Some (J.Str "trend.check"))

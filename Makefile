@@ -6,7 +6,7 @@ SMOKE_METRICS := /tmp/obs.json
   bench-smoke bench-obs bench-hotpath bench-hotpath-guard \
   bench-scaling bench-scaling-smoke bench-adaptive bench-adaptive-smoke \
   bench-provider-zoo trace-smoke trend-guard bench-tailattr \
-  bench-serve bench-serve-smoke clean
+  bench-serve bench-serve-smoke bench-reclaim bench-reclaim-smoke clean
 
 all: build
 
@@ -54,7 +54,8 @@ bench-hotpath-guard: build
 # End-to-end smoke of the metrics pipeline: a short instrumented run must
 # produce a JSON-lines file containing the canonical metric set.
 bench-smoke: build bench-scaling-smoke bench-adaptive-smoke \
-  bench-provider-zoo trace-smoke trend-guard bench-serve-smoke
+  bench-provider-zoo trace-smoke trend-guard bench-serve-smoke \
+  bench-reclaim-smoke
 	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 0.2 \
 	  --metrics-out $(SMOKE_METRICS)
 	dune exec test/validate_metrics.exe -- $(SMOKE_METRICS)
@@ -99,6 +100,14 @@ trend-guard: build
 	  -out /tmp/trend-perturbed-series.json BENCH_scaling.json
 	! dune exec bench/trendcheck.exe -- BENCH_scaling.json \
 	  /tmp/trend-perturbed-series.json
+	dune exec bench/trendcheck.exe -- BENCH_reclaim.json BENCH_reclaim.json \
+	  -out /tmp/trend-reclaim.json
+	dune exec test/validate_metrics.exe -- /tmp/trend-reclaim.json
+	dune exec bench/trendcheck.exe -- -perturb 0.6 \
+	  -perturb-series bst-ebrrq-lockfree/qsbr \
+	  -out /tmp/trend-reclaim-perturbed.json BENCH_reclaim.json
+	! dune exec bench/trendcheck.exe -- BENCH_reclaim.json \
+	  /tmp/trend-reclaim-perturbed.json
 
 # Refresh the checked-in tail-attribution artifact: 3 structures x the
 # 6-provider zoo, p50/p99/p999 dominant-phase bands per op class.
@@ -125,6 +134,29 @@ bench-serve-smoke: build
 	  -ops 600 -trials 1 -out /tmp/serve_smoke.json
 	dune exec test/validate_metrics.exe -- /tmp/serve_smoke.json
 	dune exec test/validate_metrics.exe -- BENCH_serve.json
+
+# Refresh the checked-in reclamation-backend artifact: the retiring
+# EBR-RQ structures under ebr / qsbr / qsbr-tsc at 1 and 2 domains.
+# The summary line gates the headline: both QSBR backends must announce
+# strictly less often per op than EBR (the per-op stores the boundary
+# scheme exists to remove) at comparable throughput; the limbo
+# high-water columns record what that costs in retention.
+bench-reclaim: build
+	dune exec bench/reclaim_bench.exe -- -out BENCH_reclaim.json
+	dune exec test/validate_metrics.exe -- BENCH_reclaim.json
+
+# CI-shaped fast pass: reduced sweep in /tmp, a torture round per QSBR
+# backend over both functorized structures, then schema-validation of
+# the smoke sweep and the checked-in artifact.
+bench-reclaim-smoke: build
+	dune exec bench/reclaim_bench.exe -- -ops 2000 -warmup 500 -trials 1 \
+	  -mops-floor 0.5 -out /tmp/reclaim_smoke.json
+	dune exec test/validate_metrics.exe -- /tmp/reclaim_smoke.json
+	dune exec test/validate_metrics.exe -- BENCH_reclaim.json
+	dune exec bin/hwts_cli.exe -- check --structure bst-ebrrq-lockfree \
+	  --provider logical --reclaim qsbr --rounds 2
+	dune exec bin/hwts_cli.exe -- check --structure citrus-ebrrq \
+	  --provider logical --reclaim qsbr-tsc --rounds 2
 
 # Refresh the checked-in observability benchmark artifact.
 bench-obs: build

@@ -1,0 +1,288 @@
+(* Reclamation-backend sweep: the two structures that actually retire
+   nodes (the lock-free EBR-RQ BST and the Citrus EBR-RQ port) under the
+   three backends in lib/reclaim — per-op EBR, boundary-announcement
+   QSBR, and QSBR-TSC, which orders grace with raw rdtscp stamps plus
+   the Ordo skew bound instead of a shared epoch counter.
+
+   The claim under test is the paper's thesis applied to reclamation:
+   the announce store is EBR's per-op cost (two shared-array stores per
+   operation), and a quiescence-based scheme moves that cost to loop
+   boundaries, where it amortizes over the harness's whole check chunk.
+   Every store to an announce slot in any backend increments
+   reclaim.announce_stores, so the artifact can gate on the mechanism
+   (announce stores per op must drop, strictly) and not just the
+   symptom (throughput), which on a noisy box is the weaker signal.
+
+   The flip side the artifact also records: QSBR frees nothing until
+   every domain announces, so its limbo high-water mark is the price of
+   the cheap fast path.  The EXPERIMENTS.md recipe plots exactly this
+   trade (announce_per_op down, limbo_hwm up).
+
+   Pairing discipline as in bench/scaling.ml: each trial runs all
+   backends back to back at the same (structure, domains) point with a
+   rotating starting backend, points keep component-wise medians, and
+   the throughput gate uses each leg's best trial so a stolen scheduler
+   quantum cannot fail the gate on its own. *)
+
+let default_out = "BENCH_reclaim.json"
+
+let backends : Workload.Targets.reclaim list = [ `Ebr; `Qsbr; `Qsbr_tsc ]
+let backend_names = List.map Workload.Targets.reclaim_name backends
+
+(* Only the structures whose deletes retire into limbo: the vcas/bundle
+   Citrus ports use the backend for grace waits but never retire, so
+   they have no announce-vs-limbo trade to measure. *)
+let structures = [ "bst-ebrrq-lockfree"; "citrus-ebrrq" ]
+
+type point = {
+  mops : float;
+  total_ops : int;
+  announce_per_op : float;
+  quiesces : int;
+  retired : int;
+  reclaimed : int;
+  limbo_hwm : int;
+  grace_waits : int;
+}
+
+let counter name =
+  match Hwts_obs.Registry.counter_value name with Some v -> v | None -> 0
+
+let watermark name =
+  match Hwts_obs.Registry.find name with
+  | Some (Hwts_obs.Registry.Watermark w) -> Hwts_obs.Watermark.get w
+  | _ -> 0
+
+let run_leg structure reclaim config ~warmup =
+  Gc.compact ();
+  let inst = Workload.Targets.instance ~reclaim structure `Logical in
+  let target = Workload.Harness.make_target inst.Workload.Targets.structure config in
+  if warmup > 0 then
+    ignore
+      (Workload.Harness.run_prepared target
+         { config with Workload.Harness.fixed_ops = Some warmup });
+  (* Counters (and the limbo high-water mark) restart at zero after the
+     warmup, so a leg's numbers cover exactly its measured ops. *)
+  Hwts_obs.Registry.reset_all ();
+  let r = Workload.Harness.run_prepared target config in
+  let ops = r.Workload.Harness.total_ops in
+  {
+    mops = r.Workload.Harness.mops;
+    total_ops = ops;
+    announce_per_op =
+      float_of_int (counter "reclaim.announce_stores") /. float_of_int (max 1 ops);
+    quiesces = counter "reclaim.quiesces";
+    retired = counter "reclaim.retired";
+    reclaimed = counter "reclaim.reclaimed";
+    limbo_hwm = watermark "reclaim.limbo_hwm";
+    grace_waits = counter "reclaim.grace_waits";
+  }
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let fmedian xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let summarize legs =
+  {
+    mops = fmedian (List.map (fun l -> l.mops) legs);
+    total_ops = (List.hd legs).total_ops;
+    announce_per_op = fmedian (List.map (fun l -> l.announce_per_op) legs);
+    quiesces = median (List.map (fun l -> l.quiesces) legs);
+    retired = median (List.map (fun l -> l.retired) legs);
+    reclaimed = median (List.map (fun l -> l.reclaimed) legs);
+    limbo_hwm = median (List.map (fun l -> l.limbo_hwm) legs);
+    grace_waits = median (List.map (fun l -> l.grace_waits) legs);
+  }
+
+let best_mops legs = List.fold_left (fun m l -> Float.max m l.mops) 0. legs
+
+let point_json ~structure ~reclaim ~domains p =
+  Hwts_obs.Json.Obj
+    [
+      ("name", Hwts_obs.Json.Str "bench.reclaim");
+      ("type", Hwts_obs.Json.Str "point");
+      ("structure", Hwts_obs.Json.Str structure);
+      ("reclaim", Hwts_obs.Json.Str reclaim);
+      ("domains", Hwts_obs.Json.Int domains);
+      ("mops", Hwts_obs.Json.Float p.mops);
+      ("total_ops", Hwts_obs.Json.Int p.total_ops);
+      ("announce_per_op", Hwts_obs.Json.Float p.announce_per_op);
+      ("quiesces", Hwts_obs.Json.Int p.quiesces);
+      ("retired", Hwts_obs.Json.Int p.retired);
+      ("reclaimed", Hwts_obs.Json.Int p.reclaimed);
+      ("limbo_hwm", Hwts_obs.Json.Int p.limbo_hwm);
+      ("grace_waits", Hwts_obs.Json.Int p.grace_waits);
+    ]
+
+let parse_domains s =
+  match
+    List.filter_map
+      (fun tok ->
+        match int_of_string_opt (String.trim tok) with
+        | Some n when n >= 1 -> Some n
+        | _ -> None)
+      (String.split_on_char ',' s)
+  with
+  | [] -> failwith ("no valid domain counts in " ^ s)
+  | ds -> List.sort_uniq compare ds
+
+let () =
+  let domains_spec = ref "1,2" in
+  let ops = ref 20_000 in
+  let warmup = ref 5_000 in
+  let key_range = ref 1_024 in
+  let rq_len = ref 50 in
+  let mix = ref "50-10-40" in
+  let trials = ref 3 in
+  let mops_floor = ref 0.95 in
+  let out = ref default_out in
+  Arg.parse
+    [
+      ( "-domains",
+        Arg.Set_string domains_spec,
+        " comma-separated worker-domain counts (default 1,2)" );
+      ("-ops", Arg.Set_int ops, " fixed ops per domain per leg (default 20k)");
+      ("-warmup", Arg.Set_int warmup, " discarded warmup ops (default 5k)");
+      ("-key-range", Arg.Set_int key_range, " key range (default 1024)");
+      ("-rq-len", Arg.Set_int rq_len, " range-query length (default 50)");
+      ( "-mix",
+        Arg.Set_string mix,
+        " U-RQ-C mix label (default 50-10-40: update-heavy, so retirement \
+         is actually exercised)" );
+      ( "-trials",
+        Arg.Set_int trials,
+        " paired trials per point, medians kept (default 3)" );
+      ( "-mops-floor",
+        Arg.Set_float mops_floor,
+        " QSBR backends must reach this fraction of EBR throughput \
+         (best-of-trials; default 0.95)" );
+      ("-out", Arg.Set_string out, " output file (default BENCH_reclaim.json)");
+    ]
+    (fun _ -> ())
+    "reclaim_bench: reclamation-backend sweep (announce stores per op, \
+     limbo high water, throughput) over the retiring EBR-RQ structures";
+  let domain_counts = parse_domains !domains_spec in
+  (* The announce-store counters are the measurement, so the registry
+     must be live — unlike the throughput-only benches that switch it
+     off.  It is live for every backend alike, so ratios are fair. *)
+  Hwts_obs.Config.set_enabled true;
+  let config domains =
+    {
+      Workload.Harness.default with
+      threads = domains;
+      key_range = !key_range;
+      rq_len = !rq_len;
+      fixed_ops = Some !ops;
+      mix = Workload.Mix.of_label !mix;
+    }
+  in
+  let oc = open_out !out in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  let emit json =
+    output_string oc (Hwts_obs.Json.to_string json);
+    output_char oc '\n'
+  in
+  emit
+    (Hwts_obs.Json.Obj
+       [
+         ("name", Hwts_obs.Json.Str "bench.reclaim");
+         ("type", Hwts_obs.Json.Str "meta");
+         ( "domains",
+           Hwts_obs.Json.List
+             (List.map (fun d -> Hwts_obs.Json.Int d) domain_counts) );
+         ("ops_per_domain", Hwts_obs.Json.Int !ops);
+         ("key_range", Hwts_obs.Json.Int !key_range);
+         ("rq_len", Hwts_obs.Json.Int !rq_len);
+         ("mix", Hwts_obs.Json.Str !mix);
+         ("trials", Hwts_obs.Json.Int !trials);
+         ("mops_floor", Hwts_obs.Json.Float !mops_floor);
+         ("provider", Hwts_obs.Json.Str "logical");
+         ("cores", Hwts_obs.Json.Int (Domain.recommended_domain_count ()));
+         ( "reclaimers",
+           Hwts_obs.Json.List
+             (List.map (fun n -> Hwts_obs.Json.Str n) backend_names) );
+       ]);
+  Printf.printf "%-18s %-9s %7s %9s %12s %9s %9s %9s\n" "structure" "reclaim"
+    "domains" "mops" "announce/op" "retired" "limbo^" "graces";
+  let all_ok = ref true in
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun d ->
+          let n = List.length backends in
+          let arr = Array.of_list backends in
+          let legs = Array.make n [] in
+          for t = 0 to !trials - 1 do
+            for i = 0 to n - 1 do
+              let idx = (t + i) mod n in
+              legs.(idx) <-
+                run_leg structure arr.(idx) (config d) ~warmup:!warmup
+                :: legs.(idx)
+            done
+          done;
+          let points = Array.map summarize legs in
+          let bests = Array.map best_mops legs in
+          Array.iteri
+            (fun i p ->
+              let rname = List.nth backend_names i in
+              Printf.printf "%-18s %-9s %7d %9.3f %12.4f %9d %9d %9d\n%!"
+                structure rname d p.mops p.announce_per_op p.retired
+                p.limbo_hwm p.grace_waits;
+              emit (point_json ~structure ~reclaim:rname ~domains:d p))
+            points;
+          (* The gate, per point: both QSBR backends must beat EBR on the
+             mechanism (strictly fewer announce stores per op) while
+             keeping best-of-trials throughput above the floor. *)
+          let ebr = points.(0) and ebr_best = bests.(0) in
+          for i = 1 to n - 1 do
+            let p = points.(i) in
+            let ratio =
+              if ebr_best <= 0. then 1. else bests.(i) /. ebr_best
+            in
+            let announce_ok = p.announce_per_op < ebr.announce_per_op in
+            let mops_ok = ratio >= !mops_floor in
+            if not (announce_ok && mops_ok) then all_ok := false;
+            emit
+              (Hwts_obs.Json.Obj
+                 [
+                   ("name", Hwts_obs.Json.Str "bench.reclaim");
+                   ("type", Hwts_obs.Json.Str "gate");
+                   ("structure", Hwts_obs.Json.Str structure);
+                   ("reclaim", Hwts_obs.Json.Str (List.nth backend_names i));
+                   ("domains", Hwts_obs.Json.Int d);
+                   ("announce_per_op", Hwts_obs.Json.Float p.announce_per_op);
+                   ( "ebr_announce_per_op",
+                     Hwts_obs.Json.Float ebr.announce_per_op );
+                   ("announce_ok", Hwts_obs.Json.Bool announce_ok);
+                   ("mops_ratio", Hwts_obs.Json.Float ratio);
+                   ("mops_ok", Hwts_obs.Json.Bool mops_ok);
+                   ("ok", Hwts_obs.Json.Bool (announce_ok && mops_ok));
+                 ]);
+            Printf.printf
+              "  gate %-9s vs ebr: announce %0.4f vs %0.4f (%s), mops ratio \
+               %.3f (%s)\n%!"
+              (List.nth backend_names i)
+              p.announce_per_op ebr.announce_per_op
+              (if announce_ok then "ok" else "NOT FEWER")
+              ratio
+              (if mops_ok then "ok" else "BELOW FLOOR")
+          done)
+        domain_counts)
+    structures;
+  emit
+    (Hwts_obs.Json.Obj
+       [
+         ("name", Hwts_obs.Json.Str "bench.reclaim");
+         ("type", Hwts_obs.Json.Str "summary");
+         ("ok", Hwts_obs.Json.Bool !all_ok);
+       ]);
+  Printf.printf "reclaim gate: %s\nwrote %s\n"
+    (if !all_ok then "ok" else "FAILED")
+    !out;
+  if not !all_ok then exit 1

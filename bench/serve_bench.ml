@@ -42,7 +42,7 @@ let run_leg ~structure ~provider ~shards ~key_space ~coalesce ~connections
   Gc.compact ();
   Hwts_obs.Registry.reset_all ();
   let router =
-    Serve.Shards.create ~structure ~provider ~shards ~key_space ~coalesce
+    Serve.Shards.create ~structure ~provider ~shards ~key_space ~coalesce ()
   in
   let server = Serve.Server.start ~port:0 router in
   let r =

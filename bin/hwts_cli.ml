@@ -154,6 +154,22 @@ let provider_conv : Workload.Targets.ts Arg.conv =
     ( parse,
       fun ppf ts -> Format.pp_print_string ppf (Workload.Targets.ts_name ts) )
 
+let reclaim_conv : Workload.Targets.reclaim Arg.conv =
+  let parse s =
+    match Workload.Targets.reclaim_of_name s with
+    | Some r -> Ok r
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown reclamation backend %S; known backends:\n%s"
+             s
+             (Workload.Targets.reclaim_help ())))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf r ->
+        Format.pp_print_string ppf (Workload.Targets.reclaim_name r) )
+
 (* [--provider] is the one uniform spelling; the older [--rdtscp] and
    [--strict] flags stay accepted so existing scripts keep working, but
    [--strict] warns (it now maps to the sharded strict scheme, which is
@@ -184,8 +200,8 @@ let check_supported name ts =
     false
   end
 
-let run_real (name, make) provider hardware strict threads seconds mix_label
-    key_range zipf ops seed metrics_out trace_out =
+let run_real (name, _) provider reclaim hardware strict threads seconds
+    mix_label key_range zipf ops seed metrics_out trace_out =
   let ts = ts_of_flags ~provider ~hardware ~strict in
   if not (check_supported name ts) then 1
   else begin
@@ -204,7 +220,8 @@ let run_real (name, make) provider hardware strict threads seconds mix_label
   (* Asking for a trace capture implies turning tracing on, whatever the
      environment said. *)
   if trace_out <> None then Hwts_trace.Config.set_enabled true;
-  let result = Workload.Harness.run (make ts) config in
+  let inst = Workload.Targets.instance ~reclaim name ts in
+  let result = Workload.Harness.run inst.Workload.Targets.structure config in
   Printf.printf
     "%s(%s) threads=%d mix=%s range=%d: %.3f Mops/s (%d ops in %.2fs)\n" name
     (Workload.Targets.ts_name ts) threads mix_label key_range
@@ -213,7 +230,8 @@ let run_real (name, make) provider hardware strict threads seconds mix_label
     | None -> ()
     | Some path ->
       Workload.Harness.write_metrics ~label:name
-        ~provider:(Workload.Targets.ts_name ts) result path;
+        ~provider:(Workload.Targets.ts_name ts)
+        ~reclaim:(Workload.Targets.reclaim_name reclaim) result path;
       Printf.printf "(metrics -> %s)\n" path);
     (match trace_out with
     | None -> ()
@@ -225,8 +243,8 @@ let run_real (name, make) provider hardware strict threads seconds mix_label
     0
   end
 
-let stats (name, make) provider hardware strict threads seconds mix_label
-    key_range format out =
+let stats (name, _) provider reclaim hardware strict threads seconds
+    mix_label key_range format out =
   let ts = ts_of_flags ~provider ~hardware ~strict in
   if not (check_supported name ts) then 1
   else begin
@@ -240,7 +258,8 @@ let stats (name, make) provider hardware strict threads seconds mix_label
     }
   in
   Hwts_obs.Registry.reset_all ();
-  let result = Workload.Harness.run (make ts) config in
+  let inst = Workload.Targets.instance ~reclaim name ts in
+  let result = Workload.Harness.run inst.Workload.Targets.structure config in
   Workload.Harness.ensure_canonical_metrics ();
   Printf.printf "%s(%s) threads=%d mix=%s: %.3f Mops/s (%d ops in %.2fs)\n\n"
     name
@@ -263,7 +282,7 @@ let stats (name, make) provider hardware strict threads seconds mix_label
     0
   end
 
-let stress provider seed metrics_out =
+let stress provider reclaim seed metrics_out =
   (* Backoff jitter draws from the seeded stream, so the whole smoke run
      is a function of --seed. *)
   Sync.Rand.set_seed seed;
@@ -275,31 +294,40 @@ let stress provider seed metrics_out =
     (fun (name, make) ->
       List.iter
         (fun ts ->
-          let (module S : Dstruct.Ordered_set.RQ) = make ts in
+          let inst = make reclaim ts in
+          let (module S : Dstruct.Ordered_set.RQ) =
+            inst.Workload.Targets.structure
+          in
           let t = S.create () in
           for k = 1 to 1_000 do
             ignore (S.insert t (k * 2))
           done;
+          (* the spawning domain is done mutating; under QSBR its slot
+             must leave the grace protocol or nothing ever frees *)
+          S.offline t;
           let domains =
             List.init 3 (fun i ->
                 Domain.spawn (fun () ->
                     Sync.Slot.with_slot (fun _ ->
                         let rng = Dstruct.Prng.make ~seed:(seed + i + 1) in
-                        for _ = 1 to 5_000 do
+                        for n = 1 to 5_000 do
                           let k = 1 + Dstruct.Prng.below rng 2_000 in
-                          match Dstruct.Prng.below rng 4 with
+                          (match Dstruct.Prng.below rng 4 with
                           | 0 -> ignore (S.insert t k)
                           | 1 -> ignore (S.delete t k)
                           | 2 -> ignore (S.contains t k)
-                          | _ -> ignore (S.range_query t ~lo:k ~hi:(k + 50))
-                        done)))
+                          | _ -> ignore (S.range_query t ~lo:k ~hi:(k + 50)));
+                          if n mod 64 = 0 then S.quiesce t
+                        done;
+                        S.offline t)))
           in
           List.iter Domain.join domains;
           incr ok;
-          Printf.printf "  %-18s %-13s ok (size now %d)\n%!" name
-            (Workload.Targets.ts_name ts) (S.size t))
+          Printf.printf "  %-18s %-13s %-8s ok (size now %d)\n%!" name
+            (Workload.Targets.ts_name ts)
+            inst.Workload.Targets.reclaim (S.size t))
         (List.filter (Workload.Targets.supports name) wanted))
-    Workload.Targets.all;
+    Workload.Targets.all_instances;
   Printf.printf "stress: %d combinations passed\n" !ok;
   (match metrics_out with
   | None -> ()
@@ -315,7 +343,7 @@ let stress provider seed metrics_out =
    zoo (delayed/multislot/tl2), rdtscp-strict and adaptive providers; the
    first violation stops the sweep, prints the minimized counterexample,
    and leaves a replayable trace artifact. *)
-let check structure provider seed rounds no_faults fixture_out =
+let check structure provider reclaim seed rounds no_faults fixture_out =
   let structures =
     match structure with
     | Some (name, _) -> [ name ]
@@ -333,7 +361,8 @@ let check structure provider seed rounds no_faults fixture_out =
        pass the oracle before it is worth checking in *)
     let cfg =
       {
-        (Hwts_check.Torture.default_config ~structure:name ~provider:ts ~seed)
+        (Hwts_check.Torture.default_config ~reclaim ~structure:name
+           ~provider:ts ~seed ())
         with
         rounds = 1;
         faults = not no_faults;
@@ -370,8 +399,8 @@ let check structure provider seed rounds no_faults fixture_out =
           if (not !failed) && Workload.Targets.supports name ts then begin
             let cfg =
               {
-                (Hwts_check.Torture.default_config ~structure:name ~provider:ts
-                   ~seed)
+                (Hwts_check.Torture.default_config ~reclaim ~structure:name
+                   ~provider:ts ~seed ())
                 with
                 rounds;
                 faults = not no_faults;
@@ -555,6 +584,17 @@ let provider_opt =
     & opt (some provider_conv) None
     & info [ "provider" ] ~docv:"PROVIDER" ~doc)
 
+let reclaim_opt =
+  let doc =
+    "Safe-memory-reclamation backend for the EBR-RQ/Citrus structures \
+     (the others ignore it).  Known backends (aliases in parentheses):\n"
+    ^ Workload.Targets.reclaim_help ()
+  in
+  Arg.(
+    value
+    & opt reclaim_conv `Ebr
+    & info [ "reclaim" ] ~docv:"BACKEND" ~doc)
+
 let hardware_flag =
   Arg.(value & flag & info [ "rdtscp"; "hardware" ] ~doc:"Use the TSC provider")
 
@@ -609,9 +649,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a real workload on this machine")
     Term.(
-      const run_real $ structure_pos () $ provider_opt $ hardware_flag
-      $ strict_flag $ threads_opt $ seconds_opt $ mix_opt $ range_opt $ zipf
-      $ ops $ seed_opt $ metrics_out_opt $ trace_out)
+      const run_real $ structure_pos () $ provider_opt $ reclaim_opt
+      $ hardware_flag $ strict_flag $ threads_opt $ seconds_opt $ mix_opt
+      $ range_opt $ zipf $ ops $ seed_opt $ metrics_out_opt $ trace_out)
 
 let stats_cmd =
   let format =
@@ -630,13 +670,14 @@ let stats_cmd =
        ~doc:"Run a short workload and print every registered metric")
     Term.(
       const stats $ structure_pos ~default:true () $ provider_opt
-      $ hardware_flag $ strict_flag $ threads_opt $ seconds $ mix_opt
-      $ range_opt $ format $ out)
+      $ reclaim_opt $ hardware_flag $ strict_flag $ threads_opt $ seconds
+      $ mix_opt $ range_opt $ format $ out)
 
 let stress_cmd =
   Cmd.v
     (Cmd.info "stress" ~doc:"Concurrency smoke test of every port")
-    Term.(const stress $ provider_opt $ seed_opt $ metrics_out_opt)
+    Term.(const stress $ provider_opt $ reclaim_opt $ seed_opt
+          $ metrics_out_opt)
 
 let check_cmd =
   let structure =
@@ -681,8 +722,8 @@ let check_cmd =
          "Seeded fault-injection torture of the range-query ports, every \
           recorded history verified by the snapshot oracle")
     Term.(
-      const check $ structure $ provider $ seed_opt $ rounds $ no_faults
-      $ fixture_out)
+      const check $ structure $ provider $ reclaim_opt $ seed_opt $ rounds
+      $ no_faults $ fixture_out)
 
 (* Load generator for a running hwts-serve: pipelined connections over
    the binary wire protocol, seeded mixed traffic, optional Zipfian

@@ -27,11 +27,12 @@ let coalesce_default () =
   | Some ("0" | "false" | "no" | "off") -> false
   | _ -> true
 
-let serve host port structure provider shards key_space no_coalesce
+let serve host port structure provider reclaim shards key_space no_coalesce
     max_seconds metrics_out =
   let coalesce = (not no_coalesce) && coalesce_default () in
   match
-    Serve.Shards.create ~structure ~provider ~shards ~key_space ~coalesce
+    Serve.Shards.create ~reclaim ~structure ~provider ~shards ~key_space
+      ~coalesce ()
   with
   | exception Invalid_argument msg ->
     Printf.eprintf "hwts-serve: %s\n" msg;
@@ -44,12 +45,13 @@ let serve host port structure provider shards key_space no_coalesce
         exit 1
     in
     Printf.printf
-      "hwts-serve: listening on %s:%d (%s over %s, %d shards, key space %d, \
-       coalesce=%b)\n\
+      "hwts-serve: listening on %s:%d (%s over %s, reclaim %s, %d shards, \
+       key space %d, coalesce=%b)\n\
        %!"
       host (Serve.Server.port server)
       (Serve.Shards.structure_name router)
       (Serve.Shards.provider router)
+      (Serve.Shards.reclaim router)
       (Serve.Shards.shard_count router)
       (Serve.Shards.key_space router)
       coalesce;
@@ -116,6 +118,32 @@ let () =
             ("Timestamp provider shared by every shard.  Known providers:\n"
             ^ Workload.Targets.provider_help ()))
   in
+  let reclaim =
+    let reclaim_conv =
+      let parse s =
+        match Workload.Targets.reclaim_of_name s with
+        | Some r -> Ok r
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown reclaim backend %S; known backends:\n%s"
+                 s
+                 (Workload.Targets.reclaim_help ())))
+      in
+      Arg.conv
+        ( parse,
+          fun ppf r ->
+            Format.pp_print_string ppf (Workload.Targets.reclaim_name r) )
+    in
+    Arg.(
+      value
+      & opt reclaim_conv `Ebr
+      & info [ "reclaim" ] ~docv:"BACKEND"
+          ~doc:
+            ("Safe-memory-reclamation backend for every shard.  Known \
+              backends:\n"
+            ^ Workload.Targets.reclaim_help ()))
+  in
   let shards =
     Arg.(
       value & opt int 4
@@ -155,5 +183,5 @@ let () =
        (Cmd.v
           (Cmd.info "hwts-serve" ~doc)
           Term.(
-            const serve $ host $ port $ structure $ provider $ shards
-            $ key_space $ no_coalesce $ max_seconds $ metrics_out)))
+            const serve $ host $ port $ structure $ provider $ reclaim
+            $ shards $ key_space $ no_coalesce $ max_seconds $ metrics_out)))

@@ -8,7 +8,7 @@
      dune exec examples/inventory_audit.exe *)
 
 module L = Hwts.Timestamp.Logical ()
-module Warehouse = Rangequery.Citrus_ebrrq.Make (L)
+module Warehouse = Rangequery.Citrus_ebrrq.Make (Hwts_reclaim.Ebr_backend) (L)
 
 let aisle_size = 1_000
 let aisles = 8

@@ -52,10 +52,14 @@ let () =
      [val raw : int Atomic.t].  [Hwts.Timestamp.Hardware] has no such
      field, so the TSC port is a *type error*, not a slowdown — try it:
 
-       module Broken = Rangequery.Bst_ebrrq_lockfree.Make (Hwts.Timestamp.Hardware)
+       module Broken =
+         Rangequery.Bst_ebrrq_lockfree.Make (Hwts_reclaim.Ebr_backend)
+           (Hwts.Timestamp.Hardware)
   *)
   let module L = Hwts.Timestamp.Logical () in
-  let module LockFree = Rangequery.Bst_ebrrq_lockfree.Make (L) in
+  let module LockFree =
+    Rangequery.Bst_ebrrq_lockfree.Make (Hwts_reclaim.Ebr_backend) (L)
+  in
   let lf = LockFree.create () in
   ignore (LockFree.insert lf 7);
   Printf.printf

@@ -9,7 +9,9 @@
 
      dune exec examples/snapshot_analytics.exe *)
 
-module Store = Rangequery.Citrus_bundle.Make (Hwts.Timestamp.Hardware)
+module Store =
+  Rangequery.Citrus_bundle.Make (Hwts_reclaim.Ebr_backend)
+    (Hwts.Timestamp.Hardware)
 
 let twin k = k + 1_000_000
 

@@ -8,6 +8,7 @@
 type config = {
   structure : string;
   provider : Workload.Targets.ts;
+  reclaim : Workload.Targets.reclaim;
   seed : int;
   rounds : int;
   domains : int;
@@ -35,10 +36,11 @@ type outcome = {
   failure : failure option;
 }
 
-let default_config ~structure ~provider ~seed =
+let default_config ?(reclaim = `Ebr) ~structure ~provider ~seed () =
   {
     structure;
     provider;
+    reclaim;
     seed;
     rounds = 12;
     domains = 4;
@@ -75,7 +77,9 @@ let validate cfg =
          (Workload.Targets.ts_name cfg.provider))
 
 let run_round cfg ~round_seed =
-  let inst = Workload.Targets.instance cfg.structure cfg.provider in
+  let inst =
+    Workload.Targets.instance ~reclaim:cfg.reclaim cfg.structure cfg.provider
+  in
   let (module S) = inst.Workload.Targets.structure in
   let t = S.create () in
   let prefill_rng = Dstruct.Prng.make ~seed:(mix round_seed 0) in
@@ -85,6 +89,9 @@ let run_round cfg ~round_seed =
       (List.init cfg.prefill (fun _ ->
            1 + Dstruct.Prng.below prefill_rng cfg.key_space))
   in
+  (* The prefilling domain never operates again: leave its slot's grace
+     participation, or QSBR rounds would retain every retirement. *)
+  S.offline t;
   let recorder = Recorder.create ~now:inst.Workload.Targets.now ~domains:cfg.domains in
   let worker me =
     let rng = Dstruct.Prng.make ~seed:(mix round_seed (me + 1)) in
@@ -110,8 +117,12 @@ let run_round cfg ~round_seed =
           let hi = lo + Dstruct.Prng.below rng cfg.key_space in
           Recorder.run recorder ~dom:me (Lin_check.Range (lo, hi)) (fun () ->
               let ts, keys = S.range_query_labeled t ~lo ~hi in
-              (Lin_check.Keys keys, Some ts)))
-    done
+              (Lin_check.Keys keys, Some ts)));
+      (* Op boundary = quiescence point: the densest announcement cadence
+         a QSBR user can run, so grace races get maximal exercise. *)
+      S.quiesce t
+    done;
+    S.offline t
   in
   if cfg.faults then
     Sync.Pause.enable ~period:cfg.fault_period ~seed:round_seed ();
@@ -202,6 +213,12 @@ let trace_path cfg =
     (Workload.Targets.ts_name cfg.provider)
     cfg.seed
 
+let reclaim_tag cfg =
+  (* only tagged when off the default, so pre-existing fixtures and their
+     readers keep working verbatim *)
+  if cfg.reclaim = `Ebr then ""
+  else " reclaim=" ^ Workload.Targets.reclaim_name cfg.reclaim
+
 let write_trace ~path cfg f =
   let oc = open_out path in
   Fun.protect
@@ -209,13 +226,14 @@ let write_trace ~path cfg f =
     (fun () ->
       Printf.fprintf oc "%s\n" trace_header;
       Printf.fprintf oc
-        "structure=%s provider=%s seed=%d round=%d round_seed=%d \
+        "structure=%s provider=%s%s seed=%d round=%d round_seed=%d \
          domains=%d ops_per_domain=%d key_space=%d faults=%b \
          fault_period=%d reproduced=%b\n"
         cfg.structure
         (Workload.Targets.ts_name cfg.provider)
-        cfg.seed f.round f.round_seed cfg.domains cfg.ops_per_domain
-        cfg.key_space cfg.faults cfg.fault_period f.reproduced;
+        (reclaim_tag cfg) cfg.seed f.round f.round_seed cfg.domains
+        cfg.ops_per_domain cfg.key_space cfg.faults cfg.fault_period
+        f.reproduced;
       Printf.fprintf oc "\nfull history (%d events):\n%s"
         (List.length f.events)
         (Oracle.explain ~initial:f.initial f.events);
@@ -241,13 +259,13 @@ let write_fixture ~path cfg ~round_seed ~initial ~events =
     (fun () ->
       Printf.fprintf oc "%s\n" trace_header;
       Printf.fprintf oc
-        "fixture=true structure=%s provider=%s seed=%d round_seed=%d \
+        "fixture=true structure=%s provider=%s%s seed=%d round_seed=%d \
          domains=%d ops_per_domain=%d key_space=%d prefill=%d faults=%b \
          fault_period=%d\n"
         cfg.structure
         (Workload.Targets.ts_name cfg.provider)
-        cfg.seed round_seed cfg.domains cfg.ops_per_domain cfg.key_space
-        cfg.prefill cfg.faults cfg.fault_period;
+        (reclaim_tag cfg) cfg.seed round_seed cfg.domains cfg.ops_per_domain
+        cfg.key_space cfg.prefill cfg.faults cfg.fault_period;
       Printf.fprintf oc "\nrecorded history (%d events, oracle: pass):\n%s"
         (List.length events)
         (Oracle.explain ~initial events))
@@ -267,6 +285,12 @@ let read_fixture path =
     let str k = Hashtbl.find_opt kv k in
     let int k = Option.bind (str k) int_of_string_opt in
     let bool k = Option.bind (str k) bool_of_string_opt in
+    (* absent in fixtures recorded before the reclaim axis: default ebr *)
+    let reclaim =
+      match Option.bind (str "reclaim") Workload.Targets.reclaim_of_name with
+      | Some r -> r
+      | None -> `Ebr
+    in
     match
       ( str "structure",
         Option.bind (str "provider") Workload.Targets.ts_of_name,
@@ -278,7 +302,7 @@ let read_fixture path =
         Some faults, Some fault_period ) ->
       Ok
         ( {
-            structure; provider; seed;
+            structure; provider; reclaim; seed;
             rounds = 1;
             domains; ops_per_domain; key_space; prefill; faults; fault_period;
           },

@@ -10,6 +10,9 @@
 type config = {
   structure : string;  (** a {!Workload.Targets.all} name *)
   provider : Workload.Targets.ts;
+  reclaim : Workload.Targets.reclaim;
+      (** reclamation backend for {!Workload.Targets.reclaim_sensitive}
+          structures; the others ignore it *)
   seed : int;
   rounds : int;
   domains : int;
@@ -39,9 +42,14 @@ type outcome = {
 }
 
 val default_config :
-  structure:string -> provider:Workload.Targets.ts -> seed:int -> config
+  ?reclaim:Workload.Targets.reclaim ->
+  structure:string ->
+  provider:Workload.Targets.ts ->
+  seed:int ->
+  unit ->
+  config
 (** 12 rounds x 4 domains x 12 ops over keys [1, 12], prefill 4, faults
-    on at period 4. *)
+    on at period 4, EBR reclamation. *)
 
 val run : ?log:(string -> unit) -> config -> outcome
 (** Runs rounds until one fails the oracle or all pass.  Raises

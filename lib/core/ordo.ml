@@ -58,8 +58,16 @@ let uncertainty () =
   let c = Atomic.get cache in
   if c > 0 then c
   else begin
-    let measured = measure_uncertainty () in
-    ignore (Atomic.compare_and_set cache 0 measured);
+    let measured =
+      (* One core means one TSC: every rdtscp reads the same (monotone)
+         counter, so the cross-core offset is exactly zero.  The
+         handshake would also lie here — the domains time-slice, so its
+         best-case "RTT" is a scheduler quantum (milliseconds), orders
+         of magnitude above any real skew. *)
+      if Domain.recommended_domain_count () <= 1 then 0
+      else measure_uncertainty ()
+    in
+    ignore (Atomic.compare_and_set cache 0 (max measured 1));
     Atomic.get cache
   end
 

@@ -52,4 +52,15 @@ module type RQ = sig
       amortization kernel lifted to a batch API; the serving layer's RQ
       coalescing is built on it.  An empty batch still acquires (callers
       should not submit one). *)
+
+  val quiesce : t -> unit
+  (** Announce a reclamation quiescence point: the calling domain holds
+      no reference into [t] (between ops — harness-loop and serve-batch
+      boundaries).  No-op for structures whose reclamation scheme does
+      not use quiescence announcements. *)
+
+  val offline : t -> unit
+  (** Stop participating in [t]'s reclamation grace protocol; call when
+      a domain is done operating on [t].  Idempotent; any later op
+      re-onlines the domain.  No-op where [quiesce] is. *)
 end

@@ -1,3 +1,36 @@
+(* HWTS_RECLAIM_DEBUG=1 turns reclamation-protocol violations (an op
+   section entered twice, a retire outside any op section) into hard
+   failures; by default they only bump [reclaim.invariant_violations] —
+   a long-running server degrades (the op still proceeds, limbo just
+   over-retains) instead of aborting on an assert. *)
+let debug_enabled =
+  lazy
+    (match Sys.getenv_opt "HWTS_RECLAIM_DEBUG" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let invariant_violations =
+  Hwts_obs.Registry.counter "reclaim.invariant_violations"
+
+let check_invariant ok what =
+  if not ok then begin
+    Hwts_obs.Counter.incr invariant_violations;
+    if Lazy.force debug_enabled then
+      failwith ("reclaim invariant violated: " ^ what)
+  end
+
+(* Shared-announce stores are the per-op cost the QSBR backends exist to
+   remove; every store to the announce array counts here so benches can
+   compare stores/op across backends. *)
+let announce_stores = Hwts_obs.Registry.counter "reclaim.announce_stores"
+
+(* Backend-neutral series shared with lib/reclaim's QSBR backends, so
+   bench.reclaim compares like with like; the ebr.* counters above and
+   below predate the backend zoo and keep their names. *)
+let reclaim_retired = Hwts_obs.Registry.counter "reclaim.retired"
+let reclaim_reclaimed = Hwts_obs.Registry.counter "reclaim.reclaimed"
+let reclaim_limbo_hwm = Hwts_obs.Registry.watermark "reclaim.limbo_hwm"
+
 module Make (N : sig
   type t
 end) =
@@ -12,6 +45,10 @@ struct
     op_count : int ref Domain.DLS.key;
     advance_gate : int ref Domain.DLS.key;
     reclaimed : int Atomic.t;
+    on_free : (N.t -> unit) option;
+        (* runs on the trimming domain as an entry is dropped; the
+           poison-on-free tortures use it to mark nodes whose reuse
+           after this point would be a use-after-free *)
   }
 
   (* After a failed advance attempt (some slot still announces an older
@@ -26,7 +63,7 @@ struct
   let reclaimed_total = Hwts_obs.Registry.counter "ebr.reclaimed"
   let limbo_len = Hwts_obs.Registry.histogram "ebr.limbo_len"
 
-  let create ?(epoch_frequency = 64) () =
+  let create ?(epoch_frequency = 64) ?on_free () =
     {
       global = Sync.Padding.atomic 1;
       announce = Sync.Padding.atomic_array Sync.Slot.max_slots 0;
@@ -35,6 +72,7 @@ struct
       op_count = Domain.DLS.new_key (fun () -> ref 0);
       advance_gate = Domain.DLS.new_key (fun () -> ref 0);
       reclaimed = Atomic.make 0;
+      on_free;
     }
 
   let current_epoch t = Atomic.get t.global
@@ -66,21 +104,29 @@ struct
         (fun e ->
           incr total;
           let live = e.retired_at >= epoch - 2 in
-          if not live then incr dropped;
+          if not live then begin
+            incr dropped;
+            match t.on_free with None -> () | Some f -> f e.node
+          end;
           live)
         entries
     in
-    if Hwts_obs.Config.enabled () then
+    if Hwts_obs.Config.enabled () then begin
       Hwts_obs.Histogram.record limbo_len !total;
+      Hwts_obs.Watermark.observe reclaim_limbo_hwm !total
+    end;
     if !dropped > 0 then begin
       Atomic.set cell keep;
       ignore (Atomic.fetch_and_add t.reclaimed !dropped);
-      Hwts_obs.Counter.add reclaimed_total !dropped
+      Hwts_obs.Counter.add reclaimed_total !dropped;
+      Hwts_obs.Counter.add reclaim_reclaimed !dropped
     end
 
   let enter t =
     let slot = Sync.Slot.my_slot () in
-    assert (Atomic.get t.announce.(slot) = 0);
+    check_invariant
+      (Atomic.get t.announce.(slot) = 0)
+      "Ebr.enter inside an active op section";
     let count = Domain.DLS.get t.op_count in
     incr count;
     if !count mod t.epoch_frequency = 0 then begin
@@ -96,10 +142,12 @@ struct
       trim t slot;
       Hwts_trace.Span.exit Hwts_trace.Reclaim
     end;
+    Hwts_obs.Counter.incr announce_stores;
     Atomic.set t.announce.(slot) (Atomic.get t.global)
 
   let exit t =
     let slot = Sync.Slot.my_slot () in
+    Hwts_obs.Counter.incr announce_stores;
     Atomic.set t.announce.(slot) 0
 
   let with_op t f =
@@ -108,8 +156,11 @@ struct
 
   let retire t node =
     let slot = Sync.Slot.my_slot () in
-    assert (Atomic.get t.announce.(slot) <> 0);
+    check_invariant
+      (Atomic.get t.announce.(slot) <> 0)
+      "Ebr.retire outside an op section";
     Hwts_obs.Counter.incr retired_total;
+    Hwts_obs.Counter.incr reclaim_retired;
     let cell = t.limbo.(slot) in
     let entry = { node; retired_at = Atomic.get t.global } in
     Atomic.set cell (entry :: Atomic.get cell)

@@ -20,9 +20,11 @@ module Make (N : sig
 end) : sig
   type t
 
-  val create : ?epoch_frequency:int -> unit -> t
+  val create :
+    ?epoch_frequency:int -> ?on_free:(N.t -> unit) -> unit -> t
   (** [epoch_frequency] (default 64): one in how many [enter]s attempts to
-      advance the global epoch. *)
+      advance the global epoch.  [on_free] runs on the trimming thread as
+      an entry is dropped from limbo (poison-on-free torture hook). *)
 
   val enter : t -> unit
   (** Begin an operation: announce the current global epoch.  Must be

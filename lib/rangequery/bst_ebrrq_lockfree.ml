@@ -4,13 +4,14 @@ module type LOGICAL = sig
   val raw : int Atomic.t
 end
 
-module Make (T : LOGICAL) = struct
+module Make (R : Hwts_reclaim.Intf.BACKEND) (T : LOGICAL) = struct
   type node = Leaf of leaf | Internal of inode
 
   and leaf = {
     lkey : int;
     itime : int Sync.Rdcss.loc; (* 0 = not yet labeled *)
     dtime : int Sync.Rdcss.loc; (* 0 = alive *)
+    mutable poisoned : bool; (* set by the reclaimer when freed *)
   }
 
   and inode = { ikey : int; left : edge Atomic.t; right : edge Atomic.t }
@@ -22,7 +23,7 @@ module Make (T : LOGICAL) = struct
   let inf1 = max_int - 1
   let inf2 = max_int
 
-  module Reclaim = Ebr.Make (struct
+  module Reclaim = R.Make (struct
     type t = leaf
   end)
 
@@ -32,7 +33,13 @@ module Make (T : LOGICAL) = struct
   let clean target = { target; flagged = false; tagged = false }
 
   let make_leaf ?(itime = 0) key =
-    Leaf { lkey = key; itime = Sync.Rdcss.make itime; dtime = Sync.Rdcss.make 0 }
+    Leaf
+      {
+        lkey = key;
+        itime = Sync.Rdcss.make itime;
+        dtime = Sync.Rdcss.make 0;
+        poisoned = false;
+      }
 
   let create () =
     let s =
@@ -49,7 +56,7 @@ module Make (T : LOGICAL) = struct
         right = Atomic.make (clean (make_leaf ~itime:1 inf2));
       }
     in
-    { r; s; ebr = Reclaim.create () }
+    { r; s; ebr = Reclaim.create ~on_free:(fun l -> l.poisoned <- true) () }
 
   let child n = function L -> n.left | R -> n.right
   let other = function L -> R | R -> L
@@ -253,8 +260,13 @@ module Make (T : LOGICAL) = struct
     let buf = Sync.Scratch.get buf_scratch in
     Sync.Scratch.Int_buffer.clear buf;
     let visit l =
-      if l.lkey >= lo && l.lkey <= hi && l.lkey < inf0 && covers ts l then
+      if l.lkey >= lo && l.lkey <= hi && l.lkey < inf0 && covers ts l then begin
+        (* A freed leaf still covered by a live snapshot is the
+           observable shape of a reclamation use-after-free. *)
+        if l.poisoned then
+          Hwts_reclaim.Debug.poison_hit "bst-ebrrq leaf covered after free";
         Sync.Scratch.Int_buffer.push buf l.lkey
+      end
     in
     let rec walk node =
       match node with
@@ -295,4 +307,6 @@ module Make (T : LOGICAL) = struct
 
   let size t = List.length (to_list t)
   let limbo_size t = Reclaim.limbo_size t.ebr
+  let quiesce t = Reclaim.quiesce t.ebr
+  let offline t = Reclaim.offline t.ebr
 end

@@ -15,7 +15,11 @@ module type LOGICAL = sig
   (** The timestamp word itself — the address DCSS validates. *)
 end
 
-module Make (T : LOGICAL) : sig
+(** [R] supplies the safe-memory-reclamation backend the leaves retire
+    through ({!Hwts_reclaim.Ebr_backend} for the original per-op EBR
+    protocol, the QSBR backends for boundary-announcement schemes); the
+    range-query limbo recovery works unchanged against any of them. *)
+module Make (R : Hwts_reclaim.Intf.BACKEND) (T : LOGICAL) : sig
   include Dstruct.Ordered_set.RQ
 
   val limbo_size : t -> int

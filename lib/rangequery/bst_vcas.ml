@@ -293,4 +293,8 @@ module Make (T : Hwts.Timestamp.S) = struct
       | Internal n -> spine (edges + 1, versions + count) n.left
     in
     spine (0, 0) t.s.left
+  (* Versioned links / bundles retain old values under GC; there is no
+     reclamation grace protocol to participate in. *)
+  let quiesce _ = ()
+  let offline _ = ()
 end

@@ -1,4 +1,4 @@
-module Make (T : Hwts.Timestamp.S) = struct
+module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
   module B = Bundle.Make (T)
 
   type node = {
@@ -11,7 +11,15 @@ module Make (T : Hwts.Timestamp.S) = struct
     mutable marked : bool;
   }
 
-  type t = { root : node; rcu_dom : Rcu.t; registry : Rq_registry.t }
+  (* The backend is used purely as a grace mechanism here: read sections
+     around unlocked traversals, [wait_until_quiescent] before the
+     relocation delete's final unlink.  Nothing is retired — these
+     variants never recover nodes from limbo. *)
+  module Grace = R.Make (struct
+    type t = node
+  end)
+
+  type t = { root : node; grace : Grace.t; registry : Rq_registry.t }
 
   let name = "bundle-citrus(" ^ T.name ^ ")"
 
@@ -40,7 +48,7 @@ module Make (T : Hwts.Timestamp.S) = struct
         marked = false;
       }
     in
-    { root; rcu_dom = Rcu.create (); registry = Rq_registry.create () }
+    { root; grace = Grace.create (); registry = Rq_registry.create () }
 
   type dir = L | R
 
@@ -63,7 +71,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     Hwts_trace.Span.exit Hwts_trace.Traverse;
     r
 
-  let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
+  let traverse t key = Grace.with_read t.grace (fun () -> find t.root key)
 
   let contains t key =
     let _, _, found = traverse t key in
@@ -213,7 +221,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       if not direct then begin
         (* Elemental traversals may still be en route to the original
            successor through the old links: drain them before unlinking. *)
-        Rcu.synchronize t.rcu_dom;
+        Grace.wait_until_quiescent t.grace;
         Atomic.set succ_prev.left succ_right
       end;
       Sync.Spinlock.unlock succ.lock;
@@ -277,6 +285,8 @@ module Make (T : Hwts.Timestamp.S) = struct
     walk [] (Atomic.get t.root.right)
 
   let size t = List.length (to_list t)
+  let quiesce t = Grace.quiesce t.grace
+  let offline t = Grace.offline t.grace
   let active_rqs t = Rq_registry.active_count t.registry
 
   let bundle_stats t =

@@ -10,7 +10,9 @@
     hardware-timestamp gain on read-only workloads (Fig. 3a) but gains on
     update-heavy ones. *)
 
-module Make (T : Hwts.Timestamp.S) : sig
+(** [R] supplies the grace mechanism (read sections and
+    [wait_until_quiescent]) the relocation delete relies on. *)
+module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) : sig
   include Dstruct.Ordered_set.RQ
 
   val active_rqs : t -> int

@@ -1,4 +1,4 @@
-module Make (T : Hwts.Timestamp.S) = struct
+module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
   type node = {
     key : int;
     left : node option Atomic.t;
@@ -7,15 +7,19 @@ module Make (T : Hwts.Timestamp.S) = struct
     mutable marked : bool;
     itime : int Atomic.t; (* set before the node is linked *)
     dtime : int Atomic.t; (* 0 = alive *)
+    mutable poisoned : bool; (* set by the reclaimer when freed *)
   }
 
-  module Reclaim = Ebr.Make (struct
+  module Reclaim = R.Make (struct
     type t = node
   end)
 
+  (* One backend instance serves both roles the original code split
+     between lib/rcu and lib/ebr: read sections protect unlocked
+     traversals (and the two-children delete's grace wait), op sections
+     pin limbo for RQ recovery. *)
   type t = {
     root : node;
-    rcu_dom : Rcu.t;
     ebr : Reclaim.t;
     ts_lock : Sync.Rwlock.t; (* the EBR-RQ timestamp lock *)
   }
@@ -31,6 +35,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       marked = false;
       itime = Atomic.make 0;
       dtime = Atomic.make 0;
+      poisoned = false;
     }
 
   let create () =
@@ -38,8 +43,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     Atomic.set root.itime 1;
     {
       root;
-      rcu_dom = Rcu.create ();
-      ebr = Reclaim.create ();
+      ebr = Reclaim.create ~on_free:(fun n -> n.poisoned <- true) ();
       ts_lock = Sync.Rwlock.make ();
     }
 
@@ -63,7 +67,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     Hwts_trace.Span.exit Hwts_trace.Traverse;
     r
 
-  let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
+  let traverse t key = Reclaim.with_read t.ebr (fun () -> find t.root key)
 
   let contains t key =
     Reclaim.with_op t.ebr (fun () ->
@@ -190,7 +194,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       curr.marked <- true;
       succ.marked <- true;
       if not direct then begin
-        Rcu.synchronize t.rcu_dom;
+        Reclaim.wait_until_quiescent t.ebr;
         Atomic.set succ_prev.left succ_right
       end;
       Reclaim.retire t.ebr curr;
@@ -215,11 +219,14 @@ module Make (T : Hwts.Timestamp.S) = struct
     let buf = Sync.Scratch.get buf_scratch in
     Sync.Scratch.Int_buffer.clear buf;
     let visit n =
-      if n.key >= lo && n.key <= hi && covers ts n then
+      if n.key >= lo && n.key <= hi && covers ts n then begin
+        if n.poisoned then
+          Hwts_reclaim.Debug.poison_hit "citrus node covered after free";
         Sync.Scratch.Int_buffer.push buf n.key
+      end
     in
     Hwts_trace.Span.enter Hwts_trace.Traverse;
-    Rcu.with_read t.rcu_dom (fun () ->
+    Reclaim.with_read t.ebr (fun () ->
         let rec walk = function
           | None -> ()
           | Some n ->
@@ -267,4 +274,6 @@ module Make (T : Hwts.Timestamp.S) = struct
   let size t = List.length (to_list t)
   let limbo_size t = Reclaim.limbo_size t.ebr
   let reclaimed t = Reclaim.reclaimed t.ebr
+  let quiesce t = Reclaim.quiesce t.ebr
+  let offline t = Reclaim.offline t.ebr
 end

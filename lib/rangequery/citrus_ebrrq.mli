@@ -14,7 +14,11 @@
     (Figures 4a–4d), and the throughput collapses once threads span
     hyperthreads/NUMA in the timing model. *)
 
-module Make (T : Hwts.Timestamp.S) : sig
+(** [R] supplies the safe-memory-reclamation backend: it protects the
+    unlocked traversals (read sections), provides the two-children
+    delete's grace wait, and holds the limbo lists range queries recover
+    deleted nodes from. *)
+module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) : sig
   include Dstruct.Ordered_set.RQ
 
   val limbo_size : t -> int

@@ -1,4 +1,4 @@
-module Make (T : Hwts.Timestamp.S) = struct
+module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
   module V = Vcas_obj.Make (T)
 
   type node = {
@@ -9,7 +9,15 @@ module Make (T : Hwts.Timestamp.S) = struct
     mutable marked : bool;
   }
 
-  type t = { root : node; rcu_dom : Rcu.t; registry : Rq_registry.t }
+  (* The backend is used purely as a grace mechanism here: read sections
+     around unlocked traversals, [wait_until_quiescent] before the
+     relocation delete's final unlink.  Nothing is retired — these
+     variants never recover nodes from limbo. *)
+  module Grace = R.Make (struct
+    type t = node
+  end)
+
+  type t = { root : node; grace : Grace.t; registry : Rq_registry.t }
 
   let name = "vcas-citrus(" ^ T.name ^ ")"
 
@@ -25,7 +33,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   let create () =
     {
       root = make_node Dstruct.Ordered_set.min_key None None;
-      rcu_dom = Rcu.create ();
+      grace = Grace.create ();
       registry = Rq_registry.create ();
     }
 
@@ -49,7 +57,7 @@ module Make (T : Hwts.Timestamp.S) = struct
     Hwts_trace.Span.exit Hwts_trace.Traverse;
     r
 
-  let traverse t key = Rcu.with_read t.rcu_dom (fun () -> find t.root key)
+  let traverse t key = Grace.with_read t.grace (fun () -> find t.root key)
 
   let contains t key =
     let _, _, found = traverse t key in
@@ -163,7 +171,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       succ.marked <- true;
       write_pruned t (child prev d) (Some replacement);
       if not direct then begin
-        Rcu.synchronize t.rcu_dom;
+        Grace.wait_until_quiescent t.grace;
         write_pruned t succ_prev.left succ_right
       end;
       Sync.Spinlock.unlock succ.lock;
@@ -225,4 +233,6 @@ module Make (T : Hwts.Timestamp.S) = struct
     walk [] (V.read t.root.right)
 
   let size t = List.length (to_list t)
+  let quiesce t = Grace.quiesce t.grace
+  let offline t = Grace.offline t.grace
 end

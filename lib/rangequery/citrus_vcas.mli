@@ -12,6 +12,8 @@
     baseline) but less than on the lock-free BST: the structure's own
     locking now bounds the benefit (Section IV). *)
 
-module Make (T : Hwts.Timestamp.S) : sig
+(** [R] supplies the grace mechanism (read sections and
+    [wait_until_quiescent]) the relocation delete relies on. *)
+module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) : sig
   include Dstruct.Ordered_set.RQ
 end

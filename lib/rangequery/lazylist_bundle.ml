@@ -235,4 +235,8 @@ module Make (T : Hwts.Timestamp.S) = struct
     match t.head with Nil -> [] | Node h -> walk [] (Atomic.get h.next)
 
   let size t = List.length (to_list t)
+  (* Versioned links / bundles retain old values under GC; there is no
+     reclamation grace protocol to participate in. *)
+  let quiesce _ = ()
+  let offline _ = ()
 end

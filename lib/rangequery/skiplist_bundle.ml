@@ -324,4 +324,8 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   let size t = List.length (to_list t)
   let active_rqs t = Rq_registry.active_count t.registry
+  (* Versioned links / bundles retain old values under GC; there is no
+     reclamation grace protocol to participate in. *)
+  let quiesce _ = ()
+  let offline _ = ()
 end

@@ -348,4 +348,8 @@ module Make (T : Hwts.Timestamp.S) = struct
     walk [] t.head
 
   let size t = List.length (to_list t)
+  (* Versioned links / bundles retain old values under GC; there is no
+     reclamation grace protocol to participate in. *)
+  let quiesce _ = ()
+  let offline _ = ()
 end

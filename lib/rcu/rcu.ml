@@ -5,6 +5,12 @@ type t = {
   completed : int Atomic.t;
 }
 
+(* How many backoff rounds synchronize spent blocked on readers: the
+   contention signal that motivates the QSBR backends (lib/reclaim),
+   which wait on quiescence stamps instead of per-read announce slots. *)
+let sync_wait_spins = Hwts_obs.Registry.counter "rcu.sync_wait_spins"
+let announce_stores = Hwts_obs.Registry.counter "reclaim.announce_stores"
+
 let create () =
   {
     global = Sync.Padding.atomic 1;
@@ -17,6 +23,7 @@ let read_lock t =
   let n = Domain.DLS.get t.nesting in
   if !n = 0 then begin
     let slot = Sync.Slot.my_slot () in
+    Hwts_obs.Counter.incr announce_stores;
     Atomic.set t.announce.(slot) (Atomic.get t.global)
   end;
   incr n
@@ -27,6 +34,7 @@ let read_unlock t =
   decr n;
   if !n = 0 then begin
     let slot = Sync.Slot.my_slot () in
+    Hwts_obs.Counter.incr announce_stores;
     Atomic.set t.announce.(slot) 0
   end
 
@@ -47,6 +55,7 @@ let synchronize t =
       (* A reader blocks the grace period only if it entered before the
          epoch bump and is still inside its section. *)
       if a <> 0 && a < epoch then begin
+        Hwts_obs.Counter.incr sync_wait_spins;
         Sync.Backoff.once backoff;
         wait ()
       end

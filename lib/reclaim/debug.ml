@@ -1,0 +1,30 @@
+(* Mirror of the gate in lib/ebr (which cannot depend on this library):
+   HWTS_RECLAIM_DEBUG=1 makes protocol violations fatal; by default they
+   bump the shared [reclaim.invariant_violations] counter and the
+   operation degrades (over-retained limbo) instead of aborting a
+   server. *)
+
+let enabled =
+  lazy
+    (match Sys.getenv_opt "HWTS_RECLAIM_DEBUG" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let invariant_violations =
+  Hwts_obs.Registry.counter "reclaim.invariant_violations"
+
+let check ok what =
+  if not ok then begin
+    Hwts_obs.Counter.incr invariant_violations;
+    if Lazy.force enabled then
+      failwith ("reclaim invariant violated: " ^ what)
+  end
+
+(* Poison-on-free detection: a structure's RQ collection calls this when
+   a node that reports itself freed still satisfies the snapshot's
+   covers predicate — the observable form of a use-after-free under GC. *)
+let poison_hits = Hwts_obs.Registry.counter "reclaim.poison_hits"
+
+let poison_hit what =
+  Hwts_obs.Counter.incr poison_hits;
+  if Lazy.force enabled then failwith ("use-after-free detected: " ^ what)

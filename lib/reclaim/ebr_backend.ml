@@ -1,0 +1,39 @@
+(* The pre-existing scheme, promoted behind {!Intf.S}: per-op announce
+   stores into the shared epoch array (lib/ebr) plus an embedded
+   userspace-RCU domain (lib/rcu) for read sections and grace periods.
+   This is byte-for-byte the protocol the structures used before the
+   backend axis existed — the default, and the baseline the QSBR
+   backends are measured against. *)
+
+let backend_name = "ebr"
+
+module Make (N : sig
+  type t
+end) =
+struct
+  module E = Ebr.Make (N)
+
+  type node = N.t
+  type t = { ebr : E.t; rcu : Rcu.t }
+
+  let name = backend_name
+
+  let create ?epoch_frequency ?on_free () =
+    { ebr = E.create ?epoch_frequency ?on_free (); rcu = Rcu.create () }
+
+  let enter t = E.enter t.ebr
+  let exit t = E.exit t.ebr
+  let with_op t f = E.with_op t.ebr f
+  let read_lock t = Rcu.read_lock t.rcu
+  let read_unlock t = Rcu.read_unlock t.rcu
+  let with_read t f = Rcu.with_read t.rcu f
+  let retire t node = E.retire t.ebr node
+
+  (* EBR announces per op; boundary announcements add nothing. *)
+  let quiesce _ = ()
+  let offline _ = ()
+  let wait_until_quiescent t = Rcu.synchronize t.rcu
+  let fold_limbo t ~init ~f = E.fold_limbo t.ebr ~init ~f
+  let limbo_size t = E.limbo_size t.ebr
+  let reclaimed t = E.reclaimed t.ebr
+end

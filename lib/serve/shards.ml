@@ -31,6 +31,7 @@ type t = {
   coalesce : bool;
   structure_name : string;
   provider : string;
+  reclaim_name : string;
   now : unit -> int;
   stopped : Mutex.t * bool ref;
   domains : unit Domain.t array;
@@ -97,17 +98,23 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a)
     Queue.transfer sh.q batch;
     Mutex.unlock sh.m;
     process (module S) st ~coalesce batch;
+    (* Batch boundary: the shard worker holds no reference into its
+       structure between batches — a quiescence point for QSBR
+       reclamation (and the only announcement it ever pays for). *)
+    S.quiesce st;
     if not finished then loop ()
   in
-  loop ()
+  loop ();
+  S.offline st
 
-let create ~structure ~provider ~shards ~key_space ~coalesce =
+let create ?(reclaim = `Ebr) ~structure ~provider ~shards ~key_space ~coalesce
+    () =
   if shards <= 0 then invalid_arg "Shards.create: shards must be positive";
   if key_space <= 0 then
     invalid_arg "Shards.create: key_space must be positive";
   (* ONE instance call = one provider module; [shards] creates on it
      share the clock (see the .mli). *)
-  let inst = Workload.Targets.instance structure provider in
+  let inst = Workload.Targets.instance ~reclaim structure provider in
   let (module S) = inst.Workload.Targets.structure in
   let span = (key_space + shards - 1) / shards in
   let mk_shard () =
@@ -134,6 +141,7 @@ let create ~structure ~provider ~shards ~key_space ~coalesce =
     coalesce;
     structure_name = structure;
     provider = inst.Workload.Targets.provider;
+    reclaim_name = inst.Workload.Targets.reclaim;
     now = inst.Workload.Targets.now;
     stopped = (Mutex.create (), ref false);
     domains;
@@ -141,6 +149,7 @@ let create ~structure ~provider ~shards ~key_space ~coalesce =
 
 let structure_name t = t.structure_name
 let provider t = t.provider
+let reclaim t = t.reclaim_name
 let shard_count t = Array.length t.shards
 let key_space t = t.key_space
 let coalesce t = t.coalesce

@@ -22,19 +22,26 @@
 type t
 
 val create :
+  ?reclaim:Workload.Targets.reclaim ->
   structure:string ->
   provider:Workload.Targets.ts ->
   shards:int ->
   key_space:int ->
   coalesce:bool ->
+  unit ->
   t
 (** Builds [shards] instances of the named structure over one shared
-    provider and spawns one worker domain per shard.  Raises
-    [Invalid_argument] on an unknown structure, an unsupported
+    provider and the given reclamation backend (default [`Ebr]), and
+    spawns one worker domain per shard.  Shard workers announce a
+    quiescence point after each drained batch and go offline on stop.
+    Raises [Invalid_argument] on an unknown structure, an unsupported
     structure/provider combination, or non-positive [shards]/[key_space]. *)
 
 val structure_name : t -> string
 val provider : t -> string
+
+(** Canonical name of the reclamation backend the shards were built over. *)
+val reclaim : t -> string
 val shard_count : t -> int
 val key_space : t -> int
 val coalesce : t -> bool

@@ -8,6 +8,10 @@ let once t =
   (* fault injection: contended paths (CAS retries, lock waits) are where
      schedule perturbations bite *)
   Pause.point ();
+  (* contended waits are QSBR safe points: a waiter holding locks keeps
+     publishing its quiescence stamp so grace periods it blocks on (or
+     that others wait for across it) stay live *)
+  Quiesce.poke ();
   if t.current >= t.max_spins then
     (* saturated: yield the processor — on oversubscribed machines the
        lock holder may need our core to make progress *)

@@ -1,0 +1,26 @@
+(* Per-domain safe-point hook, poked from contended-wait loops
+   ([Backoff.once], and so every spinlock/rwlock wait and CAS retry
+   built on it).
+
+   Quiescent-state reclamation needs waiters to keep announcing "I hold
+   no traversal references" while they spin: a deleter that waits for a
+   grace period while holding locks would otherwise deadlock against a
+   second writer spinning on one of those locks, because the spinner
+   never reaches its harness-loop quiescence point.  Lock spins are
+   legitimate safe points — every locked section in the citrus family
+   re-validates via [marked] after acquiring — so the QSBR backends
+   register a callback here when a domain comes online; the callback
+   publishes a safe-point stamp only when the domain is outside any read
+   section.
+
+   The hook is domain-local state: no synchronization, and the unset
+   path is one DLS load and a branch. *)
+
+type hook = { mutable f : (unit -> unit) option }
+
+let key = Domain.DLS.new_key (fun () -> { f = None })
+let set f = (Domain.DLS.get key).f <- Some f
+let clear () = (Domain.DLS.get key).f <- None
+
+let poke () =
+  match (Domain.DLS.get key).f with None -> () | Some f -> f ()

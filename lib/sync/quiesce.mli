@@ -1,0 +1,26 @@
+(** Per-domain safe-point hook for quiescent-state reclamation.
+
+    Contended-wait loops ({!Backoff.once}) poke the calling domain's
+    hook so a waiter keeps publishing safe-point stamps while it spins —
+    the liveness half of QSBR grace periods: a writer waiting for a
+    grace period while holding locks must not deadlock against another
+    writer spinning on those locks.
+
+    The hook is domain-local: [set]/[clear] affect only the calling
+    domain, and at most one callback is registered per domain (a second
+    [set] replaces the first — acceptable because a domain works against
+    one reclamation-backed structure at a time; an overwritten hook only
+    withholds optional safe-point hints from the other instance). *)
+
+val set : (unit -> unit) -> unit
+(** Install the calling domain's safe-point callback.  The callback runs
+    inside contended waits and must be cheap, allocation-free, and safe
+    to invoke at any point where the domain holds no traversal
+    references it has not re-validated. *)
+
+val clear : unit -> unit
+(** Remove the calling domain's callback. *)
+
+val poke : unit -> unit
+(** Invoke the calling domain's callback, if any.  Called by
+    {!Backoff.once}; one DLS load and a branch when unset. *)

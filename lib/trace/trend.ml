@@ -51,6 +51,19 @@ let point_of_line l =
           words_per_op = 0.;
         }
     | _ -> None)
+  | Some "bench.reclaim", Some "point" -> (
+    match (str l "structure", str l "reclaim", num l "mops") with
+    | Some s, Some r, Some m ->
+      Some
+        {
+          series = s ^ "/" ^ r;
+          subkey =
+            Option.value ~default:0
+              (Option.bind (J.member "domains" l) J.to_int);
+          mops = m;
+          words_per_op = 0.;
+        }
+    | _ -> None)
   | Some "bench.hotpath", Some "comparison" -> (
     match (str l "structure", J.member "optimized" l) with
     | Some s, Some opt ->

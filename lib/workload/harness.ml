@@ -79,8 +79,13 @@ let prefill (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
 
 let make_target (module S : Dstruct.Ordered_set.RQ) config =
   let t = S.create () in
-  if config.prefill then
+  if config.prefill then begin
     ignore (prefill (module S) t ~key_range:config.key_range ~seed:config.seed);
+    (* The prefilling (main) domain is done with the structure; if it
+       stayed online, a QSBR backend would wait on it forever (it never
+       quiesces again) and nothing would ever be freed. *)
+    S.offline t
+  end;
   Target ((module S), t)
 
 (* Worker loop: check the clock every [check_every] operations to keep the
@@ -188,8 +193,16 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
   (match config.fixed_ops with
   | Some n ->
     (* Deterministic mode: exactly [n] operations, no clock involved, so a
-       fixed seed reproduces the run byte for byte. *)
-    for _ = 1 to n do
+       fixed seed reproduces the run byte for byte.  Chunked like the
+       timed loop so QSBR backends see the same quiescence cadence. *)
+    let full = n / check_every and rest = n mod check_every in
+    for _ = 1 to full do
+      for _ = 1 to check_every do
+        step ()
+      done;
+      S.quiesce t
+    done;
+    for _ = 1 to rest do
       step ()
     done
   | None ->
@@ -198,8 +211,14 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
       for _ = 1 to check_every do
         step ()
       done;
+      (* Loop boundary: this worker holds no reference into [t] — the
+         quiescence announcement QSBR reclamation is built from. *)
+      S.quiesce t;
       if Atomic.get stop then continue_ := false
     done);
+  (* Fixed-op workers finish at different times; a finished-but-online
+     worker would stall every QSBR grace period behind it. *)
+  S.offline t;
   (!ops, per_class, Gc.minor_words () -. words0, Unix.gettimeofday () -. wt0)
 
 let run_prepared (Target ((module S), t)) config =
@@ -301,13 +320,23 @@ let ensure_canonical_metrics () =
       "ebr.epoch_advances";
       "ebr.retired";
       "ebr.reclaimed";
+      "rcu.sync_wait_spins";
+      "reclaim.announce_stores";
+      "reclaim.invariant_violations";
+      "reclaim.poison_hits";
+      "reclaim.quiesces";
+      "reclaim.retired";
+      "reclaim.reclaimed";
+      "reclaim.grace_waits";
+      "reclaim.grace_wait_spins";
     ];
   List.iter
     (fun n -> ignore (Hwts_obs.Registry.histogram n))
-    [ "rangequery.bundle.depth"; "ebr.limbo_len" ];
-  ignore (Hwts_obs.Registry.watermark "rangequery.rq.active_hwm")
+    [ "rangequery.bundle.depth"; "ebr.limbo_len"; "reclaim.limbo_len" ];
+  ignore (Hwts_obs.Registry.watermark "rangequery.rq.active_hwm");
+  ignore (Hwts_obs.Registry.watermark "reclaim.limbo_hwm")
 
-let run_json ?label ?provider result =
+let run_json ?label ?provider ?reclaim result =
   let config = result.config in
   let open Hwts_obs.Json in
   let per_thread_f =
@@ -317,6 +346,7 @@ let run_json ?label ?provider result =
     ([ ("name", Str "harness.run"); ("type", Str "run") ]
     @ (match label with None -> [] | Some l -> [ ("structure", Str l) ])
     @ (match provider with None -> [] | Some p -> [ ("provider", Str p) ])
+    @ (match reclaim with None -> [] | Some r -> [ ("reclaim", Str r) ])
     @ [
         ("threads", Int config.threads);
         ("seconds", Float config.seconds);
@@ -343,14 +373,14 @@ let run_json ?label ?provider result =
         ("obs_enabled", Bool (Hwts_obs.Config.enabled ()));
       ])
 
-let write_metrics ?label ?provider result path =
+let write_metrics ?label ?provider ?reclaim result path =
   ensure_canonical_metrics ();
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc
-        (Hwts_obs.Json.to_string (run_json ?label ?provider result));
+        (Hwts_obs.Json.to_string (run_json ?label ?provider ?reclaim result));
       output_char oc '\n';
       output_string oc (Hwts_obs.Registry.to_json_lines ());
       (* Traced runs also carry their tail attribution and stall scan,

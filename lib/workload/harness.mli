@@ -91,7 +91,8 @@ val ensure_canonical_metrics : unit -> unit
     exports cover them even when a run never touched the lazy creation
     sites. *)
 
-val write_metrics : ?label:string -> ?provider:string -> result -> string -> unit
+val write_metrics :
+  ?label:string -> ?provider:string -> ?reclaim:string -> result -> string -> unit
 (** Write a JSON-lines metrics file: one [harness.run] summary line
     (config, total ops, Mops/s, per-class op counts, and when given the
     structure [label] and timestamp [provider] name) followed by every

@@ -117,6 +117,81 @@ let provider_help () =
          Printf.sprintf "  %-18s %s%s" i.name i.doc aliases)
        registry)
 
+(* The reclamation axis mirrors the provider axis: one registry, and
+   every name-keyed surface derives from it. *)
+type reclaim = [ `Ebr | `Qsbr | `Qsbr_tsc ]
+
+type reclaim_info = {
+  rkey : reclaim;
+  rname : string;
+  raliases : string list;
+  rdoc : string;
+}
+
+let reclaim_registry : reclaim_info list =
+  [
+    {
+      rkey = `Ebr;
+      rname = "ebr";
+      raliases = [];
+      rdoc =
+        "per-op epoch announcements + RCU read sections (the original \
+         protocol; default)";
+    };
+    {
+      rkey = `Qsbr;
+      rname = "qsbr";
+      raliases = [];
+      rdoc =
+        "quiescence announced only at loop/batch boundaries over a shared \
+         epoch counter";
+    };
+    {
+      rkey = `Qsbr_tsc;
+      rname = "qsbr-tsc";
+      raliases = [ "tsc" ];
+      rdoc =
+        "boundary quiescence ordered by raw TSC stamps (Ordo-bounded \
+         skew); no shared epoch counter";
+    };
+  ]
+
+let reclaim_info_of (r : reclaim) =
+  List.find (fun i -> i.rkey = r) reclaim_registry
+
+let reclaim_name r = (reclaim_info_of r).rname
+let all_reclaims : reclaim list = List.map (fun i -> i.rkey) reclaim_registry
+
+let reclaim_of_name n =
+  List.find_map
+    (fun i ->
+      if i.rname = n || List.mem n i.raliases then Some i.rkey else None)
+    reclaim_registry
+
+let reclaim_help () =
+  String.concat "\n"
+    (List.map
+       (fun i ->
+         let aliases =
+           if i.raliases = [] then ""
+           else " (alias " ^ String.concat ", " i.raliases ^ ")"
+         in
+         Printf.sprintf "  %-10s %s%s" i.rname i.rdoc aliases)
+       reclaim_registry)
+
+let backend_of : reclaim -> (module Hwts_reclaim.Intf.BACKEND) = function
+  | `Ebr -> (module Hwts_reclaim.Ebr_backend)
+  | `Qsbr -> (module Hwts_reclaim.Qsbr)
+  | `Qsbr_tsc -> (module Hwts_reclaim.Qsbr_tsc)
+
+(* Only the structures built over a reclamation backend respond to the
+   axis; sweeping the others across backends would triplicate identical
+   legs. *)
+let reclaim_sensitive = function
+  | "bst-ebrrq-lockfree" | "citrus-vcas" | "citrus-bundle" | "citrus-ebrrq" ->
+    true
+  | _ -> false
+
 (* [`Hardware_strict] is the sharded strict provider: raw TSC stamps are
    not strictly increasing across domains (the tie corner case of Section
    III-A), so techniques that need strictness get rdtscp wrapped in
@@ -171,6 +246,7 @@ type instance = {
   structure : (module Dstruct.Ordered_set.RQ);
   now : unit -> int;
   provider : string;
+  reclaim : string; (* reclaim_name of the backend axis value *)
   adaptive : Hwts.Timestamp.adaptive_ctl option;
 }
 
@@ -179,7 +255,7 @@ type instance = {
    queries claim — the invariant the history recorder in [lib/check]
    relies on.  (For a generative logical clock, a second [Logical ()]
    would be a different clock entirely.) *)
-let instance_of f (ts : ts) : instance =
+let instance_of ?(reclaim = `Ebr) f (ts : ts) : instance =
   match ts with
   | `Adaptive ->
     (* Built here rather than through [provider_of] so the instance keeps
@@ -191,27 +267,34 @@ let instance_of f (ts : ts) : instance =
       structure = f (module AT : Hwts.Timestamp.S);
       now = A.read;
       provider = ts_name ts;
+      reclaim = reclaim_name reclaim;
       adaptive = Some A.ctl;
     }
   | _ ->
     let p = provider_of ts in
     let module T = (val p) in
-    { structure = f p; now = T.read; provider = ts_name ts; adaptive = None }
+    {
+      structure = f p;
+      now = T.read;
+      provider = ts_name ts;
+      reclaim = reclaim_name reclaim;
+      adaptive = None;
+    }
 
 let bst_vcas_m (module T : Hwts.Timestamp.S) : (module Dstruct.Ordered_set.RQ) =
   (module Rangequery.Bst_vcas.Make (T))
 
-let citrus_vcas_m (module T : Hwts.Timestamp.S) :
-    (module Dstruct.Ordered_set.RQ) =
-  (module Rangequery.Citrus_vcas.Make (T))
+let citrus_vcas_m (module R : Hwts_reclaim.Intf.BACKEND)
+    (module T : Hwts.Timestamp.S) : (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Citrus_vcas.Make (R) (T))
 
-let citrus_bundle_m (module T : Hwts.Timestamp.S) :
-    (module Dstruct.Ordered_set.RQ) =
-  (module Rangequery.Citrus_bundle.Make (T))
+let citrus_bundle_m (module R : Hwts_reclaim.Intf.BACKEND)
+    (module T : Hwts.Timestamp.S) : (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Citrus_bundle.Make (R) (T))
 
-let citrus_ebrrq_m (module T : Hwts.Timestamp.S) :
-    (module Dstruct.Ordered_set.RQ) =
-  (module Rangequery.Citrus_ebrrq.Make (T))
+let citrus_ebrrq_m (module R : Hwts_reclaim.Intf.BACKEND)
+    (module T : Hwts.Timestamp.S) : (module Dstruct.Ordered_set.RQ) =
+  (module Rangequery.Citrus_ebrrq.Make (R) (T))
 
 let skiplist_bundle_m (module T : Hwts.Timestamp.S) :
     (module Dstruct.Ordered_set.RQ) =
@@ -251,6 +334,8 @@ module Kv_as_set (T : Hwts.Timestamp.S) = struct
 
   let to_list t = List.map fst (K.to_alist t)
   let size t = K.size t
+  let quiesce _ = ()
+  let offline _ = ()
 end
 
 let bst_vcas_kv_m (module T : Hwts.Timestamp.S) :
@@ -260,7 +345,7 @@ let bst_vcas_kv_m (module T : Hwts.Timestamp.S) :
 (* The lock-free EBR-RQ labels via DCSS against the timestamp word's
    address, so it is unwritable over an address-free provider (Section
    IV); requesting a hardware series for it is a caller bug. *)
-let bst_ebrrq_lockfree_instance (ts : ts) : instance =
+let bst_ebrrq_lockfree_instance ?(reclaim = `Ebr) (ts : ts) : instance =
   match ts with
   | `Logical ->
     let module L = Hwts.Timestamp.Logical () in
@@ -271,46 +356,58 @@ let bst_ebrrq_lockfree_instance (ts : ts) : instance =
 
       let raw = L.raw
     end in
+    let module R = (val backend_of reclaim) in
     {
       structure =
-        (module Rangequery.Bst_ebrrq_lockfree.Make (LT) : Dstruct.Ordered_set
-                                                          .RQ);
+        (module Rangequery.Bst_ebrrq_lockfree.Make (R) (LT) : Dstruct
+                                                              .Ordered_set
+                                                              .RQ);
       now = L.read;
       provider = ts_name `Logical;
+      reclaim = reclaim_name reclaim;
       adaptive = None;
     }
   | _ -> invalid_arg "bst-ebrrq-lockfree requires a logical (addressable) clock"
 
-let all_instances : (string * (ts -> instance)) list =
+let all_instances : (string * (reclaim -> ts -> instance)) list =
   [
-    ("bst-vcas", instance_of bst_vcas_m);
-    ("bst-vcas-kv", instance_of bst_vcas_kv_m);
-    ("bst-ebrrq-lockfree", bst_ebrrq_lockfree_instance);
-    ("citrus-vcas", instance_of citrus_vcas_m);
-    ("citrus-bundle", instance_of citrus_bundle_m);
-    ("citrus-ebrrq", instance_of citrus_ebrrq_m);
-    ("skiplist-bundle", instance_of skiplist_bundle_m);
-    ("skiplist-vcas", instance_of skiplist_vcas_m);
-    ("lazylist-bundle", instance_of lazylist_bundle_m);
+    ("bst-vcas", fun r ts -> instance_of ~reclaim:r bst_vcas_m ts);
+    ("bst-vcas-kv", fun r ts -> instance_of ~reclaim:r bst_vcas_kv_m ts);
+    ( "bst-ebrrq-lockfree",
+      fun r ts -> bst_ebrrq_lockfree_instance ~reclaim:r ts );
+    ( "citrus-vcas",
+      fun r ts ->
+        instance_of ~reclaim:r (citrus_vcas_m (backend_of r)) ts );
+    ( "citrus-bundle",
+      fun r ts ->
+        instance_of ~reclaim:r (citrus_bundle_m (backend_of r)) ts );
+    ( "citrus-ebrrq",
+      fun r ts ->
+        instance_of ~reclaim:r (citrus_ebrrq_m (backend_of r)) ts );
+    ("skiplist-bundle", fun r ts -> instance_of ~reclaim:r skiplist_bundle_m ts);
+    ("skiplist-vcas", fun r ts -> instance_of ~reclaim:r skiplist_vcas_m ts);
+    ("lazylist-bundle", fun r ts -> instance_of ~reclaim:r lazylist_bundle_m ts);
   ]
 
-let instance name ts =
+let instance ?(reclaim = `Ebr) name ts =
   match List.assoc_opt name all_instances with
-  | Some f -> f ts
+  | Some f -> f reclaim ts
   | None -> invalid_arg ("unknown structure: " ^ name)
 
-let bst_vcas ts = (instance_of bst_vcas_m ts).structure
-let citrus_vcas ts = (instance_of citrus_vcas_m ts).structure
-let citrus_bundle ts = (instance_of citrus_bundle_m ts).structure
-let citrus_ebrrq ts = (instance_of citrus_ebrrq_m ts).structure
-let skiplist_bundle ts = (instance_of skiplist_bundle_m ts).structure
-let skiplist_vcas ts = (instance_of skiplist_vcas_m ts).structure
-let lazylist_bundle ts = (instance_of lazylist_bundle_m ts).structure
-let bst_vcas_kv ts = (instance_of bst_vcas_kv_m ts).structure
-let bst_ebrrq_lockfree () = (bst_ebrrq_lockfree_instance `Logical).structure
+let bst_vcas ts = (instance "bst-vcas" ts).structure
+let citrus_vcas ts = (instance "citrus-vcas" ts).structure
+let citrus_bundle ts = (instance "citrus-bundle" ts).structure
+let citrus_ebrrq ts = (instance "citrus-ebrrq" ts).structure
+let skiplist_bundle ts = (instance "skiplist-bundle" ts).structure
+let skiplist_vcas ts = (instance "skiplist-vcas" ts).structure
+let lazylist_bundle ts = (instance "lazylist-bundle" ts).structure
+let bst_vcas_kv ts = (instance "bst-vcas-kv" ts).structure
+let bst_ebrrq_lockfree () = (instance "bst-ebrrq-lockfree" `Logical).structure
 
 let all =
-  List.map (fun (name, f) -> (name, fun ts -> (f ts).structure)) all_instances
+  List.map
+    (fun (name, f) -> (name, fun ts -> (f `Ebr ts).structure))
+    all_instances
 
 (* The DCSS labeling needs the timestamp word's *address*; only
    registry entries marked [addressable] expose one (the adaptive

@@ -51,10 +51,33 @@ val provider_help : unit -> string
 (** Multi-line [--provider] help text listing every registry entry with
     its aliases and one-line semantics. *)
 
+type reclaim = [ `Ebr | `Qsbr | `Qsbr_tsc ]
+(** Safe-memory-reclamation backend axis, for the structures built over
+    {!Hwts_reclaim.Intf.BACKEND} (see {!reclaim_sensitive}). *)
+
+val reclaim_name : reclaim -> string
+(** ["ebr"], ["qsbr"], ["qsbr-tsc"]. *)
+
+val all_reclaims : reclaim list
+
+val reclaim_of_name : string -> reclaim option
+(** Parse a backend name as CLIs and benches spell it (alias ["tsc"] =
+    ["qsbr-tsc"]). *)
+
+val reclaim_help : unit -> string
+(** Multi-line [--reclaim] help text. *)
+
+val backend_of : reclaim -> (module Hwts_reclaim.Intf.BACKEND)
+
+val reclaim_sensitive : string -> bool
+(** Whether the named structure's behaviour depends on the reclaim axis
+    (the EBR-RQ pair and both citrus grace-period variants). *)
+
 type instance = {
   structure : (module Dstruct.Ordered_set.RQ);
   now : unit -> int;  (** reads the same provider the structure labels with *)
   provider : string;  (** {!ts_name} of the provider in use *)
+  reclaim : string;  (** {!reclaim_name} of the backend in use *)
   adaptive : Hwts.Timestamp.adaptive_ctl option;
       (** the steering/introspection handle when the provider is
           [`Adaptive]; [None] otherwise *)
@@ -64,12 +87,13 @@ type instance = {
     [range_query_labeled] are values of one clock, so the two may be
     compared — the invariant history-based checkers depend on. *)
 
-val instance : string -> ts -> instance
-(** [instance name ts] builds the named structure over the given provider.
+val instance : ?reclaim:reclaim -> string -> ts -> instance
+(** [instance name ts] builds the named structure over the given provider
+    and reclamation backend (default [`Ebr], the historical protocol).
     Raises [Invalid_argument] on an unknown name or a combination
     {!supports} rejects. *)
 
-val all_instances : (string * (ts -> instance)) list
+val all_instances : (string * (reclaim -> ts -> instance)) list
 
 val bst_vcas : ts -> (module Dstruct.Ordered_set.RQ)
 val citrus_vcas : ts -> (module Dstruct.Ordered_set.RQ)

@@ -133,7 +133,7 @@ let pause_injects_when_enabled () =
 let torture structure provider () =
   let cfg =
     {
-      (Torture.default_config ~structure ~provider ~seed:0xC0FFEE) with
+      (Torture.default_config ~structure ~provider ~seed:0xC0FFEE ()) with
       rounds = 4;
     }
   in
@@ -216,7 +216,7 @@ let fixture_cases =
 (* ---------- config validation and artifacts ---------- *)
 
 let config_rejects_oversize () =
-  let cfg = Torture.default_config ~structure:"bst-vcas" ~provider:`Logical ~seed:1 in
+  let cfg = Torture.default_config ~structure:"bst-vcas" ~provider:`Logical ~seed:1 () in
   Alcotest.check_raises "too many events"
     (Invalid_argument "check: domains*ops_per_domain must be <= 62")
     (fun () ->
@@ -225,7 +225,7 @@ let config_rejects_oversize () =
 let config_rejects_unsupported () =
   let cfg =
     Torture.default_config ~structure:"bst-ebrrq-lockfree"
-      ~provider:`Hardware_strict ~seed:1
+      ~provider:`Hardware_strict ~seed:1 ()
   in
   (try
      ignore (Torture.run cfg);
@@ -233,7 +233,7 @@ let config_rejects_unsupported () =
    with Invalid_argument _ -> ())
 
 let trace_artifact () =
-  let cfg = Torture.default_config ~structure:"bst-vcas" ~provider:`Logical ~seed:7 in
+  let cfg = Torture.default_config ~structure:"bst-vcas" ~provider:`Logical ~seed:7 () in
   let f =
     {
       Torture.round = 1;

@@ -24,19 +24,20 @@ module SH = Hwts.Timestamp.Strict (Hwts.Timestamp.Hardware) ()
 module Bst_vcas_l = Rangequery.Bst_vcas.Make (L1)
 module Bst_vcas_h = Rangequery.Bst_vcas.Make (H)
 module Bst_vcas_sh = Rangequery.Bst_vcas.Make (SH)
-module Citrus_vcas_l = Rangequery.Citrus_vcas.Make (L2)
-module Citrus_vcas_h = Rangequery.Citrus_vcas.Make (H)
-module Citrus_bundle_l = Rangequery.Citrus_bundle.Make (L3)
-module Citrus_bundle_h = Rangequery.Citrus_bundle.Make (H)
-module Citrus_ebrrq_l = Rangequery.Citrus_ebrrq.Make (L4)
-module Citrus_ebrrq_h = Rangequery.Citrus_ebrrq.Make (H)
+module Ebr_b = Hwts_reclaim.Ebr_backend
+module Citrus_vcas_l = Rangequery.Citrus_vcas.Make (Ebr_b) (L2)
+module Citrus_vcas_h = Rangequery.Citrus_vcas.Make (Ebr_b) (H)
+module Citrus_bundle_l = Rangequery.Citrus_bundle.Make (Ebr_b) (L3)
+module Citrus_bundle_h = Rangequery.Citrus_bundle.Make (Ebr_b) (H)
+module Citrus_ebrrq_l = Rangequery.Citrus_ebrrq.Make (Ebr_b) (L4)
+module Citrus_ebrrq_h = Rangequery.Citrus_ebrrq.Make (Ebr_b) (H)
 module Skiplist_bundle_l = Rangequery.Skiplist_bundle.Make (L5)
 module Skiplist_bundle_h = Rangequery.Skiplist_bundle.Make (H)
 module Skiplist_vcas_l = Rangequery.Skiplist_vcas.Make (L8)
 module Skiplist_vcas_h = Rangequery.Skiplist_vcas.Make (H)
 module Lazylist_bundle_l = Rangequery.Lazylist_bundle.Make (L6)
 module Lazylist_bundle_h = Rangequery.Lazylist_bundle.Make (H)
-module Bst_ebrrq_lf = Rangequery.Bst_ebrrq_lockfree.Make (L7)
+module Bst_ebrrq_lf = Rangequery.Bst_ebrrq_lockfree.Make (Ebr_b) (L7)
 
 let impls : (module RQSET) list =
   [
@@ -240,9 +241,9 @@ let forced_ties_sequential () =
     incr checks
   in
   let module B = Rangequery.Bst_vcas.Make (Frozen) in
-  let module C = Rangequery.Citrus_vcas.Make (Frozen) in
-  let module D = Rangequery.Citrus_bundle.Make (Frozen) in
-  let module E = Rangequery.Citrus_ebrrq.Make (Frozen) in
+  let module C = Rangequery.Citrus_vcas.Make (Ebr_b) (Frozen) in
+  let module D = Rangequery.Citrus_bundle.Make (Ebr_b) (Frozen) in
+  let module E = Rangequery.Citrus_ebrrq.Make (Ebr_b) (Frozen) in
   let module F = Rangequery.Skiplist_bundle.Make (Frozen) in
   let module G = Rangequery.Skiplist_vcas.Make (Frozen) in
   let module H = Rangequery.Lazylist_bundle.Make (Frozen) in

@@ -1,0 +1,345 @@
+(* lib/reclaim backend tests: per-backend lifecycle, QSBR grace
+   semantics (starvation, waiter release, offline liveness), the
+   TSC-stamped variant near counter wrap, and poison-on-free tortures —
+   backend-level seeded rounds plus the full structures at 8 domains.
+
+   Every multi-domain scenario here is bounded: workers run a fixed op
+   count and go offline at the end, and offline bumps the safe counter,
+   so no assertion failure can turn into an alcotest hang. *)
+
+module Reclaim = Hwts_reclaim
+
+let counter name =
+  match Hwts_obs.Registry.counter_value name with Some v -> v | None -> 0
+
+(* A reclaimable cell: [on_free] flips [poisoned], and any later read
+   through a protected reference finding it set is a use-after-free. *)
+module Cell = struct
+  type t = { mutable poisoned : bool; mutable v : int }
+end
+
+let cell v = { Cell.poisoned = false; v }
+
+let backends : (string * (module Reclaim.Intf.BACKEND)) list =
+  [
+    ("ebr", (module Reclaim.Ebr_backend));
+    ("qsbr", (module Reclaim.Qsbr));
+    ("qsbr-tsc", (module Reclaim.Qsbr_tsc));
+  ]
+
+(* Single-domain lifecycle: everything retired is eventually freed (via
+   [on_free]) once the domain keeps passing quiescence points / op
+   sections, and the limbo drains to empty by offline. *)
+let lifecycle (module B : Reclaim.Intf.BACKEND) () =
+  let module R = B.Make (Cell) in
+  let freed = ref 0 in
+  let r =
+    R.create ~epoch_frequency:2 ~on_free:(fun c ->
+        c.Cell.poisoned <- true;
+        incr freed) ()
+  in
+  let n = 32 in
+  for i = 1 to n do
+    R.with_op r (fun () -> R.retire r (cell i))
+  done;
+  Alcotest.(check bool) "limbo holds retirements" true (R.limbo_size r > 0);
+  (* Enough boundary announcements / op sections for any backend's free
+     rule (two epochs of lag at most) to run dry. *)
+  let rounds = ref 0 in
+  while R.limbo_size r > 0 && !rounds < 64 do
+    incr rounds;
+    R.with_op r (fun () -> ());
+    R.quiesce r
+  done;
+  R.offline r;
+  Alcotest.(check int) "limbo drained" 0 (R.limbo_size r);
+  Alcotest.(check int) "every retirement freed" n !freed;
+  Alcotest.(check int) "reclaimed counter agrees" n (R.reclaimed r)
+
+(* With no other participating domain, a grace wait must return
+   immediately for every backend. *)
+let self_wait (module B : Reclaim.Intf.BACKEND) () =
+  let module R = B.Make (Cell) in
+  let r = R.create () in
+  R.with_op r (fun () -> ());
+  R.wait_until_quiescent r;
+  R.offline r;
+  Alcotest.(check pass) "returned" () ()
+
+(* QSBR starvation: an online domain that stops quiescing blocks every
+   free; its offline unblocks them.  This is the property that forced
+   [offline] into the structure signature — a finished-but-online worker
+   would otherwise pin limbo forever. *)
+let starvation (module B : Reclaim.Intf.BACKEND) () =
+  let module R = B.Make (Cell) in
+  let r = R.create ~epoch_frequency:1024 () in
+  let parked = Atomic.make false and release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ ->
+            R.with_op r (fun () -> ());
+            R.quiesce r;
+            Atomic.set parked true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            R.offline r))
+  in
+  Sync.Slot.with_slot (fun _ ->
+      while not (Atomic.get parked) do
+        Domain.cpu_relax ()
+      done;
+      let n = 16 in
+      for i = 1 to n do
+        R.with_op r (fun () -> R.retire r (cell i))
+      done;
+      for _ = 1 to 8 do
+        R.quiesce r
+      done;
+      Alcotest.(check int) "starved: nothing freed while peer is online" n
+        (R.limbo_size r);
+      Atomic.set release true;
+      Domain.join d;
+      (* peer offline: the next boundary announcements free everything *)
+      let rounds = ref 0 in
+      while R.limbo_size r > 0 && !rounds < 64 do
+        incr rounds;
+        R.quiesce r
+      done;
+      Alcotest.(check int) "offline unblocked the frees" 0 (R.limbo_size r);
+      R.offline r)
+
+(* QSBR grace waits must resolve while a peer is mid-loop (never
+   quiescing): the waiter-pending check at op exits is what releases
+   them.  The peer's op budget bounds the test either way; the assertion
+   is that the wait returned with most of that budget unspent. *)
+let waiter_released (module B : Reclaim.Intf.BACKEND) () =
+  let module R = B.Make (Cell) in
+  let r = R.create () in
+  let budget = 5_000_000 in
+  let done_ops = Atomic.make 0 and started = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ ->
+            for i = 1 to budget do
+              R.with_op r (fun () -> ());
+              if i = 1 then Atomic.set started true;
+              Atomic.incr done_ops
+            done;
+            R.offline r))
+  in
+  Sync.Slot.with_slot (fun _ ->
+      R.with_op r (fun () -> ());
+      while not (Atomic.get started) do
+        Domain.cpu_relax ()
+      done;
+      R.wait_until_quiescent r;
+      let at_release = Atomic.get done_ops in
+      Domain.join d;
+      Alcotest.(check bool)
+        (Printf.sprintf "released mid-run (%d of %d ops)" at_release budget)
+        true
+        (at_release < budget);
+      R.offline r)
+
+(* A counter-injected clock near max_int: retirement stamps and
+   quiescence stamps straddle the wrap, and the wrap-safe signed
+   comparisons must keep freeing (a naive [stamp <= bound] would retain
+   everything forever once stamps go negative). *)
+let near_wrap () =
+  let clock = Atomic.make (max_int - 40) in
+  let module C = struct
+    let name = "wrap-tsc"
+    let read () = Atomic.fetch_and_add clock 3
+    let skew () = 2
+  end in
+  let module B = Reclaim.Qsbr_tsc.Make_clocked (C) in
+  let module R = B.Make (Cell) in
+  let freed = ref 0 in
+  let r = R.create ~epoch_frequency:4 ~on_free:(fun _ -> incr freed) () in
+  let n = 64 in
+  for i = 1 to n do
+    R.with_op r (fun () -> R.retire r (cell i));
+    R.quiesce r
+  done;
+  Alcotest.(check bool) "clock wrapped" true (Atomic.get clock < 0);
+  let rounds = ref 0 in
+  while R.limbo_size r > 0 && !rounds < 64 do
+    incr rounds;
+    R.quiesce r
+  done;
+  R.offline r;
+  Alcotest.(check int) "all freed across the wrap" n !freed
+
+(* The Rcu.synchronize busy-wait is observable: a reader holding a read
+   section while another domain synchronizes must bump the spin
+   counter. *)
+let sync_wait_spins_counted () =
+  let rcu = Rcu.create () in
+  let before = counter "rcu.sync_wait_spins" in
+  let in_section = Atomic.make false and hold = Atomic.make true in
+  let d =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ ->
+            Rcu.read_lock rcu;
+            Atomic.set in_section true;
+            (* Bounded hold: long enough that the synchronizing domain
+               observes it, short enough to never stall the suite. *)
+            let deadline = Unix.gettimeofday () +. 0.05 in
+            while Atomic.get hold && Unix.gettimeofday () < deadline do
+              Domain.cpu_relax ()
+            done;
+            Rcu.read_unlock rcu))
+  in
+  Sync.Slot.with_slot (fun _ ->
+      while not (Atomic.get in_section) do
+        Domain.cpu_relax ()
+      done;
+      Rcu.synchronize rcu;
+      Atomic.set hold false;
+      Domain.join d);
+  Alcotest.(check bool) "spins counted" true
+    (counter "rcu.sync_wait_spins" > before)
+
+(* Without HWTS_RECLAIM_DEBUG, protocol violations degrade instead of
+   aborting: a double enter bumps the invariant counter and the op
+   proceeds. *)
+let invariant_degrades () =
+  Alcotest.(check bool) "debug off in the test env" false
+    (Sys.getenv_opt "HWTS_RECLAIM_DEBUG" <> None);
+  let module E = Ebr.Make (Cell) in
+  let e = E.create () in
+  let before = counter "reclaim.invariant_violations" in
+  E.enter e;
+  E.enter e;
+  (* violation: op section entered twice *)
+  E.exit e;
+  Alcotest.(check bool) "violation counted, not raised" true
+    (counter "reclaim.invariant_violations" > before)
+
+(* Backend-level poison torture: worker domains race to unlink cells
+   from a small shared array (retiring what they unlink) while readers
+   dereference through op sections.  A protected reference observing
+   [poisoned] is a freed-too-early bug in the backend's grace rule. *)
+let poison_round (module B : Reclaim.Intf.BACKEND) ~seed ~domains ~ops =
+  let module R = B.Make (Cell) in
+  let r = R.create ~epoch_frequency:4 ~on_free:(fun c -> c.Cell.poisoned <- true) () in
+  let hits = Atomic.make 0 in
+  let nslots = 8 in
+  let slots = Array.init nslots (fun i -> Atomic.make (Some (cell i))) in
+  let worker i () =
+    Sync.Slot.with_slot (fun _ ->
+        let rng = Dstruct.Prng.make ~seed:(seed + (i * 7919)) in
+        for n = 1 to ops do
+          let j = Dstruct.Prng.below rng nslots in
+          (match Dstruct.Prng.below rng 3 with
+          | 0 ->
+            R.with_op r (fun () ->
+                (match Atomic.exchange slots.(j) None with
+                | Some c -> R.retire r c
+                | None -> ());
+                Atomic.set slots.(j) (Some (cell n)))
+          | _ ->
+            R.with_op r (fun () ->
+                match Atomic.get slots.(j) with
+                | Some c ->
+                  if c.Cell.poisoned then Atomic.incr hits else ignore c.Cell.v
+                | None -> ()));
+          if n mod 8 = 0 then R.quiesce r
+        done;
+        R.offline r)
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  (Atomic.get hits, R.reclaimed r)
+
+let poison_rounds (module B : Reclaim.Intf.BACKEND) () =
+  let rounds = 500 in
+  let total_reclaimed = ref 0 in
+  for seed = 1 to rounds do
+    let hits, reclaimed = poison_round (module B) ~seed ~domains:3 ~ops:32 in
+    if hits > 0 then
+      Alcotest.failf "use-after-free: %d poisoned reads in seeded round %d"
+        hits seed;
+    total_reclaimed := !total_reclaimed + reclaimed
+  done;
+  (* the torture must actually free memory, or it proves nothing *)
+  Alcotest.(check bool) "rounds reclaimed memory" true (!total_reclaimed > 0)
+
+(* Structure-level poison torture at 8 domains: the functorized EBR-RQ
+   structures run a mixed workload (range queries scan limbo, the
+   poison check lives on their covers path) under each backend; any
+   covered-after-free leaf bumps reclaim.poison_hits. *)
+let structure_poison name reclaim () =
+  let before = counter "reclaim.poison_hits" in
+  let inst = Workload.Targets.instance ~reclaim name `Logical in
+  let (module S : Dstruct.Ordered_set.RQ) = inst.Workload.Targets.structure in
+  let t = S.create () in
+  for k = 1 to 64 do
+    ignore (S.insert t k)
+  done;
+  S.offline t;
+  let worker i () =
+    Sync.Slot.with_slot (fun _ ->
+        let rng = Dstruct.Prng.make ~seed:(0xBEEF + i) in
+        for n = 1 to 200 do
+          let k = 1 + Dstruct.Prng.below rng 96 in
+          (match Dstruct.Prng.below rng 4 with
+          | 0 -> ignore (S.insert t k)
+          | 1 -> ignore (S.delete t k)
+          | 2 -> ignore (S.contains t k)
+          | _ -> ignore (S.range_query t ~lo:k ~hi:(k + 16)));
+          if n mod 16 = 0 then S.quiesce t
+        done;
+        S.offline t)
+  in
+  let ds = List.init 8 (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no covered-after-free leaves" before
+    (counter "reclaim.poison_hits")
+
+let backend_cases mk =
+  List.map (fun (bname, b) -> (bname, fun () -> mk b ())) backends
+
+let qsbr_only = List.filter (fun (n, _) -> n <> "ebr") backends
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "reclaim"
+    [
+      ( "lifecycle",
+        List.map
+          (fun (n, f) -> tc ("retire/free " ^ n) `Quick f)
+          (backend_cases lifecycle)
+        @ List.map
+            (fun (n, f) -> tc ("self wait " ^ n) `Quick f)
+            (backend_cases self_wait) );
+      ( "grace",
+        List.map
+          (fun (n, b) -> tc ("starvation " ^ n) `Quick (starvation b))
+          qsbr_only
+        @ List.map
+            (fun (n, b) ->
+              tc ("waiter released " ^ n) `Quick (waiter_released b))
+            qsbr_only
+        @ [ tc "near-wrap tsc stamps" `Quick near_wrap ] );
+      ( "observability",
+        [
+          tc "rcu sync wait spins" `Quick sync_wait_spins_counted;
+          tc "invariant degrades" `Quick invariant_degrades;
+        ] );
+      ( "poison",
+        List.map
+          (fun (n, b) -> tc ("500 seeded rounds " ^ n) `Slow (poison_rounds b))
+          backends
+        @ List.concat_map
+            (fun (rname, reclaim) ->
+              List.map
+                (fun s ->
+                  tc
+                    (Printf.sprintf "8-domain %s %s" s rname)
+                    `Slow
+                    (structure_poison s reclaim))
+                [ "bst-ebrrq-lockfree"; "citrus-ebrrq" ])
+            [ ("ebr", `Ebr); ("qsbr", `Qsbr); ("qsbr-tsc", `Qsbr_tsc) ] );
+    ]

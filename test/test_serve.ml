@@ -66,7 +66,7 @@ let recv_exn cl =
 let with_server ~provider ~coalesce ?(structure = "bst-vcas") ?(shards = 3)
     ?(key_space = 512) f =
   let router =
-    Serve.Shards.create ~structure ~provider ~shards ~key_space ~coalesce
+    Serve.Shards.create ~structure ~provider ~shards ~key_space ~coalesce ()
   in
   let server = Serve.Server.start ~port:0 router in
   Fun.protect
@@ -235,7 +235,7 @@ let malformed_frame_closes () =
 let stop_drains_inflight () =
   let router =
     Serve.Shards.create ~structure:"bst-vcas" ~provider:`Logical ~shards:2
-      ~key_space:256 ~coalesce:true
+      ~key_space:256 ~coalesce:true ()
   in
   let server = Serve.Server.start ~port:0 router in
   let cl = client (Serve.Server.port server) in

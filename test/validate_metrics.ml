@@ -11,6 +11,10 @@ let required_counters =
     "rangequery.vcas.help_attempts";
     "rangequery.bundle.prunes";
     "ebr.epoch_advances";
+    "reclaim.announce_stores";
+    "reclaim.retired";
+    "reclaim.invariant_violations";
+    "rcu.sync_wait_spins";
   ]
 
 let required_histograms =
@@ -216,6 +220,91 @@ let validate_serve path lines =
     exit 1
   end
 
+(* A bench/reclaim_bench.exe artifact: a meta line, a summary line whose
+   [ok] carries the whole-run verdict, points covering every reclamation
+   backend (ebr, qsbr, qsbr-tsc) over >= 2 retiring structures, and per
+   (structure, domains, backend) gate lines.  The acceptance shape: both
+   QSBR backends must announce strictly less often per op than EBR while
+   holding throughput above the floor the bench ran with — a checked-in
+   artifact that failed its own gate fails validation too. *)
+let validate_reclaim path lines =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let of_type t =
+    List.filter (fun l -> J.member "type" l = Some (J.Str t)) lines
+  in
+  if of_type "meta" = [] then err "no meta line";
+  (match of_type "summary" with
+  | [ s ] -> (
+    match J.member "ok" s with
+    | Some (J.Bool true) -> ()
+    | Some (J.Bool false) -> err "summary gate failed (ok=false)"
+    | _ -> err "summary line without ok bool")
+  | ss -> err "expected exactly one summary line, found %d" (List.length ss));
+  let points = of_type "point" in
+  if points = [] then err "no point lines";
+  let str l name = Option.bind (J.member name l) J.to_str in
+  List.iter
+    (fun p ->
+      if str p "structure" = None then err "point without structure";
+      if str p "reclaim" = None then err "point without reclaim";
+      if Option.bind (J.member "domains" p) J.to_int = None then
+        err "point without integer domains";
+      List.iter
+        (fun f ->
+          if Option.bind (J.member f p) J.to_float = None then
+            err "point without %s" f)
+        [ "mops"; "announce_per_op" ];
+      List.iter
+        (fun f ->
+          if Option.bind (J.member f p) J.to_int = None then
+            err "point without integer %s" f)
+        [ "retired"; "reclaimed"; "limbo_hwm"; "quiesces" ])
+    points;
+  let distinct field =
+    List.sort_uniq compare (List.filter_map (fun p -> str p field) points)
+  in
+  let backends = distinct "reclaim" and structures = distinct "structure" in
+  List.iter
+    (fun required ->
+      if not (List.mem required backends) then
+        err "points must cover the %s backend (found: %s)" required
+          (String.concat ", " backends))
+    [ "ebr"; "qsbr"; "qsbr-tsc" ];
+  if List.length structures < 2 then
+    err "points must cover >= 2 retiring structures (found %d)"
+      (List.length structures);
+  let gates = of_type "gate" in
+  if gates = [] then err "no gate lines";
+  List.iter
+    (fun g ->
+      match (J.member "announce_ok" g, J.member "mops_ok" g, J.member "ok" g) with
+      | Some (J.Bool a), Some (J.Bool m), Some (J.Bool o) ->
+        if not a then
+          err "gate %s/%s: announce stores per op not strictly below ebr"
+            (Option.value ~default:"?" (str g "structure"))
+            (Option.value ~default:"?" (str g "reclaim"));
+        if not m then
+          err "gate %s/%s: throughput below the floor"
+            (Option.value ~default:"?" (str g "structure"))
+            (Option.value ~default:"?" (str g "reclaim"));
+        ignore o
+      | _ -> err "gate line without announce_ok/mops_ok/ok bools")
+    gates;
+  if !errors = [] then begin
+    Printf.printf
+      "ok: reclaim sweep in %s (%d points, %d structures x %d backends, %d \
+       gates)\n"
+      path (List.length points) (List.length structures)
+      (List.length backends) (List.length gates);
+    exit 0
+  end
+  else begin
+    List.iter (Printf.eprintf "validate_metrics: reclaim: %s\n")
+      (List.sort_uniq compare !errors);
+    exit 1
+  end
+
 (* A Chrome trace_event artifact (hwts-cli run --trace-out) is a single
    JSON object, not lines: validate the envelope and that every event
    carries the fields Perfetto needs to place it. *)
@@ -395,6 +484,11 @@ let () =
            (fun l -> J.member "name" l = Some (J.Str "bench.serve"))
            lines ->
     validate_serve path lines
+  | Ok lines
+    when List.exists
+           (fun l -> J.member "name" l = Some (J.Str "bench.reclaim"))
+           lines ->
+    validate_reclaim path lines
   | Ok lines
     when List.exists
            (fun l -> J.member "name" l = Some (J.Str "trend.check"))

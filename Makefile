@@ -6,7 +6,8 @@ SMOKE_METRICS := /tmp/obs.json
   bench-smoke bench-obs bench-hotpath bench-hotpath-guard \
   bench-scaling bench-scaling-smoke bench-adaptive bench-adaptive-smoke \
   bench-provider-zoo trace-smoke trend-guard bench-tailattr \
-  bench-serve bench-serve-smoke bench-reclaim bench-reclaim-smoke clean
+  bench-serve bench-serve-smoke bench-reclaim bench-reclaim-smoke \
+  bench-snapshot bench-snapshot-smoke clean
 
 all: build
 
@@ -55,7 +56,7 @@ bench-hotpath-guard: build
 # produce a JSON-lines file containing the canonical metric set.
 bench-smoke: build bench-scaling-smoke bench-adaptive-smoke \
   bench-provider-zoo trace-smoke trend-guard bench-serve-smoke \
-  bench-reclaim-smoke
+  bench-reclaim-smoke bench-snapshot-smoke
 	dune exec bin/hwts_cli.exe -- run bst-vcas --rdtscp --seconds 0.2 \
 	  --metrics-out $(SMOKE_METRICS)
 	dune exec test/validate_metrics.exe -- $(SMOKE_METRICS)
@@ -108,6 +109,14 @@ trend-guard: build
 	  -out /tmp/trend-reclaim-perturbed.json BENCH_reclaim.json
 	! dune exec bench/trendcheck.exe -- BENCH_reclaim.json \
 	  /tmp/trend-reclaim-perturbed.json
+	dune exec bench/trendcheck.exe -- BENCH_snapshot.json BENCH_snapshot.json \
+	  -out /tmp/trend-snapshot.json
+	dune exec test/validate_metrics.exe -- /tmp/trend-snapshot.json
+	dune exec bench/trendcheck.exe -- -perturb 0.6 \
+	  -perturb-series skiplist-bundle/rdtscp-strict/snap-snapshot \
+	  -out /tmp/trend-snapshot-perturbed.json BENCH_snapshot.json
+	! dune exec bench/trendcheck.exe -- BENCH_snapshot.json \
+	  /tmp/trend-snapshot-perturbed.json
 
 # Refresh the checked-in tail-attribution artifact: 3 structures x the
 # 6-provider zoo, p50/p99/p999 dominant-phase bands per op class.
@@ -157,6 +166,32 @@ bench-reclaim-smoke: build
 	  --provider logical --reclaim qsbr --rounds 2
 	dune exec bin/hwts_cli.exe -- check --structure citrus-ebrrq \
 	  --provider logical --reclaim qsbr-tsc --rounds 2
+
+# Refresh the checked-in snapshot-amortization artifact: the paired
+# reads-per-snapshot sweep (one Snapshot.t handle covering k reads vs k
+# independent single-read acquisitions) over 3 structures x logical /
+# adaptive / rdtscp-strict.  The summary line gates the headline: at
+# k in {4,16,64} the snapshot arm must acquire <= (1+eps)/k labels per
+# read at >= 95% of the independent arm's throughput; the crossover
+# lines record the strict-TSC/logical ratio drifting toward 1 as k
+# grows.
+bench-snapshot: build
+	dune exec bench/snapshot_bench.exe -- -out BENCH_snapshot.json
+	dune exec test/validate_metrics.exe -- BENCH_snapshot.json
+
+# CI-shaped fast pass: reduced sweep in /tmp, schema-validation of both
+# the smoke sweep and the checked-in artifact, and the engine exercised
+# end to end through the harness op classes (multiget/multirange draws
+# with their latency histograms).
+bench-snapshot-smoke: build
+	dune exec bench/snapshot_bench.exe -- -reads 2048 -trials 1 \
+	  -out /tmp/snapshot_smoke.json
+	dune exec test/validate_metrics.exe -- /tmp/snapshot_smoke.json
+	dune exec test/validate_metrics.exe -- BENCH_snapshot.json
+	dune exec bin/hwts_cli.exe -- run skiplist-bundle --rdtscp \
+	  --seconds 0.2 --multiget 8 --multirange 4 \
+	  --metrics-out /tmp/snapshot_run.json
+	dune exec test/validate_metrics.exe -- /tmp/snapshot_run.json
 
 # Refresh the checked-in observability benchmark artifact.
 bench-obs: build

@@ -61,6 +61,7 @@ let run_leg ~structure ~provider ~shards ~key_space ~coalesce ~connections
             rq_len;
             theta;
             batch = 1;
+            multiget = 1;
             seed = 7;
           })
   in

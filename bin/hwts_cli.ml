@@ -201,7 +201,8 @@ let check_supported name ts =
   end
 
 let run_real (name, _) provider reclaim hardware strict threads seconds
-    mix_label key_range zipf ops seed metrics_out trace_out =
+    mix_label key_range zipf ops seed multiget multirange metrics_out
+    trace_out =
   let ts = ts_of_flags ~provider ~hardware ~strict in
   if not (check_supported name ts) then 1
   else begin
@@ -215,6 +216,8 @@ let run_real (name, _) provider reclaim hardware strict threads seconds
       zipf_theta = zipf;
       fixed_ops = ops;
       seed;
+      multiget;
+      multirange;
     }
   in
   (* Asking for a trace capture implies turning tracing on, whatever the
@@ -343,7 +346,7 @@ let stress provider reclaim seed metrics_out =
    zoo (delayed/multislot/tl2), rdtscp-strict and adaptive providers; the
    first violation stops the sweep, prints the minimized counterexample,
    and leaves a replayable trace artifact. *)
-let check structure provider reclaim seed rounds no_faults fixture_out =
+let check structure provider reclaim seed rounds no_faults multi fixture_out =
   let structures =
     match structure with
     | Some (name, _) -> [ name ]
@@ -361,7 +364,7 @@ let check structure provider reclaim seed rounds no_faults fixture_out =
        pass the oracle before it is worth checking in *)
     let cfg =
       {
-        (Hwts_check.Torture.default_config ~reclaim ~structure:name
+        (Hwts_check.Torture.default_config ~reclaim ~multi ~structure:name
            ~provider:ts ~seed ())
         with
         rounds = 1;
@@ -399,8 +402,8 @@ let check structure provider reclaim seed rounds no_faults fixture_out =
           if (not !failed) && Workload.Targets.supports name ts then begin
             let cfg =
               {
-                (Hwts_check.Torture.default_config ~reclaim ~structure:name
-                   ~provider:ts ~seed ())
+                (Hwts_check.Torture.default_config ~reclaim ~multi
+                   ~structure:name ~provider:ts ~seed ())
                 with
                 rounds;
                 faults = not no_faults;
@@ -646,12 +649,25 @@ let run_cmd =
              trace_event JSON capture to $(docv) (load in \
              chrome://tracing or Perfetto)")
   in
+  let multiget =
+    Arg.(value & opt int 0 & info [ "multiget" ] ~docv:"K"
+           ~doc:"When > 1, each contains draw becomes $(docv) membership \
+                 probes against ONE snapshot handle (the multiget op \
+                 class); keys come from the same (optionally Zipfian) \
+                 sampler")
+  in
+  let multirange =
+    Arg.(value & opt int 0 & info [ "multirange" ] ~docv:"K"
+           ~doc:"When > 1, each range draw becomes $(docv) range scans \
+                 against ONE snapshot handle (the multirange op class)")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a real workload on this machine")
     Term.(
       const run_real $ structure_pos () $ provider_opt $ reclaim_opt
       $ hardware_flag $ strict_flag $ threads_opt $ seconds_opt $ mix_opt
-      $ range_opt $ zipf $ ops $ seed_opt $ metrics_out_opt $ trace_out)
+      $ range_opt $ zipf $ ops $ seed_opt $ multiget $ multirange
+      $ metrics_out_opt $ trace_out)
 
 let stats_cmd =
   let format =
@@ -706,6 +722,15 @@ let check_cmd =
       value & flag
       & info [ "no-faults" ] ~doc:"Disable fault injection (schedule torture only)")
   in
+  let multi =
+    Arg.(
+      value & flag
+      & info [ "multi" ]
+          ~doc:
+            "Also draw multi-point snapshot ops (multi_get/multi_range \
+             through one Snapshot.t handle each); the oracle then verifies \
+             every constituent read against the handle's single label")
+  in
   let fixture_out =
     Arg.(
       value
@@ -723,14 +748,14 @@ let check_cmd =
           recorded history verified by the snapshot oracle")
     Term.(
       const check $ structure $ provider $ reclaim_opt $ seed_opt $ rounds
-      $ no_faults $ fixture_out)
+      $ no_faults $ multi $ fixture_out)
 
 (* Load generator for a running hwts-serve: pipelined connections over
    the binary wire protocol, seeded mixed traffic, optional Zipfian
    skew.  Client-observed latency lands in serve.client.latency.* and
    goes out via --metrics-out. *)
 let serve_load host port connections pipeline ops key_space mix_label rq_len
-    theta batch seed metrics_out =
+    theta batch multiget seed metrics_out =
   let cfg =
     {
       Serve.Client.host;
@@ -743,6 +768,7 @@ let serve_load host port connections pipeline ops key_space mix_label rq_len
       rq_len;
       theta;
       batch;
+      multiget;
       seed;
     }
   in
@@ -815,12 +841,20 @@ let serve_load_cmd =
       & info [ "batch" ] ~docv:"N"
           ~doc:"Group $(docv) ops into one wire Batch frame")
   in
+  let multiget =
+    Arg.(
+      value & opt int 1
+      & info [ "multiget" ] ~docv:"N"
+          ~doc:
+            "Ship membership probes as MultiGet frames of $(docv) keys \
+             each, answered under one snapshot label; 1 = plain Get")
+  in
   Cmd.v
     (Cmd.info "serve-load"
        ~doc:"Drive a running hwts-serve with pipelined mixed traffic")
     Term.(
       const serve_load $ host $ port $ connections $ pipeline $ ops
-      $ key_space $ mix_opt $ rq_len $ theta $ batch $ seed_opt
+      $ key_space $ mix_opt $ rq_len $ theta $ batch $ multiget $ seed_opt
       $ metrics_out_opt)
 
 let trend_cmd =

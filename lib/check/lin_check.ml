@@ -18,9 +18,15 @@
    Wing–Gong style DFS with memoization.  Histories are limited to 62
    events (bitmask) and keys to [0, 61] (set state is a bitmask too). *)
 
-type op = Insert of int | Delete of int | Contains of int | Range of int * int
+type op =
+  | Insert of int
+  | Delete of int
+  | Contains of int
+  | Range of int * int
+  | Multi_get of int list
+  | Multi_range of (int * int) list
 
-type result = Bool of bool | Keys of int list
+type result = Bool of bool | Keys of int list | Bools of bool list | Keyss of int list list
 
 type event = {
   start_t : int;
@@ -41,8 +47,15 @@ let range_mask lo hi =
   let lo = max lo 0 and hi = min hi max_key in
   if hi < lo then 0 else ((1 lsl (hi - lo + 1)) - 1) lsl lo
 
+(* Membership as the abstract set answers it for ANY integer: keys the
+   bitmask cannot represent are simply never members (the engine returns
+   [false] for out-of-window keys, and the checker agrees). *)
+let mem state k = k >= 0 && k <= max_key && state land (1 lsl k) <> 0
+
 (* Whether a sequential set in [state] could return [result] for [op],
-   and the state afterwards. *)
+   and the state afterwards.  A multi-point op is ONE event: every
+   constituent probe answers against the same [state], which is exactly
+   the one-cut-per-handle guarantee the snapshot engine advertises. *)
 let step state op result =
   match (op, result) with
   | Insert k, Bool r ->
@@ -56,8 +69,55 @@ let step state op result =
   | Contains k, Bool r -> (r = (state land (1 lsl k) <> 0), state)
   | Range (lo, hi), Keys ks ->
     (state land range_mask lo hi = mask_of_keys ks, state)
-  | (Insert _ | Delete _ | Contains _), Keys _ | Range _, Bool _ ->
+  | Multi_get ks, Bools rs ->
+    ( List.length ks = List.length rs
+      && List.for_all2 (fun k r -> r = mem state k) ks rs,
+      state )
+  | Multi_range rgs, Keyss kss ->
+    ( List.length rgs = List.length kss
+      && List.for_all2
+           (fun (lo, hi) ks ->
+             List.for_all (fun k -> k >= 0 && k <= max_key) ks
+             && state land range_mask lo hi = mask_of_keys ks)
+           rgs kss,
+      state )
+  | (Insert _ | Delete _ | Contains _ | Range _ | Multi_get _ | Multi_range _),
+    _ ->
     (false, state)
+
+(* Every constituent of one multi-point event answers from the same cut,
+   so within an event the answers must agree wherever probes overlap:
+   duplicate multi_get keys, and any key shared by two range windows.
+   The interval DFS alone can miss this (an update whose recorded
+   interval brackets the label could otherwise slot between two
+   same-label probes), so it is enforced structurally, per event. *)
+let self_consistent e =
+  match (e.op, e.result) with
+  | Multi_get ks, Bools rs when List.length ks = List.length rs ->
+    let seen = Hashtbl.create 8 in
+    List.for_all2
+      (fun k r ->
+        match Hashtbl.find_opt seen k with
+        | Some r' -> r = r'
+        | None ->
+          Hashtbl.add seen k r;
+          true)
+      ks rs
+  | Multi_range rgs, Keyss kss when List.length rgs = List.length kss ->
+    let seen = Hashtbl.create 8 in
+    List.for_all2
+      (fun (lo, hi) ks ->
+        let lo = max lo 0 and hi = min hi max_key in
+        let ok = ref true in
+        for k = lo to hi do
+          let r = List.mem k ks in
+          match Hashtbl.find_opt seen k with
+          | Some r' -> if r <> r' then ok := false
+          | None -> Hashtbl.add seen k r
+        done;
+        !ok)
+      rgs kss
+  | _ -> true (* shape mismatches are rejected by [step] *)
 
 (* A label must name an instant the query actually spanned; anything else
    is an unsatisfiable claim (or a malformed history) and the whole
@@ -67,14 +127,15 @@ let step state op result =
 let well_labeled ~order e =
   let cmp = order.Hwts.Labeling.compare_labels in
   match (e.op, e.label) with
-  | Range _, Some l -> cmp e.start_t l <= 0 && cmp l e.end_t <= 0
-  | Range _, None -> true
+  | (Range _ | Multi_get _ | Multi_range _), Some l ->
+    cmp e.start_t l <= 0 && cmp l e.end_t <= 0
+  | (Range _ | Multi_get _ | Multi_range _), None -> true
   | _, Some _ -> false
   | _, None -> true
 
 let effective e =
   match (e.op, e.label) with
-  | Range _, Some l -> (l, l)
+  | (Range _ | Multi_get _ | Multi_range _), Some l -> (l, l)
   | _ -> (e.start_t, e.end_t)
 
 (* Timestamped events own an instant on the clock axis: a successful
@@ -85,7 +146,7 @@ let effective e =
 let is_timestamped e =
   match (e.op, e.result) with
   | (Insert _ | Delete _), Bool true -> true
-  | Range _, _ -> e.label <> None
+  | (Range _ | Multi_get _ | Multi_range _), _ -> e.label <> None
   | _ -> false
 
 (* Joint Wing–Gong DFS over the whole history; assumes [well_labeled].
@@ -140,14 +201,15 @@ let check_dfs ?(initial = []) ?(order = Hwts.Labeling.raw_order) events =
   in
   dfs full state0
 
-(* When every range is labeled, the criterion decomposes per key: a
-   labeled range is a batch of zero-width membership probes, one per
-   window key, all pinned at the label instant.  Point ops touch one key
-   each, so by linearizability's locality the joint history is
-   explainable iff every per-key projection is.  Checking 62 two-state
-   sub-histories sidesteps the joint DFS's exponential blowup on
-   heavily-overlapped histories (fault injection freezes the clock while
-   ops pile up at the same tick). *)
+(* When every range and multi-point op is labeled, the criterion
+   decomposes per key: a labeled range (or one multi-point constituent)
+   is a batch of zero-width membership probes, one per window key, all
+   pinned at the label instant.  Point ops touch one key each, so by
+   linearizability's locality the joint history is explainable iff every
+   per-key projection is.  Checking 62 two-state sub-histories sidesteps
+   the joint DFS's exponential blowup on heavily-overlapped histories
+   (fault injection freezes the clock while ops pile up at the same
+   tick). *)
 let decomposable events =
   List.for_all
     (fun e ->
@@ -156,31 +218,57 @@ let decomposable events =
         k >= 0 && k <= max_key
       | Range (lo, hi), Keys ks, Some _ ->
         List.for_all (fun k -> k >= lo && k <= hi && k >= 0 && k <= max_key) ks
+      | Multi_get ks, Bools rs, Some _ ->
+        List.length ks = List.length rs
+        && List.for_all (fun k -> k >= 0 && k <= max_key) ks
+      | Multi_range rgs, Keyss kss, Some _ ->
+        List.length rgs = List.length kss
+        && List.for_all2
+             (fun (lo, hi) ks ->
+               List.for_all
+                 (fun k -> k >= lo && k <= hi && k >= 0 && k <= max_key)
+                 ks)
+             rgs kss
       | _ -> false)
     events
 
 (* A labeled range projects onto key [k] as a single-key labeled range
    (not a contains): it keeps the raw interval for real-time ordering
-   against reads AND the label for timestamp ordering against updates. *)
+   against reads AND the label for timestamp ordering against updates.
+   A multi-point op projects as one such probe per constituent touching
+   [k] — all pinned at the handle's single label, which is precisely the
+   "every read answers from one cut" claim under test. *)
 let project k events =
-  List.filter_map
+  let probe e present =
+    { e with op = Range (k, k); result = Keys (if present then [ k ] else []) }
+  in
+  List.concat_map
     (fun e ->
       match (e.op, e.label) with
       | (Insert k' | Delete k' | Contains k'), _ ->
-        if k' = k then Some e else None
+        if k' = k then [ e ] else []
       | Range (lo, hi), Some _ ->
         if k >= lo && k <= hi then
           let present =
-            match e.result with Keys ks -> List.mem k ks | Bool _ -> false
+            match e.result with Keys ks -> List.mem k ks | _ -> false
           in
-          Some
-            {
-              e with
-              op = Range (k, k);
-              result = Keys (if present then [ k ] else []);
-            }
-        else None
-      | Range _, None -> assert false (* decomposable implies labeled *))
+          [ probe e present ]
+        else []
+      | Multi_get ks, Some _ ->
+        let rs = match e.result with Bools rs -> rs | _ -> [] in
+        List.concat
+          (List.map2
+             (fun k' r -> if k' = k then [ probe e r ] else [])
+             ks rs)
+      | Multi_range rgs, Some _ ->
+        let kss = match e.result with Keyss kss -> kss | _ -> [] in
+        List.concat
+          (List.map2
+             (fun (lo, hi) ks ->
+               if k >= lo && k <= hi then [ probe e (List.mem k ks) ] else [])
+             rgs kss)
+      | (Range _ | Multi_get _ | Multi_range _), None ->
+        assert false (* decomposable implies labeled *))
     events
 
 let check_per_key ~initial ~order events =
@@ -190,7 +278,12 @@ let check_per_key ~initial ~order events =
       (fun m e ->
         match e.op with
         | Insert k | Delete k | Contains k -> m lor (1 lsl k)
-        | Range (lo, hi) -> m lor range_mask lo hi)
+        | Range (lo, hi) -> m lor range_mask lo hi
+        | Multi_get ks ->
+          (* decomposable already bounded every key *)
+          List.fold_left (fun m k -> m lor (1 lsl k)) m ks
+        | Multi_range rgs ->
+          List.fold_left (fun m (lo, hi) -> m lor range_mask lo hi) m rgs)
       0 events
   in
   let ok = ref true in
@@ -206,6 +299,7 @@ let check_per_key ~initial ~order events =
 
 let check ?(initial = []) ?(order = Hwts.Labeling.raw_order) events =
   List.for_all (well_labeled ~order) events
+  && List.for_all self_consistent events
   &&
   if decomposable events then check_per_key ~initial ~order events
   else check_dfs ~initial ~order events
@@ -239,7 +333,8 @@ let record_history ~domains ~ops_per_domain ~key_space ~seed ~insert ~delete
               | Insert k -> insert k
               | Delete k -> delete k
               | Contains k -> contains k
-              | Range _ -> assert false (* not generated here *)
+              | Range _ | Multi_get _ | Multi_range _ ->
+                assert false (* not generated here *)
             in
             let end_t = Tsc.rdtscp_lfence () in
             { start_t; end_t; op; result = Bool result; label = None }))

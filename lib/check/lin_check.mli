@@ -7,12 +7,25 @@
     interval collapses to [label, label], so {!check} decides the
     snapshot-at-timestamp criterion, not just plain linearizability.
 
+    Multi-point ops ([Multi_get]/[Multi_range]) model one
+    {!Hwts_snapshot.t} handle: a batch of membership probes (or range
+    scans) that all claim to answer from ONE cut, carried as a single
+    event with a single label.  The checker holds every constituent to
+    the same sequential state — and, when labeled, pins them all at the
+    one claimed instant.
+
     Capacity limits (both from the bitmask encodings): at most
     {!max_events} events per history, keys in [0, {!max_key}]. *)
 
-type op = Insert of int | Delete of int | Contains of int | Range of int * int
+type op =
+  | Insert of int
+  | Delete of int
+  | Contains of int
+  | Range of int * int
+  | Multi_get of int list
+  | Multi_range of (int * int) list
 
-type result = Bool of bool | Keys of int list
+type result = Bool of bool | Keys of int list | Bools of bool list | Keyss of int list list
 
 type event = {
   start_t : int;
@@ -20,10 +33,11 @@ type event = {
   op : op;
   result : result;
   label : int option;
-      (** [Range] only: the snapshot timestamp the structure claimed, in
-          the same clock that stamped [start_t]/[end_t].  [Some l] with
-          [l] outside [start_t, end_t] — or any label on a point
-          operation — makes the history invalid. *)
+      (** [Range]/[Multi_get]/[Multi_range] only: the snapshot timestamp
+          the structure claimed, in the same clock that stamped
+          [start_t]/[end_t].  [Some l] with [l] outside
+          [start_t, end_t] — or any label on a point operation — makes
+          the history invalid. *)
 }
 
 val max_events : int

@@ -74,11 +74,22 @@ let string_of_op = function
   | Lin_check.Delete k -> Printf.sprintf "delete(%d)" k
   | Lin_check.Contains k -> Printf.sprintf "contains(%d)" k
   | Lin_check.Range (lo, hi) -> Printf.sprintf "range(%d,%d)" lo hi
+  | Lin_check.Multi_get ks ->
+    "multi_get(" ^ String.concat "," (List.map string_of_int ks) ^ ")"
+  | Lin_check.Multi_range rgs ->
+    "multi_range("
+    ^ String.concat ";"
+        (List.map (fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi) rgs)
+    ^ ")"
+
+let keyset ks = "{" ^ String.concat "," (List.map string_of_int ks) ^ "}"
 
 let string_of_result = function
   | Lin_check.Bool b -> string_of_bool b
-  | Lin_check.Keys ks ->
-    "{" ^ String.concat "," (List.map string_of_int ks) ^ "}"
+  | Lin_check.Keys ks -> keyset ks
+  | Lin_check.Bools rs ->
+    "[" ^ String.concat "," (List.map string_of_bool rs) ^ "]"
+  | Lin_check.Keyss kss -> "[" ^ String.concat ";" (List.map keyset kss) ^ "]"
 
 let pp_event base e =
   let label =

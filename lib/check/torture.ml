@@ -17,6 +17,8 @@ type config = {
   prefill : int;
   faults : bool;
   fault_period : int;
+  multi : bool;
+      (* also draw multi-point snapshot ops (Hwts_snapshot handles) *)
 }
 
 type failure = {
@@ -36,7 +38,8 @@ type outcome = {
   failure : failure option;
 }
 
-let default_config ?(reclaim = `Ebr) ~structure ~provider ~seed () =
+let default_config ?(reclaim = `Ebr) ?(multi = false) ~structure ~provider
+    ~seed () =
   {
     structure;
     provider;
@@ -49,6 +52,7 @@ let default_config ?(reclaim = `Ebr) ~structure ~provider ~seed () =
     prefill = 4;
     faults = true;
     fault_period = 4;
+    multi;
   }
 
 (* splitmix-style avalanche, for deriving independent per-round and
@@ -97,9 +101,11 @@ let run_round cfg ~round_seed =
     let rng = Dstruct.Prng.make ~seed:(mix round_seed (me + 1)) in
     for _ = 1 to cfg.ops_per_domain do
       let key () = 1 + Dstruct.Prng.below rng cfg.key_space in
-      (* weights: updates dominate so snapshots have races to catch *)
+      (* weights: updates dominate so snapshots have races to catch; the
+         multi arms only widen the draw when enabled, so multi-less
+         configs (and every pre-existing fixture) replay verbatim *)
       ignore
-        (match Dstruct.Prng.below rng 8 with
+        (match Dstruct.Prng.below rng (if cfg.multi then 10 else 8) with
         | 0 | 1 | 2 ->
           let k = key () in
           Recorder.run recorder ~dom:me (Lin_check.Insert k) (fun () ->
@@ -112,12 +118,39 @@ let run_round cfg ~round_seed =
           let k = key () in
           Recorder.run recorder ~dom:me (Lin_check.Contains k) (fun () ->
               (Lin_check.Bool (S.contains t k), None))
-        | _ ->
+        | 6 | 7 ->
           let lo = key () in
           let hi = lo + Dstruct.Prng.below rng cfg.key_space in
           Recorder.run recorder ~dom:me (Lin_check.Range (lo, hi)) (fun () ->
               let ts, keys = S.range_query_labeled t ~lo ~hi in
-              (Lin_check.Keys keys, Some ts)));
+              (Lin_check.Keys keys, Some ts))
+        | 8 ->
+          (* 2-4 membership probes against ONE snapshot handle; every
+             constituent must answer from the cut named by the one label *)
+          let ks =
+            List.init (2 + Dstruct.Prng.below rng 3) (fun _ -> key ())
+          in
+          Recorder.run recorder ~dom:me (Lin_check.Multi_get ks) (fun () ->
+              Hwts_snapshot.with_snapshot (module S) t (fun snap ->
+                  let bs = Hwts_snapshot.multi_get snap (Array.of_list ks) in
+                  ( Lin_check.Bools (Array.to_list bs),
+                    Some (Hwts_snapshot.label snap) )))
+        | _ ->
+          (* 1-2 range scans against ONE snapshot handle *)
+          let rgs =
+            List.init
+              (1 + Dstruct.Prng.below rng 2)
+              (fun _ ->
+                let lo = key () in
+                (lo, lo + Dstruct.Prng.below rng cfg.key_space))
+          in
+          Recorder.run recorder ~dom:me (Lin_check.Multi_range rgs) (fun () ->
+              Hwts_snapshot.with_snapshot (module S) t (fun snap ->
+                  let kss =
+                    Hwts_snapshot.multi_range snap (Array.of_list rgs)
+                  in
+                  ( Lin_check.Keyss (Array.to_list kss),
+                    Some (Hwts_snapshot.label snap) ))));
       (* Op boundary = quiescence point: the densest announcement cadence
          a QSBR user can run, so grace races get maximal exercise. *)
       S.quiesce t
@@ -219,6 +252,8 @@ let reclaim_tag cfg =
   if cfg.reclaim = `Ebr then ""
   else " reclaim=" ^ Workload.Targets.reclaim_name cfg.reclaim
 
+let multi_tag cfg = if cfg.multi then " multi=true" else ""
+
 let write_trace ~path cfg f =
   let oc = open_out path in
   Fun.protect
@@ -226,14 +261,14 @@ let write_trace ~path cfg f =
     (fun () ->
       Printf.fprintf oc "%s\n" trace_header;
       Printf.fprintf oc
-        "structure=%s provider=%s%s seed=%d round=%d round_seed=%d \
+        "structure=%s provider=%s%s%s seed=%d round=%d round_seed=%d \
          domains=%d ops_per_domain=%d key_space=%d faults=%b \
          fault_period=%d reproduced=%b\n"
         cfg.structure
         (Workload.Targets.ts_name cfg.provider)
-        (reclaim_tag cfg) cfg.seed f.round f.round_seed cfg.domains
-        cfg.ops_per_domain cfg.key_space cfg.faults cfg.fault_period
-        f.reproduced;
+        (reclaim_tag cfg) (multi_tag cfg) cfg.seed f.round f.round_seed
+        cfg.domains cfg.ops_per_domain cfg.key_space cfg.faults
+        cfg.fault_period f.reproduced;
       Printf.fprintf oc "\nfull history (%d events):\n%s"
         (List.length f.events)
         (Oracle.explain ~initial:f.initial f.events);
@@ -259,13 +294,14 @@ let write_fixture ~path cfg ~round_seed ~initial ~events =
     (fun () ->
       Printf.fprintf oc "%s\n" trace_header;
       Printf.fprintf oc
-        "fixture=true structure=%s provider=%s%s seed=%d round_seed=%d \
+        "fixture=true structure=%s provider=%s%s%s seed=%d round_seed=%d \
          domains=%d ops_per_domain=%d key_space=%d prefill=%d faults=%b \
          fault_period=%d\n"
         cfg.structure
         (Workload.Targets.ts_name cfg.provider)
-        (reclaim_tag cfg) cfg.seed round_seed cfg.domains cfg.ops_per_domain
-        cfg.key_space cfg.prefill cfg.faults cfg.fault_period;
+        (reclaim_tag cfg) (multi_tag cfg) cfg.seed round_seed cfg.domains
+        cfg.ops_per_domain cfg.key_space cfg.prefill cfg.faults
+        cfg.fault_period;
       Printf.fprintf oc "\nrecorded history (%d events, oracle: pass):\n%s"
         (List.length events)
         (Oracle.explain ~initial events))
@@ -291,6 +327,8 @@ let read_fixture path =
       | Some r -> r
       | None -> `Ebr
     in
+    (* absent in fixtures recorded before the multi-point axis: off *)
+    let multi = Option.value (bool "multi") ~default:false in
     match
       ( str "structure",
         Option.bind (str "provider") Workload.Targets.ts_of_name,
@@ -305,6 +343,7 @@ let read_fixture path =
             structure; provider; reclaim; seed;
             rounds = 1;
             domains; ops_per_domain; key_space; prefill; faults; fault_period;
+            multi;
           },
           round_seed )
     | _ -> Error (path ^ ": incomplete fixture config line")

@@ -21,6 +21,11 @@ type config = {
   prefill : int;  (** keys inserted (and recorded as initial state) before workers start *)
   faults : bool;  (** enable {!Sync.Pause} injection during rounds *)
   fault_period : int;  (** inject at roughly 1-in-[fault_period] pause points *)
+  multi : bool;
+      (** also draw multi-point snapshot ops: multi_gets and multi_ranges
+          issued through one {!Hwts_snapshot.t} handle each, recorded as
+          single events carrying the handle's one label.  Off by default
+          so pre-existing fixtures replay with an identical op stream. *)
 }
 
 type failure = {
@@ -43,13 +48,14 @@ type outcome = {
 
 val default_config :
   ?reclaim:Workload.Targets.reclaim ->
+  ?multi:bool ->
   structure:string ->
   provider:Workload.Targets.ts ->
   seed:int ->
   unit ->
   config
 (** 12 rounds x 4 domains x 12 ops over keys [1, 12], prefill 4, faults
-    on at period 4, EBR reclamation. *)
+    on at period 4, EBR reclamation, multi-point ops off. *)
 
 val run : ?log:(string -> unit) -> config -> outcome
 (** Runs rounds until one fails the oracle or all pass.  Raises

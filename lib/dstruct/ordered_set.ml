@@ -53,6 +53,36 @@ module type RQ = sig
       coalescing is built on it.  An empty batch still acquires (callers
       should not submit one). *)
 
+  type snap
+  (** A constant-time snapshot handle: one timestamp label plus whatever
+      pin (RQ-registry announce slot, reclamation op section) keeps the
+      structure from pruning history the label still needs.  Acquiring
+      one costs a single label acquisition; every read against it costs
+      zero further acquisitions. *)
+
+  val snapshot : t -> snap
+  (** Acquire a snapshot handle.  Must be released with {!snap_release}
+      from the {e same domain} (the pin lives in per-domain state).
+      Holding a handle delays history pruning structure-wide; release
+      promptly. *)
+
+  val snap_label : snap -> int
+  (** The timestamp label of the captured cut, in the structure's own
+      provider clock — the claim the multi-point oracle validates. *)
+
+  val snap_release : t -> snap -> unit
+  (** Release the handle's pin.  Idempotent; reads against a released
+      handle are undefined. *)
+
+  val lookup_at : t -> snap -> int -> bool
+  (** Membership of one key in the snapshot's cut — the abstract set at
+      {!snap_label} — with no label acquisition. *)
+
+  val collect_at : t -> snap -> lo:int -> hi:int -> int list
+  (** Sorted keys of [lo, hi] in the snapshot's cut, exactly what
+      {!range_query} would have returned had it drawn this label; no
+      label acquisition. *)
+
   val quiesce : t -> unit
   (** Announce a reclamation quiescence point: the calling domain holds
       no reference into [t] (between ops — harness-loop and serve-batch

@@ -256,7 +256,7 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : LOGICAL) = struct
   let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
     Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
 
-  let collect_at t ts ~lo ~hi =
+  let collect_ts t ts ~lo ~hi =
     let buf = Sync.Scratch.get buf_scratch in
     Sync.Scratch.Int_buffer.clear buf;
     let visit l =
@@ -284,7 +284,7 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : LOGICAL) = struct
   let range_query_labeled t ~lo ~hi =
     Reclaim.with_op t.ebr (fun () ->
         let ts = T.snapshot () in
-        (ts, collect_at t ts ~lo ~hi))
+        (ts, collect_ts t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
@@ -293,7 +293,54 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : LOGICAL) = struct
   let range_queries_labeled t ranges =
     Reclaim.with_op t.ebr (fun () ->
         let ts = T.snapshot () in
-        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
+        (ts, Array.map (fun (lo, hi) -> collect_ts t ts ~lo ~hi) ranges))
+
+  (* Snapshot handle: a non-scoped op section pins the limbo lists for
+     the handle's lifetime, and the label is one [T.snapshot] advance —
+     the same acquisition a labeled RQ pays, paid once.  Same-domain
+     acquire/release; release promptly (an open handle holds the EBR
+     epoch back). *)
+  type snap = { s_label : int; mutable s_live : bool }
+
+  let snapshot t =
+    Reclaim.enter t.ebr;
+    match T.snapshot () with
+    | label -> { s_label = label; s_live = true }
+    | exception e ->
+      Reclaim.exit t.ebr;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Reclaim.exit t.ebr
+    end
+
+  let collect_at t s ~lo ~hi = collect_ts t s.s_label ~lo ~hi
+
+  (* Point read at the held label: directed descent to the external leaf
+     for [key] (keys never relocate in this tree), then the limbo lists
+     for a just-unlinked leaf still covered at [ts]. *)
+  let lookup_at t sn key =
+    let ts = sn.s_label in
+    let hit l =
+      l.lkey = key && covers ts l
+      &&
+      (if l.poisoned then
+         Hwts_reclaim.Debug.poison_hit "bst-ebrrq leaf covered after free";
+       true)
+    in
+    let rec down node =
+      match node with
+      | Leaf l -> hit l
+      | Internal n -> down (Atomic.get (child n (dir_of n key))).target
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let in_tree = down (Internal t.s) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    in_tree || Reclaim.fold_limbo t.ebr ~init:false ~f:(fun acc l -> acc || hit l)
 
   let to_list t =
     let rec walk acc node =

@@ -18,7 +18,13 @@ module Make (T : Hwts.Timestamp.S) = struct
     pins : int list Atomic.t; (* persistent-snapshot timestamps *)
   }
 
-  type snap = int
+  type pin = int
+
+  (* Registry-backed snapshot handle (the [Ordered_set.RQ] one): the
+     guard stamp occupies the domain's announce slot — the same pruning
+     floor every range query publishes — for the handle's whole
+     lifetime, and the label is the cut all reads resolve against. *)
+  type snap = { s_guard : int; s_label : int; mutable s_live : bool }
 
   let name = "vcas-bst(" ^ T.name ^ ")"
   let clean target = { target; flagged = false; tagged = false }
@@ -243,6 +249,36 @@ module Make (T : Hwts.Timestamp.S) = struct
               collect_keys ~read_edge:(fun c -> V.read_at c ts) ~lo ~hi
                 (Internal t.s))
             ranges ))
+
+  let snapshot t =
+    let guard = Rq_registry.announce t.registry ~read:T.read_floor in
+    match T.snapshot () with
+    | label -> { s_guard = guard; s_label = label; s_live = true }
+    | exception e ->
+      Rq_registry.release t.registry guard;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Rq_registry.release t.registry s.s_guard
+    end
+
+  let collect_at t s ~lo ~hi =
+    collect_keys
+      ~read_edge:(fun c -> V.read_at c s.s_label)
+      ~lo ~hi (Internal t.s)
+
+  let lookup_at t s key =
+    let ts = s.s_label in
+    let rec down node =
+      match node with
+      | Leaf k -> k = key
+      | Internal n -> down (V.read_at (child n (dir_of n key)) ts).target
+    in
+    down (Internal t.s)
 
   let rec add_pin t ts =
     let old = Atomic.get t.pins in

@@ -13,23 +13,25 @@
 module Make (T : Hwts.Timestamp.S) : sig
   include Dstruct.Ordered_set.RQ
 
-  type snap
-  (** A pinned moment in the structure's history. *)
+  type pin
+  (** A pinned moment in the structure's history (the persistent,
+      cross-thread variant; the per-domain [snap] handle of
+      {!Dstruct.Ordered_set.RQ} is the cheap one). *)
 
-  val take_snapshot : t -> snap
+  val take_snapshot : t -> pin
   (** Fix the current state as a persistent snapshot.  The snapshot's
       versions are protected from pruning until released, from any
       thread.  O(1): no copying — this is the versioned structure's
       native superpower. *)
 
-  val release_snapshot : t -> snap -> unit
+  val release_snapshot : t -> pin -> unit
   (** Allow the snapshot's history to be reclaimed.  Idempotence is not
       guaranteed; release once. *)
 
-  val range_query_at : t -> snap -> lo:int -> hi:int -> int list
+  val range_query_at : t -> pin -> lo:int -> hi:int -> int list
   (** Time travel: the keys in [lo, hi] as of the snapshot. *)
 
-  val contains_at : t -> snap -> int -> bool
+  val contains_at : t -> pin -> int -> bool
   (** Membership as of the snapshot. *)
 
   val version_chain_stats : t -> int * int

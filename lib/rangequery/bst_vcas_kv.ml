@@ -299,4 +299,29 @@ module Make (T : Hwts.Timestamp.S) = struct
       | Internal n -> down (V.read_at (child n (dir_of n key)) ts).target
     in
     down (Internal t.s)
+
+  (* Registry-backed snapshot handle, as in Bst_vcas: the guard stamp
+     occupies the domain's announce slot for the handle's lifetime. *)
+  type shandle = { s_guard : int; s_label : int; mutable s_live : bool }
+
+  let snapshot t =
+    let guard = Rq_registry.announce t.registry ~read:T.read_floor in
+    match T.snapshot () with
+    | label -> { s_guard = guard; s_label = label; s_live = true }
+    | exception e ->
+      Rq_registry.release t.registry guard;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Rq_registry.release t.registry s.s_guard
+    end
+
+  let find_snap t s key = find_at t s.s_label key
+
+  let range_snap t s ~lo ~hi =
+    collect_range ~read_edge:(fun c -> V.read_at c s.s_label) t ~lo ~hi
 end

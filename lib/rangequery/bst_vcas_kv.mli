@@ -50,4 +50,16 @@ module Make (T : Hwts.Timestamp.S) : sig
   val release_snapshot : 'v t -> snap -> unit
   val range_query_at : 'v t -> snap -> lo:int -> hi:int -> (int * 'v) list
   val find_at : 'v t -> snap -> int -> 'v option
+
+  type shandle
+  (** Registry-backed snapshot handle (the per-domain, announce-slot
+      variant of {!Dstruct.Ordered_set.RQ}): acquire/release from one
+      domain, arbitrarily many point and range reads against the captured
+      cut with zero further label acquisitions. *)
+
+  val snapshot : 'v t -> shandle
+  val snap_label : shandle -> int
+  val snap_release : 'v t -> shandle -> unit
+  val find_snap : 'v t -> shandle -> int -> 'v option
+  val range_snap : 'v t -> shandle -> lo:int -> hi:int -> (int * 'v) list
 end

@@ -238,7 +238,7 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
      with a second clock read so concurrent pruning stays safe.  In-order
      traversal fills the per-domain buffer ascending; the result list is
      snapshotted from it once. *)
-  let collect_at t ts ~lo ~hi =
+  let collect_ts t ts ~lo ~hi =
     let buf = Sync.Scratch.get buf_scratch in
     Sync.Scratch.Int_buffer.clear buf;
     let rec walk node_opt =
@@ -261,7 +261,7 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.read () in
-        (ts, collect_at t ts ~lo ~hi))
+        (ts, collect_ts t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
@@ -273,7 +273,44 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.read () in
-        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
+        (ts, Array.map (fun (lo, hi) -> collect_ts t ts ~lo ~hi) ranges))
+
+  (* Snapshot handle: announce-slot guard + plain [T.read] label, as in
+     the other bundle structures. *)
+  type snap = { s_guard : int; s_label : int; mutable s_live : bool }
+
+  let snapshot t =
+    let guard = Rq_registry.announce t.registry ~read:T.read_floor in
+    match T.read () with
+    | label -> { s_guard = guard; s_label = label; s_live = true }
+    | exception e ->
+      Rq_registry.release t.registry guard;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Rq_registry.release t.registry s.s_guard
+    end
+
+  let collect_at t s ~lo ~hi = collect_ts t s.s_label ~lo ~hi
+
+  (* Point read at the held label: directed descent through the bundled
+     child links at [ts]. *)
+  let lookup_at t sn key =
+    let ts = sn.s_label in
+    let rec walk = function
+      | None -> false
+      | Some n ->
+        if n.key = key then true
+        else walk (B.read_at (bchild n (dir_of n key)) ts)
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk (B.read_at t.root.bright ts) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let to_list t =
     let rec walk acc = function

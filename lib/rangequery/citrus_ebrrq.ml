@@ -215,7 +215,7 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
   let buf_scratch : Sync.Scratch.Int_buffer.t Sync.Scratch.t =
     Sync.Scratch.make (fun () -> Sync.Scratch.Int_buffer.create ())
 
-  let collect_at t ts ~lo ~hi =
+  let collect_ts t ts ~lo ~hi =
     let buf = Sync.Scratch.get buf_scratch in
     Sync.Scratch.Int_buffer.clear buf;
     let visit n =
@@ -248,7 +248,7 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
         let ts =
           Sync.Rwlock.with_write t.ts_lock (fun () -> T.snapshot ())
         in
-        (ts, collect_at t ts ~lo ~hi))
+        (ts, collect_ts t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
@@ -260,7 +260,60 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
         let ts =
           Sync.Rwlock.with_write t.ts_lock (fun () -> T.snapshot ())
         in
-        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
+        (ts, Array.map (fun (lo, hi) -> collect_ts t ts ~lo ~hi) ranges))
+
+  (* Snapshot handle: a non-scoped op section pins the limbo lists for
+     the handle's whole lifetime (the EBR-RQ form of history retention),
+     and the label is taken under the exclusive timestamp lock exactly as
+     a labeled RQ would — but only once, at acquisition.  Acquire and
+     release from the same domain, and release promptly: an open handle
+     delays every grace period. *)
+  type snap = { s_label : int; mutable s_live : bool }
+
+  let snapshot t =
+    Reclaim.enter t.ebr;
+    match Sync.Rwlock.with_write t.ts_lock (fun () -> T.snapshot ()) with
+    | label -> { s_label = label; s_live = true }
+    | exception e ->
+      Reclaim.exit t.ebr;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Reclaim.exit t.ebr
+    end
+
+  let collect_at t s ~lo ~hi = collect_ts t s.s_label ~lo ~hi
+
+  (* Point read at the held label: descend the current tree by key — on
+     an equal key that does not cover [ts] keep descending right, where a
+     relocation may have left the original node still linked — then scan
+     limbo for just-unlinked nodes, as [collect_ts] does. *)
+  let lookup_at t sn key =
+    let ts = sn.s_label in
+    let in_tree =
+      Reclaim.with_read t.ebr (fun () ->
+          let rec walk = function
+            | None -> false
+            | Some n ->
+              (n.key = key && covers ts n)
+              || walk (Atomic.get (child n (dir_of n key)))
+          in
+          walk (Atomic.get t.root.right))
+    in
+    in_tree
+    || Reclaim.fold_limbo t.ebr ~init:false ~f:(fun acc n ->
+           acc
+           ||
+           if n.key = key && covers ts n then begin
+             if n.poisoned then
+               Hwts_reclaim.Debug.poison_hit "citrus node covered after free";
+             true
+           end
+           else false)
 
   let to_list t =
     let rec walk acc = function

@@ -186,7 +186,7 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
 
   (* vCAS range query: the RQ advances the timestamp to fix its snapshot.
      The relocation delete is two versioned writes, so de-duplicate. *)
-  let collect_at t ts ~lo ~hi =
+  let collect_ts t ts ~lo ~hi =
     let buf = Sync.Scratch.get buf_scratch in
     Sync.Scratch.Int_buffer.clear buf;
     let rec walk node_opt =
@@ -209,7 +209,7 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.snapshot () in
-        (ts, collect_at t ts ~lo ~hi))
+        (ts, collect_ts t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
@@ -221,7 +221,44 @@ module Make (R : Hwts_reclaim.Intf.BACKEND) (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.snapshot () in
-        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
+        (ts, Array.map (fun (lo, hi) -> collect_ts t ts ~lo ~hi) ranges))
+
+  (* Snapshot handle: announce-slot guard + captured label, as in the
+     other registry-backed structures.  Reads at the held label need no
+     grace section: these variants never retire nodes (GC keeps spliced
+     subtrees alive), so [read_at] walks are safe unprotected. *)
+  type snap = { s_guard : int; s_label : int; mutable s_live : bool }
+
+  let snapshot t =
+    let guard = Rq_registry.announce t.registry ~read:T.read_floor in
+    match T.snapshot () with
+    | label -> { s_guard = guard; s_label = label; s_live = true }
+    | exception e ->
+      Rq_registry.release t.registry guard;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Rq_registry.release t.registry s.s_guard
+    end
+
+  let collect_at t s ~lo ~hi = collect_ts t s.s_label ~lo ~hi
+
+  let lookup_at t s key =
+    let ts = s.s_label in
+    let rec walk = function
+      | None -> false
+      | Some n ->
+        if n.key = key then true
+        else walk (V.read_at (child n (dir_of n key)) ts)
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk (V.read_at t.root.right ts) in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let to_list t =
     let rec walk acc = function

@@ -171,7 +171,7 @@ module Make (T : Hwts.Timestamp.S) = struct
      or its insert label is still pending) — falls back to the head,
      whose bundle covers all history.  This also makes the seek safe to
      run after the clock read, which the batched variant relies on. *)
-  let collect_at t ts ~lo ~hi =
+  let collect_ts t ts ~lo ~hi =
     let pred, _ = search t lo in
     let start =
       match pred with
@@ -208,7 +208,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.read () in
-        (ts, collect_at t ts ~lo ~hi))
+        (ts, collect_ts t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
@@ -222,7 +222,62 @@ module Make (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.read () in
-        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
+        (ts, Array.map (fun (lo, hi) -> collect_ts t ts ~lo ~hi) ranges))
+
+  (* Snapshot handle: the announce-slot guard keeps bundle pruning below
+     the captured label for the handle's lifetime.  Bundles never advance
+     the clock for reads, so the label is a plain [T.read] — exactly what
+     a single labeled RQ would claim. *)
+  type snap = { s_guard : int; s_label : int; mutable s_live : bool }
+
+  let snapshot t =
+    let guard = Rq_registry.announce t.registry ~read:T.read_floor in
+    match T.read () with
+    | label -> { s_guard = guard; s_label = label; s_live = true }
+    | exception e ->
+      Rq_registry.release t.registry guard;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Rq_registry.release t.registry s.s_guard
+    end
+
+  let collect_at t s ~lo ~hi = collect_ts t s.s_label ~lo ~hi
+
+  (* Point read at the held label: raw-seek a predecessor (validated
+     against the snapshot exactly like [collect_ts], else fall back to
+     the head) and chase bundled links — membership at [ts] is exactly
+     appearing on the bundled successor chain at [ts]. *)
+  let lookup_at t sn key =
+    let ts = sn.s_label in
+    let pred, _ = search t key in
+    let start =
+      match pred with
+      | Nil -> t.head
+      | Node p ->
+        if Atomic.get p.marked then t.head
+        else (
+          match B.read_at_opt p.b ts with
+          | Some _ -> pred
+          | None -> t.head)
+    in
+    let rec walk n =
+      match n with
+      | Nil -> false
+      | Node r -> (
+        match B.read_at r.b ts with
+        | Nil -> false
+        | Node m as succ ->
+          if m.key > key then false else m.key = key || walk succ)
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk start in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let to_list t =
     let rec walk acc n =

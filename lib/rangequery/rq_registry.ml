@@ -1,5 +1,16 @@
+(* Multiset of announcements held by one slot's owning domain.  A domain
+   can hold several at once — a long-lived [Snapshot.t] handle pinning
+   history while ordinary RQs come and go, or several open handles — and
+   the published slot word must stay the minimum of all of them for the
+   slot's whole occupancy, not the most recent announcement.  Mutated
+   only by the owning domain; scanners read the atomic slot word, never
+   this. *)
+type pins = { mutable ts : int array; mutable n : int }
+
 type t = {
-  slots : int Atomic.t array; (* per slot: 0 = inactive, else snapshot ts *)
+  slots : int Atomic.t array; (* per slot: 0 = inactive, else the minimum
+                                 announced ts over the owner's open pins *)
+  pins : pins array; (* domain-local pin multiset behind each slot *)
   active : int Atomic.t; (* accurate count of announced RQs: the update-path
                             early-exit reads only this word when no RQ is in
                             flight (the common case in update-heavy mixes) *)
@@ -32,6 +43,8 @@ let set_refresh_period n =
 let create () =
   {
     slots = Sync.Padding.atomic_array Sync.Slot.max_slots 0;
+    pins =
+      Array.init Sync.Slot.max_slots (fun _ -> { ts = Array.make 4 0; n = 0 });
     active = Sync.Padding.atomic 0;
     hw_slot = Sync.Padding.atomic 0;
     cached_floor = Sync.Padding.atomic 0;
@@ -42,6 +55,22 @@ let create () =
    not yet known; any scan that sees it computes a floor <= 1, below every
    real label, so nothing the pending RQ could need is pruned. *)
 let pending_ts = 1
+
+let push p v =
+  if p.n = Array.length p.ts then begin
+    let bigger = Array.make (2 * p.n) 0 in
+    Array.blit p.ts 0 bigger 0 p.n;
+    p.ts <- bigger
+  end;
+  p.ts.(p.n) <- v;
+  p.n <- p.n + 1
+
+let min_pins p =
+  let acc = ref 0 in
+  for i = 0 to p.n - 1 do
+    if !acc = 0 || p.ts.(i) < !acc then acc := p.ts.(i)
+  done;
+  !acc
 
 (* Announce-then-stamp, in that order.  Publishing intent (the increment
    and the [pending_ts] store) *before* reading the clock closes the race
@@ -59,6 +88,13 @@ let announce t ~read =
   (* fault injection: counted but not yet visible in any slot *)
   Sync.Pause.point ();
   let slot = Sync.Slot.my_slot () in
+  (* [prev] is the minimum over pins this domain already holds (0 when
+     none) — an open snapshot handle, say, while this announce is an RQ
+     running under it.  The pending sentinel overwrites it for the stamp
+     window (forcing scanners fully conservative, which also covers a
+     skewed clock handing out a stamp below [prev]), and the final store
+     must restore the minimum over ALL open pins, not just this one. *)
+  let prev = Atomic.get t.slots.(slot) in
   Atomic.set t.slots.(slot) pending_ts;
   (* fault injection: pending-sentinel window before the stamp lands *)
   Sync.Pause.point ();
@@ -72,14 +108,15 @@ let announce t ~read =
     try read ()
     with e ->
       (* a raising clock must not leave a pending announcement pinning
-         every floor at 1 forever *)
-      Atomic.set t.slots.(slot) 0;
+         every floor at 1 forever — but pins already held stay published *)
+      Atomic.set t.slots.(slot) prev;
       ignore (Atomic.fetch_and_add t.active (-1));
       Hwts_trace.Span.exit Hwts_trace.Acquire;
       raise e
   in
   assert (ts > 0);
-  Atomic.set t.slots.(slot) ts;
+  push t.pins.(slot) ts;
+  Atomic.set t.slots.(slot) (if prev > 0 && prev < ts then prev else ts);
   (* Fold the announcement into the cached floor.  Under a monotone clock
      the cache can never exceed a later announcement anyway (every cached
      value is <= the clock at the time it was computed); this CAS loop
@@ -96,11 +133,36 @@ let announce t ~read =
   Hwts_trace.Span.exit Hwts_trace.Acquire;
   ts
 
-let exit_rq t =
-  Atomic.set t.slots.(Sync.Slot.my_slot ()) 0;
+(* Retiring one pin republishes the minimum of the pins that remain (0
+   when none) — the slot may *rise* when the oldest pin retires, and must
+   not drop to 0 while a long-held snapshot still pins it. *)
+let retire_pin t slot =
+  let p = t.pins.(slot) in
+  Atomic.set t.slots.(slot) (min_pins p);
   (* fault injection: slot retired but the count still holds scanners back *)
   Sync.Pause.point ();
   ignore (Atomic.fetch_and_add t.active (-1))
+
+let exit_rq t =
+  let slot = Sync.Slot.my_slot () in
+  let p = t.pins.(slot) in
+  if p.n > 0 then p.n <- p.n - 1;
+  retire_pin t slot
+
+(* Out-of-order release for snapshot handles: a domain may close handle A
+   after acquiring B, so the pin to retire is identified by its stamp
+   value, not LIFO position.  Silently ignores a stamp not held (the
+   handle layer guarantees at-most-once release). *)
+let release t ts =
+  let slot = Sync.Slot.my_slot () in
+  let p = t.pins.(slot) in
+  let rec find i = if i < 0 then -1 else if p.ts.(i) = ts then i else find (i - 1) in
+  let i = find (p.n - 1) in
+  if i >= 0 then begin
+    p.ts.(i) <- p.ts.(p.n - 1);
+    p.n <- p.n - 1;
+    retire_pin t slot
+  end
 
 (* Zero announced RQs is the common case for update-heavy mixes: one load
    of [active] then answers without touching any slot, and the answer —

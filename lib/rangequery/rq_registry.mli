@@ -22,6 +22,16 @@ val announce : t -> read:(unit -> int) -> int
     announced snapshot timestamp. *)
 
 val exit_rq : t -> unit
+(** Retire the calling domain's most recent announcement.  A domain may
+    hold several announcements at once (nested RQs under an open snapshot
+    handle); the published slot stays the minimum over the ones still
+    open, so retiring an inner RQ cannot unpin an enclosing snapshot. *)
+
+val release : t -> int -> unit
+(** Retire the calling domain's announcement that was stamped with the
+    given timestamp (the value {!announce} returned), wherever it sits in
+    the domain's open set — snapshot handles close out of order.  A stamp
+    not currently held is ignored. *)
 
 val min_active : t -> default:int -> int
 (** Oldest announced snapshot, or [default] when no RQ is active.  When

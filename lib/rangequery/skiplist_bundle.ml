@@ -262,7 +262,7 @@ module Make (T : Hwts.Timestamp.S) = struct
   (* Range query: locate a predecessor of [lo] through the raw levels, fall
      back to the head if that node postdates the snapshot, then walk the
      level-0 bundles at the snapshot time. *)
-  let collect_at t ts ~lo ~hi =
+  let collect_ts t ts ~lo ~hi =
     let sc = get_scratch t in
     ignore (find t lo sc.preds sc.succs);
     let start =
@@ -292,7 +292,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.read () in
-        (ts, collect_at t ts ~lo ~hi))
+        (ts, collect_ts t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
@@ -304,7 +304,51 @@ module Make (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.read () in
-        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
+        (ts, Array.map (fun (lo, hi) -> collect_ts t ts ~lo ~hi) ranges))
+
+  (* Snapshot handle: announce-slot guard + plain [T.read] label, as in
+     the other bundle structures. *)
+  type snap = { s_guard : int; s_label : int; mutable s_live : bool }
+
+  let snapshot t =
+    let guard = Rq_registry.announce t.registry ~read:T.read_floor in
+    match T.read () with
+    | label -> { s_guard = guard; s_label = label; s_live = true }
+    | exception e ->
+      Rq_registry.release t.registry guard;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Rq_registry.release t.registry s.s_guard
+    end
+
+  let collect_at t s ~lo ~hi = collect_ts t s.s_label ~lo ~hi
+
+  (* Point read at the held label: raw-find a predecessor (fall back to
+     the head when it postdates the snapshot), then chase level-0 bundles
+     — membership at [ts] is appearing on the bundled chain at [ts]. *)
+  let lookup_at t sn key =
+    let ts = sn.s_label in
+    let sc = get_scratch t in
+    ignore (find t key sc.preds sc.succs);
+    let start =
+      match B.read_at_opt sc.preds.(0).b0 ts with
+      | Some _ -> sc.preds.(0)
+      | None -> t.head
+    in
+    let rec walk n =
+      match B.read_at n.b0 ts with
+      | None -> false
+      | Some m -> if m.key > key then false else m.key = key || walk m
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk start in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let to_list t =
     let rec walk acc n =

@@ -289,7 +289,7 @@ module Make (T : Hwts.Timestamp.S) = struct
 
   (* vCAS range query: advance the clock, walk level 0 at the snapshot.
      The start node must have been *linked* at the snapshot time. *)
-  let collect_at t ts ~lo ~hi =
+  let collect_ts t ts ~lo ~hi =
     let sc = get_scratch t in
     ignore (find t lo sc);
     let pred = sc.preds.(0) in
@@ -319,7 +319,7 @@ module Make (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.snapshot () in
-        (ts, collect_at t ts ~lo ~hi))
+        (ts, collect_ts t ts ~lo ~hi))
 
   let range_query t ~lo ~hi = snd (range_query_labeled t ~lo ~hi)
 
@@ -331,7 +331,52 @@ module Make (T : Hwts.Timestamp.S) = struct
       ~finally:(fun () -> Rq_registry.exit_rq t.registry)
       (fun () ->
         let ts = T.snapshot () in
-        (ts, Array.map (fun (lo, hi) -> collect_at t ts ~lo ~hi) ranges))
+        (ts, Array.map (fun (lo, hi) -> collect_ts t ts ~lo ~hi) ranges))
+
+  (* Snapshot handle: the announce-slot guard pins version chains for the
+     handle's lifetime; every read resolves against the captured label
+     with no further acquisition. *)
+  type snap = { s_guard : int; s_label : int; mutable s_live : bool }
+
+  let snapshot t =
+    let guard = Rq_registry.announce t.registry ~read:T.read_floor in
+    match T.snapshot () with
+    | label -> { s_guard = guard; s_label = label; s_live = true }
+    | exception e ->
+      Rq_registry.release t.registry guard;
+      raise e
+
+  let snap_label s = s.s_label
+
+  let snap_release t s =
+    if s.s_live then begin
+      s.s_live <- false;
+      Rq_registry.release t.registry s.s_guard
+    end
+
+  let collect_at t s ~lo ~hi = collect_ts t s.s_label ~lo ~hi
+
+  (* Point read at the held label: raw-find a candidate predecessor
+     (validated by its link label, else fall back to the head) and walk
+     level 0 through the version chains, like [collect_ts] but without
+     touching the collection buffer. *)
+  let lookup_at t s key =
+    let ts = s.s_label in
+    let sc = get_scratch t in
+    ignore (find t key sc);
+    let pred = sc.preds.(0) in
+    let linked = Atomic.get pred.linked_at in
+    let start = if linked > 0 && linked <= ts then pred else t.head in
+    let rec walk node =
+      if node == t.tail || node.key > key then false
+      else
+        let s = V.read_at (next0 node) ts in
+        if node.key = key then not s.marked else walk s.target
+    in
+    Hwts_trace.Span.enter Hwts_trace.Traverse;
+    let r = walk start in
+    Hwts_trace.Span.exit Hwts_trace.Traverse;
+    r
 
   let to_list t =
     let rec walk acc n =

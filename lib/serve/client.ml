@@ -4,6 +4,10 @@ let hc_delete = Hwts_obs.Registry.histogram "serve.client.latency.delete"
 let hc_range = Hwts_obs.Registry.histogram "serve.client.latency.range"
 let hc_batch = Hwts_obs.Registry.histogram "serve.client.latency.batch"
 let hc_ping = Hwts_obs.Registry.histogram "serve.client.latency.ping"
+let hc_multiget = Hwts_obs.Registry.histogram "serve.client.latency.multiget"
+
+let hc_multirange =
+  Hwts_obs.Registry.histogram "serve.client.latency.multirange"
 
 type config = {
   host : string;
@@ -16,6 +20,7 @@ type config = {
   rq_len : int;
   theta : float;
   batch : int;
+  multiget : int;
   seed : int;
 }
 
@@ -31,6 +36,7 @@ let default =
     rq_len = 64;
     theta = 0.;
     batch = 1;
+    multiget = 1;
     seed = 1;
   }
 
@@ -48,11 +54,27 @@ let hist_of = function
   | Wire.Range _ -> hc_range
   | Wire.Batch _ -> hc_batch
   | Wire.Ping -> hc_ping
+  | Wire.MultiGet _ -> hc_multiget
+  | Wire.MultiRange _ -> hc_multirange
 
-let op_to_request cfg = function
+(* Individual operations a request stands for, for ops accounting:
+   batch members, multiget keys and multirange ranges all count. *)
+let op_count = function
+  | Wire.MultiGet ks -> Array.length ks
+  | Wire.MultiRange rs -> Array.length rs
+  | _ -> 1
+
+(* With [multiget > 1], membership probes ship as one MultiGet frame of
+   that many keys (the picked key plus fresh draws) — the client-side
+   form of the reads-per-acquisition lever. *)
+let op_to_request cfg ~key = function
   | Workload.Mix.Insert k -> Wire.Insert k
   | Workload.Mix.Delete k -> Wire.Delete k
-  | Workload.Mix.Contains k -> Wire.Get k
+  | Workload.Mix.Contains k ->
+    if cfg.multiget > 1 then
+      Wire.MultiGet
+        (Array.init cfg.multiget (fun i -> if i = 0 then k else key ()))
+    else Wire.Get k
   | Workload.Mix.Range k ->
     Wire.Range (k, min cfg.key_space (k + cfg.rq_len - 1))
 
@@ -88,12 +110,17 @@ let drive cfg conn_id =
     | Some z -> Workload.Zipf.sample z rng
     | None -> 1 + Dstruct.Prng.below rng cfg.key_space
   in
-  let next_op () = op_to_request cfg (Workload.Mix.pick_with cfg.mix rng ~key) in
+  let next_op () =
+    op_to_request cfg ~key (Workload.Mix.pick_with cfg.mix rng ~key)
+  in
   let next_request () =
-    if cfg.batch <= 1 then (next_op (), 1)
+    if cfg.batch <= 1 then
+      let r = next_op () in
+      (r, op_count r)
     else
       let n = min cfg.batch cfg.ops in
-      (Wire.Batch (Array.init n (fun _ -> next_op ())), n)
+      let reqs = Array.init n (fun _ -> next_op ()) in
+      (Wire.Batch reqs, Array.fold_left (fun a r -> a + op_count r) 0 reqs)
   in
   let dec = Wire.decoder () in
   let rbuf = Bytes.create 65536 in

@@ -25,13 +25,16 @@ type config = {
   rq_len : int;  (** span of each range query *)
   theta : float;  (** 0 = uniform keys; > 0 = scrambled Zipfian *)
   batch : int;  (** > 1 groups that many ops into one Batch frame *)
+  multiget : int;
+      (** > 1 ships membership probes as MultiGet frames of that many
+          keys — one snapshot label covers them all server-side *)
   seed : int;
 }
 
 val default : config
 (** localhost:7621, 4 connections, pipeline 8, 10_000 ops each,
     key space 16384, mix 20-10-70, rq_len 64, uniform keys, no
-    batching, seed 1. *)
+    batching, multiget off, seed 1. *)
 
 type result = {
   ops_sent : int;  (** individual operations (batch members counted) *)

@@ -5,17 +5,24 @@ let m_snapshots = Hwts_obs.Registry.counter "serve.rq.snapshots"
 let m_rq_ops = Hwts_obs.Registry.counter "serve.rq.ops"
 let m_rq_batch = Hwts_obs.Registry.histogram "serve.rq.batch"
 let m_point_ops = Hwts_obs.Registry.counter "serve.point.ops"
+let m_mget_ops = Hwts_obs.Registry.counter "serve.mget.ops"
+let m_mget_frames = Hwts_obs.Registry.counter "serve.mget.frames"
 let h_get = Hwts_obs.Registry.histogram "serve.latency.get"
 let h_insert = Hwts_obs.Registry.histogram "serve.latency.insert"
 let h_delete = Hwts_obs.Registry.histogram "serve.latency.delete"
 let h_range = Hwts_obs.Registry.histogram "serve.latency.range"
 let h_batch = Hwts_obs.Registry.histogram "serve.latency.batch"
 let h_ping = Hwts_obs.Registry.histogram "serve.latency.ping"
+let h_multiget = Hwts_obs.Registry.histogram "serve.latency.multiget"
+let h_multirange = Hwts_obs.Registry.histogram "serve.latency.multirange"
 
 type task =
   | Point of [ `Get | `Insert | `Delete ] * int * (Wire.response -> unit)
   | Sub of int * int * (int -> int list -> unit)
       (* one shard-local subrange; completion gets (label, keys) *)
+  | MGet of int array * (int -> bool array -> unit)
+      (* shard-local slice of a MultiGet; completion gets (label, bools),
+         positionally matching the keys *)
 
 type shard = {
   m : Mutex.t;
@@ -39,13 +46,15 @@ type t = {
 
 (* Drain-everything batcher: run the drained tasks' point ops in arrival
    order (per-shard FIFO is part of the service contract), gather the
-   drained subranges, and execute them under ONE snapshot acquisition
-   when coalescing is on — the serving-layer form of the paper's
-   many-ranges-per-timestamp kernel.  With coalescing off each subrange
-   acquires for itself, which is the A arm of the experiment. *)
+   drained subranges and multiget slices, and execute them under ONE
+   snapshot acquisition when coalescing is on — the serving-layer form
+   of the paper's many-ranges-per-timestamp kernel, generalized from
+   ranges-only to every read-class task in the drain via a
+   {!Hwts_snapshot.t} handle.  With coalescing off each task acquires
+   for itself, which is the A arm of the experiment. *)
 let process (type a) (module S : Dstruct.Ordered_set.RQ with type t = a)
     (st : a) ~coalesce (batch : task Queue.t) =
-  let subs = ref [] and n_subs = ref 0 in
+  let subs = ref [] and mgets = ref [] in
   Queue.iter
     (fun task ->
       match task with
@@ -58,31 +67,53 @@ let process (type a) (module S : Dstruct.Ordered_set.RQ with type t = a)
           | `Delete -> S.delete st key
         in
         k (Wire.Bool r)
-      | Sub (lo, hi, k) ->
-        incr n_subs;
-        subs := (lo, hi, k) :: !subs)
+      | Sub (lo, hi, k) -> subs := (lo, hi, k) :: !subs
+      | MGet (keys, k) ->
+        Hwts_obs.Counter.incr m_mget_frames;
+        Hwts_obs.Counter.add m_mget_ops (Array.length keys);
+        mgets := (keys, k) :: !mgets)
     batch;
   Queue.clear batch;
-  match !subs with
-  | [] -> ()
-  | subs ->
-    let subs = Array.of_list (List.rev subs) in
-    let n = Array.length subs in
+  let subs = Array.of_list (List.rev !subs) in
+  let mgets = Array.of_list (List.rev !mgets) in
+  let n = Array.length subs in
+  if n > 0 then begin
     Hwts_obs.Counter.add m_rq_ops n;
-    Hwts_obs.Histogram.record m_rq_batch n;
-    if coalesce then begin
-      Hwts_obs.Counter.incr m_snapshots;
-      let ranges = Array.map (fun (lo, hi, _) -> (lo, hi)) subs in
-      let label, results = S.range_queries_labeled st ranges in
-      Array.iteri (fun i (_, _, k) -> k label results.(i)) subs
-    end
-    else
-      Array.iter
-        (fun (lo, hi, k) ->
-          Hwts_obs.Counter.incr m_snapshots;
-          let label, keys = S.range_query_labeled st ~lo ~hi in
-          k label keys)
-        subs
+    Hwts_obs.Histogram.record m_rq_batch n
+  end;
+  if n = 0 && Array.length mgets = 0 then ()
+  else if coalesce then begin
+    Hwts_obs.Counter.incr m_snapshots;
+    Hwts_snapshot.with_snapshot
+      (module S)
+      st
+      (fun snap ->
+        let label = Hwts_snapshot.label snap in
+        Array.iter
+          (fun (keys, k) -> k label (Hwts_snapshot.multi_get snap keys))
+          mgets;
+        Array.iter
+          (fun (lo, hi, k) ->
+            k label (Hwts_snapshot.range snap ~lo ~hi))
+          subs)
+  end
+  else begin
+    Array.iter
+      (fun (keys, k) ->
+        Hwts_obs.Counter.incr m_snapshots;
+        Hwts_snapshot.with_snapshot
+          (module S)
+          st
+          (fun snap ->
+            k (Hwts_snapshot.label snap) (Hwts_snapshot.multi_get snap keys)))
+      mgets;
+    Array.iter
+      (fun (lo, hi, k) ->
+        Hwts_obs.Counter.incr m_snapshots;
+        let label, keys = S.range_query_labeled st ~lo ~hi in
+        k label keys)
+      subs
+  end
 
 let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a)
     (st : a) ~coalesce sh =
@@ -178,6 +209,8 @@ let class_hist = function
   | Wire.Range _ -> h_range
   | Wire.Batch _ -> h_batch
   | Wire.Ping -> h_ping
+  | Wire.MultiGet _ -> h_multiget
+  | Wire.MultiRange _ -> h_multirange
 
 let rejected = Wire.Err "server stopping"
 
@@ -231,6 +264,82 @@ let submit_range t lo hi k =
     end
   end
 
+(* Fan a MultiGet out to the shards owning its in-range keys; out-of-range
+   keys answer [false] without a submission (Get's semantics), positions
+   are preserved, and the combined label is the maximum across the
+   per-shard slice labels — comparable because the fleet shares one
+   provider. *)
+let submit_multiget t keys k =
+  let nk = Array.length keys in
+  if nk = 0 then k (Wire.Bools (t.now (), [||]))
+  else begin
+    let bools = Array.make nk false in
+    let per_shard = Array.make (Array.length t.shards) [] in
+    Array.iteri
+      (fun i key ->
+        if key >= 1 && key <= t.key_space then begin
+          let s = shard_of_key t key in
+          per_shard.(s) <- (i, key) :: per_shard.(s)
+        end)
+      keys;
+    let groups =
+      List.filter
+        (fun (_, idxs) -> idxs <> [])
+        (List.mapi
+           (fun s idxs -> (s, List.rev idxs))
+           (Array.to_list per_shard))
+    in
+    let ng = List.length groups in
+    if ng = 0 then k (Wire.Bools (t.now (), bools))
+    else begin
+      let labels = Array.make ng 0 in
+      let remaining = Atomic.make ng in
+      let finish_one g idxs label bs =
+        labels.(g) <- label;
+        List.iteri (fun j (i, _) -> bools.(i) <- bs.(j)) idxs;
+        if Atomic.fetch_and_add remaining (-1) = 1 then
+          k (Wire.Bools (Array.fold_left max min_int labels, bools))
+      in
+      let aborted = ref false in
+      List.iteri
+        (fun g (s, idxs) ->
+          if not !aborted then begin
+            let ks = Array.of_list (List.map snd idxs) in
+            if not (enqueue t s (MGet (ks, finish_one g idxs))) then begin
+              aborted := true;
+              let missing = ng - g in
+              if Atomic.fetch_and_add remaining (-missing) = missing then
+                k rejected
+            end
+          end)
+        groups
+    end
+  end
+
+(* Each range of a MultiRange reuses the Range fan-out; the frame
+   completes when the last range does, under the maximal label. *)
+let submit_multirange t submit_one ranges k =
+  let nr = Array.length ranges in
+  if nr = 0 then k (Wire.Keyss (t.now (), [||]))
+  else begin
+    let results = Array.make nr [||] in
+    let labels = Array.make nr 0 in
+    let remaining = Atomic.make nr in
+    let failed = Atomic.make false in
+    Array.iteri
+      (fun i (lo, hi) ->
+        submit_one t lo hi (fun resp ->
+            (match resp with
+            | Wire.Keys (label, keys) ->
+              results.(i) <- keys;
+              labels.(i) <- label
+            | _ -> Atomic.set failed true);
+            if Atomic.fetch_and_add remaining (-1) = 1 then
+              if Atomic.get failed then k rejected
+              else k (Wire.Keyss (Array.fold_left max min_int labels, results))))
+      ranges
+  end
+
 let rec route t req k =
   let h = class_hist req in
   let t0 = Tsc.monotonic_ns () in
@@ -256,6 +365,8 @@ let rec route t req k =
     if not (enqueue t (shard_of_key t key) (Point (`Delete, key, k))) then
       k rejected
   | Wire.Range (lo, hi) -> submit_range t lo hi k
+  | Wire.MultiGet keys -> submit_multiget t keys k
+  | Wire.MultiRange ranges -> submit_multirange t submit_range ranges k
   | Wire.Batch reqs ->
     let n = Array.length reqs in
     if n = 0 then k (Wire.Rbatch [||])

@@ -5,6 +5,8 @@ type request =
   | Range of int * int
   | Batch of request array
   | Ping
+  | MultiGet of int array
+  | MultiRange of (int * int) array
 
 type response =
   | Bool of bool
@@ -12,6 +14,8 @@ type response =
   | Rbatch of response array
   | Pong
   | Err of string
+  | Bools of int * bool array
+  | Keyss of int * int array array
 
 let max_payload = 1 lsl 24
 
@@ -26,11 +30,15 @@ let op_delete = 0x03
 let op_range = 0x04
 let op_batch = 0x05
 let op_ping = 0x06
+let op_multiget = 0x07
+let op_multirange = 0x08
 let op_bool = 0x81
 let op_keys = 0x84
 let op_rbatch = 0x85
 let op_pong = 0x86
 let op_err = 0x87
+let op_bools = 0x88
+let op_keyss = 0x89
 
 (* --- encoding ------------------------------------------------------- *)
 
@@ -62,6 +70,18 @@ let rec put_request_body b ~nested = function
     put_u32 b (Array.length reqs);
     Array.iter (put_request_body b ~nested:true) reqs
   | Ping -> Buffer.add_char b (Char.chr op_ping)
+  | MultiGet keys ->
+    Buffer.add_char b (Char.chr op_multiget);
+    put_u32 b (Array.length keys);
+    Array.iter (put_i64 b) keys
+  | MultiRange ranges ->
+    Buffer.add_char b (Char.chr op_multirange);
+    put_u32 b (Array.length ranges);
+    Array.iter
+      (fun (lo, hi) ->
+        put_i64 b lo;
+        put_i64 b hi)
+      ranges
 
 let rec put_response_body b ~nested = function
   | Bool v ->
@@ -81,6 +101,20 @@ let rec put_response_body b ~nested = function
   | Err msg ->
     Buffer.add_char b (Char.chr op_err);
     Buffer.add_string b msg
+  | Bools (label, bs) ->
+    Buffer.add_char b (Char.chr op_bools);
+    put_i64 b label;
+    put_u32 b (Array.length bs);
+    Array.iter (fun v -> Buffer.add_char b (if v then '\001' else '\000')) bs
+  | Keyss (label, kss) ->
+    Buffer.add_char b (Char.chr op_keyss);
+    put_i64 b label;
+    put_u32 b (Array.length kss);
+    Array.iter
+      (fun ks ->
+        put_u32 b (Array.length ks);
+        Array.iter (put_i64 b) ks)
+      kss
 
 let frame encode b v =
   let body = Buffer.create 32 in
@@ -167,6 +201,20 @@ let rec read_request c ~nested =
     if n > c.stop - c.pos then malformed "batch count %d exceeds payload" n;
     Batch (Array.init n (fun _ -> read_request c ~nested:true))
   | op when op = op_ping -> Ping
+  | op when op = op_multiget ->
+    let n = get_u32 c "multiget count" in
+    if n * 8 > c.stop - c.pos then
+      malformed "multiget count %d exceeds payload" n;
+    MultiGet (Array.init n (fun _ -> get_i64 c "multiget key"))
+  | op when op = op_multirange ->
+    let n = get_u32 c "multirange count" in
+    if n * 16 > c.stop - c.pos then
+      malformed "multirange count %d exceeds payload" n;
+    MultiRange
+      (Array.init n (fun _ ->
+           let lo = get_i64 c "multirange lo" in
+           let hi = get_i64 c "multirange hi" in
+           (lo, hi)))
   | op -> malformed "unknown request opcode 0x%02x" op
 
 let rec read_response c ~nested =
@@ -192,6 +240,29 @@ let rec read_response c ~nested =
     let msg = Bytes.sub_string c.bytes c.pos n in
     c.pos <- c.stop;
     Err msg
+  | op when op = op_bools ->
+    let label = get_i64 c "bools label" in
+    let n = get_u32 c "bools count" in
+    if n > c.stop - c.pos then malformed "bools count %d exceeds payload" n;
+    Bools
+      ( label,
+        Array.init n (fun _ ->
+            match get_u8 c "bools value" with
+            | 0 -> false
+            | 1 -> true
+            | v -> malformed "bad bool byte 0x%02x" v) )
+  | op when op = op_keyss ->
+    let label = get_i64 c "keyss label" in
+    let n = get_u32 c "keyss count" in
+    (* each per-range result is at least its own 4-byte count *)
+    if n * 4 > c.stop - c.pos then malformed "keyss count %d exceeds payload" n;
+    Keyss
+      ( label,
+        Array.init n (fun _ ->
+            let m = get_u32 c "keyss range count" in
+            if m * 8 > c.stop - c.pos then
+              malformed "keyss range count %d exceeds payload" m;
+            Array.init m (fun _ -> get_i64 c "keyss key")) )
   | op -> malformed "unknown response opcode 0x%02x" op
 
 let next_frame d read =

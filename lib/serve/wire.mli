@@ -20,6 +20,12 @@ type request =
   | Range of int * int  (** [lo, hi], inclusive *)
   | Batch of request array  (** no nested batches *)
   | Ping
+  | MultiGet of int array
+      (** membership of every key against one captured snapshot cut;
+          answered with {!Bools} under a single label *)
+  | MultiRange of (int * int) array
+      (** every [(lo, hi)] range against one captured snapshot cut;
+          answered with {!Keyss} under a single label *)
 
 type response =
   | Bool of bool  (** Get/Insert/Delete result *)
@@ -28,6 +34,10 @@ type response =
   | Rbatch of response array
   | Pong
   | Err of string
+  | Bools of int * bool array
+      (** snapshot label, then per-key membership, positionally *)
+  | Keyss of int * int array array
+      (** snapshot label, then per-range sorted keys, positionally *)
 
 val max_payload : int
 (** Upper bound on a frame's payload size (16 MiB). *)

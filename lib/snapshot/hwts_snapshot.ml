@@ -1,0 +1,116 @@
+(* A Snapshot.t existentially packs an ordered set together with one of
+   its snap handles, so one GADT match recovers enough typing to run the
+   structure's lookup_at/collect_at against the captured cut.  All the
+   amortization bookkeeping (read counts, the reads-per-acquire
+   histogram, trace events) lives here, once, instead of in nine
+   structures. *)
+
+type t =
+  | Snap : {
+      ops : (module Dstruct.Ordered_set.RQ with type t = 's and type snap = 'p);
+      st : 's;
+      sn : 'p;
+      label : int;
+      mutable live : bool;
+      mutable nreads : int;
+    }
+      -> t
+
+let acquires = Hwts_obs.Registry.counter ~scope:"snapshot" "acquires"
+let read_count = Hwts_obs.Registry.counter ~scope:"snapshot" "reads"
+
+let reads_per_acquire =
+  Hwts_obs.Registry.histogram ~scope:"snapshot" "reads_per_acquire"
+
+(* aux payload of per-read Snapshot instants *)
+let aux_get = 1
+let aux_range = 2
+
+let acquire (type a) (module S : Dstruct.Ordered_set.RQ with type t = a)
+    (st : a) =
+  Hwts_trace.Span.enter Hwts_trace.Snapshot;
+  match S.snapshot st with
+  | sn ->
+    Hwts_obs.Counter.incr acquires;
+    Snap
+      {
+        ops = (module S);
+        st;
+        sn;
+        label = S.snap_label sn;
+        live = true;
+        nreads = 0;
+      }
+  | exception e ->
+    Hwts_trace.Span.exit Hwts_trace.Snapshot;
+    raise e
+
+let label (Snap s) = s.label
+let reads (Snap s) = s.nreads
+let is_open (Snap s) = s.live
+
+let close (Snap s) =
+  if s.live then begin
+    s.live <- false;
+    let (module S) = s.ops in
+    S.snap_release s.st s.sn;
+    Hwts_obs.Histogram.record reads_per_acquire s.nreads;
+    Hwts_trace.Span.exit_n Hwts_trace.Snapshot s.nreads
+  end
+
+let with_snapshot ops st f =
+  let s = acquire ops st in
+  Fun.protect ~finally:(fun () -> close s) (fun () -> f s)
+
+let check_open (Snap s) op =
+  if not s.live then invalid_arg ("Hwts_snapshot." ^ op ^ ": closed handle")
+
+let record (Snap s) ~aux n =
+  s.nreads <- s.nreads + n;
+  Hwts_obs.Counter.add read_count n;
+  Hwts_trace.instant ~aux Hwts_trace.Snapshot
+
+let get (Snap s as h) key =
+  check_open h "get";
+  record h ~aux:aux_get 1;
+  let (module S) = s.ops in
+  S.lookup_at s.st s.sn key
+
+let multi_get (Snap s as h) keys =
+  check_open h "multi_get";
+  record h ~aux:aux_get (Array.length keys);
+  let (module S) = s.ops in
+  Array.map (fun k -> S.lookup_at s.st s.sn k) keys
+
+let range (Snap s as h) ~lo ~hi =
+  check_open h "range";
+  record h ~aux:aux_range 1;
+  let (module S) = s.ops in
+  S.collect_at s.st s.sn ~lo ~hi
+
+let multi_range (Snap s as h) ranges =
+  check_open h "multi_range";
+  record h ~aux:aux_range (Array.length ranges);
+  let (module S) = s.ops in
+  Array.map (fun (lo, hi) -> S.collect_at s.st s.sn ~lo ~hi) ranges
+
+(* Each per-range result is sorted ascending, so the cross-range union
+   is a k-way merge; ranges are few, so pairwise merging is fine. *)
+let merge_dedup xs ys =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs', y :: ys' ->
+      if x < y then go xs' ys (x :: acc)
+      else if y < x then go xs ys' (y :: acc)
+      else go xs' ys' (x :: acc)
+  in
+  go xs ys []
+
+let multi_range_union h ranges =
+  Array.fold_left merge_dedup [] (multi_range h ranges)
+
+let count h ~lo ~hi = List.length (range h ~lo ~hi)
+
+let kth h ~lo ~hi k =
+  if k < 0 then None else List.nth_opt (range h ~lo ~hi) k

@@ -56,8 +56,11 @@ type phase =
   | Reclaim  (** limbo-list trimming *)
   | Wait  (** spinning on an unlabeled bundle entry *)
   | Switch  (** adaptive provider mode migration (instant) *)
+  | Snapshot
+      (** a snapshot handle's lifetime (span), and each constituent
+          multi-point read against it (instant) *)
 
-let phase_count = 8
+let phase_count = 9
 
 let phase_index = function
   | Op -> 0
@@ -68,9 +71,14 @@ let phase_index = function
   | Reclaim -> 5
   | Wait -> 6
   | Switch -> 7
+  | Snapshot -> 8
 
-let phases = [| Op; Acquire; Traverse; Cas_retry; Ebr; Reclaim; Wait; Switch |]
-let phase_of_index i = phases.(i land 7)
+let phases =
+  [| Op; Acquire; Traverse; Cas_retry; Ebr; Reclaim; Wait; Switch; Snapshot |]
+
+let phase_of_index i =
+  let i = i land 15 in
+  if i < phase_count then phases.(i) else Op
 
 let phase_name = function
   | Op -> "op"
@@ -81,10 +89,12 @@ let phase_name = function
   | Reclaim -> "reclaim"
   | Wait -> "wait"
   | Switch -> "switch"
+  | Snapshot -> "snapshot"
 
 (* Operation classes, matching Workload.Harness.op_classes + a "none"
    slot for spans recorded outside any harness bracket. *)
-let class_names = [| "none"; "insert"; "delete"; "contains"; "range" |]
+let class_names =
+  [| "none"; "insert"; "delete"; "contains"; "range"; "multiget"; "multirange" |]
 let class_count = Array.length class_names
 
 (* ---------- event encoding ----------

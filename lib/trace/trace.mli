@@ -45,6 +45,7 @@ type phase =
   | Reclaim
   | Wait
   | Switch
+  | Snapshot
 
 val phase_count : int
 val phase_index : phase -> int
@@ -52,8 +53,8 @@ val phase_of_index : int -> phase
 val phase_name : phase -> string
 
 val class_names : string array
-(** [[| "none"; "insert"; "delete"; "contains"; "range" |]] — op class
-    codes used by {!Op.begin_}. *)
+(** [[| "none"; "insert"; "delete"; "contains"; "range"; "multiget";
+    "multirange" |]] — op class codes used by {!Op.begin_}. *)
 
 module Span : sig
   val enter : phase -> unit

@@ -1,9 +1,10 @@
 (* Perf-trajectory gate: diff two BENCH_*.json artifacts.
 
    Both files are JSON lines.  Comparable points are extracted from the
-   shapes the benches emit — bench.scaling "point" lines, bench.hotpath
-   "comparison" lines, harness.run summaries — keyed by
-   (structure/provider, domains) so the diff pairs like with like.
+   shapes the benches emit — bench.scaling / bench.serve / bench.reclaim
+   / bench.snapshot "point" lines, bench.hotpath "comparison" lines,
+   harness.run summaries — keyed by (structure/provider, domains-or-k)
+   so the diff pairs like with like.
    Ratios are current/baseline Mops/s; the verdict is taken on
    per-series medians with a noise margin, so one noisy point cannot
    flip the gate on a shared machine. *)
@@ -60,6 +61,19 @@ let point_of_line l =
           subkey =
             Option.value ~default:0
               (Option.bind (J.member "domains" l) J.to_int);
+          mops = m;
+          words_per_op = 0.;
+        }
+    | _ -> None)
+  | Some "bench.snapshot", Some "point" -> (
+    match
+      (str l "structure", str l "provider", str l "arm", num l "mops")
+    with
+    | Some s, Some p, Some arm, Some m ->
+      Some
+        {
+          series = s ^ "/" ^ p ^ "/snap-" ^ arm;
+          subkey = Option.value ~default:0 (Option.bind (J.member "k" l) J.to_int);
           mops = m;
           words_per_op = 0.;
         }

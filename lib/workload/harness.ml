@@ -8,6 +8,8 @@ type config = {
   prefill : bool;
   zipf_theta : float option;
   fixed_ops : int option;
+  multiget : int;
+  multirange : int;
 }
 
 let default =
@@ -21,6 +23,8 @@ let default =
     prefill = true;
     zipf_theta = None;
     fixed_ops = None;
+    multiget = 0;
+    multirange = 0;
   }
 
 type result = {
@@ -64,8 +68,11 @@ let hist_insert = Hwts_obs.Registry.histogram "harness.latency.insert"
 let hist_delete = Hwts_obs.Registry.histogram "harness.latency.delete"
 let hist_contains = Hwts_obs.Registry.histogram "harness.latency.contains"
 let hist_range = Hwts_obs.Registry.histogram "harness.latency.range"
+let hist_multiget = Hwts_obs.Registry.histogram "harness.latency.multiget"
+let hist_multirange = Hwts_obs.Registry.histogram "harness.latency.multirange"
 
-let op_classes = [| "insert"; "delete"; "contains"; "range" |]
+let op_classes =
+  [| "insert"; "delete"; "contains"; "range"; "multiget"; "multirange" |]
 
 let prefill (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
     ~key_range ~seed =
@@ -104,6 +111,31 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
   in
   let ops = ref 0 in
   let per_class = Array.make (Array.length op_classes) 0 in
+  (* Multi-point op classes: with [multiget]/[multirange] > 1, membership
+     probes and range queries convert into k reads against ONE snapshot
+     handle — the picked key first, the rest fresh draws from the same
+     (possibly Zipfian) sampler.  Acquisition accounting (the snapshot
+     counters) and the trace Snapshot span come from {!Hwts_snapshot}. *)
+  let multiget_op k =
+    let keys =
+      Array.init config.multiget (fun i -> if i = 0 then k else key ())
+    in
+    Hwts_snapshot.with_snapshot
+      (module S)
+      t
+      (fun s -> ignore (Hwts_snapshot.multi_get s keys))
+  in
+  let multirange_op lo =
+    let ranges =
+      Array.init config.multirange (fun i ->
+          let l = if i = 0 then lo else key () in
+          (l, l + config.rq_len - 1))
+    in
+    Hwts_snapshot.with_snapshot
+      (module S)
+      t
+      (fun s -> ignore (Hwts_snapshot.multi_range s ranges))
+  in
   (* Two step functions so that with the kill switch off the measured path
      contains no TSC reads and no histogram code at all. *)
   let step_plain () =
@@ -114,9 +146,15 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
     | Mix.Delete k ->
       per_class.(1) <- per_class.(1) + 1;
       ignore (S.delete t k)
+    | Mix.Contains k when config.multiget > 1 ->
+      per_class.(4) <- per_class.(4) + 1;
+      multiget_op k
     | Mix.Contains k ->
       per_class.(2) <- per_class.(2) + 1;
       ignore (S.contains t k)
+    | Mix.Range lo when config.multirange > 1 ->
+      per_class.(5) <- per_class.(5) + 1;
+      multirange_op lo
     | Mix.Range lo ->
       per_class.(3) <- per_class.(3) + 1;
       ignore (S.range_query t ~lo ~hi:(lo + config.rq_len - 1)));
@@ -134,11 +172,21 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
       let c0 = Tsc.rdtscp () in
       ignore (S.delete t k);
       Hwts_obs.Histogram.record hist_delete (Tsc.rdtscp () - c0)
+    | Mix.Contains k when config.multiget > 1 ->
+      per_class.(4) <- per_class.(4) + 1;
+      let c0 = Tsc.rdtscp () in
+      multiget_op k;
+      Hwts_obs.Histogram.record hist_multiget (Tsc.rdtscp () - c0)
     | Mix.Contains k ->
       per_class.(2) <- per_class.(2) + 1;
       let c0 = Tsc.rdtscp () in
       ignore (S.contains t k);
       Hwts_obs.Histogram.record hist_contains (Tsc.rdtscp () - c0)
+    | Mix.Range lo when config.multirange > 1 ->
+      per_class.(5) <- per_class.(5) + 1;
+      let c0 = Tsc.rdtscp () in
+      multirange_op lo;
+      Hwts_obs.Histogram.record hist_multirange (Tsc.rdtscp () - c0)
     | Mix.Range lo ->
       per_class.(3) <- per_class.(3) + 1;
       let c0 = Tsc.rdtscp () in
@@ -165,12 +213,26 @@ let worker (type a) (module S : Dstruct.Ordered_set.RQ with type t = a) (t : a)
       ignore (S.delete t k);
       Hwts_obs.Histogram.record hist_delete (Tsc.rdtscp () - c0);
       Hwts_trace.Op.end_ ()
+    | Mix.Contains k when config.multiget > 1 ->
+      per_class.(4) <- per_class.(4) + 1;
+      Hwts_trace.Op.begin_ 5;
+      let c0 = Tsc.rdtscp () in
+      multiget_op k;
+      Hwts_obs.Histogram.record hist_multiget (Tsc.rdtscp () - c0);
+      Hwts_trace.Op.end_ ()
     | Mix.Contains k ->
       per_class.(2) <- per_class.(2) + 1;
       Hwts_trace.Op.begin_ 3;
       let c0 = Tsc.rdtscp () in
       ignore (S.contains t k);
       Hwts_obs.Histogram.record hist_contains (Tsc.rdtscp () - c0);
+      Hwts_trace.Op.end_ ()
+    | Mix.Range lo when config.multirange > 1 ->
+      per_class.(5) <- per_class.(5) + 1;
+      Hwts_trace.Op.begin_ 6;
+      let c0 = Tsc.rdtscp () in
+      multirange_op lo;
+      Hwts_obs.Histogram.record hist_multirange (Tsc.rdtscp () - c0);
       Hwts_trace.Op.end_ ()
     | Mix.Range lo ->
       per_class.(3) <- per_class.(3) + 1;

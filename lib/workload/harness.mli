@@ -27,10 +27,18 @@ type config = {
           wall clock plays no role, so a fixed seed reproduces the run
           deterministically (used to verify instrumentation inertness).
           [None]: run for [seconds] (the paper's methodology). *)
+  multiget : int;
+      (** > 1 converts each Contains draw into that many membership
+          probes against ONE snapshot handle (the multiget op class);
+          keys come from the same sampler, so Zipfian key sets apply *)
+  multirange : int;
+      (** > 1 converts each Range draw into that many [rq_len]-long
+          ranges against ONE snapshot handle (the multirange op class) *)
 }
 
 val default : config
-(** 2 threads, 1 s, 16k keys, RQ length 100, mix 10-10-80, prefilled. *)
+(** 2 threads, 1 s, 16k keys, RQ length 100, mix 10-10-80, prefilled,
+    multi-point classes off. *)
 
 type result = {
   config : config;
@@ -54,8 +62,8 @@ type result = {
 type target = Target : (module Dstruct.Ordered_set.RQ with type t = 'a) * 'a -> target
 
 val op_classes : string array
-(** [[| "insert"; "delete"; "contains"; "range" |]] — index order of
-    [result.per_class]. *)
+(** [[| "insert"; "delete"; "contains"; "range"; "multiget";
+    "multirange" |]] — index order of [result.per_class]. *)
 
 val prefill :
   (module Dstruct.Ordered_set.RQ with type t = 'a) -> 'a -> key_range:int -> seed:int -> int

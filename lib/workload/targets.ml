@@ -334,6 +334,14 @@ module Kv_as_set (T : Hwts.Timestamp.S) = struct
 
   let to_list t = List.map fst (K.to_alist t)
   let size t = K.size t
+
+  type snap = K.shandle
+
+  let snapshot t = K.snapshot t
+  let snap_label s = K.snap_label s
+  let snap_release t s = K.snap_release t s
+  let lookup_at t s k = K.find_snap t s k <> None
+  let collect_at t s ~lo ~hi = List.map fst (K.range_snap t s ~lo ~hi)
   let quiesce _ = ()
   let offline _ = ()
 end

@@ -79,6 +79,86 @@ let labeled_history_accepted () =
       ev ~label:16 15 18 (Range (1, 10)) (Keys [ 5 ]);
     ]
 
+(* ---------- multi-point (one handle, one label) histories ---------- *)
+
+let multi_torn_handle () =
+  (* insert(3) completed before insert(5) began, so no cut of the set
+     ever held 5 without 3 — yet one handle claims to have seen exactly
+     that.  A per-probe (contains-style) reading would accept this; the
+     one-cut-per-handle criterion must not. *)
+  expect_violation "torn multi_get handle"
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev 2 3 (Insert 5) (Bool true);
+      ev ~label:7 6 9 (Multi_get [ 3; 5 ]) (Bools [ false; true ]);
+    ]
+
+let multi_stale_handle () =
+  expect_violation "stale multi_get"
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev ~label:7 5 9 (Multi_get [ 3 ]) (Bools [ false ]);
+    ]
+
+let multi_label_pins_the_instant () =
+  (* same discipline as labeled ranges: the handle's label pins every
+     constituent probe at one instant, so a delete that finished before
+     the label must already be visible *)
+  (match
+     Oracle.verify ~initial:[ 3 ]
+       [
+         ev 10 11 (Delete 3) (Bool true);
+         ev ~label:15 5 20 (Multi_get [ 3; 7 ]) (Bools [ true; false ]);
+       ]
+   with
+  | Oracle.Violation _ -> ()
+  | Oracle.Pass -> Alcotest.fail "label=15 handle still seeing 3 accepted");
+  expect_pass ~initial:[ 3 ] "same handle unlabeled"
+    [
+      ev 10 11 (Delete 3) (Bool true);
+      ev 5 20 (Multi_get [ 3; 7 ]) (Bools [ true; false ]);
+    ]
+
+let multi_label_outside_interval () =
+  expect_violation "multi label outside interval"
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev ~label:20 5 9 (Multi_get [ 3 ]) (Bools [ true ]);
+    ]
+
+let multi_shape_mismatch () =
+  (* one answer per probe, or the history is unexplainable *)
+  expect_violation "bools/keys arity mismatch"
+    [ ev ~label:1 0 2 (Multi_get [ 3; 5 ]) (Bools [ false ]) ];
+  expect_violation "keyss/ranges arity mismatch"
+    [ ev ~label:1 0 2 (Multi_range [ (1, 10) ]) (Keyss [ []; [] ]) ]
+
+let multi_range_consistent () =
+  expect_pass ~initial:[ 3; 8 ] "multi_range sees one cut"
+    [
+      ev 0 10 (Insert 5) (Bool true);
+      ev ~label:4 2 6 (Multi_range [ (1, 4); (4, 9) ])
+        (Keyss [ [ 3 ]; [ 5; 8 ] ]);
+    ];
+  (* the two windows overlap at 5: a handle that reports 5 in one window
+     and omits it from the other tore its cut *)
+  expect_violation "multi_range torn across windows"
+    [
+      ev 0 10 (Insert 5) (Bool true);
+      ev ~label:4 2 6 (Multi_range [ (1, 5); (5, 9) ]) (Keyss [ [ 5 ]; [] ]);
+    ]
+
+let multi_out_of_window_keys () =
+  (* keys the bitmask cannot represent are simply never members; the
+     engine answers false for them and the checker agrees *)
+  expect_pass "out-of-window probes answer false"
+    [
+      ev 0 1 (Insert 3) (Bool true);
+      ev ~label:4 3 5 (Multi_get [ -4; 3; 700 ]) (Bools [ false; true; false ]);
+    ];
+  expect_violation "out-of-window probe claiming true"
+    [ ev ~label:4 3 5 (Multi_get [ 700 ]) (Bools [ true ]) ]
+
 let minimizer_shrinks () =
   (* noise that stays consistent in every sub-history, so the minimal
      counterexample can only be the stale pair *)
@@ -130,10 +210,11 @@ let pause_injects_when_enabled () =
 
 (* ---------- recorded histories under fault injection ---------- *)
 
-let torture structure provider () =
+let torture ?(multi = false) structure provider () =
   let cfg =
     {
-      (Torture.default_config ~structure ~provider ~seed:0xC0FFEE ()) with
+      (Torture.default_config ~multi ~structure ~provider ~seed:0xC0FFEE ())
+      with
       rounds = 4;
     }
   in
@@ -178,6 +259,29 @@ let torture_cases =
       ("bst-ebrrq-lockfree", `Logical);
     ]
 
+(* Multi-point rounds: every structure in the zoo, under three providers
+   (the lock-free EBR-RQ is logical-only), so the one-cut-per-handle
+   claim of Hwts_snapshot is oracle-verified against each snap recipe. *)
+let torture_multi_cases =
+  let mk (structure, provider) =
+    Alcotest.test_case
+      (Printf.sprintf "%s/%s multi-point history" structure
+         (Workload.Targets.ts_name provider))
+      `Slow
+      (torture ~multi:true structure provider)
+  in
+  let structures =
+    [
+      "bst-vcas"; "bst-vcas-kv"; "citrus-vcas"; "citrus-bundle";
+      "citrus-ebrrq"; "skiplist-bundle"; "skiplist-vcas"; "lazylist-bundle";
+    ]
+  in
+  List.map mk
+    (("bst-ebrrq-lockfree", `Logical)
+    :: List.concat_map
+         (fun s -> [ (s, `Logical); (s, `Hardware_strict); (s, `Tl2) ])
+         structures)
+
 (* ---------- checked-in fixtures ----------
 
    One replayable fixture per new provider family: the config line
@@ -191,6 +295,7 @@ let fixture_files =
     "fixtures/check-bst-vcas-delayed-seed61893.trace";
     "fixtures/check-bst-vcas-multislot-seed61893.trace";
     "fixtures/check-bst-vcas-tl2-seed61893.trace";
+    "fixtures/check-skiplist-bundle-rdtscp-strict-multi-seed61893.trace";
   ]
 
 let replay_fixture path () =
@@ -272,6 +377,18 @@ let () =
             label_pins_the_instant;
           Alcotest.test_case "labeled history accepted" `Quick
             labeled_history_accepted;
+          Alcotest.test_case "multi: torn handle" `Quick multi_torn_handle;
+          Alcotest.test_case "multi: stale handle" `Quick multi_stale_handle;
+          Alcotest.test_case "multi: label pins the instant" `Quick
+            multi_label_pins_the_instant;
+          Alcotest.test_case "multi: label outside interval" `Quick
+            multi_label_outside_interval;
+          Alcotest.test_case "multi: shape mismatch" `Quick
+            multi_shape_mismatch;
+          Alcotest.test_case "multi: range cut consistency" `Quick
+            multi_range_consistent;
+          Alcotest.test_case "multi: out-of-window keys" `Quick
+            multi_out_of_window_keys;
           Alcotest.test_case "minimizer shrinks" `Quick minimizer_shrinks;
         ] );
       ( "pause",
@@ -281,6 +398,7 @@ let () =
             pause_injects_when_enabled;
         ] );
       ("torture", torture_cases);
+      ("torture-multi", torture_multi_cases);
       ("fixtures", fixture_cases);
       ( "driver",
         [

@@ -383,6 +383,76 @@ let registry_zero_active_early_exit () =
     (Hwts_obs.Counter.sum early);
   Rangequery.Rq_registry.exit_rq r
 
+let registry_pin_multiset () =
+  (* One domain holding several announcements at once — a snapshot handle
+     plus RQs running under it.  The published floor must stay the
+     minimum over ALL open pins for the slot's whole occupancy, survive
+     LIFO exits of inner RQs, and support out-of-order release by stamp
+     (snapshot handles close whenever their user closes them). *)
+  let r = Rangequery.Rq_registry.create () in
+  let outer = Rangequery.Rq_registry.announce r ~read:(fun () -> 10) in
+  ignore (Rangequery.Rq_registry.announce r ~read:(fun () -> 50));
+  Alcotest.(check int) "two pins" 2 (Rangequery.Rq_registry.active_count r);
+  Alcotest.(check int) "floor is the outer pin" 10
+    (Rangequery.Rq_registry.min_active r ~default:99);
+  Rangequery.Rq_registry.exit_rq r;
+  (* exit_rq pops the inner announcement, NOT the slot wholesale *)
+  Alcotest.(check int) "outer survives inner exit" 10
+    (Rangequery.Rq_registry.min_active r ~default:99);
+  let inner2 = Rangequery.Rq_registry.announce r ~read:(fun () -> 70) in
+  Rangequery.Rq_registry.release r outer;
+  Alcotest.(check int) "out-of-order release moves the floor" 70
+    (Rangequery.Rq_registry.min_active r ~default:99);
+  Rangequery.Rq_registry.release r 12345;
+  Alcotest.(check int) "releasing an unheld stamp is a no-op" 70
+    (Rangequery.Rq_registry.min_active r ~default:99);
+  Rangequery.Rq_registry.release r inner2;
+  Alcotest.(check int) "all pins gone" 0
+    (Rangequery.Rq_registry.active_count r);
+  Alcotest.(check int) "empty floor" 99
+    (Rangequery.Rq_registry.min_active r ~default:99)
+
+let snapshot_pinned_across_nested_rqs_and_pruning () =
+  (* The announce-slot lifetime trap: hold a Snapshot.t-style handle open
+     on a bundled structure, run ordinary range queries on the SAME
+     domain (each announces and exits the registry), and churn updates
+     from another domain with the pruning floor refreshed on every
+     operation.  A registry that tracked only the latest announcement
+     per slot would unpin the handle at the first inner exit, the churn
+     would prune the bundle entries the handle's label still needs, and
+     the cut would change under the open handle. *)
+  with_refresh_period 1 @@ fun () ->
+  let module S = Rangequery.Skiplist_bundle.Make (Hwts.Timestamp.Hardware) in
+  let t = S.create () in
+  for k = 1 to 24 do
+    ignore (S.insert t k)
+  done;
+  let s = S.snapshot t in
+  let before = S.collect_at t s ~lo:1 ~hi:64 in
+  let stop = Atomic.make false in
+  let churn =
+    Domain.spawn (fun () ->
+        Sync.Slot.with_slot (fun _ ->
+            for i = 1 to 400 do
+              let k = 1 + (i mod 24) in
+              ignore (S.delete t k);
+              ignore (S.insert t k)
+            done;
+            Atomic.set stop true))
+  in
+  (* nested same-domain RQs while the churn prunes concurrently *)
+  while not (Atomic.get stop) do
+    ignore (S.range_query t ~lo:1 ~hi:8)
+  done;
+  Domain.join churn;
+  Alcotest.(check (list int))
+    "cut unchanged under nested RQs and pruning churn" before
+    (S.collect_at t s ~lo:1 ~hi:64);
+  Alcotest.(check bool) "point reads agree with the cut" true
+    (List.for_all (fun k -> S.lookup_at t s k) before);
+  S.snap_release t s;
+  S.snap_release t s (* idempotent *)
+
 (* ---------- observability is inert ---------- *)
 
 (* One deterministic vCAS RQ scenario with a known number of forced
@@ -463,6 +533,9 @@ let () =
           Alcotest.test_case "across domains" `Quick registry_across_domains;
           Alcotest.test_case "zero-active early exit" `Quick
             registry_zero_active_early_exit;
+          Alcotest.test_case "pin multiset" `Quick registry_pin_multiset;
+          Alcotest.test_case "snapshot pinned across nested RQs + pruning"
+            `Slow snapshot_pinned_across_nested_rqs_and_pruning;
         ] );
       ( "observability",
         [ Alcotest.test_case "obs is inert" `Quick obs_inert ] );

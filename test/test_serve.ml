@@ -18,6 +18,7 @@ module ISet = Set.Make (Int)
 
 let c_snapshots = Hwts_obs.Registry.counter "serve.rq.snapshots"
 let c_rq_ops = Hwts_obs.Registry.counter "serve.rq.ops"
+let c_mget_frames = Hwts_obs.Registry.counter "serve.mget.frames"
 
 (* ---------- a tiny blocking client ---------- *)
 
@@ -84,6 +85,8 @@ let expect_bool what expected = function
       | Wire.Keys _ -> "Keys"
       | Wire.Rbatch _ -> "Rbatch"
       | Wire.Pong -> "Pong"
+      | Wire.Bools _ -> "Bools"
+      | Wire.Keyss _ -> "Keyss"
       | Wire.Bool _ -> assert false)
 
 let expect_keys what expected = function
@@ -91,6 +94,17 @@ let expect_keys what expected = function
     Alcotest.(check (array int)) what expected keys
   | Wire.Err m -> Alcotest.failf "%s: Err %s" what m
   | _ -> Alcotest.failf "%s: expected Keys" what
+
+let expect_bools what expected = function
+  | Wire.Bools (_, bs) -> Alcotest.(check (array bool)) what expected bs
+  | Wire.Err m -> Alcotest.failf "%s: Err %s" what m
+  | _ -> Alcotest.failf "%s: expected Bools" what
+
+let expect_keyss what expected = function
+  | Wire.Keyss (_, kss) ->
+    Alcotest.(check (array (array int))) what expected kss
+  | Wire.Err m -> Alcotest.failf "%s: Err %s" what m
+  | _ -> Alcotest.failf "%s: expected Keyss" what
 
 let model_range model ~key_space lo hi =
   let lo = max lo 1 and hi = min hi key_space in
@@ -143,11 +157,46 @@ let oracle_run ~provider ~coalesce () =
           send cl.fd (Wire.Range (lo, hi));
           Queue.push (`Keys (model_range !model ~key_space lo hi)) checks)
         [ (1, key_space); (-50, key_space + 50); (40, 39); (key_space, key_space) ];
+      (* multi-point frames: membership and range sets answered against
+         one snapshot cut per frame; keys straddle shard boundaries and
+         include out-of-range probes (which answer false inline) *)
+      for _ = 1 to 30 do
+        let n = 1 + Dstruct.Prng.below rng 8 in
+        let keys =
+          Array.init n (fun _ -> Dstruct.Prng.below rng (key_space + 40) - 19)
+        in
+        send cl.fd (Wire.MultiGet keys);
+        Queue.push (`Bools (Array.map (fun k -> ISet.mem k !model) keys)) checks
+      done;
+      for _ = 1 to 20 do
+        let n = 1 + Dstruct.Prng.below rng 4 in
+        let ranges =
+          Array.init n (fun _ ->
+              let lo = 1 + Dstruct.Prng.below rng key_space in
+              (lo, lo + Dstruct.Prng.below rng 128))
+        in
+        send cl.fd (Wire.MultiRange ranges);
+        Queue.push
+          (`Keyss
+            (Array.map
+               (fun (lo, hi) -> model_range !model ~key_space lo hi)
+               ranges))
+          checks
+      done;
+      (* degenerate multi-point frames answer inline *)
+      send cl.fd (Wire.MultiGet [||]);
+      Queue.push (`Bools [||]) checks;
+      send cl.fd (Wire.MultiRange [||]);
+      Queue.push (`Keyss [||]) checks;
+      send cl.fd (Wire.MultiGet [| -4; key_space + 9 |]);
+      Queue.push (`Bools [| false; false |]) checks;
       Queue.iter
         (fun want ->
           match want with
           | `Bool b -> expect_bool "get" b (recv_exn cl)
-          | `Keys keys -> expect_keys "range" keys (recv_exn cl))
+          | `Keys keys -> expect_keys "range" keys (recv_exn cl)
+          | `Bools bs -> expect_bools "multiget" bs (recv_exn cl)
+          | `Keyss kss -> expect_keyss "multirange" kss (recv_exn cl))
         checks;
       (* a mixed batch frame: members answered in order inside Rbatch;
          fresh_key stays outside the queried span so the member range is
@@ -163,11 +212,13 @@ let oracle_run ~provider ~coalesce () =
              Wire.Get fresh;
              Wire.Range (100, 140);
              Wire.Ping;
+             Wire.MultiGet [| 100; 120 |];
+             Wire.MultiRange [| (100, 110); (130, 140) |];
              Wire.Delete fresh;
            |]);
       (match recv_exn cl with
       | Wire.Rbatch rs ->
-        Alcotest.(check int) "batch arity" 5 (Array.length rs);
+        Alcotest.(check int) "batch arity" 7 (Array.length rs);
         expect_bool "batch insert" true rs.(0);
         expect_bool "batch get" true rs.(1);
         expect_keys "batch range"
@@ -176,24 +227,41 @@ let oracle_run ~provider ~coalesce () =
         (match rs.(3) with
         | Wire.Pong -> ()
         | _ -> Alcotest.fail "batch ping: expected Pong");
-        expect_bool "batch delete" true rs.(4)
+        expect_bools "batch multiget"
+          [| ISet.mem 100 !model; ISet.mem 120 !model |]
+          rs.(4);
+        expect_keyss "batch multirange"
+          [|
+            model_range !model ~key_space 100 110;
+            model_range !model ~key_space 130 140;
+          |]
+          rs.(5);
+        expect_bool "batch delete" true rs.(6)
       | _ -> Alcotest.fail "expected Rbatch");
       Unix.close cl.fd)
 
 (* the acquisition-accounting invariant: per-RQ mode acquires exactly
-   once per subrange; coalesced mode never more, usually fewer *)
+   once per subrange and once per multiget slice; coalesced mode never
+   more, usually fewer *)
 let oracle ~provider ~coalesce () =
   Hwts_obs.Counter.reset c_snapshots;
   Hwts_obs.Counter.reset c_rq_ops;
+  Hwts_obs.Counter.reset c_mget_frames;
   oracle_run ~provider ~coalesce ();
   let snapshots = Hwts_obs.Counter.sum c_snapshots in
   let rq_ops = Hwts_obs.Counter.sum c_rq_ops in
+  let mget_frames = Hwts_obs.Counter.sum c_mget_frames in
   Alcotest.(check bool) "ranges exercised" true (rq_ops > 0);
+  Alcotest.(check bool) "multigets exercised" true (mget_frames > 0);
   if coalesce then
     Alcotest.(check bool)
-      (Printf.sprintf "snapshots (%d) <= rq ops (%d)" snapshots rq_ops)
-      true (snapshots <= rq_ops)
-  else Alcotest.(check int) "one acquisition per subrange" rq_ops snapshots
+      (Printf.sprintf "snapshots (%d) <= read tasks (%d)" snapshots
+         (rq_ops + mget_frames))
+      true
+      (snapshots <= rq_ops + mget_frames)
+  else
+    Alcotest.(check int) "one acquisition per read task"
+      (rq_ops + mget_frames) snapshots
 
 (* ---------- protocol errors over the socket ---------- *)
 

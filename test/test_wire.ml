@@ -18,6 +18,8 @@ let rec request_eq (a : Wire.request) (b : Wire.request) =
   | Wire.Batch xs, Wire.Batch ys ->
     Array.length xs = Array.length ys && Array.for_all2 request_eq xs ys
   | Wire.Ping, Wire.Ping -> true
+  | Wire.MultiGet xs, Wire.MultiGet ys -> xs = ys
+  | Wire.MultiRange xs, Wire.MultiRange ys -> xs = ys
   | _ -> false
 
 let rec pp_request ppf = function
@@ -30,6 +32,14 @@ let rec pp_request ppf = function
     Array.iter (fun r -> Format.fprintf ppf " %a;" pp_request r) rs;
     Format.fprintf ppf " |]"
   | Wire.Ping -> Format.fprintf ppf "Ping"
+  | Wire.MultiGet ks ->
+    Format.fprintf ppf "MultiGet [|";
+    Array.iter (fun k -> Format.fprintf ppf " %d;" k) ks;
+    Format.fprintf ppf " |]"
+  | Wire.MultiRange rs ->
+    Format.fprintf ppf "MultiRange [|";
+    Array.iter (fun (lo, hi) -> Format.fprintf ppf " (%d, %d);" lo hi) rs;
+    Format.fprintf ppf " |]"
 
 let request = Alcotest.testable pp_request request_eq
 
@@ -41,6 +51,8 @@ let rec response_eq (a : Wire.response) (b : Wire.response) =
     Array.length xs = Array.length ys && Array.for_all2 response_eq xs ys
   | Wire.Pong, Wire.Pong -> true
   | Wire.Err x, Wire.Err y -> x = y
+  | Wire.Bools (la, xa), Wire.Bools (lb, xb) -> la = lb && xa = xb
+  | Wire.Keyss (la, xa), Wire.Keyss (lb, xb) -> la = lb && xa = xb
   | _ -> false
 
 let rec pp_response ppf = function
@@ -55,6 +67,19 @@ let rec pp_response ppf = function
     Format.fprintf ppf " |]"
   | Wire.Pong -> Format.fprintf ppf "Pong"
   | Wire.Err m -> Format.fprintf ppf "Err %S" m
+  | Wire.Bools (label, bs) ->
+    Format.fprintf ppf "Bools (%d, [|" label;
+    Array.iter (fun b -> Format.fprintf ppf " %b;" b) bs;
+    Format.fprintf ppf " |])"
+  | Wire.Keyss (label, kss) ->
+    Format.fprintf ppf "Keyss (%d, [|" label;
+    Array.iter
+      (fun ks ->
+        Format.fprintf ppf " [|";
+        Array.iter (fun k -> Format.fprintf ppf " %d;" k) ks;
+        Format.fprintf ppf " |];")
+      kss;
+    Format.fprintf ppf " |])"
 
 let response = Alcotest.testable pp_response response_eq
 
@@ -136,6 +161,13 @@ let request_round_trip () =
           Wire.Range (1, 2);
           Wire.Ping;
         |];
+      Wire.MultiGet [||];
+      Wire.MultiGet [| 1 |];
+      Wire.MultiGet [| 4; 4; min_int; max_int; -9 |];
+      Wire.MultiRange [||];
+      Wire.MultiRange [| (1, 100) |];
+      Wire.MultiRange [| (5, 7); (min_int, max_int); (9, 3) |];
+      Wire.Batch [| Wire.MultiGet [| 1; 2 |]; Wire.MultiRange [| (3, 4) |] |];
     ]
   in
   List.iter
@@ -157,6 +189,12 @@ let response_round_trip () =
       Wire.Rbatch [||];
       Wire.Rbatch
         [| Wire.Bool true; Wire.Keys (9, [| 4; 5 |]); Wire.Pong; Wire.Err "x" |];
+      Wire.Bools (0, [||]);
+      Wire.Bools (42, [| true; false; false; true |]);
+      Wire.Keyss (0, [||]);
+      Wire.Keyss (17, [| [| 1; 2 |]; [||]; [| min_int; 0; max_int |] |]);
+      Wire.Rbatch
+        [| Wire.Bools (3, [| false |]); Wire.Keyss (4, [| [| 5 |] |]) |];
     ]
   in
   List.iter
@@ -259,6 +297,32 @@ let rejects_truncated_body () =
   check_malformed "truncated keys" (fun () ->
       let d = Wire.decoder () in
       feed_all d (raw_frame ("\x84" ^ i64_be 7 ^ "\x00\x00\x00\x02"));
+      Wire.next_response d);
+  (* multiget announcing more keys than bytes remain *)
+  check_malformed "multiget count exceeds payload" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame ("\x07\x00\x00\x00\x03" ^ i64_be 1));
+      Wire.next_request d);
+  (* multirange missing its second bound *)
+  check_malformed "multirange count exceeds payload" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame ("\x08\x00\x00\x00\x01" ^ i64_be 1));
+      Wire.next_request d);
+  (* bools response with fewer value bytes than its count *)
+  check_malformed "bools count exceeds payload" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame ("\x88" ^ i64_be 1 ^ "\x00\x00\x00\x04\x01"));
+      Wire.next_response d);
+  (* keyss whose outer count exceeds the remaining payload *)
+  check_malformed "keyss count exceeds payload" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame ("\x89" ^ i64_be 1 ^ "\x00\x00\x00\x09\x00"));
+      Wire.next_response d);
+  (* keyss inner range missing key bytes *)
+  check_malformed "keyss range count exceeds payload" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d
+        (raw_frame ("\x89" ^ i64_be 1 ^ "\x00\x00\x00\x01\x00\x00\x00\x02"));
       Wire.next_response d)
 
 let rejects_trailing_bytes () =
@@ -282,7 +346,18 @@ let rejects_bad_bool () =
   check_malformed "bad bool byte" (fun () ->
       let d = Wire.decoder () in
       feed_all d (raw_frame "\x81\x02");
+      Wire.next_response d);
+  check_malformed "bad bools member byte" (fun () ->
+      let d = Wire.decoder () in
+      feed_all d (raw_frame ("\x88" ^ i64_be 1 ^ "\x00\x00\x00\x01\x07"));
       Wire.next_response d)
+
+let rejects_oversized_multiget () =
+  (* 3M keys at 8 bytes each overruns max_payload (16 MiB): the encoder
+     must refuse to produce the frame *)
+  match encode_req (Wire.MultiGet (Array.make 3_000_000 1)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encoder accepted an oversized multiget"
 
 let rejects_nested_batch () =
   (* decoder side: a batch whose member is itself a batch opcode *)
@@ -329,6 +404,8 @@ let () =
           Alcotest.test_case "trailing bytes" `Quick rejects_trailing_bytes;
           Alcotest.test_case "unknown opcode" `Quick rejects_unknown_opcode;
           Alcotest.test_case "bad bool byte" `Quick rejects_bad_bool;
+          Alcotest.test_case "oversized multiget" `Quick
+            rejects_oversized_multiget;
           Alcotest.test_case "nested batch" `Quick rejects_nested_batch;
           Alcotest.test_case "malformed message" `Quick
             malformed_leaves_offender_described;

@@ -305,6 +305,135 @@ let validate_reclaim path lines =
     exit 1
   end
 
+(* A bench/snapshot_bench.exe artifact: a meta line, a summary line whose
+   [ok] carries the whole-run verdict, paired points (snapshot vs
+   independent arms) over the reads-per-snapshot sweep, gate lines at
+   the gated k values, and per-structure crossover lines tracking the
+   strict-TSC/logical throughput ratio.  The acceptance shape: the
+   snapshot arm's acquisitions per read must fall as 1/k — strictly
+   decreasing along the k axis within every (structure, provider)
+   series — and every gate line must hold both its acquires bound and
+   its throughput floor.  A checked-in artifact that failed its own
+   gate fails validation too. *)
+let validate_snapshot path lines =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let of_type t =
+    List.filter (fun l -> J.member "type" l = Some (J.Str t)) lines
+  in
+  if of_type "meta" = [] then err "no meta line";
+  (match of_type "summary" with
+  | [ s ] -> (
+    match J.member "ok" s with
+    | Some (J.Bool true) -> ()
+    | Some (J.Bool false) -> err "summary gate failed (ok=false)"
+    | _ -> err "summary line without ok bool")
+  | ss -> err "expected exactly one summary line, found %d" (List.length ss));
+  let points = of_type "point" in
+  if points = [] then err "no point lines";
+  let str l name = Option.bind (J.member name l) J.to_str in
+  let fl l name = Option.bind (J.member name l) J.to_float in
+  let int_ l name = Option.bind (J.member name l) J.to_int in
+  List.iter
+    (fun p ->
+      if str p "structure" = None then err "point without structure";
+      if str p "provider" = None then err "point without provider";
+      if int_ p "k" = None then err "point without integer k";
+      (match str p "arm" with
+      | Some ("snapshot" | "independent") -> ()
+      | Some a -> err "unknown arm %S" a
+      | None -> err "point without arm");
+      List.iter
+        (fun f -> if fl p f = None then err "point without %s" f)
+        [ "mops"; "acquires_per_read" ])
+    points;
+  let arm name = List.filter (fun p -> str p "arm" = Some name) points in
+  let snap = arm "snapshot" and indep = arm "independent" in
+  if snap = [] then err "no snapshot-arm points";
+  if indep = [] then err "no independent-arm points";
+  let distinct field =
+    List.sort_uniq compare (List.filter_map (fun p -> str p field) points)
+  in
+  let structures = distinct "structure" and providers = distinct "provider" in
+  if List.length structures < 3 then
+    err "points must cover >= 3 structures (found %d)"
+      (List.length structures);
+  List.iter
+    (fun required ->
+      if not (List.mem required providers) then
+        err "points must cover the %s provider (found: %s)" required
+          (String.concat ", " providers))
+    [ "logical"; "rdtscp-strict" ];
+  (* within each (structure, provider) series, the snapshot arm's
+     acquires/read must strictly decrease along k — the 1/k mechanism,
+     not just a fast constant *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun pv ->
+          let series =
+            List.filter
+              (fun p -> str p "structure" = Some s && str p "provider" = Some pv)
+              snap
+            |> List.filter_map (fun p ->
+                   match (int_ p "k", fl p "acquires_per_read") with
+                   | Some k, Some a -> Some (k, a)
+                   | _ -> None)
+            |> List.sort compare
+          in
+          let rec strictly_down = function
+            | (k1, a1) :: ((k2, a2) :: _ as rest) ->
+              if a2 >= a1 then
+                err
+                  "%s/%s: snapshot-arm acquires/read not strictly decreasing \
+                   (%.5f at k=%d -> %.5f at k=%d)"
+                  s pv a1 k1 a2 k2;
+              strictly_down rest
+            | _ -> ()
+          in
+          if List.length series >= 2 then strictly_down series)
+        providers)
+    structures;
+  let gates = of_type "gate" in
+  if gates = [] then err "no gate lines";
+  List.iter
+    (fun g ->
+      let who () =
+        Printf.sprintf "%s/%s k=%s"
+          (Option.value ~default:"?" (str g "structure"))
+          (Option.value ~default:"?" (str g "provider"))
+          (match int_ g "k" with Some k -> string_of_int k | None -> "?")
+      in
+      match
+        (J.member "acquires_ok" g, J.member "mops_ok" g, J.member "ok" g)
+      with
+      | Some (J.Bool a), Some (J.Bool m), Some (J.Bool o) ->
+        if not a then err "gate %s: acquires/read over the (1+eps)/k bound" (who ());
+        if not m then err "gate %s: snapshot arm below the throughput floor" (who ());
+        ignore o
+      | _ -> err "gate line without acquires_ok/mops_ok/ok bools")
+    gates;
+  let crossovers = of_type "crossover" in
+  if crossovers = [] then err "no crossover lines";
+  List.iter
+    (fun c ->
+      if fl c "strict_vs_logical" = None then
+        err "crossover line without strict_vs_logical")
+    crossovers;
+  if !errors = [] then begin
+    Printf.printf
+      "ok: snapshot sweep in %s (%d points, %d structures x %d providers, %d \
+       gates, %d crossover lines)\n"
+      path (List.length points) (List.length structures)
+      (List.length providers) (List.length gates) (List.length crossovers);
+    exit 0
+  end
+  else begin
+    List.iter (Printf.eprintf "validate_metrics: snapshot: %s\n")
+      (List.sort_uniq compare !errors);
+    exit 1
+  end
+
 (* A Chrome trace_event artifact (hwts-cli run --trace-out) is a single
    JSON object, not lines: validate the envelope and that every event
    carries the fields Perfetto needs to place it. *)
@@ -341,7 +470,10 @@ let validate_chrome path doc =
   exit 1
 
 let trace_phase_names =
-  [ "acquire"; "traverse"; "cas_retry"; "ebr"; "reclaim"; "wait"; "other" ]
+  [
+    "acquire"; "traverse"; "cas_retry"; "ebr"; "reclaim"; "wait"; "snapshot";
+    "other";
+  ]
 
 (* A tail-attribution artifact (hwts-cli trace-report): a trace.report
    meta line plus trace.tailattr band lines covering the promised grid
@@ -489,6 +621,11 @@ let () =
            (fun l -> J.member "name" l = Some (J.Str "bench.reclaim"))
            lines ->
     validate_reclaim path lines
+  | Ok lines
+    when List.exists
+           (fun l -> J.member "name" l = Some (J.Str "bench.snapshot"))
+           lines ->
+    validate_snapshot path lines
   | Ok lines
     when List.exists
            (fun l -> J.member "name" l = Some (J.Str "trend.check"))
